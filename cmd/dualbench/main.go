@@ -1,0 +1,62 @@
+// Command dualbench runs the reproduction experiments of EXPERIMENTS.md
+// and prints their result tables.
+//
+// Usage:
+//
+//	dualbench -list            # list experiment ids and titles
+//	dualbench                  # run all experiments
+//	dualbench -run E5,E8       # run selected experiments
+//
+// Every experiment reports PASS/FAIL against the corresponding claim of
+// Gottlob (PODS 2013); see DESIGN.md §3 for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dualspace/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dualbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failures := 0
+	for _, e := range selected {
+		tbl := e.Run()
+		tbl.Format(os.Stdout)
+		if !tbl.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "dualbench: %d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

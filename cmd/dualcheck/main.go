@@ -1,0 +1,148 @@
+// Command dualcheck decides whether two simple hypergraphs (equivalently,
+// two irredundant monotone DNFs) are dual.
+//
+// Usage:
+//
+//	dualcheck [-algo bm|fka|fkb|space] [-mode replay|strict|pipelined] G.hg H.hg
+//
+// Each input file lists one hyperedge per line as whitespace-separated
+// vertex names ('-' denotes the empty edge, '#' starts a comment). The two
+// files share one vertex universe. Exit status: 0 dual, 1 not dual, 2
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dualspace"
+	"dualspace/internal/core"
+	"dualspace/internal/hgio"
+	"dualspace/internal/logspace"
+)
+
+func main() {
+	algo := flag.String("algo", "bm", "algorithm: bm (Boros–Makino), bmp (parallel), fka, fkb, space (space-bounded search)")
+	mode := flag.String("mode", "replay", "space regime for -algo space: replay, strict, pipelined")
+	workers := flag.Int("workers", 0, "goroutines for -algo bmp (0 = GOMAXPROCS)")
+	quiet := flag.Bool("q", false, "suppress witness output")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dualcheck [-algo bm|fka|fkb|space] G.hg H.hg")
+		os.Exit(2)
+	}
+	gf, err := os.Open(flag.Arg(0))
+	exitOn(err)
+	defer gf.Close()
+	hf, err := os.Open(flag.Arg(1))
+	exitOn(err)
+	defer hf.Close()
+	hs, sy, err := hgio.ReadHypergraphs(gf, hf)
+	exitOn(err)
+	g, h := hs[0], hs[1]
+
+	switch *algo {
+	case "bm":
+		res, err := dualspace.Explain(g, h)
+		exitOn(err)
+		report(res.Dual, describe(res, sy), *quiet)
+	case "bmp":
+		res, err := dualspace.ExplainParallel(g, h, *workers)
+		exitOn(err)
+		report(res.Dual, describe(res, sy), *quiet)
+	case "fka", "fkb":
+		decide := dualspace.FKDecideA
+		if *algo == "fkb" {
+			decide = dualspace.FKDecideB
+		}
+		res, err := decide(g, h)
+		exitOn(err)
+		detail := ""
+		if !res.Dual && res.HasWitness {
+			detail = fmt.Sprintf("witness assignment %s (%d recursive calls)", names(res.Witness, sy), res.Stats.Calls)
+		}
+		report(res.Dual, detail, *quiet)
+	case "space":
+		m, err := parseMode(*mode)
+		exitOn(err)
+		// Full duality = preconditions (core) + space-bounded tree search.
+		res, err := dualspace.Explain(g, h)
+		exitOn(err)
+		if !res.Dual && res.Reason != dualspace.ReasonNewTransversal {
+			report(false, describe(res, sy), *quiet)
+			return
+		}
+		meter := dualspace.NewSpaceMeter()
+		pi, w, found, err := dualspace.FailCertificate(g, h, m, meter)
+		exitOn(err)
+		detail := fmt.Sprintf("peak workspace %d bits (%s mode)", meter.Peak(), m)
+		if found {
+			detail = fmt.Sprintf("certificate %v, witness %s, %s", pi, names(w, sy), detail)
+		}
+		report(!found, detail, *quiet)
+	default:
+		exitOn(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+func describe(res *core.Result, sy *hgio.Symbols) string {
+	if res.Dual {
+		return ""
+	}
+	s := res.Reason.String()
+	if res.Reason == dualspace.ReasonNewTransversal {
+		s += ": " + names(res.Witness, sy)
+	}
+	return s
+}
+
+func names(set dualspace.Set, sy *hgio.Symbols) string {
+	out := "{"
+	first := true
+	set.ForEach(func(v int) bool {
+		if !first {
+			out += " "
+		}
+		first = false
+		if v < sy.Len() {
+			out += sy.Name(v)
+		} else {
+			out += fmt.Sprint(v)
+		}
+		return true
+	})
+	return out + "}"
+}
+
+func parseMode(s string) (dualspace.SpaceMode, error) {
+	switch s {
+	case "replay":
+		return logspace.ModeReplay, nil
+	case "strict":
+		return logspace.ModeStrict, nil
+	case "pipelined":
+		return logspace.ModePipelined, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func report(dual bool, detail string, quiet bool) {
+	if dual {
+		fmt.Println("DUAL")
+		os.Exit(0)
+	}
+	if quiet || detail == "" {
+		fmt.Println("NOT DUAL")
+	} else {
+		fmt.Printf("NOT DUAL (%s)\n", detail)
+	}
+	os.Exit(1)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dualcheck:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,83 @@
+// Command hggen generates DUAL problem instances from the standard
+// families (see internal/gen) in the edge-file format.
+//
+// Usage:
+//
+//	hggen -family matching -k 3 -out pair        # writes pair.g.hg, pair.h.hg
+//	hggen -family threshold -n 6 -k 3 -out t63
+//	hggen -family majority -n 5 -out maj5        # self-dual: h = g
+//	hggen -family random -n 8 -m 5 -seed 7 -out r8
+//	hggen -family selfdual -k 2 -out sd          # self-dualized matching
+//
+// Add -drop i to remove the i-th edge of H (a canonical non-dual
+// perturbation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dualspace/internal/gen"
+	"dualspace/internal/hgio"
+	"dualspace/internal/hypergraph"
+)
+
+func main() {
+	family := flag.String("family", "matching", "matching, threshold, majority, random, selfdual")
+	k := flag.Int("k", 3, "matching size / threshold k")
+	n := flag.Int("n", 6, "universe size (threshold, majority, random)")
+	m := flag.Int("m", 5, "edge count (random)")
+	p := flag.Float64("p", 0.35, "vertex density (random)")
+	seed := flag.Int64("seed", 1, "random seed")
+	drop := flag.Int("drop", -1, "drop this edge index from H (perturbation)")
+	out := flag.String("out", "pair", "output file prefix")
+	flag.Parse()
+
+	var g, h *hypergraph.Hypergraph
+	switch *family {
+	case "matching":
+		g, h = gen.Matching(*k), gen.MatchingDual(*k)
+	case "threshold":
+		g, h = gen.Threshold(*n, *k), gen.ThresholdDual(*n, *k)
+	case "majority":
+		g = gen.Majority(*n)
+		h = g
+	case "random":
+		r := rand.New(rand.NewSource(*seed))
+		g, h = gen.RandomDualPair(r, *n, *m, *p)
+	case "selfdual":
+		sd := gen.SelfDualize(gen.Matching(*k), gen.MatchingDual(*k))
+		g, h = sd, sd
+	default:
+		exitOn(fmt.Errorf("unknown family %q", *family))
+	}
+	if *drop >= 0 {
+		if *drop >= h.M() {
+			exitOn(fmt.Errorf("drop index %d out of range (|H|=%d)", *drop, h.M()))
+		}
+		h = gen.DropEdge(h, *drop)
+	}
+
+	exitOn(write(*out+".g.hg", g))
+	exitOn(write(*out+".h.hg", h))
+	fmt.Printf("wrote %s.g.hg (%d edges) and %s.h.hg (%d edges) over %d vertices\n",
+		*out, g.M(), *out, h.M(), g.N())
+}
+
+func write(path string, h *hypergraph.Hypergraph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return hgio.WriteHypergraph(f, h, nil)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hggen:", err)
+		os.Exit(2)
+	}
+}

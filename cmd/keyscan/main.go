@@ -1,0 +1,96 @@
+// Command keyscan discovers the minimal keys of a relational instance and
+// answers the additional-key-for-instance problem (Gottlob, PODS 2013,
+// Proposition 1.2).
+//
+// Usage:
+//
+//	keyscan [-known keys.hg] [-incremental] relation.csv
+//
+// The relation is CSV with an attribute header row. Without -known, all
+// minimal keys are printed (attribute names per line). With -known (an
+// edge file over attribute names), keyscan decides whether an additional
+// minimal key exists and prints one if so. -incremental enumerates the
+// keys one duality call at a time, reporting each discovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dualspace/internal/hgio"
+	"dualspace/internal/hypergraph"
+)
+
+func main() {
+	knownPath := flag.String("known", "", "edge file of already-known minimal keys (attribute names)")
+	incremental := flag.Bool("incremental", false, "enumerate keys via repeated additional-key calls")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: keyscan [-known keys.hg] [-incremental] relation.csv")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	exitOn(err)
+	defer f.Close()
+	rel, err := hgio.ReadRelationCSV(f)
+	exitOn(err)
+
+	attrSym := hgio.NewSymbols()
+	for i := 0; i < rel.NumAttrs(); i++ {
+		attrSym.Intern(rel.AttrName(i))
+	}
+
+	switch {
+	case *knownPath != "":
+		kf, err := os.Open(*knownPath)
+		exitOn(err)
+		defer kf.Close()
+		el, err := hgio.ParseEdges(kf)
+		exitOn(err)
+		known := hypergraph.New(rel.NumAttrs())
+		for _, edge := range el {
+			idx := make([]int, len(edge))
+			for i, name := range edge {
+				j := rel.AttrIndex(name)
+				if j < 0 {
+					exitOn(fmt.Errorf("unknown attribute %q in %s", name, *knownPath))
+				}
+				idx[i] = j
+			}
+			known.AddEdgeElems(idx...)
+		}
+		res, err := rel.AdditionalKey(known)
+		exitOn(err)
+		if res.Complete {
+			fmt.Println("COMPLETE: no additional minimal key exists")
+			return
+		}
+		fmt.Print("ADDITIONAL KEY: ")
+		exitOn(hgio.WriteHypergraph(os.Stdout, single(rel.NumAttrs(), res.NewKey), attrSym))
+		os.Exit(1)
+	case *incremental:
+		known, calls, err := rel.EnumerateKeysIncrementally()
+		exitOn(err)
+		fmt.Printf("# %d minimal keys in %d duality calls\n", known.M(), calls)
+		exitOn(hgio.WriteHypergraph(os.Stdout, known.Canonical(), attrSym))
+	default:
+		keys := rel.MinimalKeys()
+		fmt.Printf("# %d minimal keys of %d-attribute, %d-row relation\n",
+			keys.M(), rel.NumAttrs(), rel.NumRows())
+		exitOn(hgio.WriteHypergraph(os.Stdout, keys, attrSym))
+	}
+}
+
+func single(n int, e interface{ Elems() []int }) *hypergraph.Hypergraph {
+	h := hypergraph.New(n)
+	h.AddEdgeElems(e.Elems()...)
+	return h
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "keyscan:", err)
+		os.Exit(2)
+	}
+}

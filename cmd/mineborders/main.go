@@ -1,0 +1,65 @@
+// Command mineborders computes the maximal frequent itemsets IS+ and the
+// minimal infrequent itemsets IS− of a transaction database.
+//
+// Usage:
+//
+//	mineborders [-z threshold] [-method dualize|apriori] data.tx
+//
+// The input lists one transaction per line as whitespace-separated item
+// names. An itemset is frequent when strictly more than z transactions
+// contain it (Gottlob, PODS 2013, §1). The default method is the
+// incremental dualize-and-advance algorithm driven by the duality engine;
+// apriori is the levelwise baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dualspace/internal/hgio"
+	"dualspace/internal/itemsets"
+)
+
+func main() {
+	z := flag.Int("z", 1, "frequency threshold (frequent ⟺ support > z)")
+	method := flag.String("method", "dualize", "algorithm: dualize, apriori")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mineborders [-z n] [-method dualize|apriori] data.tx")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	exitOn(err)
+	defer f.Close()
+	d, sy, err := hgio.ReadDataset(f)
+	exitOn(err)
+
+	var b *itemsets.Borders
+	switch *method {
+	case "dualize":
+		b, err = itemsets.ComputeBorders(d, *z)
+	case "apriori":
+		b, err = itemsets.BordersApriori(d, *z)
+	default:
+		err = fmt.Errorf("unknown method %q", *method)
+	}
+	exitOn(err)
+
+	fmt.Printf("# %d transactions, %d items, threshold z=%d (frequent ⟺ support > z)\n",
+		d.NumRows(), d.NumItems(), *z)
+	fmt.Printf("# maximal frequent itemsets (IS+): %d\n", b.MaxFrequent.M())
+	exitOn(hgio.WriteHypergraph(os.Stdout, b.MaxFrequent.Canonical(), sy))
+	fmt.Printf("# minimal infrequent itemsets (IS−): %d\n", b.MinInfrequent.M())
+	exitOn(hgio.WriteHypergraph(os.Stdout, b.MinInfrequent.Canonical(), sy))
+	if b.DualityChecks > 0 {
+		fmt.Printf("# duality checks: %d\n", b.DualityChecks)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mineborders:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,83 @@
+// Quickstart: the dualspace public API in five minutes.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualspace"
+)
+
+func main() {
+	// A hypergraph over the universe {0,1,2,3}: the perfect matching
+	// {{0,1},{2,3}} — as a monotone DNF, f = x0 x1 + x2 x3.
+	g, err := dualspace.HypergraphFromEdges(4, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Its dual: the minimal transversals (one vertex per edge), i.e. the
+	// CNF-to-DNF expansion (x0+x1)(x2+x3).
+	h := dualspace.MinimalTransversals(g)
+	fmt.Println("G      =", g)
+	fmt.Println("tr(G)  =", h)
+
+	// 1. Deciding duality (the DUAL problem).
+	dual, err := dualspace.IsDual(g, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("IsDual(G, tr(G)) =", dual)
+
+	// 2. A non-dual pair: drop one minimal transversal and ask again. The
+	// verdict explains itself and carries a witness.
+	partial, err := dualspace.HypergraphFromEdges(4, [][]int{{0, 2}, {0, 3}, {1, 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dualspace.Explain(g, partial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Explain(G, partial): dual=%v reason=%v\n", res.Dual, res.Reason)
+
+	// 3. The witness machinery: a "new transversal" of G w.r.t. partial is
+	// a transversal of G containing no edge of partial; minimalizing it
+	// recovers the missing minimal transversal {1,3}.
+	w, ok, err := dualspace.NewTransversal(g, partial)
+	if err != nil || !ok {
+		log.Fatal("expected a witness")
+	}
+	fmt.Println("witness          =", w)
+	fmt.Println("minimalized      =", dualspace.MinimalizeTransversal(g, w))
+
+	// 4. The paper's space-bounded machinery: find the O(log²n)-bit fail
+	// certificate and verify it in strict (quadratic logspace) mode, with
+	// the workspace metered.
+	meter := dualspace.NewSpaceMeter()
+	pi, _, found, err := dualspace.FailCertificate(g, partial, dualspace.ModeStrict, meter)
+	if err != nil || !found {
+		log.Fatal("expected a certificate")
+	}
+	fmt.Printf("fail certificate = %v (search peak %d workspace bits)\n", pi, meter.Peak())
+	okv, attr, err := dualspace.VerifyCertificate(g, partial, pi, dualspace.ModeStrict, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("certificate verifies=%v at leaf S=%v t=%v\n", okv, attr.S, attr.T)
+
+	// 5. The DNF view.
+	f, err := dualspace.ParseDNF("a b + c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fd := dualspace.DualDNF(f)
+	fmt.Printf("dual of %q is %q\n", f, fd)
+	mutual, err := dualspace.AreDualDNF(f, fd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("AreDualDNF(f, f^d) =", mutual)
+}

@@ -1,0 +1,69 @@
+// Selfdualdnf: monotone DNF duality, self-duality and the classical
+// self-dualization reduction.
+//
+// The DUAL problem is often stated for formulas: two irredundant monotone
+// DNFs f and g are dual when f(x) ≡ ¬g(¬x). This example dualizes
+// formulas, tests mutual duality, and demonstrates the textbook reduction
+// of DUAL to SELF-DUAL used throughout the literature: (f, g) is a dual
+// pair iff  h = x·y ∨ x·f ∨ y·g  is self-dual.
+//
+// Run with: go run ./examples/selfdualdnf
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualspace"
+	"dualspace/internal/dnf"
+	"dualspace/internal/gen"
+)
+
+func main() {
+	// Dualization.
+	for _, src := range []string{"a b", "a + b", "a b + b c + a c", "a b + c d"} {
+		f, err := dualspace.ParseDNF(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dual(%-17q) = %q\n", src, dualspace.DualDNF(f).String())
+	}
+
+	// Self-duality: the majority function is the classical self-dual
+	// example.
+	maj, _ := dualspace.ParseDNF("a b + b c + a c")
+	selfDual, err := dualspace.AreDualDNF(maj, maj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmajority %q self-dual: %v\n", maj, selfDual)
+
+	// Self-dualization: lift a dual pair (f, g) to one self-dual formula.
+	f, _ := dualspace.ParseDNF("p q + r s")
+	g := dualspace.DualDNF(f)
+	fh, gh, names := dnf.Align(f, g)
+	lifted := gen.SelfDualize(fh, gh)
+	liftedNames := append(names, "x", "y")
+	hDNF, err := dnf.FromHypergraph(lifted, liftedNames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := dualspace.IsSelfDual(lifted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nf = %q, g = dual(f) = %q\n", f, g)
+	fmt.Printf("self-dualization  h = %q\n", hDNF)
+	fmt.Println("h self-dual:", ok)
+
+	// And the reduction is faithful: lifting a NON-dual pair is not
+	// self-dual.
+	notDual, _ := dualspace.ParseDNF("p r + q s") // not the dual of f
+	fh2, gh2, _ := dnf.Align(f, notDual)
+	bad := gen.SelfDualize(fh2, gh2)
+	ok, err = dualspace.IsSelfDual(bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lifting a non-dual pair stays non-self-dual:", !ok)
+}

@@ -1,0 +1,54 @@
+// Spacebudget: watching the quadratic-logspace machinery work.
+//
+// The paper's headline result is that DUAL is decidable in DSPACE[log²n].
+// This example makes the bound tangible: it runs the pathnode/certificate
+// machinery on a growing instance family in all three execution regimes
+// and prints the measured peak workspace next to log²(instance size) and
+// the wall-clock price of frugality.
+//
+// Run with: go run ./examples/spacebudget
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"dualspace"
+	"dualspace/internal/gen"
+)
+
+func main() {
+	fmt.Println("instance              mode       peak bits  log²size  time")
+	fmt.Println("--------------------  ---------  ---------  --------  ----------")
+	for k := 2; k <= 5; k++ {
+		g := gen.Matching(k)
+		h := gen.DropEdge(gen.MatchingDual(k), 0)
+		size := g.N() + g.N()*g.M() + g.N()*h.M()
+		log2 := math.Pow(math.Log2(float64(size)), 2)
+
+		// Locate the fail certificate once (fast mode)...
+		pi, _, found, err := dualspace.FailCertificate(g, h, dualspace.ModeReplay, nil)
+		if err != nil || !found {
+			log.Fatal("expected a certificate")
+		}
+		// ...then verify it under each space regime, metered.
+		modes := []dualspace.SpaceMode{dualspace.ModeReplay, dualspace.ModeStrict}
+		if k <= 3 {
+			modes = append(modes, dualspace.ModePipelined) // exponential time: tiny only
+		}
+		for _, mode := range modes {
+			meter := dualspace.NewSpaceMeter()
+			start := time.Now()
+			ok, _, err := dualspace.VerifyCertificate(g, h, pi, mode, meter)
+			if err != nil || !ok {
+				log.Fatal("certificate rejected")
+			}
+			fmt.Printf("matching-%d-dropped    %-9v  %9d  %8.1f  %v\n",
+				k, mode, meter.Peak(), log2, time.Since(start).Round(time.Microsecond))
+		}
+	}
+	fmt.Println("\nstrict mode tracks log²size with a small constant; replay pays |V| bits per level;")
+	fmt.Println("pipelined mode (the literal Lemma 3.1 pipeline) trades exponential time for caching nothing.")
+}

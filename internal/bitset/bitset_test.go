@@ -1,0 +1,321 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		s := New(n)
+		if got := s.Len(); got != 0 {
+			t.Errorf("New(%d).Len() = %d, want 0", n, got)
+		}
+		if !s.IsEmpty() {
+			t.Errorf("New(%d) not empty", n)
+		}
+		if got := s.Universe(); got != n {
+			t.Errorf("Universe() = %d, want %d", got, n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, e := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(e) {
+			t.Errorf("fresh set contains %d", e)
+		}
+		s.Add(e)
+		if !s.Contains(e) {
+			t.Errorf("after Add(%d), Contains is false", e)
+		}
+	}
+	if got := s.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Remove(64) did not remove")
+	}
+	s.Remove(64) // removing absent element is a no-op
+	if got := s.Len(); got != 7 {
+		t.Fatalf("Len after remove = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, f := range map[string]func(){
+		"Add":      func() { s.Add(10) },
+		"AddNeg":   func() { s.Add(-1) },
+		"Contains": func() { s.Contains(11) },
+		"Remove":   func() { s.Remove(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union across universes did not panic")
+		}
+	}()
+	a.Union(b)
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 65, 100} {
+		f := Full(n)
+		if got := f.Len(); got != n {
+			t.Errorf("Full(%d).Len() = %d", n, got)
+		}
+		if n > 0 && !f.Contains(n-1) {
+			t.Errorf("Full(%d) missing %d", n, n-1)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(100, []int{1, 5, 70, 99})
+	b := FromSlice(100, []int{5, 6, 70})
+	if got := a.Union(b).Elems(); len(got) != 5 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Elems(); len(got) != 2 || got[0] != 5 || got[1] != 70 {
+		t.Errorf("Intersect = %v, want [5 70]", got)
+	}
+	if got := a.Diff(b).Elems(); len(got) != 2 || got[0] != 1 || got[1] != 99 {
+		t.Errorf("Diff = %v, want [1 99]", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false")
+	}
+	if a.Intersects(FromSlice(100, []int{2, 3})) {
+		t.Error("Intersects disjoint = true")
+	}
+	c := a.Complement()
+	if c.Contains(1) || !c.Contains(0) || c.Len() != 96 {
+		t.Errorf("Complement wrong: len=%d", c.Len())
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := FromSlice(64, []int{1, 2, 3})
+	b := FromSlice(64, []int{1, 2, 3, 4})
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("SubsetOf not reflexive")
+	}
+	if !a.ProperSubsetOf(b) || a.ProperSubsetOf(a) {
+		t.Error("ProperSubsetOf wrong")
+	}
+	empty := New(64)
+	if !empty.SubsetOf(a) {
+		t.Error("empty not subset")
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	a := FromSlice(10, []int{1, 2})
+	b := a.WithElem(3)
+	if a.Contains(3) {
+		t.Error("WithElem mutated receiver")
+	}
+	if !b.Contains(3) {
+		t.Error("WithElem missing element")
+	}
+	c := b.WithoutElem(1)
+	if !b.Contains(1) || c.Contains(1) {
+		t.Error("WithoutElem wrong")
+	}
+}
+
+func TestMinElems(t *testing.T) {
+	if got := New(50).Min(); got != -1 {
+		t.Errorf("empty Min = %d", got)
+	}
+	s := FromSlice(200, []int{150, 64, 3})
+	if got := s.Min(); got != 3 {
+		t.Errorf("Min = %d", got)
+	}
+	if got := s.Elems(); got[0] != 3 || got[1] != 64 || got[2] != 150 {
+		t.Errorf("Elems = %v", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(10, []int{1, 2, 3})
+	var seen []int
+	done := s.ForEach(func(e int) bool {
+		seen = append(seen, e)
+		return e < 2
+	})
+	if done {
+		t.Error("ForEach reported completion despite early stop")
+	}
+	if len(seen) != 2 {
+		t.Errorf("seen = %v", seen)
+	}
+	if !s.ForEach(func(int) bool { return true }) {
+		t.Error("full iteration should report true")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	mk := func(es ...int) Set { return FromSlice(100, es) }
+	cases := []struct {
+		a, b Set
+		want int // sign
+	}{
+		{mk(1), mk(2), -1},
+		{mk(2), mk(1), 1},
+		{mk(1, 2), mk(1, 3), -1},
+		{mk(1, 2), mk(1, 2), 0},
+		{mk(), mk(1), 1},      // absent elements last: {} sorts after {1}
+		{mk(1), mk(1, 5), -1}, // {1} vs {1,5}: 5 present only in b => b first?
+	}
+	// Recompute expectation for the last case: lowest differing element is 5,
+	// present in b, so b sorts before a => Compare(a,b) > 0.
+	cases[5].want = 1
+	for i, c := range cases {
+		got := c.a.Compare(c.b)
+		if sign(got) != c.want {
+			t.Errorf("case %d: Compare(%v,%v) = %d, want sign %d", i, c.a, c.b, got, c.want)
+		}
+		if sign(c.a.Compare(c.b)) != -sign(c.b.Compare(c.a)) {
+			t.Errorf("case %d: Compare not antisymmetric", i)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestKeyDistinct(t *testing.T) {
+	a := FromSlice(128, []int{0, 127})
+	b := FromSlice(128, []int{0, 126})
+	if a.Key() == b.Key() {
+		t.Error("distinct sets share Key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Error("clone Key differs")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{3, 1}).String(); got != "{1 3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// randomSet builds a reproducible random set for property tests.
+func randomSet(r *rand.Rand, n int) Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickAlgebraLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(150)
+		a, b, c := randomSet(r, n), randomSet(r, n), randomSet(r, n)
+		// De Morgan
+		if !a.Union(b).Complement().Equal(a.Complement().Intersect(b.Complement())) {
+			t.Fatal("De Morgan (union) violated")
+		}
+		// Distributivity
+		if !a.Intersect(b.Union(c)).Equal(a.Intersect(b).Union(a.Intersect(c))) {
+			t.Fatal("distributivity violated")
+		}
+		// Diff as intersection with complement
+		if !a.Diff(b).Equal(a.Intersect(b.Complement())) {
+			t.Fatal("diff law violated")
+		}
+		// Double complement
+		if !a.Complement().Complement().Equal(a) {
+			t.Fatal("double complement violated")
+		}
+		// Subset consistency
+		if a.SubsetOf(b) != a.Union(b).Equal(b) {
+			t.Fatal("subset law violated")
+		}
+		// Cardinality: |a| + |b| = |a∪b| + |a∩b|
+		if a.Len()+b.Len() != a.Union(b).Len()+a.Intersect(b).Len() {
+			t.Fatal("inclusion-exclusion violated")
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		n := 300
+		elems := make([]int, 0, len(raw))
+		for _, v := range raw {
+			elems = append(elems, int(v)%n)
+		}
+		s := FromSlice(n, elems)
+		// Round trip through Elems
+		back := FromSlice(n, s.Elems())
+		return back.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	a := randomSet(r, 1024)
+	c := randomSet(r, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Intersects(c)
+	}
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	a := randomSet(r, 1024)
+	c := a.Union(randomSet(r, 1024))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.SubsetOf(c)
+	}
+}

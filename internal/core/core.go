@@ -1,0 +1,665 @@
+// Package core implements the paper's engine: the Boros–Makino problem
+// decomposition for the monotone duality problem DUAL (Gottlob, PODS 2013,
+// Section 2), with the deterministic tie-breaking the paper prescribes, plus
+// the duality decision procedure with structured witnesses built on top of
+// it.
+//
+// # The decomposition tree
+//
+// For a DUAL instance (G, H) over vertex set V, the decomposition tree
+// T(G,H) of Boros and Makino assigns to each node α a set Sα ⊆ V (the root
+// gets V) and the projected instance (G_Sα, H_Sα) with
+//
+//	G_Sα = {E ∩ Sα : E ∈ G}   and   H_Sα = {E ∈ H : E ⊆ Sα}.
+//
+// Leaves with |H_Sα| ≤ 1 are marked done or fail by procedure marksmall;
+// other nodes are expanded by procedure process, which either detects a fail
+// leaf directly or generates children that at least halve |H_Sα|, so the
+// depth is bounded by ⌊log₂|H|⌋ (Proposition 2.1). Every fail leaf carries a
+// witness t(α): a "new transversal of G with respect to H" — a transversal
+// of G containing no edge of H.
+//
+// # What the tree decides
+//
+// Under the paper's standing assumptions (G ⊆ tr(H) and H ⊆ tr(G), checked
+// in logspace beforehand), H = tr(G) iff all leaves are done. The
+// implementation separates the two ingredients, because the applications in
+// §1 of the paper need the weaker form mid-iteration:
+//
+//   - For any simple, cross-intersecting pair (G, H), all leaves of T(G,H)
+//     are done iff tr(G) ⊆ H ("no new transversal exists"). This is
+//     TrSubset/NewTransversal.
+//   - Full duality is then tr(G) ⊆ H together with H ⊆ tr(G) and
+//     G ⊆ tr(H), which Decide checks first, reporting precise reasons.
+//
+// # Determinism
+//
+// The paper notes T(G,H) is unique once marksmall and process are made
+// deterministic and prescribes the choices we implement: smallest vertex in
+// marksmall case 4, first (by input edge index) disjoint edge in process
+// step 3, first contained edge in step 4. Children are enumerated in
+// canonical order — case 3 by (edge index, vertex index), case 4 by vertex
+// index with the contained edge last — and duplicates are dropped at first
+// occurrence. Child labels are 1-based indices into that deduplicated
+// order, exactly the labels used by path descriptors in internal/logspace.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/hypergraph"
+)
+
+// Mark is the marking of a decomposition tree node.
+type Mark int
+
+// Markings per Section 2 of the paper: leaves end up done or fail, internal
+// nodes keep the dummy value nil.
+const (
+	MarkNil Mark = iota
+	MarkDone
+	MarkFail
+)
+
+// String returns the paper's name for the marking.
+func (m Mark) String() string {
+	switch m {
+	case MarkDone:
+		return "done"
+	case MarkFail:
+		return "fail"
+	default:
+		return "nil"
+	}
+}
+
+// Kind identifies which rule of marksmall or process applied at a node.
+type Kind int
+
+const (
+	// KindSmall0Fail: marksmall case 1 — H_S empty, ∅ ∉ G_S; t(α) = Sα.
+	KindSmall0Fail Kind = iota
+	// KindSmall0Done: marksmall case 2 — H_S empty, ∅ ∈ G_S.
+	KindSmall0Done
+	// KindSmall1Done: marksmall case 3 — H_S = {H} and every singleton of H
+	// appears in G_S.
+	KindSmall1Done
+	// KindSmall1Fail: marksmall case 4 — H_S = {H}, some i ∈ H has
+	// {i} ∉ G_S; t(α) = Sα − {i} for the smallest such i.
+	KindSmall1Fail
+	// KindProcessFail: process step 2 — the majority set Iα is a new
+	// transversal of G_S w.r.t. H_S; t(α) = Iα.
+	KindProcessFail
+	// KindProcessDisjoint: process step 3 — some projected edge is disjoint
+	// from Iα; children S − (E − {i}).
+	KindProcessDisjoint
+	// KindProcessContained: process step 4 — some H_S edge is contained in
+	// Iα; children S − {i} and the edge itself.
+	KindProcessContained
+)
+
+// String names the rule.
+func (k Kind) String() string {
+	switch k {
+	case KindSmall0Fail:
+		return "marksmall/1-fail"
+	case KindSmall0Done:
+		return "marksmall/2-done"
+	case KindSmall1Done:
+		return "marksmall/3-done"
+	case KindSmall1Fail:
+		return "marksmall/4-fail"
+	case KindProcessFail:
+		return "process/2-fail"
+	case KindProcessDisjoint:
+		return "process/3-split"
+	case KindProcessContained:
+		return "process/4-split"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// NodeInfo carries the attributes the paper associates with a node α of
+// T(G,H) (Section 2), plus the classification of which rule applied.
+type NodeInfo struct {
+	// S is Sα.
+	S bitset.Set
+	// HSCount is |H_Sα|.
+	HSCount int
+	// Kind is the rule that applied at this node.
+	Kind Kind
+	// Mark is done/fail for leaves and nil for internal nodes.
+	Mark Mark
+	// T is the witness t(α); non-empty only when Mark == MarkFail. It is a
+	// transversal of G containing no edge of H ("new transversal of G with
+	// respect to H").
+	T bitset.Set
+	// I is the majority set Iα (vertices in more than |H_S|/2 edges of
+	// H_S); computed only for process nodes.
+	I bitset.Set
+	// ChosenEdge is the index (into the original G for step 3, into the
+	// original H for step 4) of the deterministically chosen edge, or -1.
+	ChosenEdge int
+	// Children are the child sets S_αi in canonical label order (label i
+	// corresponds to Children[i-1]); nil for leaves.
+	Children []bitset.Set
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *NodeInfo) IsLeaf() bool { return n.Mark != MarkNil }
+
+// Classify applies marksmall/process to the node of T(g,h) with node set s
+// and returns its full attributes, including the canonical child list for
+// internal nodes. It is deterministic and shared by the practical decision
+// procedure and by internal/logspace's replay mode, which guarantees that
+// child numbering agrees everywhere.
+func Classify(g, h *hypergraph.Hypergraph, s bitset.Set) *NodeInfo {
+	info := &NodeInfo{S: s.Clone(), ChosenEdge: -1}
+
+	// H_S: the h-edges fully inside S.
+	var hs []int
+	for j := 0; j < h.M(); j++ {
+		if h.Edge(j).SubsetOf(s) {
+			hs = append(hs, j)
+		}
+	}
+	info.HSCount = len(hs)
+
+	if len(hs) <= 1 {
+		marksmall(g, h, s, hs, info)
+		return info
+	}
+	process(g, h, s, hs, info)
+	return info
+}
+
+// marksmall implements the paper's marksmall procedure for |H_S| ≤ 1.
+func marksmall(g, h *hypergraph.Hypergraph, s bitset.Set, hs []int, info *NodeInfo) {
+	emptyInGS := false
+	for j := 0; j < g.M(); j++ {
+		if !g.Edge(j).Intersects(s) {
+			emptyInGS = true
+			break
+		}
+	}
+	if len(hs) == 0 {
+		if !emptyInGS {
+			info.Kind, info.Mark = KindSmall0Fail, MarkFail // case 1
+			info.T = s.Clone()
+		} else {
+			info.Kind, info.Mark = KindSmall0Done, MarkDone // case 2
+			info.T = bitset.New(s.Universe())
+		}
+		return
+	}
+	// |H_S| = 1.
+	he := h.Edge(hs[0])
+	missing := -1
+	he.ForEach(func(i int) bool {
+		if !singletonInGS(g, s, i) {
+			missing = i
+			return false // smallest such i, per the deterministic variant
+		}
+		return true
+	})
+	if missing < 0 {
+		info.Kind, info.Mark = KindSmall1Done, MarkDone // case 3
+		info.T = bitset.New(s.Universe())
+		return
+	}
+	info.Kind, info.Mark = KindSmall1Fail, MarkFail // case 4
+	info.ChosenEdge = hs[0]
+	info.T = s.WithoutElem(missing)
+}
+
+// singletonInGS reports whether {i} ∈ G_S, i.e. some edge of g projects onto
+// exactly {i} within s.
+func singletonInGS(g *hypergraph.Hypergraph, s bitset.Set, i int) bool {
+	for j := 0; j < g.M(); j++ {
+		p := g.Edge(j).Intersect(s)
+		if p.Len() == 1 && p.Contains(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// process implements the paper's process procedure for |H_S| ≥ 2.
+func process(g, h *hypergraph.Hypergraph, s bitset.Set, hs []int, info *NodeInfo) {
+	n := s.Universe()
+
+	// Step 1: the majority set Iα — vertices occurring in more than
+	// |H_S|/2 hyperedges of H_S.
+	deg := make([]int, n)
+	for _, j := range hs {
+		h.Edge(j).ForEach(func(v int) bool {
+			deg[v]++
+			return true
+		})
+	}
+	iSet := bitset.New(n)
+	for v := 0; v < n; v++ {
+		if 2*deg[v] > len(hs) {
+			iSet.Add(v)
+		}
+	}
+	info.I = iSet
+
+	// Step 2: is Iα a new transversal of G_S with respect to H_S?
+	isTransversal := true
+	for j := 0; j < g.M(); j++ {
+		if !g.Edge(j).Intersect(s).Intersects(iSet) {
+			isTransversal = false
+			break
+		}
+	}
+	if isTransversal {
+		containsHS := false
+		for _, j := range hs {
+			if h.Edge(j).SubsetOf(iSet) {
+				containsHS = true
+				break
+			}
+		}
+		if !containsHS {
+			info.Kind, info.Mark = KindProcessFail, MarkFail
+			info.T = iSet.Clone()
+			return
+		}
+	}
+
+	// Step 3: a projected edge disjoint from Iα (first by input index).
+	if !isTransversal {
+		for j := 0; j < g.M(); j++ {
+			gProj := g.Edge(j).Intersect(s)
+			if gProj.Intersects(iSet) {
+				continue
+			}
+			info.Kind = KindProcessDisjoint
+			info.ChosenEdge = j
+			info.Children = disjointChildren(g, s, gProj)
+			return
+		}
+		// Unreachable: !isTransversal means some projection misses Iα.
+		panic("core: process step 3 found no disjoint edge")
+	}
+
+	// Step 4: an H_S edge contained in Iα (first by input index). One must
+	// exist: Iα is a transversal of G_S and step 2 did not fire.
+	for _, j := range hs {
+		he := h.Edge(j)
+		if !he.SubsetOf(iSet) {
+			continue
+		}
+		info.Kind = KindProcessContained
+		info.ChosenEdge = j
+		info.Children = containedChildren(s, he)
+		return
+	}
+	panic("core: process step 4 found no contained edge")
+}
+
+// disjointChildren enumerates C = {Sα − (E − {i}) | E ∈ G_Sα^G, i ∈ E ∩ G}
+// in canonical (edge index, vertex index) order with duplicates removed,
+// where G = gProj is the chosen projected edge disjoint from Iα and G_Sα^G
+// consists of the projected edges meeting G.
+func disjointChildren(g *hypergraph.Hypergraph, s, gProj bitset.Set) []bitset.Set {
+	var out []bitset.Set
+	for j := 0; j < g.M(); j++ {
+		e := g.Edge(j).Intersect(s)
+		common := e.Intersect(gProj)
+		if common.IsEmpty() {
+			continue // E ⊆ Sα − G: excluded from G_Sα^G
+		}
+		common.ForEach(func(i int) bool {
+			child := s.Diff(e.WithoutElem(i))
+			appendIfNew(&out, child)
+			return true
+		})
+	}
+	return out
+}
+
+// containedChildren enumerates C = {Sα − {i} | i ∈ H} ∪ {H} in canonical
+// order (vertex index, then H last) with duplicates removed.
+func containedChildren(s, he bitset.Set) []bitset.Set {
+	var out []bitset.Set
+	he.ForEach(func(i int) bool {
+		appendIfNew(&out, s.WithoutElem(i))
+		return true
+	})
+	appendIfNew(&out, he.Clone())
+	return out
+}
+
+func appendIfNew(out *[]bitset.Set, c bitset.Set) {
+	for _, prev := range *out {
+		if prev.Equal(c) {
+			return
+		}
+	}
+	*out = append(*out, c)
+}
+
+// Reason explains a duality verdict.
+type Reason int
+
+const (
+	// ReasonDual: the pair is dual.
+	ReasonDual Reason = iota
+	// ReasonConstantMismatch: one side is a constant (∅ or {∅}) and the
+	// other is not its dual constant.
+	ReasonConstantMismatch
+	// ReasonNotCrossIntersecting: some edge of g is disjoint from some edge
+	// of h; see Result.GEdge/HEdge.
+	ReasonNotCrossIntersecting
+	// ReasonHEdgeNotMinimal: an edge of h is a transversal of g but not a
+	// minimal one (H ⊆ tr(G) violated); see Result.HEdge and
+	// Result.RedundantVertex.
+	ReasonHEdgeNotMinimal
+	// ReasonGEdgeNotMinimal: symmetric violation of G ⊆ tr(H).
+	ReasonGEdgeNotMinimal
+	// ReasonNewTransversal: preconditions hold but tr(g) ⊈ h; Result.Witness
+	// is a new transversal of g w.r.t. h found at a fail leaf.
+	ReasonNewTransversal
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonDual:
+		return "dual"
+	case ReasonConstantMismatch:
+		return "constant mismatch"
+	case ReasonNotCrossIntersecting:
+		return "edges do not cross-intersect"
+	case ReasonHEdgeNotMinimal:
+		return "h-edge is a non-minimal transversal of g"
+	case ReasonGEdgeNotMinimal:
+		return "g-edge is a non-minimal transversal of h"
+	case ReasonNewTransversal:
+		return "new transversal exists"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Stats aggregates decomposition tree measurements, backing the experiments
+// for Proposition 2.1(2) and 2.1(3).
+type Stats struct {
+	// Nodes is the number of tree nodes visited.
+	Nodes int
+	// Leaves is the number of leaves visited.
+	Leaves int
+	// MaxDepth is the maximum depth reached (root = 0).
+	MaxDepth int
+	// MaxChildren is the maximum child count κ(α) observed.
+	MaxChildren int
+}
+
+// Result is the outcome of a duality decision.
+type Result struct {
+	// Dual reports whether h = tr(g).
+	Dual bool
+	// Reason explains a negative verdict; ReasonDual otherwise.
+	Reason Reason
+	// Witness, when Reason == ReasonNewTransversal, is a transversal of g
+	// containing no edge of h. Its complement CoWitness is then a
+	// transversal of h containing no edge of g.
+	Witness   bitset.Set
+	CoWitness bitset.Set
+	// GEdge and HEdge identify offending edges for the pairwise and
+	// minimality reasons (-1 when not applicable).
+	GEdge, HEdge int
+	// RedundantVertex is the removable vertex for the minimality reasons
+	// (-1 when not applicable).
+	RedundantVertex int
+	// FailPath is the path descriptor (1-based child labels) of the fail
+	// leaf, when one was found by the tree search. Together with Swapped it
+	// locates the leaf in T(g,h) or T(h,g).
+	FailPath []int
+	// Swapped records that the decomposition ran on T(h,g) rather than
+	// T(g,h) to honor the paper's |H| ≤ |G| convention.
+	Swapped bool
+	// Stats carries tree measurements from the search (zero when the
+	// verdict was reached before the tree stage).
+	Stats Stats
+}
+
+// String renders a short human-readable verdict.
+func (r *Result) String() string {
+	if r.Dual {
+		return "dual"
+	}
+	s := "not dual: " + r.Reason.String()
+	if r.Reason == ReasonNewTransversal {
+		s += " " + r.Witness.String()
+	}
+	return s
+}
+
+// ErrUniverseMismatch is returned when the two hypergraphs of an instance
+// disagree on the universe size.
+var ErrUniverseMismatch = errors.New("core: hypergraphs have different universes")
+
+// validatePair checks universe agreement and simplicity of both inputs.
+func validatePair(g, h *hypergraph.Hypergraph) error {
+	if g.N() != h.N() {
+		return ErrUniverseMismatch
+	}
+	if err := g.ValidateSimple(); err != nil {
+		return fmt.Errorf("core: g: %w", err)
+	}
+	if err := h.ValidateSimple(); err != nil {
+		return fmt.Errorf("core: h: %w", err)
+	}
+	return nil
+}
+
+// isConstant reports whether the simple hypergraph is one of the two
+// constants: ⊥ (no edges) or ⊤ (the single empty edge).
+func isConstant(x *hypergraph.Hypergraph) (bottom, top bool) {
+	if x.M() == 0 {
+		return true, false
+	}
+	if x.HasEmptyEdge() {
+		return false, true // simplicity forces x = {∅}
+	}
+	return false, false
+}
+
+// Decide determines whether h = tr(g) — equivalently, whether the monotone
+// DNFs of g and h are mutually dual. Both inputs must be simple hypergraphs
+// over the same universe.
+//
+// It follows the paper's protocol: first the logspace-checkable
+// preconditions (constants, cross-intersection, G ⊆ tr(H), H ⊆ tr(G)), then
+// the Boros–Makino tree search for a new transversal. On a negative verdict
+// the Result pinpoints the reason and, when the tree stage ran, carries a
+// witness and the fail leaf's path descriptor.
+func Decide(g, h *hypergraph.Hypergraph) (*Result, error) {
+	if err := validatePair(g, h); err != nil {
+		return nil, err
+	}
+	gBot, gTop := isConstant(g)
+	hBot, hTop := isConstant(h)
+	if gBot || gTop || hBot || hTop {
+		if (gBot && hTop) || (gTop && hBot) {
+			return &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}, nil
+		}
+		return &Result{Reason: ReasonConstantMismatch, GEdge: -1, HEdge: -1, RedundantVertex: -1}, nil
+	}
+
+	// Precondition: cross-intersection.
+	if ok, gi, hi := g.CrossIntersecting(h); !ok {
+		return &Result{Reason: ReasonNotCrossIntersecting, GEdge: gi, HEdge: hi, RedundantVertex: -1}, nil
+	}
+	// Precondition: H ⊆ tr(G). Cross-intersection already makes every
+	// h-edge a transversal of g, so only minimality can fail.
+	if v := h.AllEdgesMinimalTransversalsOf(g); v != nil {
+		return &Result{Reason: ReasonHEdgeNotMinimal, GEdge: -1, HEdge: v.EdgeIndex, RedundantVertex: v.RedundantVertex}, nil
+	}
+	// Precondition: G ⊆ tr(H).
+	if v := g.AllEdgesMinimalTransversalsOf(h); v != nil {
+		return &Result{Reason: ReasonGEdgeNotMinimal, GEdge: v.EdgeIndex, HEdge: -1, RedundantVertex: v.RedundantVertex}, nil
+	}
+
+	// Tree stage. Honor the paper's |H| ≤ |G| convention by swapping when
+	// beneficial; duality is symmetric once the preconditions hold, and a
+	// witness for one orientation complements to one for the other.
+	a, b, swapped := g, h, false
+	if h.M() > g.M() {
+		a, b, swapped = h, g, true
+	}
+	res, err := TrSubset(a, b)
+	if err != nil {
+		return nil, err
+	}
+	res.Swapped = swapped
+	if !res.Dual && swapped {
+		res.Witness, res.CoWitness = res.CoWitness, res.Witness
+	}
+	return res, nil
+}
+
+// TrSubset decides tr(g) ⊆ h ("h contains every minimal transversal of g")
+// for a simple, cross-intersecting pair by searching T(g,h) for a fail
+// leaf. This is the raw tree stage of Decide and the engine behind
+// NewTransversal; unlike Decide it does not require the minimality
+// preconditions, which the incremental applications of §1 of the paper
+// cannot guarantee mid-iteration.
+//
+// The returned Result has Dual = true iff tr(g) ⊆ h. On Dual = false the
+// Witness is a new transversal of g w.r.t. h and FailPath locates the fail
+// leaf in T(g,h).
+func TrSubset(g, h *hypergraph.Hypergraph) (*Result, error) {
+	if err := validatePair(g, h); err != nil {
+		return nil, err
+	}
+	if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() || h.HasEmptyEdge() {
+		return nil, errors.New("core: TrSubset requires non-constant inputs; use Decide")
+	}
+	if ok, _, _ := g.CrossIntersecting(h); !ok {
+		return nil, errors.New("core: TrSubset requires a cross-intersecting pair")
+	}
+
+	res := &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	root := bitset.Full(g.N())
+	var walk func(s bitset.Set, depth int, path []int) bool
+	walk = func(s bitset.Set, depth int, path []int) bool {
+		info := Classify(g, h, s)
+		res.Stats.Nodes++
+		if depth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = depth
+		}
+		if len(info.Children) > res.Stats.MaxChildren {
+			res.Stats.MaxChildren = len(info.Children)
+		}
+		if info.IsLeaf() {
+			res.Stats.Leaves++
+			if info.Mark == MarkFail {
+				res.Dual = false
+				res.Reason = ReasonNewTransversal
+				res.Witness = info.T
+				res.CoWitness = info.T.Complement()
+				res.FailPath = append([]int(nil), path...)
+				return false // stop the search
+			}
+			return true
+		}
+		for i, c := range info.Children {
+			if !walk(c, depth+1, append(path, i+1)) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(root, 0, nil)
+	return res, nil
+}
+
+// NewTransversal returns a new transversal of g with respect to h — a
+// transversal of g containing no edge of h — or ok = false when none exists
+// (i.e. tr(g) ⊆ h). This is the witness-producing operation of Corollary
+// 4.1(2) and the oracle the incremental data-mining algorithms of §1 are
+// built on. The witness is generally not minimal; use
+// (*hypergraph.Hypergraph).MinimalizeTransversal to shrink it.
+func NewTransversal(g, h *hypergraph.Hypergraph) (w bitset.Set, ok bool, err error) {
+	res, err := TrSubset(g, h)
+	if err != nil {
+		return bitset.Set{}, false, err
+	}
+	if res.Dual {
+		return bitset.Set{}, false, nil
+	}
+	return res.Witness, true, nil
+}
+
+// TreeNode is a fully materialized node of T(G,H), used by experiments and
+// by the decompose algorithm's ground truth.
+type TreeNode struct {
+	// Label is the node's path descriptor (1-based child indices from the
+	// root; empty for the root).
+	Label []int
+	// Info holds the node attributes.
+	Info *NodeInfo
+	// Children are the expanded child nodes, aligned with Info.Children.
+	Children []*TreeNode
+}
+
+// BuildTree materializes the entire decomposition tree T(g,h). Intended for
+// small instances (experiments, certificate search); Decide does not
+// materialize. It requires the same input shape as TrSubset.
+func BuildTree(g, h *hypergraph.Hypergraph) (*TreeNode, error) {
+	if err := validatePair(g, h); err != nil {
+		return nil, err
+	}
+	if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() || h.HasEmptyEdge() {
+		return nil, errors.New("core: BuildTree requires non-constant inputs")
+	}
+	var build func(s bitset.Set, label []int) *TreeNode
+	build = func(s bitset.Set, label []int) *TreeNode {
+		info := Classify(g, h, s)
+		node := &TreeNode{Label: append([]int(nil), label...), Info: info}
+		for i, c := range info.Children {
+			node.Children = append(node.Children, build(c, append(label, i+1)))
+		}
+		return node
+	}
+	return build(bitset.Full(g.N()), nil), nil
+}
+
+// Walk visits every node of t in depth-first preorder.
+func (t *TreeNode) Walk(visit func(*TreeNode)) {
+	visit(t)
+	for _, c := range t.Children {
+		c.Walk(visit)
+	}
+}
+
+// Depth returns the height of the tree (root-only tree has depth 0).
+func (t *TreeNode) Depth() int {
+	d := 0
+	for _, c := range t.Children {
+		if cd := c.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// CountMarks returns the number of done and fail leaves.
+func (t *TreeNode) CountMarks() (done, fail int) {
+	t.Walk(func(n *TreeNode) {
+		switch n.Info.Mark {
+		case MarkDone:
+			done++
+		case MarkFail:
+			fail++
+		}
+	})
+	return done, fail
+}

@@ -1,0 +1,173 @@
+package core
+
+// Parallel tree search. The Boros–Makino decomposition was introduced as a
+// parallel algorithm (their ICALP 2009 result runs it on an EREW PRAM in
+// O(log²n) time; Gottlob's §1 recounts this), because the tree's subtrees
+// are completely independent: each node is a pure function of its set Sα.
+// DecideParallel exploits exactly that independence with a bounded pool of
+// goroutines, as a practical counterpart to the PRAM remark. The verdict
+// is identical to the serial search; on non-dual instances the reported
+// witness is the first fail leaf *found*, which — unlike serial search —
+// need not be the DFS-first one (every fail witness is equally valid, and
+// the tests check validity).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/hypergraph"
+)
+
+// DecideParallel is Decide with the tree stage searched by up to `workers`
+// goroutines (0 means GOMAXPROCS). Verdict and Reason agree with Decide;
+// Witness/FailPath may name a different (equally valid) fail leaf, and
+// Stats.Nodes counts the nodes actually visited before cancellation.
+func DecideParallel(g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
+	if err := validatePair(g, h); err != nil {
+		return nil, err
+	}
+	gBot, gTop := isConstant(g)
+	hBot, hTop := isConstant(h)
+	if gBot || gTop || hBot || hTop {
+		if (gBot && hTop) || (gTop && hBot) {
+			return &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}, nil
+		}
+		return &Result{Reason: ReasonConstantMismatch, GEdge: -1, HEdge: -1, RedundantVertex: -1}, nil
+	}
+	if ok, gi, hi := g.CrossIntersecting(h); !ok {
+		return &Result{Reason: ReasonNotCrossIntersecting, GEdge: gi, HEdge: hi, RedundantVertex: -1}, nil
+	}
+	if v := h.AllEdgesMinimalTransversalsOf(g); v != nil {
+		return &Result{Reason: ReasonHEdgeNotMinimal, GEdge: -1, HEdge: v.EdgeIndex, RedundantVertex: v.RedundantVertex}, nil
+	}
+	if v := g.AllEdgesMinimalTransversalsOf(h); v != nil {
+		return &Result{Reason: ReasonGEdgeNotMinimal, GEdge: v.EdgeIndex, HEdge: -1, RedundantVertex: v.RedundantVertex}, nil
+	}
+
+	a, b, swapped := g, h, false
+	if h.M() > g.M() {
+		a, b, swapped = h, g, true
+	}
+	res := trSubsetParallel(a, b, workers)
+	res.Swapped = swapped
+	if !res.Dual && swapped {
+		res.Witness, res.CoWitness = res.CoWitness, res.Witness
+	}
+	return res, nil
+}
+
+type parallelSearch struct {
+	g, h *hypergraph.Hypergraph
+
+	sem  chan struct{} // bounds concurrent subtree goroutines
+	wg   sync.WaitGroup
+	stop chan struct{}
+	once sync.Once
+
+	mu       sync.Mutex
+	failT    bitset.Set
+	failPath []int
+	failSet  bool
+
+	nodes       int64
+	leaves      int64
+	maxDepth    int64
+	maxChildren int64
+}
+
+func trSubsetParallel(g, h *hypergraph.Hypergraph, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &parallelSearch{
+		g: g, h: h,
+		sem:  make(chan struct{}, workers),
+		stop: make(chan struct{}),
+	}
+	p.walk(bitset.Full(g.N()), nil, 0)
+	p.wg.Wait()
+
+	res := &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	res.Stats = Stats{
+		Nodes:       int(atomic.LoadInt64(&p.nodes)),
+		Leaves:      int(atomic.LoadInt64(&p.leaves)),
+		MaxDepth:    int(atomic.LoadInt64(&p.maxDepth)),
+		MaxChildren: int(atomic.LoadInt64(&p.maxChildren)),
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failSet {
+		res.Dual = false
+		res.Reason = ReasonNewTransversal
+		res.Witness = p.failT
+		res.CoWitness = p.failT.Complement()
+		res.FailPath = p.failPath
+	}
+	return res
+}
+
+func (p *parallelSearch) cancelled() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *parallelSearch) walk(s bitset.Set, path []int, depth int) {
+	if p.cancelled() {
+		return
+	}
+	info := Classify(p.g, p.h, s)
+	atomic.AddInt64(&p.nodes, 1)
+	atomicMax(&p.maxDepth, int64(depth))
+	atomicMax(&p.maxChildren, int64(len(info.Children)))
+	if info.IsLeaf() {
+		atomic.AddInt64(&p.leaves, 1)
+		if info.Mark == MarkFail {
+			p.recordFail(info.T, path)
+		}
+		return
+	}
+	for i, c := range info.Children {
+		if p.cancelled() {
+			return
+		}
+		childPath := append(append([]int{}, path...), i+1)
+		select {
+		case p.sem <- struct{}{}:
+			p.wg.Add(1)
+			go func(cs bitset.Set, cp []int) {
+				defer p.wg.Done()
+				defer func() { <-p.sem }()
+				p.walk(cs, cp, depth+1)
+			}(c, childPath)
+		default:
+			// Pool exhausted: descend inline to keep progress bounded.
+			p.walk(c, childPath, depth+1)
+		}
+	}
+}
+
+func (p *parallelSearch) recordFail(t bitset.Set, path []int) {
+	p.mu.Lock()
+	if !p.failSet {
+		p.failSet = true
+		p.failT = t.Clone()
+		p.failPath = append([]int{}, path...)
+	}
+	p.mu.Unlock()
+	p.once.Do(func() { close(p.stop) })
+}
+
+func atomicMax(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
+}

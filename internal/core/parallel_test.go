@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualspace/internal/core"
+	"dualspace/internal/gen"
+	"dualspace/internal/transversal"
+)
+
+func TestParallelAgreesWithSerial(t *testing.T) {
+	for _, p := range gen.Families(17) {
+		serial, err := core.Decide(p.G, p.H)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, workers := range []int{0, 1, 4} {
+			par, err := core.DecideParallel(p.G, p.H, workers)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			if par.Dual != serial.Dual || par.Reason != serial.Reason {
+				t.Fatalf("%s (workers=%d): parallel %v/%v vs serial %v/%v",
+					p.Name, workers, par.Dual, par.Reason, serial.Dual, serial.Reason)
+			}
+			if !par.Dual && par.Reason == core.ReasonNewTransversal {
+				if !p.G.IsNewTransversal(par.Witness, p.H) {
+					t.Fatalf("%s: invalid parallel witness %v", p.Name, par.Witness)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(157))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.Random(r, 3+r.Intn(6), 1+r.Intn(5), 0.35)
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 {
+			continue
+		}
+		if h.M() >= 2 && r.Intn(2) == 0 {
+			h = gen.DropEdge(h, r.Intn(h.M()))
+		}
+		serial, err := core.Decide(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := core.DecideParallel(g, h, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Dual != serial.Dual {
+			t.Fatalf("trial %d: parallel %v vs serial %v", trial, par.Dual, serial.Dual)
+		}
+		if !par.Dual && par.Reason == core.ReasonNewTransversal && !g.IsNewTransversal(par.Witness, h) {
+			t.Fatalf("trial %d: invalid witness", trial)
+		}
+	}
+}
+
+func TestParallelStatsSaneOnDual(t *testing.T) {
+	// On a dual instance nothing is cancelled, so the parallel search must
+	// visit exactly the serial node count.
+	g, h := gen.Matching(4), gen.MatchingDual(4)
+	serial, err := core.TrSubset(h, g) // paper orientation: smaller H role
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.DecideParallel(g, h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Dual {
+		t.Fatal("wrong verdict")
+	}
+	if par.Stats.Nodes != serial.Stats.Nodes {
+		t.Errorf("parallel visited %d nodes, serial %d", par.Stats.Nodes, serial.Stats.Nodes)
+	}
+	if par.Stats.MaxDepth != serial.Stats.MaxDepth {
+		t.Errorf("depth %d vs %d", par.Stats.MaxDepth, serial.Stats.MaxDepth)
+	}
+}
+
+func TestParallelConstantsAndErrors(t *testing.T) {
+	g := gen.Matching(2)
+	wrong := gen.Matching(3)
+	if _, err := core.DecideParallel(g, wrong, 2); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+	res, err := core.DecideParallel(g, gen.MatchingDual(2), 2)
+	if err != nil || !res.Dual {
+		t.Fatalf("dual pair: %v %v", res, err)
+	}
+}
+
+func BenchmarkDecideSerialMajority7(b *testing.B) {
+	m := gen.Majority(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Decide(m, m)
+		if err != nil || !res.Dual {
+			b.Fatal("wrong verdict")
+		}
+	}
+}
+
+func BenchmarkDecideParallelMajority7(b *testing.B) {
+	m := gen.Majority(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.DecideParallel(m, m, 0)
+		if err != nil || !res.Dual {
+			b.Fatal("wrong verdict")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/core"
+	"dualspace/internal/fkdual"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/transversal"
+)
+
+// hypergraphFromBytes deterministically decodes raw bytes into a small
+// simple hypergraph, giving testing/quick a generator without needing a
+// sized universe in the property signature.
+func hypergraphFromBytes(raw []byte) *hypergraph.Hypergraph {
+	n := 2 + int(sum(raw))%6
+	h := hypergraph.New(n)
+	e := bitset.New(n)
+	for i, b := range raw {
+		e.Add(int(b) % n)
+		if i%3 == 2 {
+			h.AddEdge(e)
+			e = bitset.New(n)
+		}
+	}
+	if !e.IsEmpty() {
+		h.AddEdge(e)
+	}
+	if h.M() == 0 {
+		h.AddEdgeElems(0)
+	}
+	return h.Minimize()
+}
+
+func sum(raw []byte) int {
+	s := 0
+	for _, b := range raw {
+		s += int(b)
+	}
+	return s
+}
+
+// TestQuickDualOfTr: for every simple hypergraph g, Decide(g, tr(g)) is
+// dual — the defining property of the engine.
+func TestQuickDualOfTr(t *testing.T) {
+	f := func(raw []byte) bool {
+		g := hypergraphFromBytes(raw)
+		tr := transversal.AsHypergraph(g)
+		res, err := core.Decide(g, tr)
+		return err == nil && res.Dual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSymmetry: Decide(g, h) and Decide(h, g) agree on the verdict
+// for all pairs (duality is an involution on simple hypergraphs).
+func TestQuickSymmetry(t *testing.T) {
+	f := func(rawG, rawH []byte) bool {
+		g := hypergraphFromBytes(rawG)
+		h := hypergraphFromBytes(rawH)
+		if g.N() != h.N() {
+			return true // incomparable draw; skip
+		}
+		a, errA := core.Decide(g, h)
+		b, errB := core.Decide(h, g)
+		if errA != nil || errB != nil {
+			return errA != nil && errB != nil
+		}
+		return a.Dual == b.Dual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEnginesAgree: the BM engine and both FK engines return the same
+// verdict on arbitrary simple pairs.
+func TestQuickEnginesAgree(t *testing.T) {
+	f := func(rawG, rawH []byte) bool {
+		g := hypergraphFromBytes(rawG)
+		h := hypergraphFromBytes(rawH)
+		if g.N() != h.N() {
+			return true
+		}
+		bm, err := core.Decide(g, h)
+		if err != nil {
+			return true
+		}
+		fa, errA := fkdual.DecideA(g, h)
+		fb, errB := fkdual.DecideB(g, h)
+		if errA != nil || errB != nil {
+			return false
+		}
+		return fa.Dual == bm.Dual && fb.Dual == bm.Dual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWitnessValid: whenever TrSubset reports a missing transversal,
+// its witness actually is one.
+func TestQuickWitnessValid(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	for i := 0; i < 200; i++ {
+		g := hypergraphFromBytes(randBytes(r, 3+r.Intn(12)))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		tr := transversal.AsHypergraph(g)
+		if tr.M() < 2 {
+			continue
+		}
+		// Drop a random nonempty subset of tr's edges.
+		partial := hypergraph.New(g.N())
+		dropped := 0
+		for j := 0; j < tr.M(); j++ {
+			if r.Intn(3) == 0 {
+				dropped++
+				continue
+			}
+			partial.AddEdge(tr.Edge(j))
+		}
+		if dropped == 0 || partial.M() == 0 {
+			continue
+		}
+		res, err := core.TrSubset(g, partial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dual {
+			t.Fatalf("dropped %d transversals but TrSubset claims complete (g=%v)", dropped, g)
+		}
+		if !g.IsNewTransversal(res.Witness, partial) {
+			t.Fatalf("invalid witness %v", res.Witness)
+		}
+	}
+}
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+// TestQuickStatsBounds: on every decided pair the recorded tree statistics
+// respect the paper's bounds.
+func TestQuickStatsBounds(t *testing.T) {
+	f := func(rawG []byte) bool {
+		g := hypergraphFromBytes(rawG)
+		if g.HasEmptyEdge() || g.M() == 0 {
+			return true
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 {
+			return true
+		}
+		a, b := g, h
+		if b.M() > a.M() {
+			a, b = b, a
+		}
+		res, err := core.TrSubset(a, b)
+		if err != nil {
+			return true
+		}
+		bound := 0
+		for m := b.M(); m > 1; m >>= 1 {
+			bound++
+		}
+		return res.Stats.MaxDepth <= bound && res.Stats.MaxChildren <= a.N()*a.M()+1 && res.Stats.Leaves >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package dnf implements irredundant monotone Boolean formulas in
+// disjunctive normal form, the formula-side view of the DUAL problem.
+//
+// Gottlob (PODS 2013, §1) treats DNF duality and hypergraph duality as one
+// problem: the hypergraph of a monotone DNF has one hyperedge per disjunct
+// (the set of its variables), and the DNF is irredundant exactly when that
+// hypergraph is simple. This package provides the two "trivial reductions"
+// — much easier than logspace, as the paper notes — plus parsing, printing,
+// evaluation and dualization.
+//
+// Concrete syntax: disjuncts are separated by "+" or "|"; variables within a
+// disjunct by whitespace, "&" or "*". A variable is an identifier
+// ([A-Za-z_][A-Za-z0-9_]*). The constants are "0" (empty DNF, ⊥) and "1"
+// (the single empty disjunct, ⊤). Example: "a b + b c + a c".
+package dnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/transversal"
+)
+
+// DNF is a monotone Boolean formula in disjunctive normal form over named
+// variables. The zero value is ⊥ (the empty DNF with no variables).
+type DNF struct {
+	vars     []string
+	varIndex map[string]int
+	terms    []bitset.Set // over the universe [0, len(vars))
+}
+
+// New returns a DNF with the given variable set and no disjuncts (⊥).
+// Variable names must be distinct and non-empty.
+func New(vars []string) (*DNF, error) {
+	d := &DNF{varIndex: map[string]int{}}
+	for _, v := range vars {
+		if v == "" {
+			return nil, fmt.Errorf("dnf: empty variable name")
+		}
+		if _, dup := d.varIndex[v]; dup {
+			return nil, fmt.Errorf("dnf: duplicate variable %q", v)
+		}
+		d.varIndex[v] = len(d.vars)
+		d.vars = append(d.vars, v)
+	}
+	return d, nil
+}
+
+// Parse parses the package's concrete syntax.
+func Parse(s string) (*DNF, error) {
+	d := &DNF{varIndex: map[string]int{}}
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return nil, fmt.Errorf("dnf: empty input")
+	}
+	if trimmed == "0" {
+		return d, nil
+	}
+	if trimmed == "1" {
+		d.terms = append(d.terms, bitset.New(0))
+		return d, nil
+	}
+	normalized := strings.ReplaceAll(trimmed, "|", "+")
+	var termIdx [][]int
+	for _, termSrc := range strings.Split(normalized, "+") {
+		termSrc = strings.ReplaceAll(termSrc, "&", " ")
+		termSrc = strings.ReplaceAll(termSrc, "*", " ")
+		fields := strings.Fields(termSrc)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("dnf: empty disjunct in %q", s)
+		}
+		var idx []int
+		for _, name := range fields {
+			if !validIdent(name) {
+				return nil, fmt.Errorf("dnf: invalid variable %q", name)
+			}
+			i, ok := d.varIndex[name]
+			if !ok {
+				i = len(d.vars)
+				d.varIndex[name] = i
+				d.vars = append(d.vars, name)
+			}
+			idx = append(idx, i)
+		}
+		termIdx = append(termIdx, idx)
+	}
+	for _, idx := range termIdx {
+		d.terms = append(d.terms, markTerm(len(d.vars), idx))
+	}
+	return d, nil
+}
+
+func markTerm(n int, idx []int) bitset.Set {
+	s := bitset.New(n)
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}
+
+func validIdent(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// MustParse is Parse that panics on error, for tests and literals.
+func MustParse(s string) *DNF {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FromHypergraph builds the DNF of a hypergraph with the given variable
+// names (one per vertex). names may be nil, in which case x0, x1, ... are
+// used.
+func FromHypergraph(h *hypergraph.Hypergraph, names []string) (*DNF, error) {
+	if names == nil {
+		names = make([]string, h.N())
+		for i := range names {
+			names[i] = fmt.Sprintf("x%d", i)
+		}
+	}
+	if len(names) != h.N() {
+		return nil, fmt.Errorf("dnf: %d names for universe %d", len(names), h.N())
+	}
+	d, err := New(names)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range h.Edges() {
+		d.terms = append(d.terms, e.Clone())
+	}
+	return d, nil
+}
+
+// Hypergraph returns the hypergraph of the DNF: one edge per disjunct over
+// the universe of the DNF's variables.
+func (d *DNF) Hypergraph() *hypergraph.Hypergraph {
+	return hypergraph.FromSets(len(d.vars), d.terms)
+}
+
+// NumVars returns the number of variables.
+func (d *DNF) NumVars() int { return len(d.vars) }
+
+// NumTerms returns the number of disjuncts.
+func (d *DNF) NumTerms() int { return len(d.terms) }
+
+// VarName returns the name of variable i.
+func (d *DNF) VarName(i int) string { return d.vars[i] }
+
+// Vars returns a copy of the variable names in index order.
+func (d *DNF) Vars() []string { return append([]string(nil), d.vars...) }
+
+// AddTerm appends a disjunct given by variable names; unknown names are
+// rejected (the variable set is fixed at construction).
+func (d *DNF) AddTerm(names ...string) error {
+	idx := make([]int, 0, len(names))
+	for _, name := range names {
+		i, ok := d.varIndex[name]
+		if !ok {
+			return fmt.Errorf("dnf: unknown variable %q", name)
+		}
+		idx = append(idx, i)
+	}
+	d.terms = append(d.terms, markTerm(len(d.vars), idx))
+	return nil
+}
+
+// Eval evaluates the DNF under the assignment that sets exactly the named
+// variables to true; unknown names are ignored (they are irrelevant to the
+// formula).
+func (d *DNF) Eval(trueVars map[string]bool) bool {
+	x := bitset.New(len(d.vars))
+	for name, val := range trueVars {
+		if i, ok := d.varIndex[name]; ok && val {
+			x.Add(i)
+		}
+	}
+	return d.EvalSet(x)
+}
+
+// EvalSet evaluates the DNF at the set of true variable indices.
+func (d *DNF) EvalSet(x bitset.Set) bool {
+	for _, t := range d.terms {
+		if t.SubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsIrredundant reports whether no disjunct's variable set is covered by
+// another disjunct's (the paper's irredundancy, i.e. the hypergraph is
+// simple).
+func (d *DNF) IsIrredundant() bool {
+	return d.Hypergraph().IsSimple()
+}
+
+// Minimize returns the irredundant DNF equivalent to d (drops covered
+// disjuncts and duplicates).
+func (d *DNF) Minimize() *DNF {
+	h := d.Hypergraph().Minimize()
+	out, _ := FromHypergraph(h, d.Vars())
+	return out
+}
+
+// Dual computes the dual DNF f^d(x) = ¬f(¬x) as an irredundant monotone
+// DNF, by hypergraph dualization (the minimal transversals of d's
+// hypergraph). Exponential in the worst case; intended for moderate sizes.
+func (d *DNF) Dual() *DNF {
+	tr := transversal.AsHypergraph(d.Hypergraph().Minimize())
+	out, _ := FromHypergraph(tr, d.Vars())
+	return out
+}
+
+// String renders the DNF in the package's concrete syntax with disjuncts
+// and variables in input order ("0" and "1" for the constants).
+func (d *DNF) String() string {
+	if len(d.terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(d.terms))
+	for i, t := range d.terms {
+		if t.IsEmpty() {
+			parts[i] = "1"
+			continue
+		}
+		var names []string
+		t.ForEach(func(v int) bool { names = append(names, d.vars[v]); return true })
+		parts[i] = strings.Join(names, " ")
+	}
+	if len(parts) == 1 && parts[0] == "1" {
+		return "1"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Align maps two DNFs onto a common variable universe (the union of their
+// variable sets, first-come order: all of f's variables, then g's new
+// ones) and returns the corresponding hypergraphs together with the joint
+// name table. This is the reduction that feeds DNF pairs to the hypergraph
+// DUAL machinery.
+func Align(f, g *DNF) (fh, gh *hypergraph.Hypergraph, names []string) {
+	index := map[string]int{}
+	for _, v := range f.vars {
+		if _, ok := index[v]; !ok {
+			index[v] = len(names)
+			names = append(names, v)
+		}
+	}
+	for _, v := range g.vars {
+		if _, ok := index[v]; !ok {
+			index[v] = len(names)
+			names = append(names, v)
+		}
+	}
+	n := len(names)
+	remap := func(d *DNF) *hypergraph.Hypergraph {
+		h := hypergraph.New(n)
+		for _, t := range d.terms {
+			e := bitset.New(n)
+			t.ForEach(func(v int) bool { e.Add(index[d.vars[v]]); return true })
+			h.AddEdge(e)
+		}
+		return h
+	}
+	return remap(f), remap(g), names
+}
+
+// EqualBrute reports whether two DNFs compute the same monotone function,
+// by exhaustive evaluation over the union of their variables. It panics
+// beyond 22 joint variables; it is a test oracle.
+func EqualBrute(f, g *DNF) bool {
+	fh, gh, names := Align(f, g)
+	n := len(names)
+	if n > 22 {
+		panic("dnf: EqualBrute universe too large")
+	}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		x := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				x.Add(v)
+			}
+		}
+		fv := false
+		for _, e := range fh.Edges() {
+			if e.SubsetOf(x) {
+				fv = true
+				break
+			}
+		}
+		gv := false
+		for _, e := range gh.Edges() {
+			if e.SubsetOf(x) {
+				gv = true
+				break
+			}
+		}
+		if fv != gv {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedTerms returns the disjuncts as sorted variable-name slices, sorted
+// lexicographically — a canonical form for comparisons in tests and tools.
+func (d *DNF) SortedTerms() [][]string {
+	out := make([][]string, 0, len(d.terms))
+	for _, t := range d.terms {
+		var names []string
+		t.ForEach(func(v int) bool { names = append(names, d.vars[v]); return true })
+		sort.Strings(names)
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}

@@ -1,0 +1,194 @@
+package dnf_test
+
+import (
+	"testing"
+
+	"dualspace/internal/core"
+	"dualspace/internal/dnf"
+	"dualspace/internal/hypergraph"
+)
+
+func TestParseBasics(t *testing.T) {
+	d := dnf.MustParse("a b + b c + a c")
+	if d.NumVars() != 3 || d.NumTerms() != 3 {
+		t.Fatalf("vars=%d terms=%d", d.NumVars(), d.NumTerms())
+	}
+	if got := d.String(); got != "a b + b c + a c" {
+		t.Errorf("String = %q", got)
+	}
+	// Alternative separators.
+	d2 := dnf.MustParse("a&b | b&c | a&c")
+	if d2.String() != d.String() {
+		t.Errorf("separator parse mismatch: %q vs %q", d2.String(), d.String())
+	}
+	d3 := dnf.MustParse("a*b")
+	if d3.NumTerms() != 1 || d3.NumVars() != 2 {
+		t.Error("star separator failed")
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	bot := dnf.MustParse("0")
+	if bot.NumTerms() != 0 || bot.String() != "0" {
+		t.Errorf("bottom: %v", bot)
+	}
+	top := dnf.MustParse("1")
+	if top.NumTerms() != 1 || top.String() != "1" {
+		t.Errorf("top: %v", top)
+	}
+	if !top.Eval(nil) {
+		t.Error("⊤ must evaluate true")
+	}
+	if bot.Eval(map[string]bool{"a": true}) {
+		t.Error("⊥ must evaluate false")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "a + ", "+", "a 1b", "a-b", "a +  + b"} {
+		if _, err := dnf.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	d := dnf.MustParse("a b + c")
+	cases := []struct {
+		assign map[string]bool
+		want   bool
+	}{
+		{map[string]bool{"a": true, "b": true}, true},
+		{map[string]bool{"a": true}, false},
+		{map[string]bool{"c": true}, true},
+		{map[string]bool{}, false},
+		{map[string]bool{"a": true, "b": false, "c": false}, false},
+		{map[string]bool{"z": true}, false}, // unknown var ignored
+	}
+	for i, c := range cases {
+		if got := d.Eval(c.assign); got != c.want {
+			t.Errorf("case %d: Eval(%v) = %v", i, c.assign, got)
+		}
+	}
+}
+
+func TestIrredundantMinimize(t *testing.T) {
+	d := dnf.MustParse("a + a b + c")
+	if d.IsIrredundant() {
+		t.Error("redundant DNF reported irredundant")
+	}
+	m := d.Minimize()
+	if !m.IsIrredundant() || m.NumTerms() != 2 {
+		t.Errorf("Minimize: %v", m)
+	}
+	if !dnf.EqualBrute(d, m) {
+		t.Error("Minimize changed the function")
+	}
+}
+
+func TestHypergraphRoundTrip(t *testing.T) {
+	d := dnf.MustParse("a b + b c")
+	h := d.Hypergraph()
+	if h.M() != 2 || h.N() != 3 {
+		t.Fatalf("hypergraph: %v", h)
+	}
+	back, err := dnf.FromHypergraph(h, d.Vars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != d.String() {
+		t.Errorf("round trip: %q vs %q", back.String(), d.String())
+	}
+	// Default names.
+	auto, err := dnf.FromHypergraph(hypergraph.MustFromEdges(2, [][]int{{0, 1}}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.String() != "x0 x1" {
+		t.Errorf("auto names: %q", auto.String())
+	}
+	if _, err := dnf.FromHypergraph(h, []string{"only-one"}); err == nil {
+		t.Error("name count mismatch accepted")
+	}
+}
+
+func TestDualKnown(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a b", "a + b"},
+		{"a + b", "a b"},
+		{"a b + b c + a c", "a b + b c + a c"}, // self-dual majority
+		{"a b + c", "a c + b c"},
+		{"1", "0"},
+		{"0", "1"},
+	}
+	for _, c := range cases {
+		got := dnf.MustParse(c.in).Dual()
+		want := dnf.MustParse(c.want)
+		if !dnf.EqualBrute(got, want) {
+			t.Errorf("Dual(%q) = %q, want equivalent of %q", c.in, got.String(), c.want)
+		}
+	}
+}
+
+func TestDualInvolution(t *testing.T) {
+	for _, s := range []string{"a b + c d", "a + b c + b d", "a b c", "p q + q r + p r"} {
+		d := dnf.MustParse(s)
+		dd := d.Dual().Dual()
+		if !dnf.EqualBrute(d, dd) {
+			t.Errorf("dual(dual(%q)) = %q", s, dd.String())
+		}
+	}
+}
+
+func TestDualPairViaCore(t *testing.T) {
+	f := dnf.MustParse("a b + c d")
+	g := f.Dual()
+	fh, gh, _ := dnf.Align(f, g)
+	res, err := core.Decide(fh, gh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dual {
+		t.Errorf("core rejects dual pair %q / %q", f, g)
+	}
+	// Different variable sets are never dual.
+	h2 := dnf.MustParse("a b + c e")
+	fh2, gh2, names := dnf.Align(f, h2.Dual())
+	if len(names) != 5 {
+		t.Fatalf("aligned names: %v", names)
+	}
+	res, err = core.Decide(fh2, gh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dual {
+		t.Error("pair with different variables reported dual")
+	}
+}
+
+func TestSortedTerms(t *testing.T) {
+	d := dnf.MustParse("c b + a")
+	got := d.SortedTerms()
+	if len(got) != 2 || got[0][0] != "a" || got[1][0] != "b" || got[1][1] != "c" {
+		t.Errorf("SortedTerms = %v", got)
+	}
+}
+
+func TestNewAndAddTerm(t *testing.T) {
+	d, err := dnf.New([]string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTerm("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTerm("z"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, err := dnf.New([]string{"a", "a"}); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+	if _, err := dnf.New([]string{""}); err == nil {
+		t.Error("empty variable accepted")
+	}
+}

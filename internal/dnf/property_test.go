@@ -1,0 +1,129 @@
+package dnf_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/dnf"
+)
+
+// randomDNFSource builds a random, syntactically valid DNF source string.
+func randomDNFSource(r *rand.Rand) string {
+	vars := []string{"a", "b", "c", "d", "e"}
+	nTerms := 1 + r.Intn(4)
+	terms := make([]string, nTerms)
+	for i := range terms {
+		nVars := 1 + r.Intn(3)
+		seen := map[string]bool{}
+		var vs []string
+		for len(vs) < nVars {
+			v := vars[r.Intn(len(vars))]
+			if !seen[v] {
+				seen[v] = true
+				vs = append(vs, v)
+			}
+		}
+		terms[i] = strings.Join(vs, " ")
+	}
+	return strings.Join(terms, " + ")
+}
+
+// TestQuickParsePrintRoundTrip: parsing the printed form yields the same
+// Boolean function.
+func TestQuickParsePrintRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	for i := 0; i < 300; i++ {
+		src := randomDNFSource(r)
+		d, err := dnf.Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		back, err := dnf.Parse(d.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", d.String(), err)
+		}
+		if !dnf.EqualBrute(d, back) {
+			t.Fatalf("round trip changed function: %q vs %q", src, back.String())
+		}
+	}
+}
+
+// TestQuickDualInvolution: dual(dual(f)) computes the same function as the
+// minimized f.
+func TestQuickDualInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	for i := 0; i < 120; i++ {
+		d := dnf.MustParse(randomDNFSource(r))
+		dd := d.Dual().Dual()
+		if !dnf.EqualBrute(d, dd) {
+			t.Fatalf("involution failed for %q: got %q", d.String(), dd.String())
+		}
+	}
+}
+
+// TestQuickDualComplementLaw: for every assignment X, f(X) = ¬f^d(¬X) —
+// the defining equation of duality, checked pointwise.
+func TestQuickDualComplementLaw(t *testing.T) {
+	r := rand.New(rand.NewSource(127))
+	for i := 0; i < 60; i++ {
+		d := dnf.MustParse(randomDNFSource(r))
+		dual := d.Dual()
+		h := d.Hypergraph()
+		hd := dual.Hypergraph()
+		n := h.N()
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			x := maskSet(n, mask)
+			co := x.Complement()
+			fx := false
+			for _, e := range h.Edges() {
+				if e.SubsetOf(x) {
+					fx = true
+					break
+				}
+			}
+			fdco := false
+			for _, e := range hd.Edges() {
+				if e.SubsetOf(co) {
+					fdco = true
+					break
+				}
+			}
+			if fx == fdco {
+				t.Fatalf("duality law violated for %q at %v", d.String(), x)
+			}
+		}
+	}
+}
+
+// TestQuickParseNeverPanics feeds arbitrary strings to the parser; it must
+// return a value or an error, never panic.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		d, err := dnf.Parse(s)
+		if err == nil && d == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maskSet(n, mask int) bitset.Set {
+	s := bitset.New(n)
+	for v := 0; v < n; v++ {
+		if mask&(1<<uint(v)) != 0 {
+			s.Add(v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs the full registry: every experiment must
+// produce a non-empty table and report PASS. This is the repository's
+// executable reproduction claim.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run()
+			if tbl == nil {
+				t.Fatal("nil table")
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if !tbl.Pass {
+				t.Fatalf("experiment failed:\n%s", tbl.String())
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q != registry ID %q", tbl.ID, e.ID)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E1"); !ok {
+		t.Error("E1 not found")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("E99 found")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:      "EX",
+		Claim:   "demo",
+		Columns: []string{"a", "long-column"},
+		Pass:    true,
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.Notes = append(tbl.Notes, "a note")
+	s := tbl.String()
+	for _, want := range []string{"== EX: demo ==", "long-column", "note: a note", "result: PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+	tbl.Pass = false
+	if !strings.Contains(tbl.String(), "result: FAIL") {
+		t.Error("FAIL not rendered")
+	}
+}

@@ -1,0 +1,116 @@
+package fkdual_test
+
+import (
+	"testing"
+
+	"dualspace/internal/fkdual"
+	"dualspace/internal/hypergraph"
+)
+
+// TestSingleTermOnSecondSide exercises the swapped orientation of the
+// single-term base case (|g| = 1 while |f| > 1).
+func TestSingleTermOnSecondSide(t *testing.T) {
+	single := hypergraph.MustFromEdges(3, [][]int{{0, 1, 2}})
+	singletons := hypergraph.MustFromEdges(3, [][]int{{0}, {1}, {2}})
+	missing := hypergraph.MustFromEdges(3, [][]int{{0}, {1}})
+	for name, decide := range algorithms {
+		res, err := decide(singletons, single)
+		if err != nil || !res.Dual {
+			t.Fatalf("%s: swapped single-term dual pair rejected: %v %v", name, res, err)
+		}
+		res, err = decide(missing, single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dual {
+			t.Fatalf("%s: missing singleton accepted (swapped)", name)
+		}
+		if !res.HasWitness || !fkdual.ViolatesDuality(missing, single, res.Witness) {
+			t.Fatalf("%s: bad witness %v (swapped single-term)", name, res.Witness)
+		}
+	}
+}
+
+// TestSmallSideSwapped exercises Algorithm B's two-term base with the small
+// side second.
+func TestSmallSideSwapped(t *testing.T) {
+	small := hypergraph.MustFromEdges(4, [][]int{{0, 1}, {2, 3}})
+	big := hypergraph.MustFromEdges(4, [][]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	res, err := fkdual.DecideB(big, small)
+	if err != nil || !res.Dual {
+		t.Fatalf("B swapped small side: %v %v", res, err)
+	}
+	// Missing transversal, small side second.
+	incomplete := hypergraph.MustFromEdges(4, [][]int{{0, 2}, {0, 3}, {1, 2}})
+	res, err = fkdual.DecideB(incomplete, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dual || !fkdual.ViolatesDuality(incomplete, small, res.Witness) {
+		t.Fatalf("B swapped missing transversal: %v", res)
+	}
+}
+
+// TestSmallSideExtraEdge exercises the non-minimal-edge branch of the
+// two-term base: the large side contains a transversal that is not minimal.
+func TestSmallSideExtraEdge(t *testing.T) {
+	g := hypergraph.MustFromEdges(4, [][]int{{0, 1}, {2, 3}})
+	// {1,2,3} is a non-minimal transversal of g; the family is simple.
+	h := hypergraph.MustFromEdges(4, [][]int{{0, 2}, {0, 3}, {1, 2, 3}})
+	res, err := fkdual.DecideB(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dual {
+		t.Fatal("non-minimal h-edge accepted")
+	}
+	if !res.HasWitness || !fkdual.ViolatesDuality(g, h, res.Witness) {
+		t.Fatalf("bad witness %v for extra-edge case", res.Witness)
+	}
+	// And with the sides swapped.
+	res, err = fkdual.DecideB(h, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dual || !fkdual.ViolatesDuality(h, g, res.Witness) {
+		t.Fatalf("swapped extra-edge case: %v", res)
+	}
+}
+
+// TestBothEmptyFamilies covers the ⊥/⊥ constant pair in both argument
+// orders.
+func TestBothEmptyFamilies(t *testing.T) {
+	bot := hypergraph.New(2)
+	for name, decide := range algorithms {
+		res, err := decide(bot, bot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dual {
+			t.Fatalf("%s: ⊥/⊥ accepted as dual", name)
+		}
+		if !res.HasWitness || !fkdual.ViolatesDuality(bot, bot, res.Witness) {
+			t.Fatalf("%s: bad ⊥/⊥ witness", name)
+		}
+	}
+}
+
+// TestPotentialWitnessPath forces the Σ2^{-|t|} < 1 branch: two long terms
+// on each side that cross-intersect but fail the volume condition.
+func TestPotentialWitnessPath(t *testing.T) {
+	n := 8
+	g := hypergraph.MustFromEdges(n, [][]int{{0, 1, 2, 3, 4}, {0, 5, 6, 7, 1}})
+	h := hypergraph.MustFromEdges(n, [][]int{{0, 2, 5, 3, 6}, {1, 4, 7, 2, 5}})
+	for name, decide := range algorithms {
+		res, err := decide(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dual {
+			t.Fatalf("%s: volume-deficient pair accepted", name)
+		}
+		if !res.HasWitness || !fkdual.ViolatesDuality(g, h, res.Witness) {
+			t.Fatalf("%s: bad witness for potential path", name)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package fkdual_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/core"
+	"dualspace/internal/fkdual"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/transversal"
+)
+
+type decideFunc func(g, h *hypergraph.Hypergraph) (*fkdual.Result, error)
+
+var algorithms = map[string]decideFunc{
+	"A": fkdual.DecideA,
+	"B": fkdual.DecideB,
+}
+
+func TestConstants(t *testing.T) {
+	n := 3
+	bot := hypergraph.New(n)
+	top := hypergraph.MustFromEdges(n, [][]int{{}})
+	x := hypergraph.MustFromEdges(n, [][]int{{0}})
+	for name, decide := range algorithms {
+		for _, c := range []struct {
+			g, h *hypergraph.Hypergraph
+			dual bool
+		}{
+			{bot, top, true}, {top, bot, true},
+			{bot, bot, false}, {top, top, false},
+			{bot, x, false}, {x, bot, false},
+			{top, x, false}, {x, top, false},
+		} {
+			res, err := decide(c.g, c.h)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res.Dual != c.dual {
+				t.Errorf("%s: Decide(%v,%v) = %v, want %v", name, c.g, c.h, res.Dual, c.dual)
+			}
+			if !res.Dual {
+				if !res.HasWitness {
+					t.Errorf("%s: no witness for non-dual constants %v/%v", name, c.g, c.h)
+				} else if !fkdual.ViolatesDuality(c.g, c.h, res.Witness) {
+					t.Errorf("%s: invalid witness %v for %v/%v", name, res.Witness, c.g, c.h)
+				}
+			}
+		}
+	}
+}
+
+func TestKnownPairs(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		g, h [][]int
+		dual bool
+	}{
+		{"and/or", 2, [][]int{{0, 1}}, [][]int{{0}, {1}}, true},
+		{"self-dual triangle", 3, [][]int{{0, 1}, {1, 2}, {0, 2}}, [][]int{{0, 1}, {1, 2}, {0, 2}}, true},
+		{"matching-2", 4, [][]int{{0, 1}, {2, 3}}, [][]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}}, true},
+		{"missing transversal", 4, [][]int{{0, 1}, {2, 3}}, [][]int{{0, 2}, {0, 3}, {1, 2}}, false},
+		{"disjoint pair", 4, [][]int{{0, 1}}, [][]int{{2, 3}}, false},
+		{"non-minimal edge", 4, [][]int{{0, 1}, {2, 3}}, [][]int{{0, 2, 3}, {1, 2}, {1, 3}}, false},
+		{"single term", 3, [][]int{{0, 1, 2}}, [][]int{{0}, {1}, {2}}, true},
+		{"single term missing singleton", 3, [][]int{{0, 1, 2}}, [][]int{{0}, {1}}, false},
+	}
+	for name, decide := range algorithms {
+		for _, c := range cases {
+			g := hypergraph.MustFromEdges(c.n, c.g)
+			h := hypergraph.MustFromEdges(c.n, c.h)
+			res, err := decide(g, h)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, c.name, err)
+			}
+			if res.Dual != c.dual {
+				t.Errorf("%s/%s: Dual = %v, want %v", name, c.name, res.Dual, c.dual)
+			}
+			if !res.Dual {
+				if !res.HasWitness || !fkdual.ViolatesDuality(g, h, res.Witness) {
+					t.Errorf("%s/%s: bad witness %v (has=%v)", name, c.name, res.Witness, res.HasWitness)
+				}
+			}
+		}
+	}
+}
+
+func TestAgainstCore(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for i := 0; i < 150; i++ {
+		n := 2 + r.Intn(7)
+		g := randomSimple(r, n, 1+r.Intn(6))
+		h := transversal.AsHypergraph(g)
+		// Randomly perturb h: drop an edge, or replace with another random
+		// simple hypergraph.
+		switch r.Intn(3) {
+		case 0:
+			// keep exact dual
+		case 1:
+			if h.M() >= 2 {
+				h = dropEdge(h, r.Intn(h.M()))
+			}
+		case 2:
+			h = randomSimple(r, n, 1+r.Intn(6))
+		}
+		want, err := core.Decide(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, decide := range algorithms {
+			res, err := decide(g, h)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res.Dual != want.Dual {
+				t.Fatalf("%s: Dual=%v, core says %v (g=%v h=%v)", name, res.Dual, want.Dual, g, h)
+			}
+			if !res.Dual {
+				if !res.HasWitness {
+					t.Fatalf("%s: missing witness (g=%v h=%v)", name, g, h)
+				}
+				if !fkdual.ViolatesDuality(g, h, res.Witness) {
+					t.Fatalf("%s: invalid witness %v (g=%v h=%v)", name, res.Witness, g, h)
+				}
+			}
+		}
+	}
+}
+
+func TestSelfDualityMajority(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		maj := majority(n)
+		for name, decide := range algorithms {
+			res, err := decide(maj, maj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Dual {
+				t.Errorf("%s: majority(%d) not recognized self-dual", name, n)
+			}
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g := hypergraph.MustFromEdges(6, [][]int{{0, 1}, {2, 3}, {4, 5}})
+	h := transversal.AsHypergraph(g)
+	res, err := fkdual.DecideA(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Calls < 2 || res.Stats.MaxDepth < 1 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := hypergraph.MustFromEdges(3, [][]int{{0, 1}})
+	bad := hypergraph.MustFromEdges(3, [][]int{{0}, {0, 1}})
+	wrong := hypergraph.MustFromEdges(4, [][]int{{0}})
+	for name, decide := range algorithms {
+		if _, err := decide(g, bad); err == nil {
+			t.Errorf("%s: non-simple accepted", name)
+		}
+		if _, err := decide(bad, g); err == nil {
+			t.Errorf("%s: non-simple accepted", name)
+		}
+		if _, err := decide(g, wrong); err == nil {
+			t.Errorf("%s: universe mismatch accepted", name)
+		}
+	}
+}
+
+func TestChi(t *testing.T) {
+	for _, v := range []float64{2, 10, 100, 1e6, 1e12} {
+		c := fkdual.Chi(v)
+		if got := c * math.Log(c); math.Abs(got-math.Log(v)) > 1e-6 {
+			t.Errorf("Chi(%g)=%g: χlnχ=%g, want %g", v, c, got, math.Log(v))
+		}
+	}
+	if fkdual.Chi(0.5) != 1 || fkdual.Chi(1) != 1 {
+		t.Error("Chi below 1 should clamp")
+	}
+}
+
+func majority(n int) *hypergraph.Hypergraph {
+	k := n/2 + 1
+	h := hypergraph.New(n)
+	var build func(start int, cur []int)
+	build = func(start int, cur []int) {
+		if len(cur) == k {
+			h.AddEdgeElems(cur...)
+			return
+		}
+		for v := start; v < n; v++ {
+			build(v+1, append(cur, v))
+		}
+	}
+	build(0, nil)
+	return h
+}
+
+func dropEdge(h *hypergraph.Hypergraph, i int) *hypergraph.Hypergraph {
+	out := hypergraph.New(h.N())
+	for j := 0; j < h.M(); j++ {
+		if j != i {
+			out.AddEdge(h.Edge(j))
+		}
+	}
+	return out
+}
+
+func randomSimple(r *rand.Rand, n, m int) *hypergraph.Hypergraph {
+	raw := hypergraph.New(n)
+	for i := 0; i < m; i++ {
+		e := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if r.Intn(3) == 0 {
+				e.Add(v)
+			}
+		}
+		if e.IsEmpty() {
+			e.Add(r.Intn(n))
+		}
+		raw.AddEdge(e)
+	}
+	return raw.Minimize()
+}
+
+func BenchmarkDecideAMatching(b *testing.B) { benchmarkDecide(b, fkdual.DecideA) }
+func BenchmarkDecideBMatching(b *testing.B) { benchmarkDecide(b, fkdual.DecideB) }
+
+func benchmarkDecide(b *testing.B, decide decideFunc) {
+	k := 4
+	edges := make([][]int, k)
+	for i := range edges {
+		edges[i] = []int{2 * i, 2*i + 1}
+	}
+	g := hypergraph.MustFromEdges(2*k, edges)
+	h := transversal.AsHypergraph(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := decide(g, h)
+		if err != nil || !res.Dual {
+			b.Fatal("wrong verdict")
+		}
+	}
+}

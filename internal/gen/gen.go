@@ -1,0 +1,203 @@
+// Package gen generates the instance families used by dualspace's tests,
+// examples and experiments: classical dual pairs with known structure,
+// self-dual families, seeded random instances with ground truth, and
+// perturbations that produce non-dual instances with known witnesses.
+//
+// All randomness is seeded math/rand; every family is reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/transversal"
+)
+
+// Matching returns the perfect matching M(k): k disjoint edges {2i, 2i+1}
+// over 2k vertices. Its dual has 2^k edges (one vertex per edge), the
+// classical exponential-blowup example.
+func Matching(k int) *hypergraph.Hypergraph {
+	h := hypergraph.New(2 * k)
+	for i := 0; i < k; i++ {
+		h.AddEdgeElems(2*i, 2*i+1)
+	}
+	return h
+}
+
+// MatchingDual returns tr(M(k)) explicitly: all 2^k selections of one
+// vertex per matching edge, in mask order.
+func MatchingDual(k int) *hypergraph.Hypergraph {
+	h := hypergraph.New(2 * k)
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		e := bitset.New(2 * k)
+		for i := 0; i < k; i++ {
+			v := 2 * i
+			if mask&(1<<uint(i)) != 0 {
+				v++
+			}
+			e.Add(v)
+		}
+		h.AddEdge(e)
+	}
+	return h
+}
+
+// Threshold returns T(n, k): all k-subsets of [0, n). Its dual is
+// T(n, n−k+1). Requires 1 ≤ k ≤ n.
+func Threshold(n, k int) *hypergraph.Hypergraph {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("gen: Threshold(%d,%d) out of range", n, k))
+	}
+	h := hypergraph.New(n)
+	cur := make([]int, 0, k)
+	var build func(start int)
+	build = func(start int) {
+		if len(cur) == k {
+			h.AddEdgeElems(cur...)
+			return
+		}
+		for v := start; v <= n-(k-len(cur)); v++ {
+			cur = append(cur, v)
+			build(v + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	build(0)
+	return h
+}
+
+// ThresholdDual returns the dual of T(n, k), which is T(n, n−k+1).
+func ThresholdDual(n, k int) *hypergraph.Hypergraph {
+	return Threshold(n, n-k+1)
+}
+
+// Majority returns the self-dual majority hypergraph on odd n: all
+// ⌈n/2⌉-subsets.
+func Majority(n int) *hypergraph.Hypergraph {
+	if n%2 == 0 {
+		panic("gen: Majority requires odd n")
+	}
+	return Threshold(n, n/2+1)
+}
+
+// SelfDualize applies the classical self-dualization: given (g, h) over
+// [0, n) it returns the hypergraph over [0, n+2)
+//
+//	{x, y} ∪ { e ∪ {x} : e ∈ g } ∪ { e ∪ {y} : e ∈ h }
+//
+// with x = n, y = n+1, which is self-dual iff (g, h) is a dual pair. Both
+// inputs must be simple, non-constant and over the same universe.
+func SelfDualize(g, h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	if g.N() != h.N() {
+		panic("gen: SelfDualize universe mismatch")
+	}
+	n := g.N()
+	x, y := n, n+1
+	out := hypergraph.New(n + 2)
+	out.AddEdgeElems(x, y)
+	lift := func(src *hypergraph.Hypergraph, extra int) {
+		for _, e := range src.Edges() {
+			lifted := bitset.New(n + 2)
+			e.ForEach(func(v int) bool { lifted.Add(v); return true })
+			lifted.Add(extra)
+			out.AddEdge(lifted)
+		}
+	}
+	lift(g, x)
+	lift(h, y)
+	return out
+}
+
+// Random returns a random simple hypergraph over [0, n) with up to m edges,
+// each vertex included independently with probability p (empty draws are
+// patched with one random vertex), then minimized.
+func Random(r *rand.Rand, n, m int, p float64) *hypergraph.Hypergraph {
+	raw := hypergraph.New(n)
+	for i := 0; i < m; i++ {
+		e := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if r.Float64() < p {
+				e.Add(v)
+			}
+		}
+		if e.IsEmpty() {
+			e.Add(r.Intn(n))
+		}
+		raw.AddEdge(e)
+	}
+	return raw.Minimize()
+}
+
+// RandomDualPair returns a random simple hypergraph and its exact dual
+// (computed by transversal enumeration — keep n and m moderate).
+func RandomDualPair(r *rand.Rand, n, m int, p float64) (g, h *hypergraph.Hypergraph) {
+	g = Random(r, n, m, p)
+	return g, transversal.AsHypergraph(g)
+}
+
+// DropEdge returns h without its i-th edge — the standard perturbation that
+// makes an exact dual incomplete (one missing minimal transversal).
+func DropEdge(h *hypergraph.Hypergraph, i int) *hypergraph.Hypergraph {
+	out := hypergraph.New(h.N())
+	for j := 0; j < h.M(); j++ {
+		if j != i {
+			out.AddEdge(h.Edge(j))
+		}
+	}
+	return out
+}
+
+// Pair is a named instance of the DUAL problem with a known answer.
+type Pair struct {
+	Name string
+	G, H *hypergraph.Hypergraph
+	// Dual records the ground truth for the pair.
+	Dual bool
+}
+
+// Families returns the standard suite of dual and non-dual instances used
+// across the experiments: matchings, thresholds, majorities, self-dualized
+// matchings, random pairs, and dropped-edge perturbations. All instances
+// are exact (ground truth by construction or by enumeration).
+func Families(seed int64) []Pair {
+	r := rand.New(rand.NewSource(seed))
+	var out []Pair
+	for k := 2; k <= 5; k++ {
+		g := Matching(k)
+		h := MatchingDual(k)
+		out = append(out, Pair{Name: fmt.Sprintf("matching-%d", k), G: g, H: h, Dual: true})
+		out = append(out, Pair{
+			Name: fmt.Sprintf("matching-%d-dropped", k),
+			G:    g, H: DropEdge(h, r.Intn(h.M())), Dual: false,
+		})
+	}
+	for _, nk := range [][2]int{{5, 2}, {6, 3}, {7, 3}} {
+		n, k := nk[0], nk[1]
+		out = append(out, Pair{
+			Name: fmt.Sprintf("threshold-%d-%d", n, k),
+			G:    Threshold(n, k), H: ThresholdDual(n, k), Dual: true,
+		})
+	}
+	for _, n := range []int{3, 5, 7} {
+		m := Majority(n)
+		out = append(out, Pair{Name: fmt.Sprintf("majority-%d", n), G: m, H: m, Dual: true})
+	}
+	sd := SelfDualize(Matching(2), MatchingDual(2))
+	out = append(out, Pair{Name: "selfdualized-matching-2", G: sd, H: sd, Dual: true})
+	for i := 0; i < 4; i++ {
+		g, h := RandomDualPair(r, 6+r.Intn(3), 3+r.Intn(4), 0.35)
+		if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() {
+			continue
+		}
+		out = append(out, Pair{Name: fmt.Sprintf("random-%d", i), G: g, H: h, Dual: true})
+		if h.M() >= 2 {
+			out = append(out, Pair{
+				Name: fmt.Sprintf("random-%d-dropped", i),
+				G:    g, H: DropEdge(h, r.Intn(h.M())), Dual: false,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualspace/internal/core"
+	"dualspace/internal/gen"
+	"dualspace/internal/transversal"
+)
+
+func TestMatching(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		g := gen.Matching(k)
+		if g.M() != k || g.N() != 2*k {
+			t.Fatalf("k=%d: M=%d N=%d", k, g.M(), g.N())
+		}
+		h := gen.MatchingDual(k)
+		if h.M() != 1<<uint(k) {
+			t.Fatalf("k=%d: dual has %d edges", k, h.M())
+		}
+		if !h.EqualAsFamily(transversal.AsHypergraph(g)) {
+			t.Fatalf("k=%d: explicit dual != tr", k)
+		}
+	}
+}
+
+func TestThresholdDuality(t *testing.T) {
+	for _, nk := range [][2]int{{4, 2}, {5, 2}, {5, 3}, {6, 3}} {
+		n, k := nk[0], nk[1]
+		g := gen.Threshold(n, k)
+		h := gen.ThresholdDual(n, k)
+		if !h.EqualAsFamily(transversal.AsHypergraph(g)) {
+			t.Fatalf("T(%d,%d): explicit dual wrong", n, k)
+		}
+		res, err := core.Decide(g, h)
+		if err != nil || !res.Dual {
+			t.Fatalf("T(%d,%d): core rejects (%v, %v)", n, k, res, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Threshold(3,0) did not panic")
+		}
+	}()
+	gen.Threshold(3, 0)
+}
+
+func TestMajoritySelfDual(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7} {
+		m := gen.Majority(n)
+		res, err := core.Decide(m, m)
+		if err != nil || !res.Dual {
+			t.Fatalf("majority(%d) not self-dual: %v %v", n, res, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Majority(4) did not panic")
+		}
+	}()
+	gen.Majority(4)
+}
+
+func TestSelfDualize(t *testing.T) {
+	// Dual input pair → self-dual output.
+	g, h := gen.Matching(2), gen.MatchingDual(2)
+	sd := gen.SelfDualize(g, h)
+	if !sd.IsSimple() {
+		t.Fatal("self-dualization not simple")
+	}
+	res, err := core.Decide(sd, sd)
+	if err != nil || !res.Dual {
+		t.Fatalf("SelfDualize(dual pair) not self-dual: %v %v", res, err)
+	}
+	// Non-dual input pair → not self-dual.
+	bad := gen.SelfDualize(g, gen.DropEdge(h, 0))
+	res, err = core.Decide(bad, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dual {
+		t.Fatal("SelfDualize(non-dual pair) claims self-dual")
+	}
+}
+
+func TestRandomDualPair(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		g, h := gen.RandomDualPair(r, 6, 4, 0.4)
+		if g.M() == 0 {
+			continue
+		}
+		res, err := core.Decide(g, h)
+		if err != nil || !res.Dual {
+			t.Fatalf("random pair not dual: %v %v", res, err)
+		}
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	a := gen.Families(7)
+	b := gen.Families(7)
+	if len(a) != len(b) {
+		t.Fatal("family count differs across runs")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !a[i].G.EqualAsFamily(b[i].G) || !a[i].H.EqualAsFamily(b[i].H) {
+			t.Fatalf("family %d not reproducible", i)
+		}
+	}
+}
+
+func TestFamiliesGroundTruth(t *testing.T) {
+	for _, p := range gen.Families(11) {
+		res, err := core.Decide(p.G, p.H)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if res.Dual != p.Dual {
+			t.Errorf("%s: Decide=%v, ground truth %v", p.Name, res.Dual, p.Dual)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package hgio reads and writes the text formats used by the dualspace
+// command-line tools: hypergraphs / transaction databases as one edge (row)
+// of whitespace-separated vertex (item) names per line, and relational
+// instances as CSV with a header row.
+//
+// Hypergraph format:
+//
+//	# duality instance
+//	a b
+//	c d
+//
+// Lines starting with '#' (after optional whitespace) and blank lines are
+// skipped. Vertex names are interned in first-appearance order into a
+// Symbols table; several files can share one table so the resulting
+// hypergraphs live in a common universe, which the DUAL machinery requires.
+package hgio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/itemsets"
+	"dualspace/internal/keys"
+)
+
+// Symbols interns vertex names to dense indices.
+type Symbols struct {
+	names []string
+	index map[string]int
+}
+
+// NewSymbols returns an empty table.
+func NewSymbols() *Symbols {
+	return &Symbols{index: map[string]int{}}
+}
+
+// Intern returns the index of name, assigning the next free index on first
+// sight.
+func (s *Symbols) Intern(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := len(s.names)
+	s.index[name] = i
+	s.names = append(s.names, name)
+	return i
+}
+
+// Len returns the number of interned names.
+func (s *Symbols) Len() int { return len(s.names) }
+
+// Name returns the name at index i.
+func (s *Symbols) Name(i int) string { return s.names[i] }
+
+// Names returns a copy of all names in index order.
+func (s *Symbols) Names() []string { return append([]string(nil), s.names...) }
+
+// EdgeList is a parsed but not yet interned hypergraph: one name list per
+// edge.
+type EdgeList [][]string
+
+// ParseEdges reads the line-oriented edge format. An explicit empty edge
+// can be written as the single token "-" (needed to express the constant ⊤
+// hypergraph {∅}).
+func ParseEdges(r io.Reader) (EdgeList, error) {
+	var out EdgeList
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "-" {
+			out = append(out, []string{})
+			continue
+		}
+		fields := strings.Fields(line)
+		for _, f := range fields {
+			if f == "-" {
+				return nil, fmt.Errorf("hgio: line %d: '-' must stand alone", lineNo)
+			}
+		}
+		out = append(out, fields)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hgio: %w", err)
+	}
+	return out, nil
+}
+
+// InternAll interns every name of the edge list into sy.
+func (el EdgeList) InternAll(sy *Symbols) {
+	for _, e := range el {
+		for _, name := range e {
+			sy.Intern(name)
+		}
+	}
+}
+
+// Build converts the edge list into a hypergraph over sy's universe. Call
+// InternAll on every edge list sharing the table before building any of
+// them, so the universe is final.
+func (el EdgeList) Build(sy *Symbols) *hypergraph.Hypergraph {
+	h := hypergraph.New(sy.Len())
+	for _, e := range el {
+		idx := make([]int, len(e))
+		for i, name := range e {
+			idx[i] = sy.Intern(name)
+		}
+		h.AddEdgeElems(idx...)
+	}
+	return h
+}
+
+// ReadHypergraphs reads several edge files into hypergraphs over a shared
+// universe.
+func ReadHypergraphs(readers ...io.Reader) ([]*hypergraph.Hypergraph, *Symbols, error) {
+	sy := NewSymbols()
+	lists := make([]EdgeList, 0, len(readers))
+	for _, r := range readers {
+		el, err := ParseEdges(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		el.InternAll(sy)
+		lists = append(lists, el)
+	}
+	out := make([]*hypergraph.Hypergraph, len(lists))
+	for i, el := range lists {
+		out[i] = el.Build(sy)
+	}
+	return out, sy, nil
+}
+
+// WriteHypergraph writes h in the line-oriented format using sy for names
+// (nil sy writes numeric vertex ids).
+func WriteHypergraph(w io.Writer, h *hypergraph.Hypergraph, sy *Symbols) error {
+	for _, e := range h.Edges() {
+		if e.IsEmpty() {
+			if _, err := fmt.Fprintln(w, "-"); err != nil {
+				return err
+			}
+			continue
+		}
+		var parts []string
+		e.ForEach(func(v int) bool {
+			if sy != nil {
+				parts = append(parts, sy.Name(v))
+			} else {
+				parts = append(parts, fmt.Sprint(v))
+			}
+			return true
+		})
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDataset reads a transaction database in the same line format: one
+// transaction per line, items separated by whitespace.
+func ReadDataset(r io.Reader) (*itemsets.Dataset, *Symbols, error) {
+	el, err := ParseEdges(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	sy := NewSymbols()
+	el.InternAll(sy)
+	d := itemsets.NewDataset(sy.Len())
+	if err := d.SetItemNames(sy.Names()); err != nil {
+		return nil, nil, err
+	}
+	for _, row := range el {
+		idx := make([]int, len(row))
+		for i, name := range row {
+			idx[i] = sy.Intern(name)
+		}
+		d.AddRow(idx...)
+	}
+	return d, sy, nil
+}
+
+// ReadRelationCSV reads a relational instance from CSV: the first record is
+// the attribute header, the rest are tuples.
+func ReadRelationCSV(r io.Reader) (*keys.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("hgio: reading CSV header: %w", err)
+	}
+	rel, err := keys.NewRelation(header)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hgio: reading CSV row: %w", err)
+		}
+		if err := rel.AddRow(rec...); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package hypergraph
+
+// This file implements the structural-restriction recognizers named in
+// Section 6 of Gottlob (PODS 2013): DUAL is known to be tractable for
+// hypergraphs of bounded degeneracy and, in particular, for α-acyclic
+// hypergraphs (= hypertree width 1), while bounded hypertree width ≥ 2
+// does not help. The recognizers below identify those islands of
+// tractability; they are the entry points for the future-work directions
+// the paper sketches.
+
+import "dualspace/internal/bitset"
+
+// IsAcyclic reports whether the hypergraph is α-acyclic, decided by the
+// classical GYO (Graham / Yu–Özsoyoğlu) reduction: repeatedly delete
+// vertices that occur in exactly one edge and edges contained in other
+// edges (empty edges included); the hypergraph is α-acyclic iff everything
+// is eventually deleted. The empty hypergraph and every single-edge
+// hypergraph are α-acyclic; the triangle {ab, bc, ca} is the smallest
+// cyclic example.
+func (h *Hypergraph) IsAcyclic() bool {
+	edges := make([]bitset.Set, 0, len(h.edges))
+	for _, e := range h.edges {
+		edges = append(edges, e.Clone())
+	}
+	for {
+		changed := false
+
+		// Rule 1: a vertex occurring in exactly one edge is removed.
+		deg := make([]int, h.n)
+		for _, e := range edges {
+			e.ForEach(func(v int) bool { deg[v]++; return true })
+		}
+		for _, e := range edges {
+			var isolated []int
+			e.ForEach(func(v int) bool {
+				if deg[v] == 1 {
+					isolated = append(isolated, v)
+				}
+				return true
+			})
+			for _, v := range isolated {
+				e.Remove(v)
+				changed = true
+			}
+		}
+
+		// Rule 2: an edge contained in another edge is removed (duplicates
+		// keep one copy; empty edges are contained in any other edge, and a
+		// lone empty edge is removed outright).
+		var kept []bitset.Set
+		for i, e := range edges {
+			if e.IsEmpty() {
+				changed = true
+				continue
+			}
+			covered := false
+			for j, f := range edges {
+				if i == j {
+					continue
+				}
+				if e.SubsetOf(f) && (!e.Equal(f) || j < i) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				changed = true
+				continue
+			}
+			kept = append(kept, e)
+		}
+		edges = kept
+
+		if len(edges) == 0 {
+			return true
+		}
+		if !changed {
+			return false
+		}
+	}
+}
+
+// Degeneracy returns the degeneracy of the hypergraph under min-degree
+// vertex elimination: repeatedly delete a vertex of minimum positive
+// degree together with every edge containing it; the degeneracy is the
+// largest minimum degree encountered. For ordinary graphs (2-uniform
+// hypergraphs) this is the standard graph degeneracy (trees: 1, cycles: 2,
+// K_{k+1}: k). Zero for hypergraphs with no nonempty edges.
+func (h *Hypergraph) Degeneracy() int {
+	edges := make([]bitset.Set, 0, len(h.edges))
+	for _, e := range h.edges {
+		if !e.IsEmpty() {
+			edges = append(edges, e.Clone())
+		}
+	}
+	alive := bitset.New(h.n)
+	for _, e := range edges {
+		alive = alive.Union(e)
+	}
+	degeneracy := 0
+	for len(edges) > 0 {
+		// Find the minimum-positive-degree vertex.
+		deg := make([]int, h.n)
+		for _, e := range edges {
+			e.ForEach(func(v int) bool { deg[v]++; return true })
+		}
+		minV, minD := -1, 0
+		alive.ForEach(func(v int) bool {
+			if deg[v] == 0 {
+				return true
+			}
+			if minV == -1 || deg[v] < minD {
+				minV, minD = v, deg[v]
+			}
+			return true
+		})
+		if minV == -1 {
+			break
+		}
+		if minD > degeneracy {
+			degeneracy = minD
+		}
+		alive.Remove(minV)
+		var kept []bitset.Set
+		for _, e := range edges {
+			if !e.Contains(minV) {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	return degeneracy
+}

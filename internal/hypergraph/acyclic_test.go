@@ -1,0 +1,66 @@
+package hypergraph
+
+import "testing"
+
+func TestIsAcyclic(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		edges   [][]int
+		acyclic bool
+	}{
+		{"empty", 3, [][]int{}, true},
+		{"single edge", 3, [][]int{{0, 1, 2}}, true},
+		{"lone empty edge", 3, [][]int{{}}, true},
+		{"path of relations", 5, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, true},
+		{"star join", 6, [][]int{{0, 1, 2}, {0, 3}, {0, 4, 5}}, true},
+		{"triangle", 3, [][]int{{0, 1}, {1, 2}, {0, 2}}, false},
+		{"cycle-4", 4, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, false},
+		{"triangle with covering edge", 3, [][]int{{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}}, true},
+		{"berge-cyclic but alpha-acyclic", 4, [][]int{{0, 1, 2, 3}, {0, 1}, {2, 3}}, true},
+		{"two disjoint edges", 4, [][]int{{0, 1}, {2, 3}}, true},
+		{"cyclic core plus pendant", 5, [][]int{{0, 1}, {1, 2}, {0, 2}, {2, 3, 4}}, false},
+	}
+	for _, c := range cases {
+		h := MustFromEdges(c.n, c.edges)
+		if got := h.IsAcyclic(); got != c.acyclic {
+			t.Errorf("%s: IsAcyclic = %v, want %v", c.name, got, c.acyclic)
+		}
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][]int
+		want  int
+	}{
+		{"empty", 4, [][]int{}, 0},
+		{"single vertex edges", 3, [][]int{{0}, {1}}, 1},
+		{"tree", 5, [][]int{{0, 1}, {1, 2}, {1, 3}, {3, 4}}, 1},
+		{"cycle-4", 4, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 2},
+		{"K4", 4, [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 3},
+		{"triangle hyperedges", 3, [][]int{{0, 1, 2}, {0, 1}, {1, 2}}, 2},
+	}
+	for _, c := range cases {
+		h := MustFromEdges(c.n, c.edges)
+		if got := h.Degeneracy(); got != c.want {
+			t.Errorf("%s: Degeneracy = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAcyclicInvariantUnderCover(t *testing.T) {
+	// Adding an edge that covers the whole vertex set makes any hypergraph
+	// α-acyclic (it becomes a star from that edge).
+	h := MustFromEdges(4, [][]int{{0, 1}, {1, 2}, {0, 2}})
+	if h.IsAcyclic() {
+		t.Fatal("triangle should be cyclic")
+	}
+	h2 := h.Clone()
+	h2.AddEdgeElems(0, 1, 2, 3)
+	if !h2.IsAcyclic() {
+		t.Fatal("covered triangle should be α-acyclic")
+	}
+}

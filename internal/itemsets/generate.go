@@ -1,0 +1,56 @@
+package itemsets
+
+import (
+	"math/rand"
+
+	"dualspace/internal/bitset"
+)
+
+// GenerateRandom returns a dataset of nRows transactions over nItems items,
+// each item present independently with probability density. Seeded and
+// reproducible; the synthetic substitute for proprietary market-basket data
+// (see DESIGN.md, substitutions).
+func GenerateRandom(r *rand.Rand, nItems, nRows int, density float64) *Dataset {
+	d := NewDataset(nItems)
+	for i := 0; i < nRows; i++ {
+		row := bitset.New(nItems)
+		for v := 0; v < nItems; v++ {
+			if r.Float64() < density {
+				row.Add(v)
+			}
+		}
+		d.rows = append(d.rows, row)
+	}
+	return d
+}
+
+// GeneratePlanted returns a dataset in which each transaction is built from
+// a randomly chosen planted pattern (a fixed itemset) with per-item dropout
+// and background noise. Planted patterns give the mining experiments known
+// high-frequency structure.
+func GeneratePlanted(r *rand.Rand, nItems, nRows int, patterns [][]int, dropout, noise float64) *Dataset {
+	d := NewDataset(nItems)
+	sets := make([]bitset.Set, len(patterns))
+	for i, p := range patterns {
+		sets[i] = bitset.FromSlice(nItems, p)
+	}
+	for i := 0; i < nRows; i++ {
+		row := bitset.New(nItems)
+		if len(sets) > 0 {
+			pat := sets[r.Intn(len(sets))]
+			pat.ForEach(func(v int) bool {
+				if r.Float64() >= dropout {
+					row.Add(v)
+				}
+				return true
+			})
+		}
+		for v := 0; v < nItems; v++ {
+			if r.Float64() < noise {
+				row.Add(v)
+			}
+		}
+		d.rows = append(d.rows, row)
+	}
+	return d
+}

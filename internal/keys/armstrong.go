@@ -1,0 +1,80 @@
+package keys
+
+// Armstrong relations (Gottlob PODS 2013, §1: "Other related database
+// problems equivalent to DUAL ... deal with the construction of Armstrong
+// relations", citing Eiter & Gottlob [7] and Demetrovics & Thi).
+//
+// An Armstrong relation for a prescribed antichain K of attribute sets is
+// an explicit instance whose minimal keys are exactly K. The construction
+// is pure dualization: the maximal non-keys ("antikeys") of such a
+// relation are the complements of the minimal transversals of K, so one
+// baseline row plus one row per antikey — agreeing with the baseline
+// exactly on that antikey — realizes K.
+
+import (
+	"errors"
+	"fmt"
+
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/transversal"
+)
+
+// ArmstrongRelation constructs a relation over the given attribute names
+// whose set of minimal keys is exactly k. The family k must be a non-empty
+// antichain over the attribute universe. The special case k = {∅} (the
+// empty set is a key) yields a single-row relation.
+//
+// The construction realizes each antikey a (a maximal set containing no
+// member of k, i.e. the complement of a minimal transversal of k) as a row
+// that agrees with a baseline row exactly on a. Every value is a small
+// string; the relation has 1 + |tr(k)| rows.
+func ArmstrongRelation(k *hypergraph.Hypergraph, attrs []string) (*Relation, error) {
+	if len(attrs) != k.N() {
+		return nil, fmt.Errorf("keys: %d attribute names for universe %d", len(attrs), k.N())
+	}
+	if k.M() == 0 {
+		return nil, errors.New("keys: empty key family has no Armstrong relation (every relation has a key)")
+	}
+	if err := k.ValidateSimple(); err != nil {
+		return nil, fmt.Errorf("keys: key family must be an antichain: %w", err)
+	}
+	rel, err := NewRelation(attrs)
+	if err != nil {
+		return nil, err
+	}
+	n := k.N()
+
+	// Baseline row: value "0" everywhere.
+	base := make([]string, n)
+	for i := range base {
+		base[i] = "0"
+	}
+	if err := rel.AddRow(base...); err != nil {
+		return nil, err
+	}
+	if k.M() == 1 && k.Edge(0).IsEmpty() {
+		// ∅ is the unique minimal key: a single row realizes it.
+		return rel, nil
+	}
+	if k.HasEmptyEdge() {
+		return nil, errors.New("keys: ∅ can only be a key of a single-row relation; family is not an antichain")
+	}
+
+	// One row per antikey: the complement of each minimal transversal of k.
+	antikeys := transversal.AsHypergraph(k).ComplementEdges()
+	for i := 0; i < antikeys.M(); i++ {
+		a := antikeys.Edge(i)
+		row := make([]string, n)
+		for j := 0; j < n; j++ {
+			if a.Contains(j) {
+				row[j] = "0" // agree with the baseline on the antikey
+			} else {
+				row[j] = fmt.Sprintf("%d", i+1) // disagree elsewhere, uniquely per row
+			}
+		}
+		if err := rel.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,98 @@
+package logspace_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dualspace/internal/logspace"
+	"dualspace/internal/transversal"
+)
+
+// TestExhaustiveEqualsPruned verifies that the literal Theorem 4.1
+// enumeration over ALL path descriptors produces exactly the same listing
+// (same order, same attributes, same edges) as the pruned DFS decompose.
+func TestExhaustiveEqualsPruned(t *testing.T) {
+	g1, h1 := matching(2)
+	cases := []struct {
+		name string
+		run  func() (a, b *logspace.Listing, err error)
+	}{
+		{
+			"matching-2",
+			func() (*logspace.Listing, *logspace.Listing, error) {
+				a, err := logspace.DecomposeExhaustive(g1, h1, logspace.Options{})
+				if err != nil {
+					return nil, nil, err
+				}
+				b, err := logspace.DecomposeAll(g1, h1, logspace.Options{})
+				return a, b, err
+			},
+		},
+		{
+			"matching-2-dropped",
+			func() (*logspace.Listing, *logspace.Listing, error) {
+				h := dropEdge(h1, 1)
+				a, err := logspace.DecomposeExhaustive(g1, h, logspace.Options{})
+				if err != nil {
+					return nil, nil, err
+				}
+				b, err := logspace.DecomposeAll(g1, h, logspace.Options{})
+				return a, b, err
+			},
+		},
+	}
+	for _, c := range cases {
+		a, b, err := c.run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		compareListings(t, c.name, a, b)
+	}
+
+	// Random tiny instances.
+	r := rand.New(rand.NewSource(163))
+	count := 0
+	for count < 6 {
+		g := randomSimple(r, 2+r.Intn(3), 1+r.Intn(2))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 || h.M() > 4 || g.N()*g.M() > 9 {
+			continue // keep the exhaustive descriptor space tiny
+		}
+		count++
+		a, err := logspace.DecomposeExhaustive(g, h, logspace.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := logspace.DecomposeAll(g, h, logspace.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareListings(t, fmt.Sprintf("random-%d", count), a, b)
+	}
+}
+
+func compareListings(t *testing.T, name string, a, b *logspace.Listing) {
+	t.Helper()
+	if len(a.Vertices) != len(b.Vertices) {
+		t.Fatalf("%s: vertex counts %d vs %d", name, len(a.Vertices), len(b.Vertices))
+	}
+	for i := range a.Vertices {
+		av, bv := a.Vertices[i], b.Vertices[i]
+		if fmt.Sprint(av.Label) != fmt.Sprint(bv.Label) || !av.S.Equal(bv.S) ||
+			av.Mark != bv.Mark || !av.T.Equal(bv.T) {
+			t.Fatalf("%s: vertex %d differs: %v vs %v", name, i, av, bv)
+		}
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("%s: edge counts %d vs %d", name, len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if fmt.Sprint(a.Edges[i]) != fmt.Sprint(b.Edges[i]) {
+			t.Fatalf("%s: edge %d differs: %v vs %v", name, i, a.Edges[i], b.Edges[i])
+		}
+	}
+}

@@ -1,0 +1,883 @@
+// Package logspace implements Sections 3–5 of Gottlob (PODS 2013): the
+// quadratic-logspace algorithms for the monotone duality problem built on
+// path-descriptor recomputation over the Boros–Makino decomposition tree.
+//
+// # Background
+//
+// Lemma 4.1 of the paper gives a deterministic logspace procedure
+// next(V, attr(α), i) producing the attributes of the i-th child of a tree
+// node. Lemma 4.2 composes next with itself ℓ(π) ≤ ⌊log₂|H|⌋ times to get
+// pathnode(I, π), which recovers any node of T(G,H) from its path
+// descriptor π alone; by the pipelining construction of Lemma 3.1 this runs
+// in O(log²n) space. Theorem 4.1 then lists the whole tree (decompose),
+// Corollary 4.1 decides DUAL and extracts new-transversal witnesses, and
+// Section 5 observes that a fail path descriptor is an O(log²n)-bit
+// certificate whose verification (Lemma 5.1) is in [[LOGSPACE_pol]]^log.
+//
+// # Execution modes
+//
+// The same logical computation runs in three modes that differ only in what
+// is retained per pipeline level, making the paper's space/time tradeoff
+// observable (all modes must and do agree on every output):
+//
+//   - ModeReplay: each level stores the full node set Sα (|V| bits per
+//     level). This is the natural polynomial-space implementation, fast.
+//   - ModeStrict: each level retains only O(log n) bits — the child index
+//     and the few registers that determine the child (rule kind, edge
+//     index, kept vertex, |H_S| count). Membership queries recompute
+//     through the level chain. This realizes the DSPACE[log²n] bound with
+//     polynomial overhead per level.
+//   - ModePipelined: nothing is cached; every membership query recomputes
+//     the determining registers of every level above it, exactly the
+//     bit-by-bit recomputation of the proof of Lemma 3.1. Time grows
+//     multiplicatively per level (use tiny instances).
+//
+// All workspace retained or transiently held by the walker is accounted via
+// an optional space.Meter, with the read-only input (G, H) free, as on a
+// Turing machine input tape.
+package logspace
+
+import (
+	"errors"
+	"fmt"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/core"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/space"
+)
+
+// Mode selects how much state the walker retains per tree level.
+type Mode int
+
+const (
+	// ModeReplay stores the full node set per level (polynomial space).
+	ModeReplay Mode = iota
+	// ModeStrict stores O(log n) bits per level (quadratic logspace).
+	ModeStrict
+	// ModePipelined stores only the path descriptor; everything else is
+	// recomputed per query (quadratic logspace, quasi-polynomial time).
+	ModePipelined
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeReplay:
+		return "replay"
+	case ModeStrict:
+		return "strict"
+	case ModePipelined:
+		return "pipelined"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a logspace computation.
+type Options struct {
+	// Mode selects the execution mode; the zero value is ModeReplay.
+	Mode Mode
+	// Meter, when non-nil, accounts every retained workspace bit.
+	Meter *space.Meter
+}
+
+// Attr is the attribute tuple the paper associates with a node α: its label
+// (path descriptor), the set Sα, the marking, and the witness t(α). The
+// projected instance inst(α) is determined by Sα and the input and is not
+// materialized.
+type Attr struct {
+	Label []int
+	S     bitset.Set
+	Mark  core.Mark
+	T     bitset.Set
+}
+
+// String renders the attribute tuple compactly.
+func (a Attr) String() string {
+	return fmt.Sprintf("label=%v S=%v mark=%v t=%v", a.Label, a.S, a.Mark, a.T)
+}
+
+// paramKind identifies how a child's membership predicate is built from its
+// parent's.
+type paramKind int
+
+const (
+	pkCase3      paramKind = iota // S − (E−{i}): process step 3
+	pkCase4Minus                  // S − {i}:     process step 4
+	pkCase4Edge                   // the edge H:  process step 4, last child
+)
+
+// childParams is the O(log n)-bit description of one child: together with
+// the parent's membership predicate it determines the child's.
+type childParams struct {
+	kind paramKind
+	edge int // g-edge index (pkCase3) or h-edge index (pkCase4Edge)
+	keep int // kept vertex i (pkCase3, pkCase4Minus)
+}
+
+// parentCase classifies an internal node for child generation.
+type parentCase struct {
+	kind paramKind // pkCase3 or pkCase4Edge stands in for "case 4"
+	jd   int       // chosen edge index (into g for case 3, into h for case 4)
+}
+
+// Register-count constants: each walker procedure holds a fixed number of
+// O(log n)-bit registers while active, mirroring the constant-register
+// frames in the proofs of Lemmas 3.1 and 4.1.
+const (
+	regsMember    = 2
+	regsHInS      = 2
+	regsHSCount   = 2
+	regsMajority  = 4
+	regsCandidate = 3
+	regsEquality  = 2
+	regsParams    = 6
+	regsParentCls = 4
+	regsNodeCls   = 6
+)
+
+// perLevelStrictRegs is the number of registers a strict-mode level retains:
+// child index, rule kind, edge, keep, and the cached |H_S| count.
+const perLevelStrictRegs = 5
+
+type levelState struct {
+	idx int // 1-based child index within the parent (unused at the root)
+
+	hasParams bool
+	params    childParams
+
+	hsValid bool
+	hsCount int
+
+	sValid bool
+	sBits  bitset.Set // ModeReplay only
+
+	allocated int64 // metered bits to free on pop
+}
+
+// walker evaluates node predicates along a path of T(g,h).
+type walker struct {
+	g, h   *hypergraph.Hypergraph
+	n      int
+	mode   Mode
+	meter  *space.Meter
+	regW   int64
+	levels []*levelState
+}
+
+func newWalker(g, h *hypergraph.Hypergraph, opt Options) *walker {
+	n := g.N()
+	maxVal := n
+	if v := g.M(); v > maxVal {
+		maxVal = v
+	}
+	if v := h.M(); v > maxVal {
+		maxVal = v
+	}
+	if v := n*g.M() + 1; v > maxVal {
+		maxVal = v
+	}
+	w := &walker{
+		g: g, h: h, n: n,
+		mode:  opt.Mode,
+		meter: opt.Meter,
+		regW:  space.BitsForRange(maxVal),
+	}
+	w.pushRoot()
+	return w
+}
+
+func (w *walker) close() {
+	for len(w.levels) > 1 {
+		w.pop()
+	}
+	// Free the root level.
+	w.meter.Free(w.levels[0].allocated)
+	w.levels = nil
+}
+
+func (w *walker) depth() int { return len(w.levels) - 1 }
+
+func (w *walker) pushRoot() {
+	lv := &levelState{}
+	// The root retains one register (loop bookkeeping) in every mode.
+	lv.allocated = w.regW
+	if w.mode == ModeStrict {
+		lv.allocated = perLevelStrictRegs * w.regW
+	}
+	if w.mode == ModeReplay {
+		lv.sBits = bitset.Full(w.n)
+		lv.sValid = true
+		lv.allocated = perLevelStrictRegs*w.regW + int64(w.n)
+	}
+	w.meter.Alloc(lv.allocated)
+	w.levels = append(w.levels, lv)
+}
+
+// push descends to child idx (1-based) of the current node. It reports
+// whether that child exists; on false the walker is unchanged.
+func (w *walker) push(idx int) bool {
+	if idx < 1 {
+		return false
+	}
+	lv := &levelState{idx: idx}
+	// The path-descriptor entry itself is retained workspace in every mode.
+	lv.allocated = w.regW
+	if w.mode == ModeStrict {
+		lv.allocated = perLevelStrictRegs * w.regW
+	}
+	if w.mode == ModeReplay {
+		lv.allocated = perLevelStrictRegs*w.regW + int64(w.n)
+	}
+	w.meter.Alloc(lv.allocated)
+	w.levels = append(w.levels, lv)
+
+	d := w.depth()
+	params, ok := w.computeParams(d)
+	if !ok {
+		w.pop()
+		return false
+	}
+	if w.mode != ModePipelined {
+		lv.hasParams = true
+		lv.params = params
+	}
+	if w.mode == ModeReplay {
+		s := bitset.New(w.n)
+		for v := 0; v < w.n; v++ {
+			if w.candMember(d-1, params, v) {
+				s.Add(v)
+			}
+		}
+		lv.sBits = s
+		lv.sValid = true
+	}
+	return true
+}
+
+func (w *walker) pop() {
+	last := len(w.levels) - 1
+	w.meter.Free(w.levels[last].allocated)
+	w.levels = w.levels[:last]
+}
+
+// memberS reports v ∈ S_d, the node set at depth d along the current path.
+func (w *walker) memberS(d, v int) bool {
+	if d == 0 {
+		return true // the root's S is the full vertex set
+	}
+	lv := w.levels[d]
+	if lv.sValid {
+		return lv.sBits.Contains(v)
+	}
+	f := w.meter.Enter(regsMember * w.regW)
+	defer f.Leave()
+	params, ok := w.paramsAt(d)
+	if !ok {
+		panic("logspace: membership query on invalid level")
+	}
+	return w.candMember(d-1, params, v)
+}
+
+// paramsAt returns the child parameters of level d (≥ 1), cached or
+// recomputed per mode.
+func (w *walker) paramsAt(d int) (childParams, bool) {
+	lv := w.levels[d]
+	if lv.hasParams {
+		return lv.params, true
+	}
+	return w.computeParams(d)
+}
+
+// candMember evaluates the membership predicate of the child described by
+// params under the parent at depth pd.
+func (w *walker) candMember(pd int, p childParams, v int) bool {
+	switch p.kind {
+	case pkCase3:
+		// S − (E − {i}) with E = g_edge ∩ S.
+		if !w.memberS(pd, v) {
+			return false
+		}
+		return !w.g.Edge(p.edge).Contains(v) || v == p.keep
+	case pkCase4Minus:
+		return v != p.keep && w.memberS(pd, v)
+	case pkCase4Edge:
+		return w.h.Edge(p.edge).Contains(v)
+	default:
+		panic("logspace: bad child params")
+	}
+}
+
+// hInS reports whether h-edge j is contained in S_d.
+func (w *walker) hInS(d, j int) bool {
+	f := w.meter.Enter(regsHInS * w.regW)
+	defer f.Leave()
+	return w.h.Edge(j).ForEach(func(v int) bool {
+		return w.memberS(d, v)
+	})
+}
+
+// hsCountAt returns |H_{S_d}|, cached per level outside pipelined mode.
+func (w *walker) hsCountAt(d int) int {
+	lv := w.levels[d]
+	if lv.hsValid {
+		return lv.hsCount
+	}
+	f := w.meter.Enter(regsHSCount * w.regW)
+	cnt := 0
+	for j := 0; j < w.h.M(); j++ {
+		if w.hInS(d, j) {
+			cnt++
+		}
+	}
+	f.Leave()
+	if w.mode != ModePipelined {
+		lv.hsValid = true
+		lv.hsCount = cnt
+	}
+	return cnt
+}
+
+// inMajority reports v ∈ Iα at depth d: v occurs in more than |H_S|/2 edges
+// of H_S. (Membership in S is implied by positive degree.)
+func (w *walker) inMajority(d, v int) bool {
+	f := w.meter.Enter(regsMajority * w.regW)
+	defer f.Leave()
+	hs := w.hsCountAt(d)
+	deg := 0
+	for j := 0; j < w.h.M(); j++ {
+		if w.h.Edge(j).Contains(v) && w.hInS(d, j) {
+			deg++
+		}
+	}
+	return 2*deg > hs
+}
+
+// parentClass classifies the node at depth d as a child generator. ok is
+// false when the node is a leaf (no children).
+func (w *walker) parentClass(d int) (parentCase, bool) {
+	f := w.meter.Enter(regsParentCls * w.regW)
+	defer f.Leave()
+	if w.hsCountAt(d) <= 1 {
+		return parentCase{}, false // marksmall leaf
+	}
+	// Is Iα a transversal of G_S?
+	isTransversal := true
+	for j := 0; j < w.g.M(); j++ {
+		hit := !w.g.Edge(j).ForEach(func(v int) bool {
+			return !w.inMajority(d, v)
+		})
+		if !hit {
+			isTransversal = false
+			break
+		}
+	}
+	if !isTransversal {
+		// Case 3: first g-edge whose projection misses Iα.
+		for j := 0; j < w.g.M(); j++ {
+			disjoint := w.g.Edge(j).ForEach(func(v int) bool {
+				return !w.inMajority(d, v)
+			})
+			if disjoint {
+				return parentCase{kind: pkCase3, jd: j}, true
+			}
+		}
+		panic("logspace: case 3 edge vanished")
+	}
+	// Iα is a transversal; if it contains no H_S edge the node is a
+	// process-fail leaf, otherwise case 4 applies.
+	for j := 0; j < w.h.M(); j++ {
+		if !w.hInS(d, j) {
+			continue
+		}
+		contained := w.h.Edge(j).ForEach(func(v int) bool {
+			return w.inMajority(d, v)
+		})
+		if contained {
+			return parentCase{kind: pkCase4Edge, jd: j}, true
+		}
+	}
+	return parentCase{}, false // process-fail leaf
+}
+
+// enumCandidates visits the canonical (pre-deduplication) candidate list of
+// the node at depth pd under classification pc, stopping early when visit
+// returns false.
+func (w *walker) enumCandidates(pd int, pc parentCase, visit func(pos int, p childParams) bool) {
+	f := w.meter.Enter(regsCandidate * w.regW)
+	defer f.Leave()
+	pos := 0
+	if pc.kind == pkCase3 {
+		gd := w.g.Edge(pc.jd)
+		for j2 := 0; j2 < w.g.M(); j2++ {
+			cont := w.g.Edge(j2).ForEach(func(i int) bool {
+				if !gd.Contains(i) || !w.memberS(pd, i) {
+					return true
+				}
+				pos++
+				return visit(pos, childParams{kind: pkCase3, edge: j2, keep: i})
+			})
+			if !cont {
+				return
+			}
+		}
+		return
+	}
+	// Case 4.
+	he := w.h.Edge(pc.jd)
+	cont := he.ForEach(func(i int) bool {
+		pos++
+		return visit(pos, childParams{kind: pkCase4Minus, edge: pc.jd, keep: i})
+	})
+	if !cont {
+		return
+	}
+	pos++
+	visit(pos, childParams{kind: pkCase4Edge, edge: pc.jd, keep: -1})
+}
+
+// candEqual reports whether two candidates of the same parent denote the
+// same vertex set.
+func (w *walker) candEqual(pd int, a, b childParams) bool {
+	f := w.meter.Enter(regsEquality * w.regW)
+	defer f.Leave()
+	for v := 0; v < w.n; v++ {
+		if w.candMember(pd, a, v) != w.candMember(pd, b, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// computeParams determines the child parameters for level d (≥ 1): the
+// levels[d].idx-th distinct candidate of the parent. ok is false when the
+// parent is a leaf or has fewer children.
+func (w *walker) computeParams(d int) (childParams, bool) {
+	f := w.meter.Enter(regsParams * w.regW)
+	defer f.Leave()
+	pd := d - 1
+	pc, ok := w.parentClass(pd)
+	if !ok {
+		return childParams{}, false
+	}
+	want := w.levels[d].idx
+	var result childParams
+	found := false
+	distinct := 0
+	w.enumCandidates(pd, pc, func(pos int, p childParams) bool {
+		// First-occurrence deduplication: skip p if an earlier candidate
+		// denotes the same set.
+		dup := false
+		w.enumCandidates(pd, pc, func(pos2 int, p2 childParams) bool {
+			if pos2 >= pos {
+				return false
+			}
+			if w.candEqual(pd, p2, p) {
+				dup = true
+				return false
+			}
+			return true
+		})
+		if dup {
+			return true
+		}
+		distinct++
+		if distinct == want {
+			result = p
+			found = true
+			return false
+		}
+		return true
+	})
+	return result, found
+}
+
+// childCount returns the number of (distinct) children of the node at depth
+// d, which is zero for leaves.
+func (w *walker) childCount(d int) int {
+	f := w.meter.Enter(regsParams * w.regW)
+	defer f.Leave()
+	pc, ok := w.parentClass(d)
+	if !ok {
+		return 0
+	}
+	distinct := 0
+	w.enumCandidates(d, pc, func(pos int, p childParams) bool {
+		dup := false
+		w.enumCandidates(d, pc, func(pos2 int, p2 childParams) bool {
+			if pos2 >= pos {
+				return false
+			}
+			if w.candEqual(d, p2, p) {
+				dup = true
+				return false
+			}
+			return true
+		})
+		if !dup {
+			distinct++
+		}
+		return true
+	})
+	return distinct
+}
+
+// singletonInGS reports {i} ∈ G_{S_d}.
+func (w *walker) singletonInGS(d, i int) bool {
+	for j := 0; j < w.g.M(); j++ {
+		e := w.g.Edge(j)
+		if !e.Contains(i) || !w.memberS(d, i) {
+			continue
+		}
+		only := e.ForEach(func(u int) bool {
+			return u == i || !w.memberS(d, u)
+		})
+		if only {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeMark classifies the node at depth d, returning its mark and — for
+// fail leaves — a membership predicate for the witness t(α).
+func (w *walker) nodeMark(d int) (core.Mark, func(v int) bool) {
+	f := w.meter.Enter(regsNodeCls * w.regW)
+	defer f.Leave()
+	hs := w.hsCountAt(d)
+	switch {
+	case hs == 0:
+		emptyInGS := false
+		for j := 0; j < w.g.M(); j++ {
+			allOut := w.g.Edge(j).ForEach(func(v int) bool {
+				return !w.memberS(d, v)
+			})
+			if allOut {
+				emptyInGS = true
+				break
+			}
+		}
+		if emptyInGS {
+			return core.MarkDone, nil // marksmall case 2
+		}
+		// marksmall case 1: t = Sα.
+		return core.MarkFail, func(v int) bool { return w.memberS(d, v) }
+	case hs == 1:
+		heIdx := -1
+		for j := 0; j < w.h.M(); j++ {
+			if w.hInS(d, j) {
+				heIdx = j
+				break
+			}
+		}
+		missing := -1
+		w.h.Edge(heIdx).ForEach(func(i int) bool {
+			if !w.singletonInGS(d, i) {
+				missing = i
+				return false
+			}
+			return true
+		})
+		if missing < 0 {
+			return core.MarkDone, nil // marksmall case 3
+		}
+		m := missing
+		// marksmall case 4: t = Sα − {i}.
+		return core.MarkFail, func(v int) bool { return v != m && w.memberS(d, v) }
+	default:
+		if _, ok := w.parentClass(d); ok {
+			return core.MarkNil, nil // internal node
+		}
+		// Leaf despite |H_S| ≥ 2: either process step 2 fired (fail, t =
+		// Iα) — parentClass returned false after finding Iα transversal
+		// with no contained H-edge.
+		return core.MarkFail, func(v int) bool { return w.inMajority(d, v) }
+	}
+}
+
+// attr assembles the full attribute tuple of the current node (output-tape
+// writes; the sets are materialized only for the caller).
+func (w *walker) attr(label []int) Attr {
+	d := w.depth()
+	a := Attr{Label: append([]int(nil), label...)}
+	a.S = bitset.New(w.n)
+	for v := 0; v < w.n; v++ {
+		if w.memberS(d, v) {
+			a.S.Add(v)
+		}
+	}
+	mark, tMember := w.nodeMark(d)
+	a.Mark = mark
+	a.T = bitset.New(w.n)
+	if mark == core.MarkFail {
+		for v := 0; v < w.n; v++ {
+			if tMember(v) {
+				a.T.Add(v)
+			}
+		}
+	}
+	return a
+}
+
+// validateInstance enforces the tree-stage input contract shared with
+// core.TrSubset.
+func validateInstance(g, h *hypergraph.Hypergraph) error {
+	if g.N() != h.N() {
+		return core.ErrUniverseMismatch
+	}
+	if err := g.ValidateSimple(); err != nil {
+		return fmt.Errorf("logspace: g: %w", err)
+	}
+	if err := h.ValidateSimple(); err != nil {
+		return fmt.Errorf("logspace: h: %w", err)
+	}
+	if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() || h.HasEmptyEdge() {
+		return errors.New("logspace: constant inputs have no decomposition tree; use core.Decide")
+	}
+	if ok, _, _ := g.CrossIntersecting(h); !ok {
+		return errors.New("logspace: instance is not cross-intersecting")
+	}
+	return nil
+}
+
+// PathNode computes attr(α) for the node of T(g,h) addressed by the path
+// descriptor pi, or ok = false ("wrongpath") when pi addresses no node.
+// This is the paper's pathnode procedure (Lemma 4.2).
+func PathNode(g, h *hypergraph.Hypergraph, pi []int, opt Options) (Attr, bool, error) {
+	if err := validateInstance(g, h); err != nil {
+		return Attr{}, false, err
+	}
+	w := newWalker(g, h, opt)
+	defer w.close()
+	for _, idx := range pi {
+		if !w.push(idx) {
+			return Attr{}, false, nil
+		}
+	}
+	return w.attr(pi), true, nil
+}
+
+// Listing is the output of the decompose algorithm (Theorem 4.1): the
+// vertices (attribute tuples) of T(G,H) followed by its edges as pairs of
+// labels.
+type Listing struct {
+	Vertices []Attr
+	Edges    [][2][]int
+}
+
+// Decompose lists the decomposition tree T(g,h) by enumerating path
+// descriptors, the algorithm of Theorem 4.1. Vertices are visited in
+// depth-first label order; edges in a second pass. Either callback may be
+// nil. A callback returning false aborts the enumeration early.
+func Decompose(g, h *hypergraph.Hypergraph, opt Options, visitVertex func(Attr) bool, visitEdge func(parent, child []int) bool) error {
+	if err := validateInstance(g, h); err != nil {
+		return err
+	}
+	// Vertices pass.
+	if visitVertex != nil {
+		w := newWalker(g, h, opt)
+		ok := decomposeWalk(w, nil, func(label []int) bool {
+			return visitVertex(w.attr(label))
+		})
+		w.close()
+		if !ok {
+			return nil
+		}
+	}
+	// Edges pass: every (π, π·i) pair of consecutive valid descriptors.
+	if visitEdge != nil {
+		w := newWalker(g, h, opt)
+		decomposeWalk(w, nil, func(label []int) bool {
+			if len(label) == 0 {
+				return true
+			}
+			parent := label[:len(label)-1]
+			return visitEdge(append([]int(nil), parent...), append([]int(nil), label...))
+		})
+		w.close()
+	}
+	return nil
+}
+
+// decomposeWalk runs a DFS over valid path descriptors, calling visit at
+// each node; it reports whether the walk ran to completion.
+func decomposeWalk(w *walker, label []int, visit func(label []int) bool) bool {
+	if !visit(label) {
+		return false
+	}
+	for i := 1; ; i++ {
+		if !w.push(i) {
+			return true
+		}
+		done := decomposeWalk(w, append(label, i), visit)
+		w.pop()
+		if !done {
+			return false
+		}
+	}
+}
+
+// DecomposeAll collects the full listing of T(g,h).
+func DecomposeAll(g, h *hypergraph.Hypergraph, opt Options) (*Listing, error) {
+	l := &Listing{}
+	err := Decompose(g, h, opt,
+		func(a Attr) bool { l.Vertices = append(l.Vertices, a); return true },
+		func(p, c []int) bool { l.Edges = append(l.Edges, [2][]int{p, c}); return true },
+	)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// DecomposeExhaustive is the literal algorithm of Theorem 4.1: it iterates
+// over EVERY path descriptor π ∈ PD(I) — all sequences of length up to
+// ⌊log₂|H|⌋ with entries in [1, |V|·|G|] — invokes pathnode on each, and
+// lists the nodes whose descriptor is valid, then all consecutive valid
+// pairs as edges. The descriptor space has (|V||G|)^⌊log₂|H|⌋ elements, so
+// this is usable only on tiny instances; Decompose produces the identical
+// listing by pruning invalid prefixes (which only ever shrinks the space
+// walked, never the output), and the tests assert the equivalence.
+func DecomposeExhaustive(g, h *hypergraph.Hypergraph, opt Options) (*Listing, error) {
+	if err := validateInstance(g, h); err != nil {
+		return nil, err
+	}
+	spec := Certificate(g, h)
+	maxEntry := g.N() * g.M()
+	l := &Listing{}
+
+	// Vertices pass: every descriptor, in length-then-lexicographic order.
+	var enumerate func(pi []int, visit func(pi []int) bool) bool
+	enumerate = func(pi []int, visit func(pi []int) bool) bool {
+		if !visit(pi) {
+			return false
+		}
+		if len(pi) == spec.MaxLen {
+			return true
+		}
+		for i := 1; i <= maxEntry; i++ {
+			if !enumerate(append(pi, i), visit) {
+				return false
+			}
+		}
+		return true
+	}
+	enumerate(nil, func(pi []int) bool {
+		a, ok, err := PathNode(g, h, pi, opt)
+		if err != nil {
+			return false
+		}
+		if ok {
+			l.Vertices = append(l.Vertices, a)
+		}
+		return true
+	})
+
+	// Edges pass: all consecutive pairs (π, π·i) of valid descriptors.
+	enumerate(nil, func(pi []int) bool {
+		if len(pi) == 0 {
+			return true
+		}
+		parent := pi[:len(pi)-1]
+		if _, ok, _ := PathNode(g, h, parent, opt); !ok {
+			return true
+		}
+		if _, ok, _ := PathNode(g, h, pi, opt); !ok {
+			return true
+		}
+		l.Edges = append(l.Edges, [2][]int{
+			append([]int{}, parent...),
+			append([]int{}, pi...),
+		})
+		return true
+	})
+	return l, nil
+}
+
+// Decide determines whether tr(g) ⊆ h by scanning T(g,h) for a fail leaf
+// under the selected space regime — Corollary 4.1(1). (Combined with the
+// logspace precondition checks performed by core.Decide this decides DUAL.)
+func Decide(g, h *hypergraph.Hypergraph, opt Options) (noFail bool, err error) {
+	_, _, found, err := FindFailPath(g, h, opt)
+	if err != nil {
+		return false, err
+	}
+	return !found, nil
+}
+
+// FindFailPath searches T(g,h) depth-first for a fail leaf and returns its
+// path descriptor and witness — the space-bounded witness extraction of
+// Corollary 4.1(2), and simultaneously the exhaustive certificate search
+// that places DUAL's complement in DSPACE[log²n] (Theorem 5.2's simulation
+// of the guess-and-check procedure).
+func FindFailPath(g, h *hypergraph.Hypergraph, opt Options) (pi []int, witness bitset.Set, found bool, err error) {
+	if err := validateInstance(g, h); err != nil {
+		return nil, bitset.Set{}, false, err
+	}
+	w := newWalker(g, h, opt)
+	defer w.close()
+	failLabel := []int{}
+	failT := bitset.Set{}
+	failFound := false
+	decomposeWalk(w, nil, func(label []int) bool {
+		mark, tMember := w.nodeMark(w.depth())
+		if mark != core.MarkFail {
+			return true
+		}
+		failFound = true
+		failLabel = append([]int{}, label...)
+		failT = bitset.New(w.n)
+		for v := 0; v < w.n; v++ {
+			if tMember(v) {
+				failT.Add(v)
+			}
+		}
+		return false
+	})
+	if !failFound {
+		return nil, bitset.Set{}, false, nil
+	}
+	return failLabel, failT, true, nil
+}
+
+// VerifyFailPath checks a guessed certificate: it reports whether pi
+// addresses a fail leaf of T(g,h), returning that leaf's attributes when it
+// does. This is the checking procedure of Lemma 5.1, placing DUAL's
+// complement in GC(log²n, [[LOGSPACE_pol]]^log) (Theorem 5.1).
+func VerifyFailPath(g, h *hypergraph.Hypergraph, pi []int, opt Options) (bool, Attr, error) {
+	a, ok, err := PathNode(g, h, pi, opt)
+	if err != nil {
+		return false, Attr{}, err
+	}
+	if !ok || a.Mark != core.MarkFail {
+		return false, a, nil
+	}
+	return true, a, nil
+}
+
+// CertificateSpec quantifies the certificate format of Theorem 5.1 for an
+// instance: a path descriptor is at most MaxLen child indices of EntryBits
+// bits each, TotalBits in all.
+type CertificateSpec struct {
+	MaxLen    int
+	EntryBits int64
+	TotalBits int64
+}
+
+// Certificate returns the certificate size bound for the instance (g, h):
+// length ≤ ⌊log₂|H|⌋ entries, each an index in [1, |V|·|G|].
+func Certificate(g, h *hypergraph.Hypergraph) CertificateSpec {
+	maxLen := 0
+	for m := h.M(); m > 1; m >>= 1 {
+		maxLen++
+	}
+	entry := space.BitsForRange(g.N() * g.M())
+	return CertificateSpec{MaxLen: maxLen, EntryBits: entry, TotalBits: int64(maxLen) * entry}
+}
+
+// EncodeCertificate renders a path descriptor as the number of bits it
+// occupies under the instance's certificate format (for reporting).
+func EncodeCertificate(spec CertificateSpec, pi []int) int64 {
+	return int64(len(pi)) * spec.EntryBits
+}

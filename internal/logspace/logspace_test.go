@@ -1,0 +1,430 @@
+package logspace_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/core"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/logspace"
+	"dualspace/internal/space"
+	"dualspace/internal/transversal"
+)
+
+// matching returns the perfect matching hypergraph with k edges and its
+// exact dual (all 2^k selections).
+func matching(k int) (*hypergraph.Hypergraph, *hypergraph.Hypergraph) {
+	edges := make([][]int, k)
+	for i := range edges {
+		edges[i] = []int{2 * i, 2*i + 1}
+	}
+	g := hypergraph.MustFromEdges(2*k, edges)
+	return g, transversal.AsHypergraph(g)
+}
+
+func randomSimple(r *rand.Rand, n, m int) *hypergraph.Hypergraph {
+	raw := hypergraph.New(n)
+	for i := 0; i < m; i++ {
+		e := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if r.Intn(3) == 0 {
+				e.Add(v)
+			}
+		}
+		if e.IsEmpty() {
+			e.Add(r.Intn(n))
+		}
+		raw.AddEdge(e)
+	}
+	return raw.Minimize()
+}
+
+// dropEdge returns h without its i-th edge.
+func dropEdge(h *hypergraph.Hypergraph, i int) *hypergraph.Hypergraph {
+	out := hypergraph.New(h.N())
+	for j := 0; j < h.M(); j++ {
+		if j != i {
+			out.AddEdge(h.Edge(j))
+		}
+	}
+	return out
+}
+
+func TestPathNodeMatchesBuildTree(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 25; i++ {
+		n := 2 + r.Intn(6)
+		g := randomSimple(r, n, 1+r.Intn(5))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 {
+			continue
+		}
+		// Occasionally perturb to a non-dual instance.
+		if h.M() >= 2 && r.Intn(2) == 0 {
+			h = dropEdge(h, r.Intn(h.M()))
+		}
+		tree, err := core.BuildTree(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree.Walk(func(node *core.TreeNode) {
+			a, ok, err := logspace.PathNode(g, h, node.Label, logspace.Options{Mode: logspace.ModeReplay})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("PathNode wrongpath for existing label %v", node.Label)
+			}
+			if !a.S.Equal(node.Info.S) {
+				t.Fatalf("label %v: S mismatch %v vs %v", node.Label, a.S, node.Info.S)
+			}
+			if a.Mark != node.Info.Mark {
+				t.Fatalf("label %v: mark %v vs %v", node.Label, a.Mark, node.Info.Mark)
+			}
+			if node.Info.Mark == core.MarkFail && !a.T.Equal(node.Info.T) {
+				t.Fatalf("label %v: witness %v vs %v", node.Label, a.T, node.Info.T)
+			}
+		})
+	}
+}
+
+func TestPathNodeWrongPath(t *testing.T) {
+	g, h := matching(2)
+	opt := logspace.Options{Mode: logspace.ModeReplay}
+	// Child index far beyond any κ(α).
+	if _, ok, err := logspace.PathNode(g, h, []int{999}, opt); err != nil || ok {
+		t.Fatalf("oversized index accepted: ok=%v err=%v", ok, err)
+	}
+	// Zero/negative indices are never valid labels.
+	if _, ok, _ := logspace.PathNode(g, h, []int{0}, opt); ok {
+		t.Fatal("index 0 accepted")
+	}
+	// Descend past a leaf.
+	tree, err := core.BuildTree(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaf []int
+	tree.Walk(func(n *core.TreeNode) {
+		if n.Info.IsLeaf() && leaf == nil {
+			leaf = append([]int(nil), n.Label...)
+		}
+	})
+	if leaf == nil {
+		t.Fatal("no leaf found")
+	}
+	if _, ok, _ := logspace.PathNode(g, h, append(leaf, 1), opt); ok {
+		t.Fatal("descent past a leaf accepted")
+	}
+}
+
+func TestModesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 12; i++ {
+		n := 2 + r.Intn(4) // tiny: pipelined mode is deliberately slow
+		g := randomSimple(r, n, 1+r.Intn(3))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 {
+			continue
+		}
+		if h.M() >= 2 && r.Intn(2) == 0 {
+			h = dropEdge(h, r.Intn(h.M()))
+		}
+		tree, err := core.BuildTree(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree.Walk(func(node *core.TreeNode) {
+			var attrs []logspace.Attr
+			for _, mode := range []logspace.Mode{logspace.ModeReplay, logspace.ModeStrict, logspace.ModePipelined} {
+				a, ok, err := logspace.PathNode(g, h, node.Label, logspace.Options{Mode: mode})
+				if err != nil || !ok {
+					t.Fatalf("mode %v label %v: ok=%v err=%v", mode, node.Label, ok, err)
+				}
+				attrs = append(attrs, a)
+			}
+			for _, a := range attrs[1:] {
+				if !a.S.Equal(attrs[0].S) || a.Mark != attrs[0].Mark || !a.T.Equal(attrs[0].T) {
+					t.Fatalf("modes disagree at %v: %v vs %v", node.Label, a, attrs[0])
+				}
+			}
+		})
+	}
+}
+
+func TestDecomposeMatchesTree(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 15; i++ {
+		n := 2 + r.Intn(5)
+		g := randomSimple(r, n, 1+r.Intn(4))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 {
+			continue
+		}
+		tree, err := core.BuildTree(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNodes := 0
+		wantEdges := 0
+		tree.Walk(func(node *core.TreeNode) {
+			wantNodes++
+			wantEdges += len(node.Children)
+		})
+		l, err := logspace.DecomposeAll(g, h, logspace.Options{Mode: logspace.ModeReplay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(l.Vertices) != wantNodes {
+			t.Fatalf("decompose vertices %d, tree nodes %d", len(l.Vertices), wantNodes)
+		}
+		if len(l.Edges) != wantEdges {
+			t.Fatalf("decompose edges %d, tree edges %d", len(l.Edges), wantEdges)
+		}
+		// Spot check: every listed vertex matches the materialized node.
+		byLabel := map[string]*core.TreeNode{}
+		tree.Walk(func(node *core.TreeNode) { byLabel[labelKey(node.Label)] = node })
+		for _, a := range l.Vertices {
+			node, ok := byLabel[labelKey(a.Label)]
+			if !ok {
+				t.Fatalf("decompose listed unknown label %v", a.Label)
+			}
+			if !a.S.Equal(node.Info.S) || a.Mark != node.Info.Mark {
+				t.Fatalf("decompose attr mismatch at %v", a.Label)
+			}
+		}
+	}
+}
+
+func labelKey(label []int) string {
+	k := ""
+	for _, x := range label {
+		k += string(rune('A' + x%26))
+		for y := x; y > 0; y /= 26 {
+			k += string(rune('a' + y%26))
+		}
+		k += "."
+	}
+	return k
+}
+
+func TestFindFailPathMatchesCore(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 30; i++ {
+		n := 2 + r.Intn(6)
+		g := randomSimple(r, n, 1+r.Intn(5))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() < 2 {
+			continue
+		}
+		partial := dropEdge(h, r.Intn(h.M()))
+		res, err := core.TrSubset(g, partial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, witness, found, err := logspace.FindFailPath(g, partial, logspace.Options{Mode: logspace.ModeReplay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || res.Dual {
+			t.Fatalf("fail path not found for non-dual instance (found=%v coreDual=%v)", found, res.Dual)
+		}
+		if len(pi) != len(res.FailPath) {
+			t.Fatalf("path length mismatch: %v vs %v", pi, res.FailPath)
+		}
+		for j := range pi {
+			if pi[j] != res.FailPath[j] {
+				t.Fatalf("paths differ: %v vs %v", pi, res.FailPath)
+			}
+		}
+		if !witness.Equal(res.Witness) {
+			t.Fatalf("witnesses differ: %v vs %v", witness, res.Witness)
+		}
+		if !g.IsNewTransversal(witness, partial) {
+			t.Fatalf("invalid witness %v", witness)
+		}
+	}
+}
+
+func TestVerifyFailPath(t *testing.T) {
+	g, h := matching(3)
+	opt := logspace.Options{Mode: logspace.ModeReplay}
+
+	// Dual instance: no descriptor verifies.
+	l, err := logspace.DecomposeAll(g, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range l.Vertices {
+		ok, _, err := logspace.VerifyFailPath(g, h, a.Label, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("dual instance verified a fail certificate at %v", a.Label)
+		}
+	}
+
+	// Non-dual: the searched certificate verifies; garbage does not.
+	partial := dropEdge(h, 0)
+	pi, _, found, err := logspace.FindFailPath(g, partial, opt)
+	if err != nil || !found {
+		t.Fatalf("no certificate: %v", err)
+	}
+	ok, attr, err := logspace.VerifyFailPath(g, partial, pi, opt)
+	if err != nil || !ok {
+		t.Fatalf("certificate rejected: %v", err)
+	}
+	if attr.Mark != core.MarkFail {
+		t.Fatal("verified attr not a fail leaf")
+	}
+	if ok, _, _ := logspace.VerifyFailPath(g, partial, []int{999, 999}, opt); ok {
+		t.Fatal("garbage certificate accepted")
+	}
+}
+
+func TestDecideAgainstCore(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	for i := 0; i < 25; i++ {
+		n := 2 + r.Intn(5)
+		g := randomSimple(r, n, 1+r.Intn(4))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 {
+			continue
+		}
+		if h.M() >= 2 && r.Intn(2) == 0 {
+			h = dropEdge(h, r.Intn(h.M()))
+		}
+		want, err := core.TrSubset(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := logspace.Decide(g, h, logspace.Options{Mode: logspace.ModeStrict})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.Dual {
+			t.Fatalf("Decide=%v core=%v for g=%v h=%v", got, want.Dual, g, h)
+		}
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	g, h := matching(3)
+	partial := dropEdge(h, 2)
+
+	peaks := map[logspace.Mode]int64{}
+	for _, mode := range []logspace.Mode{logspace.ModeReplay, logspace.ModeStrict} {
+		m := space.NewMeter()
+		_, _, found, err := logspace.FindFailPath(g, partial, logspace.Options{Mode: mode, Meter: m})
+		if err != nil || !found {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if m.Live() != 0 {
+			t.Fatalf("mode %v: leaked %d live bits", mode, m.Live())
+		}
+		if m.Peak() <= 0 {
+			t.Fatalf("mode %v: no space recorded", mode)
+		}
+		peaks[mode] = m.Peak()
+	}
+	t.Logf("peaks: %v", peaks)
+}
+
+func TestStrictSpaceBelowReplayAtScale(t *testing.T) {
+	// For a wide instance, per-level full sets (replay) must cost more than
+	// the strict O(log n) per-level registers.
+	g, h := matching(5) // n=10, depth up to 5
+	partial := dropEdge(h, 7)
+	peak := map[logspace.Mode]int64{}
+	for _, mode := range []logspace.Mode{logspace.ModeReplay, logspace.ModeStrict} {
+		m := space.NewMeter()
+		if _, _, found, err := logspace.FindFailPath(g, partial, logspace.Options{Mode: mode, Meter: m}); err != nil || !found {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		peak[mode] = m.Peak()
+	}
+	if peak[logspace.ModeStrict] >= peak[logspace.ModeReplay] {
+		t.Errorf("strict peak %d not below replay peak %d", peak[logspace.ModeStrict], peak[logspace.ModeReplay])
+	}
+}
+
+func TestCertificateSpec(t *testing.T) {
+	g, h := matching(4) // |H| = 16
+	spec := logspace.Certificate(g, h)
+	if spec.MaxLen != 4 {
+		t.Errorf("MaxLen = %d, want 4", spec.MaxLen)
+	}
+	if spec.EntryBits != space.BitsForRange(g.N()*g.M()) {
+		t.Errorf("EntryBits = %d", spec.EntryBits)
+	}
+	partial := dropEdge(h, 3)
+	pi, _, found, err := logspace.FindFailPath(g, partial, logspace.Options{})
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	specP := logspace.Certificate(g, partial)
+	if got := logspace.EncodeCertificate(specP, pi); got > specP.TotalBits {
+		t.Errorf("certificate %v uses %d bits > bound %d", pi, got, specP.TotalBits)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	g := hypergraph.MustFromEdges(3, [][]int{{0, 1}})
+	empty := hypergraph.New(3)
+	if _, _, err := logspace.PathNode(g, empty, nil, logspace.Options{}); err == nil {
+		t.Error("constant input accepted")
+	}
+	notSimple := hypergraph.MustFromEdges(3, [][]int{{0}, {0, 1}})
+	if _, _, err := logspace.PathNode(g, notSimple, nil, logspace.Options{}); err == nil {
+		t.Error("non-simple input accepted")
+	}
+	disjoint := hypergraph.MustFromEdges(3, [][]int{{2}})
+	if _, _, err := logspace.PathNode(g, disjoint, nil, logspace.Options{}); err == nil {
+		t.Error("non-cross-intersecting input accepted")
+	}
+	wrongUniverse := hypergraph.MustFromEdges(4, [][]int{{0, 1}})
+	if _, _, err := logspace.PathNode(g, wrongUniverse, nil, logspace.Options{}); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+}
+
+func BenchmarkPathNodeReplay(b *testing.B) {
+	benchmarkPathNode(b, logspace.ModeReplay)
+}
+
+func BenchmarkPathNodeStrict(b *testing.B) {
+	benchmarkPathNode(b, logspace.ModeStrict)
+}
+
+func benchmarkPathNode(b *testing.B, mode logspace.Mode) {
+	g, h := matching(4)
+	partial := dropEdge(h, 3)
+	pi, _, found, err := logspace.FindFailPath(g, partial, logspace.Options{})
+	if err != nil || !found {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := logspace.PathNode(g, partial, pi, logspace.Options{Mode: mode}); err != nil || !ok {
+			b.Fatal("pathnode failed")
+		}
+	}
+}

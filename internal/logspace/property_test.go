@@ -1,0 +1,85 @@
+package logspace_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualspace/internal/logspace"
+	"dualspace/internal/space"
+	"dualspace/internal/transversal"
+)
+
+// TestPropertyModesAgreeOnRandomDescriptors probes PathNode with random
+// (mostly invalid) descriptors: replay and strict mode must agree on both
+// validity and attributes everywhere, and meters must balance to zero.
+func TestPropertyModesAgreeOnRandomDescriptors(t *testing.T) {
+	r := rand.New(rand.NewSource(149))
+	for trial := 0; trial < 40; trial++ {
+		g := randomSimple(r, 2+r.Intn(5), 1+r.Intn(4))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 {
+			continue
+		}
+		if h.M() >= 2 && r.Intn(2) == 0 {
+			h = dropEdge(h, r.Intn(h.M()))
+		}
+		for probe := 0; probe < 10; probe++ {
+			pi := make([]int, r.Intn(3))
+			for i := range pi {
+				pi[i] = 1 + r.Intn(6)
+			}
+			mR := space.NewMeter()
+			aR, okR, errR := logspace.PathNode(g, h, pi, logspace.Options{Mode: logspace.ModeReplay, Meter: mR})
+			mS := space.NewMeter()
+			aS, okS, errS := logspace.PathNode(g, h, pi, logspace.Options{Mode: logspace.ModeStrict, Meter: mS})
+			if (errR != nil) != (errS != nil) {
+				t.Fatalf("error disagreement at %v: %v vs %v", pi, errR, errS)
+			}
+			if errR != nil {
+				continue
+			}
+			if okR != okS {
+				t.Fatalf("validity disagreement at %v: %v vs %v", pi, okR, okS)
+			}
+			if okR {
+				if !aR.S.Equal(aS.S) || aR.Mark != aS.Mark || !aR.T.Equal(aS.T) {
+					t.Fatalf("attribute disagreement at %v: %v vs %v", pi, aR, aS)
+				}
+			}
+			if mR.Live() != 0 || mS.Live() != 0 {
+				t.Fatalf("meter leak at %v: replay=%d strict=%d", pi, mR.Live(), mS.Live())
+			}
+		}
+	}
+}
+
+// TestPropertyDecideMatchesEnumeration: the space-bounded Decide agrees
+// with direct transversal comparison on random instances.
+func TestPropertyDecideMatchesEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 40; trial++ {
+		g := randomSimple(r, 2+r.Intn(4), 1+r.Intn(4))
+		if g.HasEmptyEdge() || g.M() == 0 {
+			continue
+		}
+		h := transversal.AsHypergraph(g)
+		if h.M() == 0 {
+			continue
+		}
+		want := true
+		if h.M() >= 2 && r.Intn(2) == 0 {
+			h = dropEdge(h, r.Intn(h.M()))
+			want = false
+		}
+		got, err := logspace.Decide(g, h, logspace.Options{Mode: logspace.ModeStrict})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: Decide=%v want %v", trial, got, want)
+		}
+	}
+}

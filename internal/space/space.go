@@ -1,0 +1,119 @@
+// Package space provides an explicit workspace meter, the executable
+// counterpart of the Turing-machine space bounds in Gottlob (PODS 2013),
+// Sections 3–5.
+//
+// The paper's claims are about retained worktape bits: the input is on a
+// read-only tape (free), the output is write-only (free), and the bound
+// counts everything the machine keeps between steps. The meter reproduces
+// that accounting: computations allocate frames of registers when a
+// procedure activates and free them on return; per-level caches are
+// allocated for as long as a level of the pathnode pipeline stays live. The
+// peak of the live count is the measured space, which the experiments
+// compare against c·log²n (EXPERIMENTS.md, E5/E8/E13).
+//
+// A nil *Meter is valid everywhere and meters nothing, so production code
+// paths can run unmetered at zero cost.
+package space
+
+import "fmt"
+
+// Meter tracks live and peak workspace bits.
+type Meter struct {
+	live int64
+	peak int64
+}
+
+// NewMeter returns a fresh meter with zero live and peak counts.
+func NewMeter() *Meter { return &Meter{} }
+
+// Alloc records the allocation of the given number of workspace bits.
+// Alloc on a nil meter is a no-op.
+func (m *Meter) Alloc(bits int64) {
+	if m == nil {
+		return
+	}
+	if bits < 0 {
+		panic("space: negative allocation")
+	}
+	m.live += bits
+	if m.live > m.peak {
+		m.peak = m.live
+	}
+}
+
+// Free records the release of previously allocated bits. Free on a nil
+// meter is a no-op. Freeing more than is live panics: it always indicates
+// an accounting bug.
+func (m *Meter) Free(bits int64) {
+	if m == nil {
+		return
+	}
+	m.live -= bits
+	if m.live < 0 {
+		panic("space: freed more bits than allocated")
+	}
+}
+
+// Live returns the currently allocated bits (0 for a nil meter).
+func (m *Meter) Live() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.live
+}
+
+// Peak returns the maximum of Live over the meter's history (0 for nil).
+func (m *Meter) Peak() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.peak
+}
+
+// Reset zeroes both counters.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.live, m.peak = 0, 0
+}
+
+// String renders "live/peak" in bits.
+func (m *Meter) String() string {
+	return fmt.Sprintf("live=%db peak=%db", m.Live(), m.Peak())
+}
+
+// Frame is a procedure activation holding a fixed number of bits; it frees
+// them on Leave. The zero Frame (and a Frame from a nil meter) is inert.
+type Frame struct {
+	m    *Meter
+	bits int64
+}
+
+// Enter allocates a frame of the given size.
+func (m *Meter) Enter(bits int64) Frame {
+	m.Alloc(bits)
+	return Frame{m: m, bits: bits}
+}
+
+// Leave releases the frame. Leave is idempotent.
+func (f *Frame) Leave() {
+	if f.m == nil {
+		return
+	}
+	f.m.Free(f.bits)
+	f.m = nil
+}
+
+// BitsForRange returns the number of bits needed to store one register
+// holding values in [0, max]: ⌈log₂(max+1)⌉, and at least 1.
+func BitsForRange(max int) int64 {
+	if max < 1 {
+		return 1
+	}
+	bits := int64(0)
+	for v := max; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

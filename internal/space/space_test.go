@@ -1,0 +1,92 @@
+package space
+
+import "testing"
+
+func TestMeterBasics(t *testing.T) {
+	m := NewMeter()
+	m.Alloc(10)
+	if m.Live() != 10 || m.Peak() != 10 {
+		t.Fatalf("after Alloc: %v", m)
+	}
+	m.Alloc(5)
+	m.Free(12)
+	if m.Live() != 3 {
+		t.Fatalf("live = %d", m.Live())
+	}
+	if m.Peak() != 15 {
+		t.Fatalf("peak = %d", m.Peak())
+	}
+	m.Reset()
+	if m.Live() != 0 || m.Peak() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestNilMeter(t *testing.T) {
+	var m *Meter
+	m.Alloc(5) // must not panic
+	m.Free(5)
+	if m.Live() != 0 || m.Peak() != 0 {
+		t.Fatal("nil meter should read zero")
+	}
+	f := m.Enter(100)
+	f.Leave()
+}
+
+func TestOverFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-free did not panic")
+		}
+	}()
+	NewMeter().Free(1)
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative alloc did not panic")
+		}
+	}()
+	NewMeter().Alloc(-1)
+}
+
+func TestFrames(t *testing.T) {
+	m := NewMeter()
+	f1 := m.Enter(8)
+	f2 := m.Enter(4)
+	if m.Live() != 12 {
+		t.Fatalf("live = %d", m.Live())
+	}
+	f2.Leave()
+	f2.Leave() // idempotent
+	if m.Live() != 8 {
+		t.Fatalf("live after leave = %d", m.Live())
+	}
+	f1.Leave()
+	if m.Live() != 0 || m.Peak() != 12 {
+		t.Fatalf("final: %v", m)
+	}
+}
+
+func TestBitsForRange(t *testing.T) {
+	cases := []struct {
+		max  int
+		want int64
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := BitsForRange(c.max); got != c.want {
+			t.Errorf("BitsForRange(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := NewMeter()
+	m.Alloc(3)
+	if got := m.String(); got != "live=3b peak=3b" {
+		t.Errorf("String = %q", got)
+	}
+}

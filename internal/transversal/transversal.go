@@ -1,0 +1,291 @@
+// Package transversal enumerates the minimal transversals tr(H) of a simple
+// hypergraph — the hypergraph dualization problem that underlies DUAL.
+//
+// Three independent methods are provided:
+//
+//   - Berge: sequential Berge multiplication with stepwise minimization, the
+//     classical textbook algorithm. Exponential in the worst case but simple
+//     and a trusted oracle for tests.
+//   - Enumerate (DFS): a branch-and-bound enumerator over candidate vertices
+//     with critical-edge pruning in the style of Murakami–Uno's MMCS. Each
+//     minimal transversal is emitted exactly once, with polynomial space.
+//   - BruteForce: exhaustive 2^n scan, for tiny universes only; a second
+//     independent oracle.
+//
+// A fourth method, enumeration through repeated duality-witness extraction
+// (the incremental pattern of Gunopulos et al. used by the paper's data
+// mining application), is provided by ViaOracle; the oracle itself is
+// supplied by internal/core to avoid an import cycle.
+//
+// Conventions: tr(∅) = {∅} and tr of any family containing the empty edge is
+// the empty family (see package hypergraph).
+package transversal
+
+import (
+	"dualspace/internal/bitset"
+	"dualspace/internal/hypergraph"
+)
+
+// Berge computes tr(H) by multiplying edges one at a time and minimizing
+// after every step. The result is a simple hypergraph whose edges are
+// exactly the minimal transversals of h, in canonical order.
+func Berge(h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	n := h.N()
+	current := []bitset.Set{bitset.New(n)} // tr of the empty prefix = {∅}
+	for _, e := range h.Edges() {
+		var next []bitset.Set
+		for _, r := range current {
+			if r.Intersects(e) {
+				next = append(next, r)
+				continue
+			}
+			e.ForEach(func(v int) bool {
+				next = append(next, r.WithElem(v))
+				return true
+			})
+		}
+		current = minimizeSets(n, next)
+	}
+	out := hypergraph.FromSets(n, current)
+	return out.Canonical()
+}
+
+// minimizeSets returns the inclusion-minimal, duplicate-free subfamily.
+func minimizeSets(n int, sets []bitset.Set) []bitset.Set {
+	var out []bitset.Set
+	for i, s := range sets {
+		keep := true
+		for j, t := range sets {
+			if i == j {
+				continue
+			}
+			if t.ProperSubsetOf(s) || (t.Equal(s) && j < i) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Enumerate emits every minimal transversal of h exactly once, calling yield
+// for each. Enumeration stops early if yield returns false. The sets passed
+// to yield are fresh copies owned by the callee.
+//
+// The algorithm is a depth-first search that grows a partial transversal S
+// one vertex at a time, always branching on an uncovered edge with the
+// fewest remaining candidates, pruning any branch in which some vertex of S
+// loses its critical edge (no minimal transversal can extend such an S).
+// Duplicate suppression follows the standard prefix-exclusion rule: within a
+// branching edge the i-th candidate's subtree excludes candidates 1..i−1.
+func Enumerate(h *hypergraph.Hypergraph, yield func(bitset.Set) bool) {
+	n := h.N()
+	if h.HasEmptyEdge() {
+		return // no transversals at all
+	}
+	e := &enumerator{
+		h:         h,
+		yield:     yield,
+		s:         bitset.New(n),
+		cand:      bitset.Full(n),
+		cover:     make([]int, h.M()),
+		critOwner: make([]int, h.M()),
+		critCount: make([]int, n),
+		uncovered: h.M(),
+	}
+	for i := range e.critOwner {
+		e.critOwner[i] = -1
+	}
+	e.rec()
+}
+
+// All collects every minimal transversal of h.
+func All(h *hypergraph.Hypergraph) []bitset.Set {
+	var out []bitset.Set
+	Enumerate(h, func(s bitset.Set) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// AsHypergraph returns tr(h) as a canonical simple hypergraph.
+func AsHypergraph(h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	return hypergraph.FromSets(h.N(), All(h)).Canonical()
+}
+
+// Count returns |tr(h)|.
+func Count(h *hypergraph.Hypergraph) int {
+	c := 0
+	Enumerate(h, func(bitset.Set) bool {
+		c++
+		return true
+	})
+	return c
+}
+
+type enumerator struct {
+	h         *hypergraph.Hypergraph
+	yield     func(bitset.Set) bool
+	s         bitset.Set // current partial transversal
+	sElems    []int      // stack of S in insertion order
+	cand      bitset.Set // available candidate vertices
+	cover     []int      // cover[f] = |edge f ∩ S|
+	critOwner []int      // when cover[f]==1, the unique vertex of S in f
+	critCount []int      // critCount[v] = # edges f with cover==1, owner v
+	uncovered int        // # edges with cover == 0
+	stopped   bool
+}
+
+func (e *enumerator) rec() {
+	if e.stopped {
+		return
+	}
+	if e.uncovered == 0 {
+		if !e.yield(e.s.Clone()) {
+			e.stopped = true
+		}
+		return
+	}
+	// Pick an uncovered edge with the fewest candidates.
+	best, bestCount := -1, -1
+	for fi := 0; fi < e.h.M(); fi++ {
+		if e.cover[fi] != 0 {
+			continue
+		}
+		c := e.h.Edge(fi).Intersect(e.cand).Len()
+		if best == -1 || c < bestCount {
+			best, bestCount = fi, c
+			if c == 0 {
+				break
+			}
+		}
+	}
+	if bestCount == 0 {
+		return // dead end: uncovered edge with no candidates left
+	}
+	branch := e.h.Edge(best).Intersect(e.cand).Elems()
+	for _, v := range branch {
+		// Prefix exclusion: v leaves the candidate pool for this subtree
+		// and for all later siblings, guaranteeing uniqueness.
+		e.cand.Remove(v)
+		e.addVertex(v)
+		if e.allCritical() {
+			e.rec()
+		}
+		e.removeVertex(v)
+		if e.stopped {
+			break
+		}
+	}
+	for _, v := range branch {
+		e.cand.Add(v)
+	}
+}
+
+func (e *enumerator) addVertex(v int) {
+	e.s.Add(v)
+	e.sElems = append(e.sElems, v)
+	for fi := 0; fi < e.h.M(); fi++ {
+		f := e.h.Edge(fi)
+		if !f.Contains(v) {
+			continue
+		}
+		e.cover[fi]++
+		switch e.cover[fi] {
+		case 1:
+			e.uncovered--
+			e.critOwner[fi] = v
+			e.critCount[v]++
+		case 2:
+			e.critCount[e.critOwner[fi]]--
+			e.critOwner[fi] = -1
+		}
+	}
+}
+
+func (e *enumerator) removeVertex(v int) {
+	e.s.Remove(v)
+	e.sElems = e.sElems[:len(e.sElems)-1]
+	for fi := 0; fi < e.h.M(); fi++ {
+		f := e.h.Edge(fi)
+		if !f.Contains(v) {
+			continue
+		}
+		e.cover[fi]--
+		switch e.cover[fi] {
+		case 0:
+			e.uncovered++
+			e.critCount[v]--
+			e.critOwner[fi] = -1
+		case 1:
+			u := f.Intersect(e.s).Min()
+			e.critOwner[fi] = u
+			e.critCount[u]++
+		}
+	}
+}
+
+// allCritical reports whether every vertex of S still owns a critical edge.
+func (e *enumerator) allCritical() bool {
+	for _, u := range e.sElems {
+		if e.critCount[u] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteForce computes tr(h) by scanning all 2^n subsets. It panics for
+// universes larger than 22 vertices; it exists as an independent oracle for
+// tests and experiments.
+func BruteForce(h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	n := h.N()
+	if n > 22 {
+		panic("transversal: BruteForce universe too large")
+	}
+	out := hypergraph.New(n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		s := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				s.Add(v)
+			}
+		}
+		if h.IsMinimalTransversal(s) {
+			out.AddEdge(s)
+		}
+	}
+	return out.Canonical()
+}
+
+// WitnessOracle returns a "new transversal of g with respect to partial"
+// (a transversal of g containing no edge of partial), or ok=false when
+// partial = tr(g). internal/core provides an implementation backed by the
+// Boros–Makino decomposition; tests can use brute-force implementations.
+type WitnessOracle func(g, partial *hypergraph.Hypergraph) (witness bitset.Set, ok bool, err error)
+
+// ViaOracle enumerates tr(g) through repeated duality-witness extraction:
+// starting from the empty partial family it asks the oracle for a new
+// transversal, minimalizes it, adds it, and repeats until the oracle reports
+// that the partial family is complete. This is exactly the incremental
+// pattern of the paper's data-mining application (§1, [26]).
+//
+// The number of oracle calls is |tr(g)| + 1.
+func ViaOracle(g *hypergraph.Hypergraph, oracle WitnessOracle) (*hypergraph.Hypergraph, error) {
+	partial := hypergraph.New(g.N())
+	for {
+		w, ok, err := oracle(g, partial)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return partial, nil
+		}
+		m := g.MinimalizeTransversal(w)
+		partial.AddEdge(m)
+	}
+}
