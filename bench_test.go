@@ -105,6 +105,17 @@ func BenchmarkDecideBMNonDualMatching5(b *testing.B) {
 	}
 }
 
+func BenchmarkDecideBMParallelMatching5(b *testing.B) {
+	g, h := benchPair(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.DecideParallel(g, h, 0)
+		if err != nil || !res.Dual {
+			b.Fatal("wrong verdict")
+		}
+	}
+}
+
 func BenchmarkDecideFKAMatching5(b *testing.B) {
 	g, h := benchPair(5)
 	b.ReportAllocs()

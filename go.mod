@@ -1,0 +1,3 @@
+module dualspace
+
+go 1.24

@@ -11,6 +11,7 @@
 package bitset
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -166,6 +167,41 @@ func (s Set) Intersects(t Set) bool {
 	return false
 }
 
+// TripleIntersects reports whether s ∩ t ∩ u is non-empty, without
+// materializing the intersection.
+func (s Set) TripleIntersects(t, u Set) bool {
+	s.sameUniverse(t)
+	s.sameUniverse(u)
+	for i, w := range s.words {
+		if w&t.words[i]&u.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ t| without materializing the intersection.
+func (s Set) IntersectionCount(t Set) int {
+	s.sameUniverse(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// IntersectionMin returns the smallest element of s ∩ t, or -1 if the
+// intersection is empty, without materializing it.
+func (s Set) IntersectionMin(t Set) int {
+	s.sameUniverse(t)
+	for i, w := range s.words {
+		if x := w & t.words[i]; x != 0 {
+			return i*wordBits + bits.TrailingZeros64(x)
+		}
+	}
+	return -1
+}
+
 // Union returns s ∪ t as a new set.
 func (s Set) Union(t Set) Set {
 	s.sameUniverse(t)
@@ -283,13 +319,37 @@ func (s Set) Compare(t Set) int {
 }
 
 // Key returns a compact string usable as a map key identifying the set's
-// contents within its universe.
+// contents within its universe: the raw little-endian bytes of the words.
+// The encoding is injective per universe (fixed length, one 8-byte group
+// per word) and allocates only the returned string.
 func (s Set) Key() string {
-	var b strings.Builder
+	return string(s.AppendKey(make([]byte, 0, len(s.words)*8)))
+}
+
+// AppendKey appends the Key encoding of s to buf and returns the extended
+// slice, allowing callers that dedup in a loop to reuse one buffer
+// (map lookups via string(buf) then do not allocate at all).
+func (s Set) AppendKey(buf []byte) []byte {
 	for _, w := range s.words {
-		fmt.Fprintf(&b, "%016x", w)
+		buf = binary.LittleEndian.AppendUint64(buf, w)
 	}
-	return b.String()
+	return buf
+}
+
+// Hash returns a 64-bit FNV-1a hash of the set's words. Equal sets over the
+// same universe hash equal; callers using Hash for deduplication must
+// confirm collisions with Equal.
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range s.words {
+		h ^= w
+		h *= prime64
+	}
+	return h
 }
 
 // String renders the set as "{e1 e2 ...}" with elements in increasing order.

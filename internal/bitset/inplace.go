@@ -1,0 +1,57 @@
+package bitset
+
+// Destination-style operations. Each stores its result into an existing set
+// of the same universe instead of allocating, so hot paths (notably the
+// Boros–Makino decomposition in internal/core) can reuse scratch storage.
+// The destination may alias either operand; the result is computed word by
+// word and each word depends only on the corresponding operand words.
+// Like the allocating counterparts, all of them panic on universe mismatch.
+
+// CopyFrom makes dst an exact copy of src.
+func (dst Set) CopyFrom(src Set) {
+	dst.sameUniverse(src)
+	copy(dst.words, src.words)
+}
+
+// Clear removes every element from s.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// IntersectInto stores s ∩ t into dst.
+func (s Set) IntersectInto(t, dst Set) {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	for i := range dst.words {
+		dst.words[i] = s.words[i] & t.words[i]
+	}
+}
+
+// UnionInto stores s ∪ t into dst.
+func (s Set) UnionInto(t, dst Set) {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	for i := range dst.words {
+		dst.words[i] = s.words[i] | t.words[i]
+	}
+}
+
+// DiffInto stores s − t into dst.
+func (s Set) DiffInto(t, dst Set) {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	for i := range dst.words {
+		dst.words[i] = s.words[i] &^ t.words[i]
+	}
+}
+
+// ComplementInto stores [0,n) − s into dst.
+func (s Set) ComplementInto(dst Set) {
+	s.sameUniverse(dst)
+	for i := range dst.words {
+		dst.words[i] = ^s.words[i]
+	}
+	dst.trim()
+}

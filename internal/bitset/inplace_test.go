@@ -1,0 +1,143 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInPlaceAgreesWithAllocating checks every destination-style op against
+// its allocating counterpart on random sets, including aliased destinations.
+func TestInPlaceAgreesWithAllocating(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+
+		dst := New(n)
+		a.IntersectInto(b, dst)
+		if !dst.Equal(a.Intersect(b)) {
+			t.Fatalf("IntersectInto(%v, %v) = %v", a, b, dst)
+		}
+		a.UnionInto(b, dst)
+		if !dst.Equal(a.Union(b)) {
+			t.Fatalf("UnionInto(%v, %v) = %v", a, b, dst)
+		}
+		a.DiffInto(b, dst)
+		if !dst.Equal(a.Diff(b)) {
+			t.Fatalf("DiffInto(%v, %v) = %v", a, b, dst)
+		}
+		a.ComplementInto(dst)
+		if !dst.Equal(a.Complement()) {
+			t.Fatalf("ComplementInto(%v) = %v", a, dst)
+		}
+		dst.CopyFrom(a)
+		if !dst.Equal(a) {
+			t.Fatalf("CopyFrom(%v) = %v", a, dst)
+		}
+		dst.Clear()
+		if !dst.IsEmpty() {
+			t.Fatalf("Clear left %v", dst)
+		}
+
+		// Aliased destination: dst == first operand.
+		want := a.Diff(b)
+		alias := a.Clone()
+		alias.DiffInto(b, alias)
+		if !alias.Equal(want) {
+			t.Fatalf("aliased DiffInto(%v, %v) = %v, want %v", a, b, alias, want)
+		}
+		want = a.Intersect(b)
+		alias = b.Clone()
+		a.IntersectInto(alias, alias)
+		if !alias.Equal(want) {
+			t.Fatalf("aliased IntersectInto(%v, %v) = %v, want %v", a, b, alias, want)
+		}
+
+		// Query helpers against their materializing definitions.
+		if got, w := a.IntersectionCount(b), a.Intersect(b).Len(); got != w {
+			t.Fatalf("IntersectionCount(%v, %v) = %d, want %d", a, b, got, w)
+		}
+		if got, w := a.IntersectionMin(b), a.Intersect(b).Min(); got != w {
+			t.Fatalf("IntersectionMin(%v, %v) = %d, want %d", a, b, got, w)
+		}
+		c := randomSet(r, n)
+		if got, w := a.TripleIntersects(b, c), a.Intersect(b).Intersects(c); got != w {
+			t.Fatalf("TripleIntersects(%v, %v, %v) = %v, want %v", a, b, c, got, w)
+		}
+	}
+}
+
+func TestInPlaceCrossUniversePanics(t *testing.T) {
+	a, b, dst := New(10), New(11), New(10)
+	cases := map[string]func(){
+		"IntersectInto-op":  func() { a.IntersectInto(b, dst) },
+		"IntersectInto-dst": func() { a.IntersectInto(dst, b) },
+		"UnionInto":         func() { a.UnionInto(b, dst) },
+		"DiffInto":          func() { a.DiffInto(b, dst) },
+		"ComplementInto":    func() { a.ComplementInto(b) },
+		"CopyFrom":          func() { dst.CopyFrom(b) },
+		"IntersectionCount": func() { a.IntersectionCount(b) },
+		"IntersectionMin":   func() { a.IntersectionMin(b) },
+		"TripleIntersects":  func() { a.TripleIntersects(dst, b) },
+		"PoolPut":           func() { NewPool(10).Put(b) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s across universes did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(70)
+	s := p.Get()
+	if s.Universe() != 70 || !s.IsEmpty() {
+		t.Fatalf("fresh pool set: %v over %d", s, s.Universe())
+	}
+	s.Add(3)
+	s.Add(69)
+	p.Put(s)
+	u := p.Get()
+	if !u.IsEmpty() {
+		t.Fatalf("recycled set not cleared: %v", u)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		w := p.Get()
+		w.Add(1)
+		p.Put(w)
+	}); allocs != 0 {
+		t.Errorf("warm Get/Put allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestHashAgreesWithEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(200)
+		a := randomSet(r, n)
+		if a.Hash() != a.Clone().Hash() {
+			t.Fatal("clone hash differs")
+		}
+	}
+}
+
+func TestKeyInjectiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	seen := map[string]Set{}
+	for i := 0; i < 500; i++ {
+		s := randomSet(r, 130)
+		k := s.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(s) {
+			t.Fatalf("Key collision: %v vs %v", prev, s)
+		}
+		seen[k] = s
+		if string(s.AppendKey(nil)) != k {
+			t.Fatal("AppendKey disagrees with Key")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package bitset
+
+import "fmt"
+
+// Pool is a free list of scratch sets over a single universe. It lets hot
+// loops borrow temporary sets without allocating once the pool has warmed
+// up. Get returns an empty set; Put recycles one (its contents need not be
+// cleared by the caller).
+//
+// A Pool is NOT safe for concurrent use: concurrent code must keep one Pool
+// per worker. internal/transversal's Berge multiplication is the canonical
+// consumer.
+type Pool struct {
+	n    int
+	free []Set
+}
+
+// NewPool returns an empty pool of sets over the universe [0, n).
+func NewPool(n int) *Pool {
+	if n < 0 {
+		panic("bitset: negative universe size")
+	}
+	return &Pool{n: n}
+}
+
+// Universe returns the universe size of the pool's sets.
+func (p *Pool) Universe() int { return p.n }
+
+// Get returns an empty set over the pool's universe, reusing a recycled set
+// when one is available.
+func (p *Pool) Get() Set {
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free = p.free[:k-1]
+		s.Clear()
+		return s
+	}
+	return New(p.n)
+}
+
+// Put recycles s into the pool. It panics if s is over a different universe:
+// returning a foreign set would hand its storage to a later Get.
+func (p *Pool) Put(s Set) {
+	if s.n != p.n {
+		panic(fmt.Sprintf("bitset: Pool universe mismatch %d != %d", s.n, p.n))
+	}
+	p.free = append(p.free, s)
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+
+	"dualspace/internal/core"
+	"dualspace/internal/gen"
+)
+
+// TestDecideAllocsPerOp is the allocation regression guard for the
+// decomposition hot path: on a fixed mid-size dual instance, Decide must
+// cost only its per-call setup (result, scratch, per-depth frames), not
+// per-node allocations. The seed implementation spent ~3500 allocs on this
+// instance; the scratch-based engine spends well under 150 regardless of
+// tree size.
+func TestDecideAllocsPerOp(t *testing.T) {
+	g, h := gen.Matching(5), gen.MatchingDual(5)
+	// Warm up once (and sanity-check the verdict).
+	res, err := core.Decide(g, h)
+	if err != nil || !res.Dual {
+		t.Fatalf("Decide(matching 5) = %v, %v", res, err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := core.Decide(g, h)
+		if err != nil || !res.Dual {
+			t.Fatal("wrong verdict")
+		}
+	})
+	if allocs > 150 {
+		t.Errorf("Decide allocates %.0f per op; the budget is 150 (per-call setup only)", allocs)
+	}
+}
+
+// TestTrSubsetAllocsPerOpNonDual covers the witness-producing path: a fail
+// leaf adds only the witness, its complement and the fail path descriptor.
+func TestTrSubsetAllocsPerOpNonDual(t *testing.T) {
+	g := gen.Matching(5)
+	h := gen.DropEdge(gen.MatchingDual(5), 11)
+	res, err := core.TrSubset(g, h)
+	if err != nil || res.Dual {
+		t.Fatalf("TrSubset(dropped dual) = %v, %v", res, err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := core.TrSubset(g, h)
+		if err != nil || res.Dual {
+			t.Fatal("wrong verdict")
+		}
+	})
+	if allocs > 150 {
+		t.Errorf("TrSubset allocates %.0f per op; the budget is 150", allocs)
+	}
+}

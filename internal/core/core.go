@@ -156,192 +156,42 @@ func (n *NodeInfo) IsLeaf() bool { return n.Mark != MarkNil }
 // internal nodes. It is deterministic and shared by the practical decision
 // procedure and by internal/logspace's replay mode, which guarantees that
 // child numbering agrees everywhere.
+//
+// Classify materializes a fresh NodeInfo per call; the tree walks below use
+// the scratch engine (scratch.go) directly to stay allocation-free.
 func Classify(g, h *hypergraph.Hypergraph, s bitset.Set) *NodeInfo {
-	info := &NodeInfo{S: s.Clone(), ChosenEdge: -1}
-
-	// H_S: the h-edges fully inside S.
-	var hs []int
-	for j := 0; j < h.M(); j++ {
-		if h.Edge(j).SubsetOf(s) {
-			hs = append(hs, j)
-		}
-	}
-	info.HSCount = len(hs)
-
-	if len(hs) <= 1 {
-		marksmall(g, h, s, hs, info)
-		return info
-	}
-	process(g, h, s, hs, info)
-	return info
+	return classifyWith(newScratch(g, h), &frame{}, s)
 }
 
-// marksmall implements the paper's marksmall procedure for |H_S| ≤ 1.
-func marksmall(g, h *hypergraph.Hypergraph, s bitset.Set, hs []int, info *NodeInfo) {
-	emptyInGS := false
-	for j := 0; j < g.M(); j++ {
-		if !g.Edge(j).Intersects(s) {
-			emptyInGS = true
-			break
-		}
+// classifyWith is Classify on caller-provided scratch state: every set in
+// the returned NodeInfo is freshly cloned, so the scratch and frame are free
+// for reuse (BuildTree classifies its whole tree through one of each).
+func classifyWith(sc *scratch, fr *frame, s bitset.Set) *NodeInfo {
+	v := sc.classifyNode(s, fr)
+
+	info := &NodeInfo{
+		S:          s.Clone(),
+		HSCount:    v.hsCount,
+		Kind:       v.kind,
+		Mark:       v.mark,
+		ChosenEdge: v.chosenEdge,
 	}
-	if len(hs) == 0 {
-		if !emptyInGS {
-			info.Kind, info.Mark = KindSmall0Fail, MarkFail // case 1
-			info.T = s.Clone()
-		} else {
-			info.Kind, info.Mark = KindSmall0Done, MarkDone // case 2
-			info.T = bitset.New(s.Universe())
-		}
-		return
-	}
-	// |H_S| = 1.
-	he := h.Edge(hs[0])
-	missing := -1
-	he.ForEach(func(i int) bool {
-		if !singletonInGS(g, s, i) {
-			missing = i
-			return false // smallest such i, per the deterministic variant
-		}
-		return true
-	})
-	if missing < 0 {
-		info.Kind, info.Mark = KindSmall1Done, MarkDone // case 3
+	switch v.mark {
+	case MarkFail:
+		info.T = sc.wit.Clone()
+	case MarkDone:
 		info.T = bitset.New(s.Universe())
-		return
 	}
-	info.Kind, info.Mark = KindSmall1Fail, MarkFail // case 4
-	info.ChosenEdge = hs[0]
-	info.T = s.WithoutElem(missing)
-}
-
-// singletonInGS reports whether {i} ∈ G_S, i.e. some edge of g projects onto
-// exactly {i} within s.
-func singletonInGS(g *hypergraph.Hypergraph, s bitset.Set, i int) bool {
-	for j := 0; j < g.M(); j++ {
-		p := g.Edge(j).Intersect(s)
-		if p.Len() == 1 && p.Contains(i) {
-			return true
+	if v.hsCount >= 2 {
+		info.I = sc.iSet.Clone()
+	}
+	if v.mark == MarkNil && fr.nChildren > 0 {
+		info.Children = make([]bitset.Set, fr.nChildren)
+		for i := range info.Children {
+			info.Children[i] = fr.children[i].Clone()
 		}
 	}
-	return false
-}
-
-// process implements the paper's process procedure for |H_S| ≥ 2.
-func process(g, h *hypergraph.Hypergraph, s bitset.Set, hs []int, info *NodeInfo) {
-	n := s.Universe()
-
-	// Step 1: the majority set Iα — vertices occurring in more than
-	// |H_S|/2 hyperedges of H_S.
-	deg := make([]int, n)
-	for _, j := range hs {
-		h.Edge(j).ForEach(func(v int) bool {
-			deg[v]++
-			return true
-		})
-	}
-	iSet := bitset.New(n)
-	for v := 0; v < n; v++ {
-		if 2*deg[v] > len(hs) {
-			iSet.Add(v)
-		}
-	}
-	info.I = iSet
-
-	// Step 2: is Iα a new transversal of G_S with respect to H_S?
-	isTransversal := true
-	for j := 0; j < g.M(); j++ {
-		if !g.Edge(j).Intersect(s).Intersects(iSet) {
-			isTransversal = false
-			break
-		}
-	}
-	if isTransversal {
-		containsHS := false
-		for _, j := range hs {
-			if h.Edge(j).SubsetOf(iSet) {
-				containsHS = true
-				break
-			}
-		}
-		if !containsHS {
-			info.Kind, info.Mark = KindProcessFail, MarkFail
-			info.T = iSet.Clone()
-			return
-		}
-	}
-
-	// Step 3: a projected edge disjoint from Iα (first by input index).
-	if !isTransversal {
-		for j := 0; j < g.M(); j++ {
-			gProj := g.Edge(j).Intersect(s)
-			if gProj.Intersects(iSet) {
-				continue
-			}
-			info.Kind = KindProcessDisjoint
-			info.ChosenEdge = j
-			info.Children = disjointChildren(g, s, gProj)
-			return
-		}
-		// Unreachable: !isTransversal means some projection misses Iα.
-		panic("core: process step 3 found no disjoint edge")
-	}
-
-	// Step 4: an H_S edge contained in Iα (first by input index). One must
-	// exist: Iα is a transversal of G_S and step 2 did not fire.
-	for _, j := range hs {
-		he := h.Edge(j)
-		if !he.SubsetOf(iSet) {
-			continue
-		}
-		info.Kind = KindProcessContained
-		info.ChosenEdge = j
-		info.Children = containedChildren(s, he)
-		return
-	}
-	panic("core: process step 4 found no contained edge")
-}
-
-// disjointChildren enumerates C = {Sα − (E − {i}) | E ∈ G_Sα^G, i ∈ E ∩ G}
-// in canonical (edge index, vertex index) order with duplicates removed,
-// where G = gProj is the chosen projected edge disjoint from Iα and G_Sα^G
-// consists of the projected edges meeting G.
-func disjointChildren(g *hypergraph.Hypergraph, s, gProj bitset.Set) []bitset.Set {
-	var out []bitset.Set
-	for j := 0; j < g.M(); j++ {
-		e := g.Edge(j).Intersect(s)
-		common := e.Intersect(gProj)
-		if common.IsEmpty() {
-			continue // E ⊆ Sα − G: excluded from G_Sα^G
-		}
-		common.ForEach(func(i int) bool {
-			child := s.Diff(e.WithoutElem(i))
-			appendIfNew(&out, child)
-			return true
-		})
-	}
-	return out
-}
-
-// containedChildren enumerates C = {Sα − {i} | i ∈ H} ∪ {H} in canonical
-// order (vertex index, then H last) with duplicates removed.
-func containedChildren(s, he bitset.Set) []bitset.Set {
-	var out []bitset.Set
-	he.ForEach(func(i int) bool {
-		appendIfNew(&out, s.WithoutElem(i))
-		return true
-	})
-	appendIfNew(&out, he.Clone())
-	return out
-}
-
-func appendIfNew(out *[]bitset.Set, c bitset.Set) {
-	for _, prev := range *out {
-		if prev.Equal(c) {
-			return
-		}
-	}
-	*out = append(*out, c)
+	return info
 }
 
 // Reason explains a duality verdict.
@@ -547,38 +397,46 @@ func TrSubset(g, h *hypergraph.Hypergraph) (*Result, error) {
 	}
 
 	res := &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}
-	root := bitset.Full(g.N())
-	var walk func(s bitset.Set, depth int, path []int) bool
-	walk = func(s bitset.Set, depth int, path []int) bool {
-		info := Classify(g, h, s)
-		res.Stats.Nodes++
-		if depth > res.Stats.MaxDepth {
-			res.Stats.MaxDepth = depth
-		}
-		if len(info.Children) > res.Stats.MaxChildren {
-			res.Stats.MaxChildren = len(info.Children)
-		}
-		if info.IsLeaf() {
-			res.Stats.Leaves++
-			if info.Mark == MarkFail {
-				res.Dual = false
-				res.Reason = ReasonNewTransversal
-				res.Witness = info.T
-				res.CoWitness = info.T.Complement()
-				res.FailPath = append([]int(nil), path...)
-				return false // stop the search
-			}
-			return true
-		}
-		for i, c := range info.Children {
-			if !walk(c, depth+1, append(path, i+1)) {
-				return false
-			}
+	w := newWalkState(g, h)
+	serialWalk(w, bitset.Full(g.N()), 0, res)
+	return res, nil
+}
+
+// serialWalk is the serial DFS over T(g,h) on one walkState: one scratch
+// for classification and one frame per depth, so the search allocates
+// nothing per node beyond first-touch warm-up of each depth level (bounded
+// by ⌊log₂|H|⌋, Proposition 2.1). It classifies the node s at the given
+// depth and recurses, reporting false once a fail leaf has been recorded to
+// stop the search.
+func serialWalk(w *walkState, s bitset.Set, depth int, res *Result) bool {
+	fr := w.frame(depth)
+	v := w.sc.classifyNode(s, fr)
+	res.Stats.Nodes++
+	if depth > res.Stats.MaxDepth {
+		res.Stats.MaxDepth = depth
+	}
+	if v.mark != MarkNil {
+		res.Stats.Leaves++
+		if v.mark == MarkFail {
+			res.Dual = false
+			res.Reason = ReasonNewTransversal
+			res.Witness = w.sc.wit.Clone()
+			res.CoWitness = res.Witness.Complement()
+			res.FailPath = append([]int(nil), w.path[:depth]...)
+			return false // stop the search
 		}
 		return true
 	}
-	walk(root, 0, nil)
-	return res, nil
+	if fr.nChildren > res.Stats.MaxChildren {
+		res.Stats.MaxChildren = fr.nChildren
+	}
+	for i := 0; i < fr.nChildren; i++ {
+		w.path = append(w.path[:depth], i+1)
+		if !serialWalk(w, fr.children[i], depth+1, res) {
+			return false
+		}
+	}
+	return true
 }
 
 // NewTransversal returns a new transversal of g with respect to h — a
@@ -620,9 +478,10 @@ func BuildTree(g, h *hypergraph.Hypergraph) (*TreeNode, error) {
 	if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() || h.HasEmptyEdge() {
 		return nil, errors.New("core: BuildTree requires non-constant inputs")
 	}
+	sc, fr := newScratch(g, h), &frame{}
 	var build func(s bitset.Set, label []int) *TreeNode
 	build = func(s bitset.Set, label []int) *TreeNode {
-		info := Classify(g, h, s)
+		info := classifyWith(sc, fr, s)
 		node := &TreeNode{Label: append([]int(nil), label...), Info: info}
 		for i, c := range info.Children {
 			node.Children = append(node.Children, build(c, append(label, i+1)))

@@ -10,6 +10,11 @@ package core
 // witness is the first fail leaf *found*, which — unlike serial search —
 // need not be the DFS-first one (every fail witness is equally valid, and
 // the tests check validity).
+//
+// Each concurrent subtree runs on its own worker state (scratch + frame
+// stack + path buffer) drawn from a sync.Pool, so steady-state node work is
+// allocation-free; only spawning a subtree clones the child set and path
+// prefix the new goroutine takes ownership of.
 
 import (
 	"runtime"
@@ -61,10 +66,11 @@ func DecideParallel(g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
 type parallelSearch struct {
 	g, h *hypergraph.Hypergraph
 
-	sem  chan struct{} // bounds concurrent subtree goroutines
-	wg   sync.WaitGroup
-	stop chan struct{}
-	once sync.Once
+	states sync.Pool     // of *walkState
+	sem    chan struct{} // bounds concurrent subtree goroutines
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	once   sync.Once
 
 	mu       sync.Mutex
 	failT    bitset.Set
@@ -86,7 +92,10 @@ func trSubsetParallel(g, h *hypergraph.Hypergraph, workers int) *Result {
 		sem:  make(chan struct{}, workers),
 		stop: make(chan struct{}),
 	}
-	p.walk(bitset.Full(g.N()), nil, 0)
+	p.states.New = func() any { return newWalkState(g, h) }
+	st := p.states.Get().(*walkState)
+	p.walk(st, bitset.Full(g.N()), 0)
+	p.states.Put(st)
 	p.wg.Wait()
 
 	res := &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}
@@ -117,37 +126,49 @@ func (p *parallelSearch) cancelled() bool {
 	}
 }
 
-func (p *parallelSearch) walk(s bitset.Set, path []int, depth int) {
+// walk classifies s at the given depth on st (whose path buffer holds the
+// labels of the ancestors) and descends: inline on st when the pool is
+// saturated, otherwise handing cloned child state to a fresh goroutine.
+func (p *parallelSearch) walk(st *walkState, s bitset.Set, depth int) {
 	if p.cancelled() {
 		return
 	}
-	info := Classify(p.g, p.h, s)
+	fr := st.frame(depth)
+	v := st.sc.classifyNode(s, fr)
 	atomic.AddInt64(&p.nodes, 1)
 	atomicMax(&p.maxDepth, int64(depth))
-	atomicMax(&p.maxChildren, int64(len(info.Children)))
-	if info.IsLeaf() {
+	if v.mark != MarkNil {
 		atomic.AddInt64(&p.leaves, 1)
-		if info.Mark == MarkFail {
-			p.recordFail(info.T, path)
+		if v.mark == MarkFail {
+			p.recordFail(st.sc.wit, st.path[:depth])
 		}
 		return
 	}
-	for i, c := range info.Children {
+	atomicMax(&p.maxChildren, int64(fr.nChildren))
+	for i := 0; i < fr.nChildren; i++ {
 		if p.cancelled() {
 			return
 		}
-		childPath := append(append([]int{}, path...), i+1)
+		c := fr.children[i]
 		select {
 		case p.sem <- struct{}{}:
 			p.wg.Add(1)
-			go func(cs bitset.Set, cp []int) {
+			// The goroutine outlives this frame and path buffer: clone both
+			// before handing off.
+			cs := c.Clone()
+			cp := append(append(make([]int, 0, depth+1), st.path[:depth]...), i+1)
+			go func() {
 				defer p.wg.Done()
 				defer func() { <-p.sem }()
-				p.walk(cs, cp, depth+1)
-			}(c, childPath)
+				st2 := p.states.Get().(*walkState)
+				st2.path = append(st2.path[:0], cp...)
+				p.walk(st2, cs, depth+1)
+				p.states.Put(st2)
+			}()
 		default:
 			// Pool exhausted: descend inline to keep progress bounded.
-			p.walk(c, childPath, depth+1)
+			st.path = append(st.path[:depth], i+1)
+			p.walk(st, c, depth+1)
 		}
 	}
 }

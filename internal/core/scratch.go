@@ -1,0 +1,314 @@
+package core
+
+// Allocation-free node classification. Classify (core.go) documents the
+// semantics; this file holds the engine that the tree walks actually run
+// on. A scratch carries every temporary the marksmall/process procedures
+// need, so classifying a node allocates nothing once the walker has warmed
+// up; a frame carries the reusable child storage of one tree depth, which
+// must outlive the classification because the walk descends through it.
+//
+// The conventions (scratch is single-walker state, frames are per-depth,
+// child sets are valid until the same depth is revisited) are documented in
+// DESIGN.md §5.
+
+import (
+	"dualspace/internal/bitset"
+	"dualspace/internal/hypergraph"
+)
+
+// nodeVerdict is the classification outcome of one node, without the
+// materialized sets of a NodeInfo: the witness lives in scratch.wit, the
+// majority set in scratch.iSet, and the children in the frame.
+type nodeVerdict struct {
+	hsCount    int
+	kind       Kind
+	mark       Mark
+	chosenEdge int
+}
+
+// frame is the reusable per-depth child storage of a tree walk. The first
+// nChildren entries of children are the current node's deduplicated child
+// sets, in canonical order; their storage is recycled the next time the walk
+// generates children at this depth.
+type frame struct {
+	children  []bitset.Set
+	nChildren int
+}
+
+// slot returns the candidate slot for the next child (reused storage over
+// the universe [0, n)); commitIfNew accepts or discards it.
+func (fr *frame) slot(n int) bitset.Set {
+	if fr.nChildren == len(fr.children) {
+		fr.children = append(fr.children, bitset.New(n))
+	}
+	return fr.children[fr.nChildren]
+}
+
+// walkState is the complete reusable state of one tree walker — the
+// classification scratch, the per-depth frames, and the path-label buffer.
+// The serial DFS owns one; the parallel search pools one per worker.
+type walkState struct {
+	sc     *scratch
+	frames []*frame
+	path   []int
+}
+
+func newWalkState(g, h *hypergraph.Hypergraph) *walkState {
+	return &walkState{sc: newScratch(g, h)}
+}
+
+func (w *walkState) frame(depth int) *frame {
+	for len(w.frames) <= depth {
+		w.frames = append(w.frames, &frame{})
+	}
+	return w.frames[depth]
+}
+
+// scratch is the reusable working state of one tree walker. It is not safe
+// for concurrent use; the parallel search keeps one per worker.
+type scratch struct {
+	g, h *hypergraph.Hypergraph
+	n    int
+
+	hs    []int            // indices of the h-edges inside the current S
+	deg   []int            // per-vertex H_S degree (process step 1)
+	iSet  bitset.Set       // the majority set Iα
+	gProj bitset.Set       // chosen projected g-edge (process step 3)
+	tmp   bitset.Set       // per-edge temporary
+	wit   bitset.Set       // witness t(α) of the last fail classification
+	dedup map[uint64]int32 // child-set hash → index of first occurrence
+}
+
+func newScratch(g, h *hypergraph.Hypergraph) *scratch {
+	n := g.N()
+	return &scratch{
+		g: g, h: h, n: n,
+		deg:   make([]int, n),
+		iSet:  bitset.New(n),
+		gProj: bitset.New(n),
+		tmp:   bitset.New(n),
+		wit:   bitset.New(n),
+		dedup: make(map[uint64]int32),
+	}
+}
+
+// classifyNode applies marksmall/process to the node with set s. Children
+// (for internal nodes) are generated into fr; on a fail verdict the witness
+// is left in sc.wit, and for |H_S| ≥ 2 the majority set in sc.iSet. All
+// outputs are valid only until the next classifyNode call on this scratch
+// (children: until fr is reused).
+func (sc *scratch) classifyNode(s bitset.Set, fr *frame) nodeVerdict {
+	v := nodeVerdict{chosenEdge: -1}
+	fr.nChildren = 0
+
+	// H_S: the h-edges fully inside S.
+	sc.hs = sc.hs[:0]
+	for j := 0; j < sc.h.M(); j++ {
+		if sc.h.Edge(j).SubsetOf(s) {
+			sc.hs = append(sc.hs, j)
+		}
+	}
+	v.hsCount = len(sc.hs)
+
+	if len(sc.hs) <= 1 {
+		sc.marksmall(s, &v)
+		return v
+	}
+	sc.process(s, fr, &v)
+	return v
+}
+
+// marksmall implements the paper's marksmall procedure for |H_S| ≤ 1.
+func (sc *scratch) marksmall(s bitset.Set, v *nodeVerdict) {
+	emptyInGS := false
+	for j := 0; j < sc.g.M(); j++ {
+		if !sc.g.Edge(j).Intersects(s) {
+			emptyInGS = true
+			break
+		}
+	}
+	if len(sc.hs) == 0 {
+		if !emptyInGS {
+			v.kind, v.mark = KindSmall0Fail, MarkFail // case 1: t(α) = Sα
+			sc.wit.CopyFrom(s)
+		} else {
+			v.kind, v.mark = KindSmall0Done, MarkDone // case 2
+		}
+		return
+	}
+	// |H_S| = 1.
+	he := sc.h.Edge(sc.hs[0])
+	missing := -1
+	he.ForEach(func(i int) bool {
+		if !sc.singletonInGS(s, i) {
+			missing = i
+			return false // smallest such i, per the deterministic variant
+		}
+		return true
+	})
+	if missing < 0 {
+		v.kind, v.mark = KindSmall1Done, MarkDone // case 3
+		return
+	}
+	v.kind, v.mark = KindSmall1Fail, MarkFail // case 4: t(α) = Sα − {i}
+	v.chosenEdge = sc.hs[0]
+	sc.wit.CopyFrom(s)
+	sc.wit.Remove(missing)
+}
+
+// singletonInGS reports whether {i} ∈ G_S, i.e. some edge of g projects onto
+// exactly {i} within s.
+func (sc *scratch) singletonInGS(s bitset.Set, i int) bool {
+	for j := 0; j < sc.g.M(); j++ {
+		e := sc.g.Edge(j)
+		if e.Contains(i) && s.Contains(i) && e.IntersectionCount(s) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// process implements the paper's process procedure for |H_S| ≥ 2.
+func (sc *scratch) process(s bitset.Set, fr *frame, v *nodeVerdict) {
+	g, h := sc.g, sc.h
+
+	// Step 1: the majority set Iα — vertices occurring in more than
+	// |H_S|/2 hyperedges of H_S.
+	deg := sc.deg
+	for i := range deg {
+		deg[i] = 0
+	}
+	for _, j := range sc.hs {
+		h.Edge(j).ForEach(func(u int) bool {
+			deg[u]++
+			return true
+		})
+	}
+	sc.iSet.Clear()
+	for u := 0; u < sc.n; u++ {
+		if 2*deg[u] > len(sc.hs) {
+			sc.iSet.Add(u)
+		}
+	}
+
+	// Step 2: is Iα a new transversal of G_S with respect to H_S?
+	isTransversal := true
+	for j := 0; j < g.M(); j++ {
+		if !g.Edge(j).TripleIntersects(s, sc.iSet) {
+			isTransversal = false
+			break
+		}
+	}
+	if isTransversal {
+		containsHS := false
+		for _, j := range sc.hs {
+			if h.Edge(j).SubsetOf(sc.iSet) {
+				containsHS = true
+				break
+			}
+		}
+		if !containsHS {
+			v.kind, v.mark = KindProcessFail, MarkFail // t(α) = Iα
+			sc.wit.CopyFrom(sc.iSet)
+			return
+		}
+	}
+
+	// Step 3: a projected edge disjoint from Iα (first by input index).
+	if !isTransversal {
+		for j := 0; j < g.M(); j++ {
+			if g.Edge(j).TripleIntersects(s, sc.iSet) {
+				continue
+			}
+			g.Edge(j).IntersectInto(s, sc.gProj)
+			v.kind = KindProcessDisjoint
+			v.chosenEdge = j
+			sc.disjointChildren(s, fr)
+			return
+		}
+		// Unreachable: !isTransversal means some projection misses Iα.
+		panic("core: process step 3 found no disjoint edge")
+	}
+
+	// Step 4: an H_S edge contained in Iα (first by input index). One must
+	// exist: Iα is a transversal of G_S and step 2 did not fire.
+	for _, j := range sc.hs {
+		he := h.Edge(j)
+		if !he.SubsetOf(sc.iSet) {
+			continue
+		}
+		v.kind = KindProcessContained
+		v.chosenEdge = j
+		sc.containedChildren(s, he, fr)
+		return
+	}
+	panic("core: process step 4 found no contained edge")
+}
+
+// disjointChildren enumerates C = {Sα − (E − {i}) | E ∈ G_Sα^G, i ∈ E ∩ G}
+// in canonical (edge index, vertex index) order with duplicates removed,
+// where G = sc.gProj is the chosen projected edge disjoint from Iα and
+// G_Sα^G consists of the projected edges meeting G.
+func (sc *scratch) disjointChildren(s bitset.Set, fr *frame) {
+	sc.resetDedup()
+	for j := 0; j < sc.g.M(); j++ {
+		e := sc.g.Edge(j)
+		if !e.TripleIntersects(s, sc.gProj) {
+			continue // E ⊆ Sα − G: excluded from G_Sα^G
+		}
+		// Iterate i over E ∩ G = e ∩ s ∩ gProj.
+		e.IntersectInto(s, sc.tmp)
+		sc.tmp.IntersectInto(sc.gProj, sc.tmp)
+		sc.tmp.ForEach(func(i int) bool {
+			// Sα − (E − {i}) = (Sα − e) ∪ {i} since i ∈ Sα.
+			c := fr.slot(sc.n)
+			s.DiffInto(e, c)
+			c.Add(i)
+			sc.commitIfNew(fr)
+			return true
+		})
+	}
+}
+
+// containedChildren enumerates C = {Sα − {i} | i ∈ H} ∪ {H} in canonical
+// order (vertex index, then H last) with duplicates removed.
+func (sc *scratch) containedChildren(s, he bitset.Set, fr *frame) {
+	sc.resetDedup()
+	he.ForEach(func(i int) bool {
+		c := fr.slot(sc.n)
+		c.CopyFrom(s)
+		c.Remove(i)
+		sc.commitIfNew(fr)
+		return true
+	})
+	fr.slot(sc.n).CopyFrom(he)
+	sc.commitIfNew(fr)
+}
+
+func (sc *scratch) resetDedup() {
+	clear(sc.dedup)
+}
+
+// commitIfNew accepts the candidate child sitting in the frame's next slot
+// unless an earlier child equals it (first-occurrence deduplication, keyed
+// by hash with an Equal check so collisions stay correct). It reports
+// whether the candidate was accepted.
+func (sc *scratch) commitIfNew(fr *frame) bool {
+	c := fr.children[fr.nChildren]
+	hv := c.Hash()
+	if k, ok := sc.dedup[hv]; ok {
+		if fr.children[k].Equal(c) {
+			return false
+		}
+		// True hash collision: fall back to scanning all accepted children.
+		for i := 0; i < fr.nChildren; i++ {
+			if fr.children[i].Equal(c) {
+				return false
+			}
+		}
+	} else {
+		sc.dedup[hv] = int32(fr.nChildren)
+	}
+	fr.nChildren++
+	return true
+}

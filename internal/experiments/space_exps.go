@@ -3,12 +3,24 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"dualspace/internal/core"
 	"dualspace/internal/gen"
 	"dualspace/internal/logspace"
 	"dualspace/internal/space"
 )
+
+// labelKey renders a path descriptor as a compact map key without the
+// reflection cost of fmt.Sprint.
+func labelKey(label []int) string {
+	b := make([]byte, 0, 3*len(label))
+	for _, x := range label {
+		b = strconv.AppendInt(b, int64(x), 10)
+		b = append(b, '.')
+	}
+	return string(b)
+}
 
 // E5StrictSpace measures the peak retained workspace of strict-mode
 // pathnode across a scaling family and relates it to log²(input size)
@@ -82,11 +94,11 @@ func E6Decompose() *Table {
 		meter := space.NewMeter()
 		listedV, listedE := 0, 0
 		byLabel := map[string]*core.TreeNode{}
-		tree.Walk(func(n *core.TreeNode) { byLabel[fmt.Sprint(n.Label)] = n })
+		tree.Walk(func(n *core.TreeNode) { byLabel[labelKey(n.Label)] = n })
 		err = logspace.Decompose(a, b, logspace.Options{Mode: logspace.ModeStrict, Meter: meter},
 			func(attr logspace.Attr) bool {
 				listedV++
-				node, ok := byLabel[fmt.Sprint(attr.Label)]
+				node, ok := byLabel[labelKey(attr.Label)]
 				if !ok || !attr.S.Equal(node.Info.S) || attr.Mark != node.Info.Mark {
 					match = false
 				}

@@ -234,7 +234,7 @@ func (h *Hypergraph) IsMinimalTransversal(t bitset.Set) bool {
 	}
 	return t.ForEach(func(v int) bool {
 		for _, e := range h.edges {
-			if e.Contains(v) && e.Intersect(t).Len() == 1 {
+			if e.Contains(v) && e.IntersectionCount(t) == 1 {
 				return true // v is critical for e; keep iterating
 			}
 		}
@@ -297,9 +297,7 @@ func (h *Hypergraph) ComplementEdges() *Hypergraph {
 // Minimize). This is the G_Sα construction of the Boros–Makino method.
 func (h *Hypergraph) Restrict(s bitset.Set) *Hypergraph {
 	out := New(h.n)
-	for _, e := range h.edges {
-		out.edges = append(out.edges, e.Intersect(s))
-	}
+	h.RestrictInto(s, out)
 	return out
 }
 
@@ -307,12 +305,58 @@ func (h *Hypergraph) Restrict(s bitset.Set) *Hypergraph {
 // This is the H_Sα construction of the Boros–Makino method.
 func (h *Hypergraph) InducedSub(s bitset.Set) *Hypergraph {
 	out := New(h.n)
+	h.InducedSubInto(s, out)
+	return out
+}
+
+// RestrictInto is Restrict with a reusable destination: it overwrites dst
+// with {e ∩ s : e ∈ h}, recycling dst's edge storage so that repeated
+// projections (one per decomposition tree node) stop allocating once dst has
+// warmed up. dst must be over the same universe and must not be h itself.
+func (h *Hypergraph) RestrictInto(s bitset.Set, dst *Hypergraph) {
+	h.checkDst(s, dst)
+	dst.edges = dst.edges[:0]
+	for _, e := range h.edges {
+		e.IntersectInto(s, dst.scratchSlot())
+	}
+}
+
+// InducedSubInto is InducedSub with a reusable destination, under the same
+// contract as RestrictInto.
+func (h *Hypergraph) InducedSubInto(s bitset.Set, dst *Hypergraph) {
+	h.checkDst(s, dst)
+	dst.edges = dst.edges[:0]
 	for _, e := range h.edges {
 		if e.SubsetOf(s) {
-			out.edges = append(out.edges, e.Clone())
+			dst.scratchSlot().CopyFrom(e)
 		}
 	}
-	return out
+}
+
+func (h *Hypergraph) checkDst(s bitset.Set, dst *Hypergraph) {
+	if s.Universe() != h.n {
+		panic(fmt.Sprintf("hypergraph: restriction universe %d != %d", s.Universe(), h.n))
+	}
+	if dst.n != h.n {
+		panic(fmt.Sprintf("hypergraph: destination universe %d != %d", dst.n, h.n))
+	}
+	if dst == h {
+		panic("hypergraph: destination aliases the source")
+	}
+}
+
+// scratchSlot extends the edge list by one reusable set over h's universe
+// and returns it (contents unspecified; callers overwrite).
+func (h *Hypergraph) scratchSlot() bitset.Set {
+	if len(h.edges) < cap(h.edges) {
+		h.edges = h.edges[:len(h.edges)+1]
+		if h.edges[len(h.edges)-1].Universe() != h.n {
+			h.edges[len(h.edges)-1] = bitset.New(h.n)
+		}
+	} else {
+		h.edges = append(h.edges, bitset.New(h.n))
+	}
+	return h.edges[len(h.edges)-1]
 }
 
 // Vertices returns the union of all hyperedges (the default vertex set V(H)
@@ -320,7 +364,7 @@ func (h *Hypergraph) InducedSub(s bitset.Set) *Hypergraph {
 func (h *Hypergraph) Vertices() bitset.Set {
 	u := bitset.New(h.n)
 	for _, e := range h.edges {
-		u = u.Union(e)
+		u.UnionInto(e, u)
 	}
 	return u
 }
@@ -450,7 +494,7 @@ func (h *Hypergraph) AllEdgesMinimalTransversalsOf(g *Hypergraph) *MinimalTransv
 		e.ForEach(func(v int) bool {
 			critical := false
 			for _, f := range g.edges {
-				if f.Contains(v) && f.Intersect(e).Len() == 1 {
+				if f.Contains(v) && f.IntersectionCount(e) == 1 {
 					critical = true
 					break
 				}

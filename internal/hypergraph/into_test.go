@@ -1,0 +1,92 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualspace/internal/bitset"
+)
+
+func randomFamily(r *rand.Rand, n, m int) *Hypergraph {
+	h := New(n)
+	for i := 0; i < m; i++ {
+		e := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if r.Intn(3) == 0 {
+				e.Add(v)
+			}
+		}
+		h.AddEdge(e)
+	}
+	return h
+}
+
+// TestIntoVariantsAgree checks RestrictInto/InducedSubInto against their
+// allocating counterparts on random families, with a single reused
+// destination across iterations (shrinking and growing edge counts).
+func TestIntoVariantsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	dstR, dstI := New(40), New(40)
+	for i := 0; i < 200; i++ {
+		h := randomFamily(r, 40, 1+r.Intn(12))
+		s := bitset.New(40)
+		for v := 0; v < 40; v++ {
+			if r.Intn(2) == 0 {
+				s.Add(v)
+			}
+		}
+		h.RestrictInto(s, dstR)
+		want := h.Restrict(s)
+		if dstR.M() != want.M() {
+			t.Fatalf("RestrictInto edge count %d, want %d", dstR.M(), want.M())
+		}
+		for j := 0; j < want.M(); j++ {
+			if !dstR.Edge(j).Equal(want.Edge(j)) {
+				t.Fatalf("RestrictInto edge %d = %v, want %v", j, dstR.Edge(j), want.Edge(j))
+			}
+		}
+		h.InducedSubInto(s, dstI)
+		wantI := h.InducedSub(s)
+		if dstI.M() != wantI.M() {
+			t.Fatalf("InducedSubInto edge count %d, want %d", dstI.M(), wantI.M())
+		}
+		for j := 0; j < wantI.M(); j++ {
+			if !dstI.Edge(j).Equal(wantI.Edge(j)) {
+				t.Fatalf("InducedSubInto edge %d = %v, want %v", j, dstI.Edge(j), wantI.Edge(j))
+			}
+		}
+	}
+}
+
+func TestIntoVariantsWarmAllocationFree(t *testing.T) {
+	h := MustFromEdges(64, [][]int{{0, 1, 40}, {2, 3}, {1, 2, 63}, {5, 9, 11}})
+	s := bitset.FromSlice(64, []int{1, 2, 3, 9, 40})
+	dst := New(64)
+	h.RestrictInto(s, dst) // warm up
+	if allocs := testing.AllocsPerRun(50, func() { h.RestrictInto(s, dst) }); allocs != 0 {
+		t.Errorf("warm RestrictInto allocates %.1f per run, want 0", allocs)
+	}
+	h.InducedSubInto(s, dst)
+	if allocs := testing.AllocsPerRun(50, func() { h.InducedSubInto(s, dst) }); allocs != 0 {
+		t.Errorf("warm InducedSubInto allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestIntoVariantsContractPanics(t *testing.T) {
+	h := MustFromEdges(5, [][]int{{0, 1}})
+	cases := map[string]func(){
+		"set-universe": func() { h.RestrictInto(bitset.New(4), New(5)) },
+		"dst-universe": func() { h.RestrictInto(bitset.New(5), New(6)) },
+		"aliased-dst":  func() { h.InducedSubInto(bitset.New(5), h) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -428,6 +428,10 @@ func BordersApriori(d *Dataset, z int) (*Borders, error) {
 	level := []bitset.Set{bitset.New(n)}
 	frequent[bitset.New(n).Key()] = bitset.New(n)
 
+	// Reused lookup scratch: probing the frequent map goes through
+	// string(AppendKey) on a shared buffer, which does not allocate.
+	sub, keyBuf := bitset.New(n), make([]byte, 0, 64)
+
 	for len(level) > 0 {
 		candidates := map[string]bitset.Set{}
 		for _, u := range level {
@@ -442,7 +446,10 @@ func BordersApriori(d *Dataset, z int) (*Borders, error) {
 		for _, c := range candidates {
 			// Apriori pruning: all proper subsets of size |c|−1 frequent.
 			allSubsFrequent := c.ForEach(func(i int) bool {
-				_, ok := frequent[c.WithoutElem(i).Key()]
+				sub.CopyFrom(c)
+				sub.Remove(i)
+				keyBuf = sub.AppendKey(keyBuf[:0])
+				_, ok := frequent[string(keyBuf)]
 				return ok
 			})
 			if !allSubsFrequent {

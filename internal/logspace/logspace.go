@@ -86,6 +86,10 @@ type Options struct {
 // (path descriptor), the set Sα, the marking, and the witness t(α). The
 // projected instance inst(α) is determined by Sα and the input and is not
 // materialized.
+//
+// T is non-empty only at fail leaves; at every other node the same empty
+// set is shared across the Attrs of one enumeration, so callers must treat
+// T as read-only.
 type Attr struct {
 	Label []int
 	S     bitset.Set
@@ -158,12 +162,37 @@ type levelState struct {
 
 // walker evaluates node predicates along a path of T(g,h).
 type walker struct {
-	g, h   *hypergraph.Hypergraph
-	n      int
-	mode   Mode
-	meter  *space.Meter
-	regW   int64
-	levels []*levelState
+	g, h       *hypergraph.Hypergraph
+	n          int
+	mode       Mode
+	meter      *space.Meter
+	regW       int64
+	levels     []*levelState
+	freeLevels []*levelState // recycled levelStates (the Go-heap side of pop)
+	empty      bitset.Set    // shared T of non-fail Attrs
+}
+
+// getLevel returns a zeroed levelState, recycling popped ones so the
+// push/pop cycle of a tree walk stops allocating. (The space.Meter
+// accounting is unaffected: metered bits are still allocated per push and
+// freed per pop.)
+func (w *walker) getLevel(idx int) *levelState {
+	if k := len(w.freeLevels); k > 0 {
+		lv := w.freeLevels[k-1]
+		w.freeLevels = w.freeLevels[:k-1]
+		sBits := lv.sBits
+		*lv = levelState{idx: idx, sBits: sBits}
+		return lv
+	}
+	return &levelState{idx: idx}
+}
+
+// levelSBits returns lv's full-size set, reusing recycled storage.
+func (w *walker) levelSBits(lv *levelState) bitset.Set {
+	if lv.sBits.Universe() != w.n {
+		lv.sBits = bitset.New(w.n)
+	}
+	return lv.sBits
 }
 
 func newWalker(g, h *hypergraph.Hypergraph, opt Options) *walker {
@@ -183,6 +212,7 @@ func newWalker(g, h *hypergraph.Hypergraph, opt Options) *walker {
 		mode:  opt.Mode,
 		meter: opt.Meter,
 		regW:  space.BitsForRange(maxVal),
+		empty: bitset.New(n),
 	}
 	w.pushRoot()
 	return w
@@ -221,7 +251,7 @@ func (w *walker) push(idx int) bool {
 	if idx < 1 {
 		return false
 	}
-	lv := &levelState{idx: idx}
+	lv := w.getLevel(idx)
 	// The path-descriptor entry itself is retained workspace in every mode.
 	lv.allocated = w.regW
 	if w.mode == ModeStrict {
@@ -244,13 +274,31 @@ func (w *walker) push(idx int) bool {
 		lv.params = params
 	}
 	if w.mode == ModeReplay {
-		s := bitset.New(w.n)
-		for v := 0; v < w.n; v++ {
-			if w.candMember(d-1, params, v) {
-				s.Add(v)
+		s := w.levelSBits(lv)
+		parent := w.levels[d-1]
+		if parent.sValid {
+			// Replay parents always materialize S, so the child's membership
+			// predicate (candMember) collapses to in-place set algebra on it.
+			switch params.kind {
+			case pkCase3:
+				parent.sBits.DiffInto(w.g.Edge(params.edge), s)
+				if parent.sBits.Contains(params.keep) {
+					s.Add(params.keep)
+				}
+			case pkCase4Minus:
+				s.CopyFrom(parent.sBits)
+				s.Remove(params.keep)
+			case pkCase4Edge:
+				s.CopyFrom(w.h.Edge(params.edge))
+			}
+		} else {
+			s.Clear()
+			for v := 0; v < w.n; v++ {
+				if w.candMember(d-1, params, v) {
+					s.Add(v)
+				}
 			}
 		}
-		lv.sBits = s
 		lv.sValid = true
 	}
 	return true
@@ -258,8 +306,10 @@ func (w *walker) push(idx int) bool {
 
 func (w *walker) pop() {
 	last := len(w.levels) - 1
-	w.meter.Free(w.levels[last].allocated)
+	lv := w.levels[last]
+	w.meter.Free(lv.allocated)
 	w.levels = w.levels[:last]
+	w.freeLevels = append(w.freeLevels, lv)
 }
 
 // memberS reports v ∈ S_d, the node set at depth d along the current path.
@@ -609,8 +659,9 @@ func (w *walker) attr(label []int) Attr {
 	}
 	mark, tMember := w.nodeMark(d)
 	a.Mark = mark
-	a.T = bitset.New(w.n)
+	a.T = w.empty
 	if mark == core.MarkFail {
+		a.T = bitset.New(w.n)
 		for v := 0; v < w.n; v++ {
 			if tMember(v) {
 				a.T.Add(v)
@@ -650,12 +701,26 @@ func PathNode(g, h *hypergraph.Hypergraph, pi []int, opt Options) (Attr, bool, e
 	}
 	w := newWalker(g, h, opt)
 	defer w.close()
-	for _, idx := range pi {
-		if !w.push(idx) {
-			return Attr{}, false, nil
-		}
+	if !w.followPath(pi) {
+		return Attr{}, false, nil
 	}
 	return w.attr(pi), true, nil
+}
+
+// followPath rewinds the walker to the root and descends along pi,
+// reporting whether every entry addressed an existing child. It lets one
+// walker serve many pathnode queries (DecomposeExhaustive) without paying
+// walker setup per descriptor.
+func (w *walker) followPath(pi []int) bool {
+	for w.depth() > 0 {
+		w.pop()
+	}
+	for _, idx := range pi {
+		if !w.push(idx) {
+			return false
+		}
+	}
+	return true
 }
 
 // Listing is the output of the decompose algorithm (Theorem 4.1): the
@@ -746,6 +811,8 @@ func DecomposeExhaustive(g, h *hypergraph.Hypergraph, opt Options) (*Listing, er
 	spec := Certificate(g, h)
 	maxEntry := g.N() * g.M()
 	l := &Listing{}
+	w := newWalker(g, h, opt)
+	defer w.close()
 
 	// Vertices pass: every descriptor, in length-then-lexicographic order.
 	var enumerate func(pi []int, visit func(pi []int) bool) bool
@@ -764,30 +831,24 @@ func DecomposeExhaustive(g, h *hypergraph.Hypergraph, opt Options) (*Listing, er
 		return true
 	}
 	enumerate(nil, func(pi []int) bool {
-		a, ok, err := PathNode(g, h, pi, opt)
-		if err != nil {
-			return false
-		}
-		if ok {
-			l.Vertices = append(l.Vertices, a)
+		if w.followPath(pi) {
+			l.Vertices = append(l.Vertices, w.attr(pi))
 		}
 		return true
 	})
 
-	// Edges pass: all consecutive pairs (π, π·i) of valid descriptors.
+	// Edges pass: all consecutive pairs (π, π·i) of valid descriptors. A
+	// valid π implies a valid parent (every prefix push succeeded), so one
+	// walk covers both endpoints.
 	enumerate(nil, func(pi []int) bool {
 		if len(pi) == 0 {
 			return true
 		}
-		parent := pi[:len(pi)-1]
-		if _, ok, _ := PathNode(g, h, parent, opt); !ok {
-			return true
-		}
-		if _, ok, _ := PathNode(g, h, pi, opt); !ok {
+		if !w.followPath(pi) {
 			return true
 		}
 		l.Edges = append(l.Edges, [2][]int{
-			append([]int{}, parent...),
+			append([]int{}, pi[:len(pi)-1]...),
 			append([]int{}, pi...),
 		})
 		return true

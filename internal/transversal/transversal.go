@@ -29,9 +29,15 @@ import (
 // Berge computes tr(H) by multiplying edges one at a time and minimizing
 // after every step. The result is a simple hypergraph whose edges are
 // exactly the minimal transversals of h, in canonical order.
+//
+// Every intermediate set is drawn from (and recycled to) a scratch pool:
+// the per-step minimization discards most of the product expansion, so the
+// multiplication reuses a working set of storage instead of allocating per
+// candidate. Only FromSets clones the survivors out.
 func Berge(h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
 	n := h.N()
-	current := []bitset.Set{bitset.New(n)} // tr of the empty prefix = {∅}
+	pool := bitset.NewPool(n)
+	current := []bitset.Set{pool.Get()} // tr of the empty prefix = {∅}
 	for _, e := range h.Edges() {
 		var next []bitset.Set
 		for _, r := range current {
@@ -40,18 +46,23 @@ func Berge(h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
 				continue
 			}
 			e.ForEach(func(v int) bool {
-				next = append(next, r.WithElem(v))
+				c := pool.Get()
+				c.CopyFrom(r)
+				c.Add(v)
+				next = append(next, c)
 				return true
 			})
+			pool.Put(r) // r itself is superseded by its extensions
 		}
-		current = minimizeSets(n, next)
+		current = minimizeSets(next, pool)
 	}
 	out := hypergraph.FromSets(n, current)
 	return out.Canonical()
 }
 
-// minimizeSets returns the inclusion-minimal, duplicate-free subfamily.
-func minimizeSets(n int, sets []bitset.Set) []bitset.Set {
+// minimizeSets returns the inclusion-minimal, duplicate-free subfamily,
+// recycling the dropped sets into the pool.
+func minimizeSets(sets []bitset.Set, pool *bitset.Pool) []bitset.Set {
 	var out []bitset.Set
 	for i, s := range sets {
 		keep := true
@@ -66,6 +77,8 @@ func minimizeSets(n int, sets []bitset.Set) []bitset.Set {
 		}
 		if keep {
 			out = append(out, s)
+		} else {
+			pool.Put(s)
 		}
 	}
 	return out
@@ -138,6 +151,26 @@ type enumerator struct {
 	critCount []int      // critCount[v] = # edges f with cover==1, owner v
 	uncovered int        // # edges with cover == 0
 	stopped   bool
+	branchBuf [][]int // per-depth branch vertex buffers, reused
+	depth     int
+}
+
+// pushBranch returns an empty reusable vertex buffer for the current
+// recursion depth; popBranch returns it (branch lists must survive the
+// recursive calls made while iterating them, so one shared buffer is not
+// enough, but one per depth is).
+func (e *enumerator) pushBranch() []int {
+	if e.depth == len(e.branchBuf) {
+		e.branchBuf = append(e.branchBuf, nil)
+	}
+	buf := e.branchBuf[e.depth][:0]
+	e.depth++
+	return buf
+}
+
+func (e *enumerator) popBranch(buf []int) {
+	e.depth--
+	e.branchBuf[e.depth] = buf
 }
 
 func (e *enumerator) rec() {
@@ -156,7 +189,7 @@ func (e *enumerator) rec() {
 		if e.cover[fi] != 0 {
 			continue
 		}
-		c := e.h.Edge(fi).Intersect(e.cand).Len()
+		c := e.h.Edge(fi).IntersectionCount(e.cand)
 		if best == -1 || c < bestCount {
 			best, bestCount = fi, c
 			if c == 0 {
@@ -167,7 +200,13 @@ func (e *enumerator) rec() {
 	if bestCount == 0 {
 		return // dead end: uncovered edge with no candidates left
 	}
-	branch := e.h.Edge(best).Intersect(e.cand).Elems()
+	branch := e.pushBranch()
+	e.h.Edge(best).ForEach(func(v int) bool {
+		if e.cand.Contains(v) {
+			branch = append(branch, v)
+		}
+		return true
+	})
 	for _, v := range branch {
 		// Prefix exclusion: v leaves the candidate pool for this subtree
 		// and for all later siblings, guaranteeing uniqueness.
@@ -184,6 +223,7 @@ func (e *enumerator) rec() {
 	for _, v := range branch {
 		e.cand.Add(v)
 	}
+	e.popBranch(branch)
 }
 
 func (e *enumerator) addVertex(v int) {
@@ -222,7 +262,7 @@ func (e *enumerator) removeVertex(v int) {
 			e.critCount[v]--
 			e.critOwner[fi] = -1
 		case 1:
-			u := f.Intersect(e.s).Min()
+			u := f.IntersectionMin(e.s)
 			e.critOwner[fi] = u
 			e.critCount[u]++
 		}
