@@ -6,23 +6,50 @@
 //	dualbench -list            # list experiment ids and titles
 //	dualbench                  # run all experiments
 //	dualbench -run E5,E8       # run selected experiments
+//	dualbench -json            # machine-readable results (ns/op, allocs/op)
 //
 // Every experiment reports PASS/FAIL against the corresponding claim of
-// Gottlob (PODS 2013); see DESIGN.md §3 for the index.
+// Gottlob (PODS 2013); see DESIGN.md §3 for the index. With -json the
+// aligned tables are replaced by one JSON document on stdout carrying
+// per-experiment wall time and allocation counts, the format of the
+// BENCH_*.json perf-trajectory files recorded at the repository root.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"dualspace/internal/experiments"
 )
 
+// jsonResult is one experiment's machine-readable outcome.
+type jsonResult struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Pass     bool   `json:"pass"`
+	NsOp     int64  `json:"ns_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+	Rows     int    `json:"rows"`
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	Experiments []jsonResult `json:"experiments"`
+	Pass        bool         `json:"pass"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-experiment ns/op and allocs/op)")
 	flag.Parse()
 
 	if *list {
@@ -48,15 +75,45 @@ func main() {
 	}
 
 	failures := 0
+	report := jsonReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Pass: true}
 	for _, e := range selected {
-		tbl := e.Run()
-		tbl.Format(os.Stdout)
+		tbl, ns, allocs := measure(e)
+		if *jsonOut {
+			report.Experiments = append(report.Experiments, jsonResult{
+				ID: e.ID, Title: e.Title, Pass: tbl.Pass,
+				NsOp: ns, AllocsOp: allocs, Rows: len(tbl.Rows),
+			})
+		} else {
+			tbl.Format(os.Stdout)
+		}
 		if !tbl.Pass {
 			failures++
+			report.Pass = false
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "dualbench:", err)
+			os.Exit(2)
 		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "dualbench: %d experiment(s) failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// measure runs one experiment, returning its table plus wall time and
+// allocation count for the run ("per op" with the experiment as the op —
+// the granularity the perf trajectory tracks across PRs).
+func measure(e experiments.Experiment) (tbl *experiments.Table, ns int64, allocs uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	tbl = e.Run()
+	ns = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return tbl, ns, after.Mallocs - before.Mallocs
 }

@@ -1,0 +1,91 @@
+// Command dualserved serves the dualspace engine over HTTP/JSON: duality
+// decisions with a canonical-fingerprint verdict cache, streaming minimal
+// transversal enumeration, and the paper's three database applications
+// (itemset borders, additional keys, coterie non-domination). docs/API.md
+// documents the endpoints.
+//
+// Usage:
+//
+//	dualserved [-addr host:port] [-workers n] [-cache n]
+//	           [-max-edges n] [-max-edge-verts n] [-max-universe n]
+//	           [-max-body bytes] [-stream-max n]
+//
+// The listen address is printed to stdout once the socket is bound (so
+// -addr 127.0.0.1:0 works for scripted use), and SIGINT/SIGTERM trigger a
+// graceful drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dualspace/internal/hgio"
+	"dualspace/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "max concurrent decision computations (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 1024, "verdict cache capacity in entries (negative disables)")
+	maxEdges := flag.Int("max-edges", service.DefaultLimits.MaxEdges, "max edges/rows per input")
+	maxEdgeVerts := flag.Int("max-edge-verts", service.DefaultLimits.MaxEdgeVerts, "max vertices per edge")
+	maxUniverse := flag.Int("max-universe", service.DefaultLimits.MaxUniverse, "max distinct vertex/item names per request")
+	maxBody := flag.Int64("max-body", 4<<20, "max request body bytes")
+	streamMax := flag.Int("stream-max", 1<<16, "server-side cap on /v1/transversals limit")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: dualserved [flags]")
+		os.Exit(2)
+	}
+
+	srv := service.New(service.Config{
+		Workers:   *workers,
+		CacheSize: *cache,
+		Limits: hgio.Limits{
+			MaxEdges:     *maxEdges,
+			MaxEdgeVerts: *maxEdgeVerts,
+			MaxUniverse:  *maxUniverse,
+			MaxLineBytes: service.DefaultLimits.MaxLineBytes,
+		},
+		MaxBodyBytes:     *maxBody,
+		MaxStreamResults: *streamMax,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dualserved:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("dualserved listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "dualserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// In-flight streams past the drain deadline are cut off.
+		_ = hs.Close()
+	}
+	fmt.Println("dualserved: drained, bye")
+}

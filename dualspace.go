@@ -22,6 +22,13 @@
 //     of relational instances (Proposition 1.2), and coterie
 //     non-domination (Proposition 1.3).
 //
+// Long-running entry points have Context variants (ExplainContext,
+// ExplainParallelContext, EnumerateMinimalTransversalsContext) that abort
+// within one decomposition-tree node of cancellation. The same machinery
+// is served over HTTP by cmd/dualserved (internal/service), whose wire
+// protocol — including the canonical-Fingerprint verdict cache and the
+// streaming enumeration endpoint — is documented in docs/API.md.
+//
 // # Conventions
 //
 // Hypergraphs live over a dense vertex universe [0, n); tr(∅) = {∅} and
@@ -30,6 +37,8 @@
 package dualspace
 
 import (
+	"context"
+
 	"dualspace/internal/bitset"
 	"dualspace/internal/core"
 	"dualspace/internal/coterie"
@@ -99,6 +108,12 @@ const (
 	ModePipelined = logspace.ModePipelined
 )
 
+// Fingerprint is a canonical hypergraph digest (see
+// (*Hypergraph).Fingerprint): equal exactly for equal edge families over
+// the same universe, ignoring edge order and duplicates. The HTTP service
+// keys its verdict cache on it.
+type Fingerprint = hypergraph.Fingerprint
+
 // NewHypergraph returns an empty hypergraph over the universe [0, n).
 func NewHypergraph(n int) *Hypergraph { return hypergraph.New(n) }
 
@@ -127,6 +142,13 @@ func IsDual(g, h *Hypergraph) (bool, error) {
 // path descriptor.
 func Explain(g, h *Hypergraph) (*Result, error) { return core.Decide(g, h) }
 
+// ExplainContext is Explain with cancellation: the decomposition-tree
+// search polls ctx at every node, so cancelling aborts the decision within
+// one tree-node boundary and returns ctx's error.
+func ExplainContext(ctx context.Context, g, h *Hypergraph) (*Result, error) {
+	return core.DecideContext(ctx, g, h)
+}
+
 // IsSelfDual reports whether h = tr(h) (e.g. coterie non-domination,
 // majority functions).
 func IsSelfDual(h *Hypergraph) (bool, error) { return IsDual(h, h) }
@@ -138,6 +160,12 @@ func IsSelfDual(h *Hypergraph) (bool, error) { return IsDual(h, h) }
 // different (equally valid) fail leaf.
 func ExplainParallel(g, h *Hypergraph, workers int) (*Result, error) {
 	return core.DecideParallel(g, h, workers)
+}
+
+// ExplainParallelContext is ExplainParallel with cancellation (see
+// ExplainContext); every worker polls ctx at every node it visits.
+func ExplainParallelContext(ctx context.Context, g, h *Hypergraph, workers int) (*Result, error) {
+	return core.DecideParallelContext(ctx, g, h, workers)
 }
 
 // IsAcyclic reports α-acyclicity of a hypergraph (GYO reduction) — the
@@ -170,9 +198,20 @@ func MinimalizeTransversal(h *Hypergraph, t Set) Set { return h.MinimalizeTransv
 func MinimalTransversals(h *Hypergraph) *Hypergraph { return transversal.AsHypergraph(h) }
 
 // EnumerateMinimalTransversals streams tr(h), stopping early when yield
-// returns false.
-func EnumerateMinimalTransversals(h *Hypergraph, yield func(Set) bool) {
-	transversal.Enumerate(h, yield)
+// returns false or an error; a yield error terminates the enumeration and
+// is returned verbatim, so streaming consumers (e.g. the HTTP service's
+// /v1/transversals endpoint, see docs/API.md) can surface mid-stream
+// failures instead of silently truncating. A nil return means the stream
+// completed or was stopped cleanly by yield.
+func EnumerateMinimalTransversals(h *Hypergraph, yield func(Set) (bool, error)) error {
+	return transversal.EnumerateContext(context.Background(), h, yield)
+}
+
+// EnumerateMinimalTransversalsContext is EnumerateMinimalTransversals with
+// cancellation: a cancelled ctx aborts the enumeration within one
+// search-node boundary and returns ctx's error.
+func EnumerateMinimalTransversalsContext(ctx context.Context, h *Hypergraph, yield func(Set) (bool, error)) error {
+	return transversal.EnumerateContext(ctx, h, yield)
 }
 
 // MinimalTransversalsBerge computes tr(h) by Berge multiplication (the

@@ -1,6 +1,7 @@
 package dualspace
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -46,9 +47,15 @@ func TestFacadeTransversals(t *testing.T) {
 		t.Fatal("Berge disagrees with DFS")
 	}
 	count := 0
-	EnumerateMinimalTransversals(g, func(Set) bool { count++; return count < 2 })
+	if err := EnumerateMinimalTransversals(g, func(Set) (bool, error) { count++; return count < 2, nil }); err != nil {
+		t.Fatalf("early stop returned error: %v", err)
+	}
 	if count != 2 {
 		t.Fatalf("early stop count = %d", count)
+	}
+	wantErr := errors.New("downstream broke")
+	if err := EnumerateMinimalTransversals(g, func(Set) (bool, error) { return false, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("yield error not surfaced: %v", err)
 	}
 	selfDual, err := IsSelfDual(MustHypergraph(3, [][]int{{0, 1}, {1, 2}, {0, 2}}))
 	if err != nil || !selfDual {

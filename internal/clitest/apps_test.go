@@ -1,0 +1,133 @@
+package clitest
+
+// Deeper end-to-end coverage of the three application CLIs (mineborders,
+// keyscan, coteriecheck) and of dualbench's machine-readable output:
+// error paths, flag combinations and border conventions the basic tests in
+// cli_test.go do not reach.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMinebordersEdgeCases(t *testing.T) {
+	data := writeFile(t, "tx.txt", "a b\na b\nb c\n")
+
+	// Unknown method and missing file are usage errors.
+	if out, code := run(t, "mineborders", "-method", "bogus", data); code != 2 {
+		t.Errorf("unknown method accepted: code=%d %q", code, out)
+	}
+	if _, code := run(t, "mineborders", filepath.Join(t.TempDir(), "nope.tx")); code != 2 {
+		t.Error("missing file accepted")
+	}
+
+	// z must lie in (0, rows]: both boundary violations are rejected.
+	if _, code := run(t, "mineborders", "-z", "0", data); code != 2 {
+		t.Error("z=0 accepted")
+	}
+	if _, code := run(t, "mineborders", "-z", "4", data); code != 2 {
+		t.Error("z>rows accepted")
+	}
+
+	// At the upper boundary z=rows nothing is frequent but ∅; the two
+	// methods must still agree on the degenerate borders.
+	outD, code := run(t, "mineborders", "-z", "3", data)
+	if code != 0 {
+		t.Fatalf("z=rows dualize: %s", outD)
+	}
+	outA, code := run(t, "mineborders", "-z", "3", "-method", "apriori", data)
+	if code != 0 {
+		t.Fatalf("z=rows apriori: %s", outA)
+	}
+	if stripComments(outD) != stripComments(outA) {
+		t.Errorf("methods disagree at z=rows:\n%q\nvs\n%q", outD, outA)
+	}
+}
+
+func TestKeyscanErrorPaths(t *testing.T) {
+	// Malformed CSV (ragged row) is rejected.
+	bad := writeFile(t, "bad.csv", "a,b\n1\n")
+	if out, code := run(t, "keyscan", bad); code != 2 {
+		t.Errorf("ragged CSV accepted: code=%d %q", code, out)
+	}
+	// Unknown attribute in -known is rejected.
+	csv := writeFile(t, "rel.csv", "name,dept\nann,sales\nbob,eng\n")
+	known := writeFile(t, "known.hg", "salary\n")
+	if out, code := run(t, "keyscan", "-known", known, csv); code != 2 {
+		t.Errorf("unknown attribute accepted: code=%d %q", code, out)
+	}
+	// A single-attribute relation with distinct values: that attribute is
+	// the unique minimal key, incremental and direct agree.
+	single := writeFile(t, "one.csv", "id\n1\n2\n3\n")
+	out, code := run(t, "keyscan", single)
+	if code != 0 || !strings.Contains(out, "id") {
+		t.Fatalf("single-attribute keys: code=%d %q", code, out)
+	}
+	inc, code := run(t, "keyscan", "-incremental", single)
+	if code != 0 || stripComments(inc) != stripComments(out) {
+		t.Errorf("incremental disagrees on single attribute: %q vs %q", inc, out)
+	}
+}
+
+func TestCoteriecheckEdgeCases(t *testing.T) {
+	// A singleton coterie is non-dominated.
+	singleton := writeFile(t, "single.hg", "a\n")
+	if out, code := run(t, "coteriecheck", singleton); code != 0 || !strings.Contains(out, "NON-DOMINATED") {
+		t.Errorf("singleton: code=%d %q", code, out)
+	}
+	// -improve on a non-dominated coterie stays exit 0 with no suggestion.
+	maj := writeFile(t, "maj.hg", "a b\nb c\na c\n")
+	out, code := run(t, "coteriecheck", "-improve", maj)
+	if code != 0 || strings.Contains(out, "dominating") {
+		t.Errorf("improve on non-dominated: code=%d %q", code, out)
+	}
+	// Empty input has no quorums and is invalid.
+	empty := writeFile(t, "empty.hg", "# nothing\n")
+	if _, code := run(t, "coteriecheck", empty); code != 2 {
+		t.Error("empty quorum system accepted")
+	}
+	// Comparable quorums violate the antichain requirement.
+	nested := writeFile(t, "nested.hg", "a b\na b c\n")
+	if _, code := run(t, "coteriecheck", nested); code != 2 {
+		t.Error("nested quorums accepted")
+	}
+}
+
+func TestDualbenchJSON(t *testing.T) {
+	out, code := run(t, "dualbench", "-json", "-run", "E2,E3")
+	if code != 0 {
+		t.Fatalf("dualbench -json: code=%d\n%s", code, out)
+	}
+	var report struct {
+		GoVersion   string `json:"go_version"`
+		Pass        bool   `json:"pass"`
+		Experiments []struct {
+			ID       string `json:"id"`
+			Pass     bool   `json:"pass"`
+			NsOp     int64  `json:"ns_op"`
+			AllocsOp uint64 `json:"allocs_op"`
+			Rows     int    `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if !report.Pass || len(report.Experiments) != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+	for _, e := range report.Experiments {
+		if !e.Pass || e.NsOp <= 0 || e.Rows <= 0 {
+			t.Errorf("experiment %s: %+v", e.ID, e)
+		}
+	}
+	if report.GoVersion == "" {
+		t.Error("go_version missing")
+	}
+	// The human-readable mode is unchanged.
+	out, code = run(t, "dualbench", "-run", "E2")
+	if code != 0 || !strings.Contains(out, "result: PASS") {
+		t.Errorf("table mode: code=%d %q", code, out)
+	}
+}

@@ -18,7 +18,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"dualcheck", "transversals", "mineborders", "keyscan", "coteriecheck", "hggen", "dualbench"} {
+	for _, tool := range []string{"dualcheck", "transversals", "mineborders", "keyscan", "coteriecheck", "hggen", "dualbench", "dualserved"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "dualspace/cmd/"+tool)
 		cmd.Dir = repoRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {

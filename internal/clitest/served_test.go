@@ -1,0 +1,177 @@
+package clitest
+
+// End-to-end test of cmd/dualserved: the real binary, a real TCP socket,
+// every endpoint, the fingerprint cache, and graceful shutdown. The
+// heavier concurrency/cancellation coverage lives in internal/service
+// (in-process, so the race detector instruments the server code).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServed launches dualserved on a free port and returns its base URL.
+func startServed(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "dualserved"), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	})
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	const prefix = "dualserved listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	return "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+}
+
+func postJSON(t *testing.T, url string, body map[string]any) (int, map[string]any) {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestDualservedEndToEnd(t *testing.T) {
+	base := startServed(t)
+
+	// Liveness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// A decide round trip, twice: the repeat must come from the cache.
+	req := map[string]any{"g": "a b\nc d\n", "h": "a c\na d\nb c\nb d\n"}
+	code, out := postJSON(t, base+"/v1/decide", req)
+	if code != 200 || out["dual"] != true || out["cached"] != false {
+		t.Fatalf("decide: code=%d out=%v", code, out)
+	}
+	code, out = postJSON(t, base+"/v1/decide", req)
+	if code != 200 || out["dual"] != true || out["cached"] != true {
+		t.Fatalf("cached decide: code=%d out=%v", code, out)
+	}
+
+	// Streaming enumeration with a limit.
+	buf, _ := json.Marshal(map[string]any{"h": "a b\nc d\ne f\n", "limit": 3})
+	sresp, err := http.Post(base+"/v1/transversals", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var setLines, endLines int
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("stream line %q: %v", sc.Text(), err)
+		}
+		if _, ok := rec["transversal"]; ok {
+			setLines++
+		} else if rec["truncated"] != true {
+			t.Fatalf("terminal record %v", rec)
+		} else {
+			endLines++
+		}
+	}
+	if setLines != 3 || endLines != 1 {
+		t.Fatalf("stream shape: %d sets, %d terminals", setLines, endLines)
+	}
+
+	// The three applications.
+	code, out = postJSON(t, base+"/v1/borders", map[string]any{
+		"data": "milk bread\nmilk bread\nbeer\n", "z": 1})
+	if code != 200 || out["max_frequent"] == nil {
+		t.Fatalf("borders: code=%d out=%v", code, out)
+	}
+	code, out = postJSON(t, base+"/v1/keys", map[string]any{
+		"csv": "name,dept\nann,sales\nbob,eng\n"})
+	if code != 200 || out["keys"] == nil {
+		t.Fatalf("keys: code=%d out=%v", code, out)
+	}
+	code, out = postJSON(t, base+"/v1/coteries", map[string]any{"quorums": "a b\nb c\na c\n"})
+	if code != 200 || out["non_dominated"] != true {
+		t.Fatalf("coteries: code=%d out=%v", code, out)
+	}
+
+	// Stats reflect the traffic, including the cache hit.
+	resp, err = http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	cache := stats["cache"].(map[string]any)
+	if cache["hits"].(float64) < 1 {
+		t.Errorf("cache hits = %v", cache["hits"])
+	}
+	if stats["decompositions"].(float64) != 1 {
+		t.Errorf("decompositions = %v, want 1 (repeat was cached)", stats["decompositions"])
+	}
+
+	// Bad input is rejected with a JSON error.
+	code, out = postJSON(t, base+"/v1/decide", map[string]any{"g": "a\na b\n", "h": "a\n"})
+	if code != 422 || out["error"] == nil {
+		t.Errorf("non-simple input: code=%d out=%v", code, out)
+	}
+}
+
+func TestDualservedFlagLimits(t *testing.T) {
+	base := startServed(t, "-max-edges", "2")
+	code, out := postJSON(t, base+"/v1/decide", map[string]any{"g": "a b\nc d\ne f\n", "h": "x\n"})
+	if code != 413 {
+		t.Fatalf("over-limit input: code=%d out=%v", code, out)
+	}
+}
+
+func TestDualservedRejectsArgs(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "dualserved"), "positional")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("positional argument accepted")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v, want code 2", err)
+	}
+}

@@ -45,6 +45,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -331,6 +332,16 @@ func isConstant(x *hypergraph.Hypergraph) (bottom, top bool) {
 // the Result pinpoints the reason and, when the tree stage ran, carries a
 // witness and the fail leaf's path descriptor.
 func Decide(g, h *hypergraph.Hypergraph) (*Result, error) {
+	return DecideContext(context.Background(), g, h)
+}
+
+// DecideContext is Decide with cancellation: the tree search checks ctx at
+// every node it visits, so cancellation aborts the decomposition within one
+// tree-node boundary and returns ctx's error. The logspace-checkable
+// precondition stage runs to completion regardless (it is polynomial and
+// fast); a context that is already cancelled on entry aborts before the
+// first tree node.
+func DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
 	if err := validatePair(g, h); err != nil {
 		return nil, err
 	}
@@ -364,7 +375,7 @@ func Decide(g, h *hypergraph.Hypergraph) (*Result, error) {
 	if h.M() > g.M() {
 		a, b, swapped = h, g, true
 	}
-	res, err := TrSubset(a, b)
+	res, err := TrSubsetContext(ctx, a, b)
 	if err != nil {
 		return nil, err
 	}
@@ -386,6 +397,13 @@ func Decide(g, h *hypergraph.Hypergraph) (*Result, error) {
 // Witness is a new transversal of g w.r.t. h and FailPath locates the fail
 // leaf in T(g,h).
 func TrSubset(g, h *hypergraph.Hypergraph) (*Result, error) {
+	return TrSubsetContext(context.Background(), g, h)
+}
+
+// TrSubsetContext is TrSubset with cancellation, under the same per-node
+// contract as DecideContext: a cancelled ctx aborts the DFS within one tree
+// node and surfaces ctx's error.
+func TrSubsetContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
 	if err := validatePair(g, h); err != nil {
 		return nil, err
 	}
@@ -398,7 +416,11 @@ func TrSubset(g, h *hypergraph.Hypergraph) (*Result, error) {
 
 	res := &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}
 	w := newWalkState(g, h)
+	w.done = ctx.Done()
 	serialWalk(w, bitset.Full(g.N()), 0, res)
+	if w.cancelled {
+		return nil, ctx.Err()
+	}
 	return res, nil
 }
 
@@ -409,6 +431,14 @@ func TrSubset(g, h *hypergraph.Hypergraph) (*Result, error) {
 // depth and recurses, reporting false once a fail leaf has been recorded to
 // stop the search.
 func serialWalk(w *walkState, s bitset.Set, depth int, res *Result) bool {
+	if w.done != nil {
+		select {
+		case <-w.done:
+			w.cancelled = true
+			return false // stop the search; caller surfaces ctx.Err()
+		default:
+		}
+	}
 	fr := w.frame(depth)
 	v := w.sc.classifyNode(s, fr)
 	res.Stats.Nodes++
@@ -446,7 +476,13 @@ func serialWalk(w *walkState, s bitset.Set, depth int, res *Result) bool {
 // built on. The witness is generally not minimal; use
 // (*hypergraph.Hypergraph).MinimalizeTransversal to shrink it.
 func NewTransversal(g, h *hypergraph.Hypergraph) (w bitset.Set, ok bool, err error) {
-	res, err := TrSubset(g, h)
+	return NewTransversalContext(context.Background(), g, h)
+}
+
+// NewTransversalContext is NewTransversal with cancellation (see
+// TrSubsetContext).
+func NewTransversalContext(ctx context.Context, g, h *hypergraph.Hypergraph) (w bitset.Set, ok bool, err error) {
+	res, err := TrSubsetContext(ctx, g, h)
 	if err != nil {
 		return bitset.Set{}, false, err
 	}

@@ -17,6 +17,7 @@ package core
 // prefix the new goroutine takes ownership of.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,15 @@ import (
 // Witness/FailPath may name a different (equally valid) fail leaf, and
 // Stats.Nodes counts the nodes actually visited before cancellation.
 func DecideParallel(g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
+	return DecideParallelContext(context.Background(), g, h, workers)
+}
+
+// DecideParallelContext is DecideParallel with cancellation: every worker
+// polls ctx at every node it visits, so a cancelled ctx drains the search
+// within one tree-node boundary per worker. If a fail leaf was recorded
+// before the cancellation won the race, the (valid) non-dual verdict is
+// returned instead of the context error.
+func DecideParallelContext(ctx context.Context, g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
 	if err := validatePair(g, h); err != nil {
 		return nil, err
 	}
@@ -55,7 +65,10 @@ func DecideParallel(g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
 	if h.M() > g.M() {
 		a, b, swapped = h, g, true
 	}
-	res := trSubsetParallel(a, b, workers)
+	res := trSubsetParallel(ctx, a, b, workers)
+	if res == nil {
+		return nil, ctx.Err()
+	}
 	res.Swapped = swapped
 	if !res.Dual && swapped {
 		res.Witness, res.CoWitness = res.CoWitness, res.Witness
@@ -70,6 +83,7 @@ type parallelSearch struct {
 	sem    chan struct{} // bounds concurrent subtree goroutines
 	wg     sync.WaitGroup
 	stop   chan struct{}
+	done   <-chan struct{} // external cancellation (ctx.Done())
 	once   sync.Once
 
 	mu       sync.Mutex
@@ -81,9 +95,13 @@ type parallelSearch struct {
 	leaves      int64
 	maxDepth    int64
 	maxChildren int64
+	drained     int32 // set when some worker aborted due to ctx, not a fail leaf
 }
 
-func trSubsetParallel(g, h *hypergraph.Hypergraph, workers int) *Result {
+// trSubsetParallel runs the parallel tree search; it returns nil when ctx
+// was cancelled before any fail leaf was recorded (the caller surfaces
+// ctx.Err()).
+func trSubsetParallel(ctx context.Context, g, h *hypergraph.Hypergraph, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -91,6 +109,7 @@ func trSubsetParallel(g, h *hypergraph.Hypergraph, workers int) *Result {
 		g: g, h: h,
 		sem:  make(chan struct{}, workers),
 		stop: make(chan struct{}),
+		done: ctx.Done(),
 	}
 	p.states.New = func() any { return newWalkState(g, h) }
 	st := p.states.Get().(*walkState)
@@ -113,6 +132,10 @@ func trSubsetParallel(g, h *hypergraph.Hypergraph, workers int) *Result {
 		res.Witness = p.failT
 		res.CoWitness = p.failT.Complement()
 		res.FailPath = p.failPath
+		return res
+	}
+	if atomic.LoadInt32(&p.drained) != 0 {
+		return nil // cancelled with no verdict reached
 	}
 	return res
 }
@@ -122,8 +145,16 @@ func (p *parallelSearch) cancelled() bool {
 	case <-p.stop:
 		return true
 	default:
-		return false
 	}
+	if p.done != nil {
+		select {
+		case <-p.done:
+			atomic.StoreInt32(&p.drained, 1)
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 // walk classifies s at the given depth on st (whose path buffer holds the

@@ -51,6 +51,10 @@ type walkState struct {
 	sc     *scratch
 	frames []*frame
 	path   []int
+	// done, when non-nil, is the walk's cancellation channel (ctx.Done());
+	// the serial DFS polls it at every node and sets cancelled on abort.
+	done      <-chan struct{}
+	cancelled bool
 }
 
 func newWalkState(g, h *hypergraph.Hypergraph) *walkState {

@@ -11,6 +11,7 @@
 package coterie
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -84,7 +85,13 @@ func (c *Coterie) Dominates(d *Coterie) bool {
 // IsNonDominated decides non-domination via Proposition 1.3: the coterie is
 // non-dominated iff tr(H) = H, a self-duality instance of DUAL.
 func (c *Coterie) IsNonDominated() (bool, error) {
-	res, err := core.Decide(c.h, c.h)
+	return c.IsNonDominatedContext(context.Background())
+}
+
+// IsNonDominatedContext is IsNonDominated with cancellation (see
+// core.DecideContext).
+func (c *Coterie) IsNonDominatedContext(ctx context.Context) (bool, error) {
+	res, err := core.DecideContext(ctx, c.h, c.h)
 	if err != nil {
 		return false, err
 	}
@@ -95,7 +102,12 @@ func (c *Coterie) IsNonDominated() (bool, error) {
 // c is non-dominated. It uses the duality engine's witness: a transversal T
 // of H containing no quorum yields the dominating coterie min(H ∪ {T}).
 func (c *Coterie) FindDominating() (*Coterie, bool, error) {
-	res, err := core.Decide(c.h, c.h)
+	return c.FindDominatingContext(context.Background())
+}
+
+// FindDominatingContext is FindDominating with cancellation.
+func (c *Coterie) FindDominatingContext(ctx context.Context) (*Coterie, bool, error) {
+	res, err := core.DecideContext(ctx, c.h, c.h)
 	if err != nil {
 		return nil, false, err
 	}

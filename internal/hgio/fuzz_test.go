@@ -1,0 +1,74 @@
+package hgio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fuzzLimits is the limit profile the fuzzer exercises — small enough that
+// the property checks stay cheap, shaped like the service defaults.
+var fuzzLimits = Limits{MaxEdges: 64, MaxEdgeVerts: 16, MaxUniverse: 64, MaxLineBytes: 1 << 12}
+
+// FuzzParseEdges asserts, on arbitrary input, that the hardened parser (a)
+// never panics, (b) never returns an edge list exceeding its limits, and
+// (c) agrees with the unlimited parser whenever it accepts. The seed inputs
+// double as the regression corpus in testdata/fuzz/FuzzParseEdges.
+func FuzzParseEdges(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"a b\nc d\n",
+		"# comment only\n\n   \n",
+		"-\n",
+		"a b\n-\nc\n",
+		"a - b\n",
+		"  leading ws\tand tabs \n",
+		"dup dup dup\n",
+		strings.Repeat("v ", 20) + "\n",
+		strings.Repeat("edge\n", 70),
+		strings.Repeat("x", 5000),
+		"nul\x00byte\n",
+		"ütf8 ✓\n",
+		"\xff\xfe invalid utf8\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		el, err := ParseEdgesLimited(strings.NewReader(in), fuzzLimits)
+		if err != nil {
+			// Rejections must be classified: either a limit violation or a
+			// syntax error mentioning the offending line.
+			var le *LimitError
+			if !errors.As(err, &le) && !strings.Contains(err.Error(), "line") {
+				t.Fatalf("unclassified parse error: %v", err)
+			}
+			return
+		}
+		if len(el) > fuzzLimits.MaxEdges {
+			t.Fatalf("accepted %d edges > limit %d", len(el), fuzzLimits.MaxEdges)
+		}
+		sy := NewSymbols()
+		el.InternAll(sy)
+		if sy.Len() > fuzzLimits.MaxUniverse {
+			t.Fatalf("accepted universe %d > limit %d", sy.Len(), fuzzLimits.MaxUniverse)
+		}
+		for _, e := range el {
+			if len(e) > fuzzLimits.MaxEdgeVerts {
+				t.Fatalf("accepted edge with %d vertices > limit %d", len(e), fuzzLimits.MaxEdgeVerts)
+			}
+		}
+		// Accepted input must parse identically without limits, and build a
+		// hypergraph with exactly one edge per accepted row.
+		plain, err := ParseEdges(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("limited parser accepted what the plain parser rejects: %v", err)
+		}
+		if len(plain) != len(el) {
+			t.Fatalf("limited/plain edge counts differ: %d vs %d", len(el), len(plain))
+		}
+		h := el.Build(sy)
+		if h.M() != len(el) || h.N() != sy.Len() {
+			t.Fatalf("built hypergraph shape %d/%d != parsed %d/%d", h.M(), h.N(), len(el), sy.Len())
+		}
+	})
+}

@@ -16,8 +16,6 @@
 package hgio
 
 import (
-	"bufio"
-	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -65,34 +63,9 @@ type EdgeList [][]string
 
 // ParseEdges reads the line-oriented edge format. An explicit empty edge
 // can be written as the single token "-" (needed to express the constant ⊤
-// hypergraph {∅}).
+// hypergraph {∅}). It is ParseEdgesLimited without bounds (limits.go).
 func ParseEdges(r io.Reader) (EdgeList, error) {
-	var out EdgeList
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		if line == "-" {
-			out = append(out, []string{})
-			continue
-		}
-		fields := strings.Fields(line)
-		for _, f := range fields {
-			if f == "-" {
-				return nil, fmt.Errorf("hgio: line %d: '-' must stand alone", lineNo)
-			}
-		}
-		out = append(out, fields)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("hgio: %w", err)
-	}
-	return out, nil
+	return ParseEdgesLimited(r, Limits{})
 }
 
 // InternAll interns every name of the edge list into sy.
@@ -120,23 +93,9 @@ func (el EdgeList) Build(sy *Symbols) *hypergraph.Hypergraph {
 }
 
 // ReadHypergraphs reads several edge files into hypergraphs over a shared
-// universe.
+// universe, without input bounds (see ReadHypergraphsLimited).
 func ReadHypergraphs(readers ...io.Reader) ([]*hypergraph.Hypergraph, *Symbols, error) {
-	sy := NewSymbols()
-	lists := make([]EdgeList, 0, len(readers))
-	for _, r := range readers {
-		el, err := ParseEdges(r)
-		if err != nil {
-			return nil, nil, err
-		}
-		el.InternAll(sy)
-		lists = append(lists, el)
-	}
-	out := make([]*hypergraph.Hypergraph, len(lists))
-	for i, el := range lists {
-		out[i] = el.Build(sy)
-	}
-	return out, sy, nil
+	return ReadHypergraphsLimited(Limits{}, readers...)
 }
 
 // WriteHypergraph writes h in the line-oriented format using sy for names
@@ -166,51 +125,15 @@ func WriteHypergraph(w io.Writer, h *hypergraph.Hypergraph, sy *Symbols) error {
 }
 
 // ReadDataset reads a transaction database in the same line format: one
-// transaction per line, items separated by whitespace.
+// transaction per line, items separated by whitespace, without input
+// bounds (see ReadDatasetLimited).
 func ReadDataset(r io.Reader) (*itemsets.Dataset, *Symbols, error) {
-	el, err := ParseEdges(r)
-	if err != nil {
-		return nil, nil, err
-	}
-	sy := NewSymbols()
-	el.InternAll(sy)
-	d := itemsets.NewDataset(sy.Len())
-	if err := d.SetItemNames(sy.Names()); err != nil {
-		return nil, nil, err
-	}
-	for _, row := range el {
-		idx := make([]int, len(row))
-		for i, name := range row {
-			idx[i] = sy.Intern(name)
-		}
-		d.AddRow(idx...)
-	}
-	return d, sy, nil
+	return ReadDatasetLimited(r, Limits{})
 }
 
 // ReadRelationCSV reads a relational instance from CSV: the first record is
-// the attribute header, the rest are tuples.
+// the attribute header, the rest are tuples. It is ReadRelationCSVLimited
+// without bounds.
 func ReadRelationCSV(r io.Reader) (*keys.Relation, error) {
-	cr := csv.NewReader(r)
-	cr.TrimLeadingSpace = true
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("hgio: reading CSV header: %w", err)
-	}
-	rel, err := keys.NewRelation(header)
-	if err != nil {
-		return nil, err
-	}
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			return rel, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("hgio: reading CSV row: %w", err)
-		}
-		if err := rel.AddRow(rec...); err != nil {
-			return nil, err
-		}
-	}
+	return ReadRelationCSVLimited(r, Limits{})
 }

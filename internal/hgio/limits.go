@@ -1,0 +1,215 @@
+package hgio
+
+// Input limits for untrusted sources. The CLI readers in hgio.go accept
+// whatever the file contains; network-facing consumers (internal/service)
+// parse through the *Limited variants below, which reject oversized input
+// with typed errors before any hypergraph is materialized.
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/itemsets"
+	"dualspace/internal/keys"
+)
+
+// ErrLimitExceeded is the sentinel every LimitError matches via errors.Is.
+var ErrLimitExceeded = errors.New("hgio: input exceeds limit")
+
+// LimitError reports which input limit was exceeded and by how much.
+// Got < 0 means "more than the limit" without an exact count (e.g. an
+// over-long line that was never fully read).
+type LimitError struct {
+	// Quantity names the bounded dimension: "edges", "edge vertices",
+	// "universe", "line bytes", "rows", "columns", "attributes".
+	Quantity string
+	Got, Max int
+}
+
+// Error renders the violation.
+func (e *LimitError) Error() string {
+	if e.Got < 0 {
+		return fmt.Sprintf("hgio: input exceeds limit: more than %d %s", e.Max, e.Quantity)
+	}
+	return fmt.Sprintf("hgio: input exceeds limit: %d %s > %d", e.Got, e.Quantity, e.Max)
+}
+
+// Is makes errors.Is(err, ErrLimitExceeded) true for every LimitError.
+func (e *LimitError) Is(target error) bool { return target == ErrLimitExceeded }
+
+// Limits bounds the accepted size of untrusted input. A zero field means
+// "unlimited" for that dimension, so the zero Limits value accepts
+// everything the unlimited readers do.
+type Limits struct {
+	// MaxEdges bounds the number of edges (hypergraphs), transactions
+	// (datasets) or tuples (relations).
+	MaxEdges int
+	// MaxEdgeVerts bounds the vertices per edge (and columns per CSV row).
+	MaxEdgeVerts int
+	// MaxUniverse bounds the number of distinct vertex/item/attribute
+	// names. For multi-part inputs over a shared universe, use
+	// CheckUniverse on the combined symbol table as well.
+	MaxUniverse int
+	// MaxLineBytes bounds a single input line (default scanner limit when
+	// zero).
+	MaxLineBytes int
+}
+
+// CheckUniverse validates a combined universe size (e.g. after interning
+// several edge lists into one Symbols table) against MaxUniverse.
+func (l Limits) CheckUniverse(n int) error {
+	if l.MaxUniverse > 0 && n > l.MaxUniverse {
+		return &LimitError{Quantity: "universe", Got: n, Max: l.MaxUniverse}
+	}
+	return nil
+}
+
+// ParseEdgesLimited reads the line-oriented edge format like ParseEdges,
+// rejecting input that exceeds lim with a LimitError. The universe bound is
+// enforced against the distinct names of this list alone.
+func ParseEdgesLimited(r io.Reader, lim Limits) (EdgeList, error) {
+	var out EdgeList
+	sc := bufio.NewScanner(r)
+	maxLine := 16 * 1024 * 1024
+	if lim.MaxLineBytes > 0 {
+		maxLine = lim.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, 0, min(64*1024, maxLine)), maxLine)
+	var distinct map[string]struct{}
+	if lim.MaxUniverse > 0 {
+		distinct = make(map[string]struct{})
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if lim.MaxEdges > 0 && len(out) >= lim.MaxEdges {
+			return nil, &LimitError{Quantity: "edges", Got: -1, Max: lim.MaxEdges}
+		}
+		if line == "-" {
+			out = append(out, []string{})
+			continue
+		}
+		fields := strings.Fields(line)
+		if lim.MaxEdgeVerts > 0 && len(fields) > lim.MaxEdgeVerts {
+			return nil, &LimitError{Quantity: "edge vertices", Got: len(fields), Max: lim.MaxEdgeVerts}
+		}
+		for _, f := range fields {
+			if f == "-" {
+				return nil, fmt.Errorf("hgio: line %d: '-' must stand alone", lineNo)
+			}
+			if distinct != nil {
+				distinct[f] = struct{}{}
+				if len(distinct) > lim.MaxUniverse {
+					return nil, &LimitError{Quantity: "universe", Got: -1, Max: lim.MaxUniverse}
+				}
+			}
+		}
+		out = append(out, fields)
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, &LimitError{Quantity: "line bytes", Got: -1, Max: maxLine}
+		}
+		return nil, fmt.Errorf("hgio: %w", err)
+	}
+	return out, nil
+}
+
+// ReadHypergraphsLimited is ReadHypergraphs through ParseEdgesLimited, with
+// the universe bound also enforced on the shared symbol table (the lists
+// together may exceed MaxUniverse even when each alone does not).
+func ReadHypergraphsLimited(lim Limits, readers ...io.Reader) ([]*hypergraph.Hypergraph, *Symbols, error) {
+	sy := NewSymbols()
+	lists := make([]EdgeList, 0, len(readers))
+	for _, r := range readers {
+		el, err := ParseEdgesLimited(r, lim)
+		if err != nil {
+			return nil, nil, err
+		}
+		el.InternAll(sy)
+		if err := lim.CheckUniverse(sy.Len()); err != nil {
+			return nil, nil, err
+		}
+		lists = append(lists, el)
+	}
+	out := make([]*hypergraph.Hypergraph, len(lists))
+	for i, el := range lists {
+		out[i] = el.Build(sy)
+	}
+	return out, sy, nil
+}
+
+// ReadDatasetLimited is ReadDataset through ParseEdgesLimited.
+func ReadDatasetLimited(r io.Reader, lim Limits) (*itemsets.Dataset, *Symbols, error) {
+	el, err := ParseEdgesLimited(r, lim)
+	if err != nil {
+		return nil, nil, err
+	}
+	sy := NewSymbols()
+	el.InternAll(sy)
+	if err := lim.CheckUniverse(sy.Len()); err != nil {
+		return nil, nil, err
+	}
+	d := itemsets.NewDataset(sy.Len())
+	if err := d.SetItemNames(sy.Names()); err != nil {
+		return nil, nil, err
+	}
+	for _, row := range el {
+		idx := make([]int, len(row))
+		for i, name := range row {
+			idx[i] = sy.Intern(name)
+		}
+		d.AddRow(idx...)
+	}
+	return d, sy, nil
+}
+
+// ReadRelationCSVLimited is ReadRelationCSV with MaxEdges bounding the
+// tuple count and MaxEdgeVerts / MaxUniverse the attribute count.
+// MaxLineBytes is NOT enforced here (encoding/csv has no per-field bound);
+// callers reading untrusted sources must cap the reader itself, as the
+// service does with http.MaxBytesReader.
+func ReadRelationCSVLimited(r io.Reader, lim Limits) (*keys.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("hgio: reading CSV header: %w", err)
+	}
+	if lim.MaxEdgeVerts > 0 && len(header) > lim.MaxEdgeVerts {
+		return nil, &LimitError{Quantity: "columns", Got: len(header), Max: lim.MaxEdgeVerts}
+	}
+	if lim.MaxUniverse > 0 && len(header) > lim.MaxUniverse {
+		return nil, &LimitError{Quantity: "attributes", Got: len(header), Max: lim.MaxUniverse}
+	}
+	rel, err := keys.NewRelation(header)
+	if err != nil {
+		return nil, err
+	}
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hgio: reading CSV row: %w", err)
+		}
+		rows++
+		if lim.MaxEdges > 0 && rows > lim.MaxEdges {
+			return nil, &LimitError{Quantity: "rows", Got: -1, Max: lim.MaxEdges}
+		}
+		if err := rel.AddRow(rec...); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package hypergraph
+
+// Canonical fingerprints. A Fingerprint identifies a hypergraph as a
+// *family*: two hypergraphs fingerprint equal iff they have the same
+// universe size and the same set of edges, ignoring edge order and
+// duplicate edges. This is the cache key of the duality service
+// (internal/service): a verdict computed for the canonicalized instance
+// (Canonical() on both sides) is valid for every request whose inputs
+// canonicalize to the same pair of fingerprints.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// FingerprintSize is the byte length of a Fingerprint (sha256).
+const FingerprintSize = 32
+
+// Fingerprint is a canonical digest of a hypergraph.
+type Fingerprint [FingerprintSize]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// AppendTo appends the raw fingerprint bytes to buf, for callers composing
+// multi-part cache keys.
+func (f Fingerprint) AppendTo(buf []byte) []byte { return append(buf, f[:]...) }
+
+// Fingerprint returns the canonical digest of h: sha256 over the universe
+// size, the number of distinct edges, and the distinct edge keys
+// (bitset.AppendKey encoding, fixed-length per universe) in sorted order.
+// Edge order and duplicate edges do not affect the result; the universe
+// size does, so families over different universes never collide by
+// construction.
+func (h *Hypergraph) Fingerprint() Fingerprint {
+	keyLen := (h.n + 63) / 64 * 8
+	buf := make([]byte, 0, keyLen*len(h.edges))
+	offs := make([]int, 0, len(h.edges))
+	for _, e := range h.edges {
+		offs = append(offs, len(buf))
+		buf = e.AppendKey(buf)
+	}
+	sort.Slice(offs, func(i, j int) bool {
+		a, b := buf[offs[i]:offs[i]+keyLen], buf[offs[j]:offs[j]+keyLen]
+		return string(a) < string(b)
+	})
+	// Count and hash distinct keys only, so duplicate edges are ignored.
+	distinct := 0
+	for i, o := range offs {
+		if i > 0 && string(buf[o:o+keyLen]) == string(buf[offs[i-1]:offs[i-1]+keyLen]) {
+			continue
+		}
+		distinct++
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(h.n))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(distinct))
+	d := sha256.New()
+	d.Write(hdr[:])
+	for i, o := range offs {
+		if i > 0 && string(buf[o:o+keyLen]) == string(buf[offs[i-1]:offs[i-1]+keyLen]) {
+			continue
+		}
+		d.Write(buf[o : o+keyLen])
+	}
+	var out Fingerprint
+	d.Sum(out[:0])
+	return out
+}

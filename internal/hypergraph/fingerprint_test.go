@@ -1,0 +1,93 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFingerprintInvariantUnderOrderAndDuplicates(t *testing.T) {
+	a := MustFromEdges(5, [][]int{{0, 1}, {2, 3}, {1, 4}})
+	b := MustFromEdges(5, [][]int{{1, 4}, {0, 1}, {2, 3}})
+	c := MustFromEdges(5, [][]int{{2, 3}, {0, 1}, {2, 3}, {1, 4}, {0, 1}})
+	fa, fb, fc := a.Fingerprint(), b.Fingerprint(), c.Fingerprint()
+	if fa != fb {
+		t.Errorf("edge order changed the fingerprint: %s vs %s", fa, fb)
+	}
+	if fa != fc {
+		t.Errorf("duplicate edges changed the fingerprint: %s vs %s", fa, fc)
+	}
+}
+
+func TestFingerprintDistinguishesFamilies(t *testing.T) {
+	pairs := [][2]*Hypergraph{
+		{MustFromEdges(4, [][]int{{0, 1}}), MustFromEdges(4, [][]int{{0, 2}})},
+		{MustFromEdges(4, [][]int{{0, 1}}), MustFromEdges(4, [][]int{{0, 1}, {2, 3}})},
+		// Same family over different universes must differ.
+		{MustFromEdges(4, [][]int{{0, 1}}), MustFromEdges(5, [][]int{{0, 1}})},
+		// The constants ⊥ (no edges) and ⊤ ({∅}) must differ, including
+		// over the empty universe where every edge key is zero-length.
+		{New(0), MustFromEdges(0, [][]int{{}})},
+		{New(3), MustFromEdges(3, [][]int{{}})},
+		// An empty edge is not "no edge".
+		{MustFromEdges(3, [][]int{{0}}), MustFromEdges(3, [][]int{{0}, {}})},
+	}
+	for i, p := range pairs {
+		if p[0].Fingerprint() == p[1].Fingerprint() {
+			t.Errorf("pair %d: distinct families fingerprint equal: %v vs %v", i, p[0], p[1])
+		}
+	}
+}
+
+func TestFingerprintMatchesFamilyEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var graphs []*Hypergraph
+	for i := 0; i < 40; i++ {
+		n := 1 + r.Intn(70) // spans multiple bitset words
+		h := New(n)
+		m := r.Intn(6)
+		for j := 0; j < m; j++ {
+			var edge []int
+			for v := 0; v < n; v++ {
+				if r.Intn(3) == 0 {
+					edge = append(edge, v)
+				}
+			}
+			h.AddEdgeElems(edge...)
+		}
+		graphs = append(graphs, h)
+	}
+	for i, a := range graphs {
+		for j, b := range graphs {
+			same := a.EqualAsFamily(b)
+			fpSame := a.Fingerprint() == b.Fingerprint()
+			if same != fpSame {
+				t.Fatalf("graphs %d,%d: EqualAsFamily=%v but fingerprint equal=%v", i, j, same, fpSame)
+			}
+		}
+	}
+}
+
+func TestFingerprintCanonicalAgrees(t *testing.T) {
+	h := MustFromEdges(6, [][]int{{3, 4}, {0, 1}, {2, 5}, {0, 1}})
+	if h.Fingerprint() != h.Canonical().Fingerprint() {
+		t.Error("Canonical() changed the fingerprint")
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	h := New(128)
+	for i := 0; i < 64; i++ {
+		var edge []int
+		for v := 0; v < 128; v++ {
+			if r.Intn(4) == 0 {
+				edge = append(edge, v)
+			}
+		}
+		h.AddEdgeElems(edge...)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Fingerprint()
+	}
+}

@@ -25,6 +25,7 @@
 package itemsets
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -190,6 +191,14 @@ type Borders struct {
 // (Hᶜ, G) with the extraction of one new verified border element from the
 // verdict, exactly the incremental pattern of §1 of the paper.
 func ComputeBorders(d *Dataset, z int) (*Borders, error) {
+	return ComputeBordersContext(context.Background(), d, z)
+}
+
+// ComputeBordersContext is ComputeBorders with cancellation: every duality
+// check of the dualize-and-advance loop polls ctx at every tree node (see
+// core.DecideContext), so cancelling aborts the mining mid-loop with ctx's
+// error.
+func ComputeBordersContext(ctx context.Context, d *Dataset, z int) (*Borders, error) {
 	if err := d.validateThreshold(z); err != nil {
 		return nil, err
 	}
@@ -208,7 +217,7 @@ func ComputeBorders(d *Dataset, z int) (*Borders, error) {
 
 	for {
 		b.DualityChecks++
-		newMax, newMin, done, err := advance(d, z, b.MaxFrequent, b.MinInfrequent)
+		newMax, newMin, done, err := advance(ctx, d, z, b.MaxFrequent, b.MinInfrequent)
 		if err != nil {
 			return nil, err
 		}
@@ -232,11 +241,11 @@ func ComputeBorders(d *Dataset, z int) (*Borders, error) {
 // advance performs one duality check of (X, G) with X = Hᶜ and converts a
 // negative verdict into one new verified border element: a maximal frequent
 // itemset (newMax) or a minimal infrequent itemset (newMin).
-func advance(d *Dataset, z int, h, g *hypergraph.Hypergraph) (newMax, newMin *bitset.Set, done bool, err error) {
+func advance(ctx context.Context, d *Dataset, z int, h, g *hypergraph.Hypergraph) (newMax, newMin *bitset.Set, done bool, err error) {
 	n := d.nItems
 	x := h.ComplementEdges() // Hᶜ
 
-	res, err := core.Decide(x, g)
+	res, err := core.DecideContext(ctx, x, g)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -368,7 +377,7 @@ func Identify(d *Dataset, z int, g, h *hypergraph.Hypergraph) (*IdentifyResult, 
 		res.NewMaxFrequent = &m
 		return res, nil
 	}
-	newMax, newMin, done, err := advance(d, z, h, g)
+	newMax, newMin, done, err := advance(context.Background(), d, z, h, g)
 	if err != nil {
 		return nil, err
 	}

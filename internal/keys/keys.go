@@ -13,6 +13,7 @@
 package keys
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -196,6 +197,12 @@ type AdditionalKeyResult struct {
 // incompleteness returns a concrete new minimal key extracted from the fail
 // leaf's witness.
 func (r *Relation) AdditionalKey(known *hypergraph.Hypergraph) (*AdditionalKeyResult, error) {
+	return r.AdditionalKeyContext(context.Background(), known)
+}
+
+// AdditionalKeyContext is AdditionalKey with cancellation: the underlying
+// tree search polls ctx at every node (see core.TrSubsetContext).
+func (r *Relation) AdditionalKeyContext(ctx context.Context, known *hypergraph.Hypergraph) (*AdditionalKeyResult, error) {
 	n := len(r.attrs)
 	if known.N() != n {
 		return nil, errors.New("keys: known-keys universe differs from attribute count")
@@ -227,7 +234,7 @@ func (r *Relation) AdditionalKey(known *hypergraph.Hypergraph) (*AdditionalKeyRe
 		return &AdditionalKeyResult{NewKey: k, FoundNew: true}, nil
 	}
 
-	res, err := core.TrSubset(d, known)
+	res, err := core.TrSubsetContext(ctx, d, known)
 	if err != nil {
 		return nil, err
 	}
@@ -242,11 +249,17 @@ func (r *Relation) AdditionalKey(known *hypergraph.Hypergraph) (*AdditionalKeyRe
 // AdditionalKey calls — the paper's incremental pattern specialized to key
 // discovery. It returns the keys in discovery order.
 func (r *Relation) EnumerateKeysIncrementally() (*hypergraph.Hypergraph, int, error) {
+	return r.EnumerateKeysIncrementallyContext(context.Background())
+}
+
+// EnumerateKeysIncrementallyContext is EnumerateKeysIncrementally with
+// cancellation between and within the additional-key calls.
+func (r *Relation) EnumerateKeysIncrementallyContext(ctx context.Context) (*hypergraph.Hypergraph, int, error) {
 	known := hypergraph.New(len(r.attrs))
 	calls := 0
 	for {
 		calls++
-		res, err := r.AdditionalKey(known)
+		res, err := r.AdditionalKeyContext(ctx, known)
 		if err != nil {
 			return nil, calls, err
 		}

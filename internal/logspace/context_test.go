@@ -1,0 +1,46 @@
+package logspace_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/logspace"
+)
+
+func TestOptionsCtxCancelled(t *testing.T) {
+	g := hypergraph.MustFromEdges(4, [][]int{{0, 1}, {2, 3}})
+	h := hypergraph.MustFromEdges(4, [][]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := logspace.Options{Mode: logspace.ModeReplay, Ctx: ctx}
+
+	if _, _, _, err := logspace.FindFailPath(g, h, opt); !errors.Is(err, context.Canceled) {
+		t.Errorf("FindFailPath err = %v; want context.Canceled", err)
+	}
+	if err := logspace.Decompose(g, h, opt, func(logspace.Attr) bool { return true }, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("Decompose err = %v; want context.Canceled", err)
+	}
+	if _, err := logspace.DecomposeAll(g, h, opt); !errors.Is(err, context.Canceled) {
+		t.Errorf("DecomposeAll err = %v; want context.Canceled", err)
+	}
+	if _, _, err := logspace.PathNode(g, h, nil, opt); !errors.Is(err, context.Canceled) {
+		t.Errorf("PathNode err = %v; want context.Canceled", err)
+	}
+
+	// A live context leaves every output unchanged relative to no context.
+	opt.Ctx = context.Background()
+	withCtx, err := logspace.DecomposeAll(g, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := logspace.DecomposeAll(g, h, logspace.Options{Mode: logspace.ModeReplay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withCtx.Vertices) != len(plain.Vertices) || len(withCtx.Edges) != len(plain.Edges) {
+		t.Errorf("listing changed under a live context: %d/%d vs %d/%d vertices/edges",
+			len(withCtx.Vertices), len(withCtx.Edges), len(plain.Vertices), len(plain.Edges))
+	}
+}

@@ -38,6 +38,7 @@
 package logspace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -80,6 +81,18 @@ type Options struct {
 	Mode Mode
 	// Meter, when non-nil, accounts every retained workspace bit.
 	Meter *space.Meter
+	// Ctx, when non-nil, cancels long searches: Decompose, FindFailPath and
+	// DecomposeExhaustive poll it at every tree-node visit and return its
+	// error; PathNode checks it once on entry.
+	Ctx context.Context
+}
+
+// ctxCheck returns the context's error, treating a nil Ctx as background.
+func (o Options) ctxCheck() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // Attr is the attribute tuple the paper associates with a node α: its label
@@ -699,6 +712,9 @@ func PathNode(g, h *hypergraph.Hypergraph, pi []int, opt Options) (Attr, bool, e
 	if err := validateInstance(g, h); err != nil {
 		return Attr{}, false, err
 	}
+	if err := opt.ctxCheck(); err != nil {
+		return Attr{}, false, err
+	}
 	w := newWalker(g, h, opt)
 	defer w.close()
 	if !w.followPath(pi) {
@@ -739,21 +755,31 @@ func Decompose(g, h *hypergraph.Hypergraph, opt Options, visitVertex func(Attr) 
 	if err := validateInstance(g, h); err != nil {
 		return err
 	}
+	var ctxErr error
+	cancelled := func() bool {
+		if ctxErr == nil {
+			ctxErr = opt.ctxCheck()
+		}
+		return ctxErr != nil
+	}
 	// Vertices pass.
 	if visitVertex != nil {
 		w := newWalker(g, h, opt)
 		ok := decomposeWalk(w, nil, func(label []int) bool {
-			return visitVertex(w.attr(label))
+			return !cancelled() && visitVertex(w.attr(label))
 		})
 		w.close()
 		if !ok {
-			return nil
+			return ctxErr
 		}
 	}
 	// Edges pass: every (π, π·i) pair of consecutive valid descriptors.
 	if visitEdge != nil {
 		w := newWalker(g, h, opt)
 		decomposeWalk(w, nil, func(label []int) bool {
+			if cancelled() {
+				return false
+			}
 			if len(label) == 0 {
 				return true
 			}
@@ -762,7 +788,7 @@ func Decompose(g, h *hypergraph.Hypergraph, opt Options, visitVertex func(Attr) 
 		})
 		w.close()
 	}
-	return nil
+	return ctxErr
 }
 
 // decomposeWalk runs a DFS over valid path descriptors, calling visit at
@@ -830,7 +856,17 @@ func DecomposeExhaustive(g, h *hypergraph.Hypergraph, opt Options) (*Listing, er
 		}
 		return true
 	}
+	var ctxErr error
+	cancelled := func() bool {
+		if ctxErr == nil {
+			ctxErr = opt.ctxCheck()
+		}
+		return ctxErr != nil
+	}
 	enumerate(nil, func(pi []int) bool {
+		if cancelled() {
+			return false
+		}
 		if w.followPath(pi) {
 			l.Vertices = append(l.Vertices, w.attr(pi))
 		}
@@ -841,6 +877,9 @@ func DecomposeExhaustive(g, h *hypergraph.Hypergraph, opt Options) (*Listing, er
 	// valid π implies a valid parent (every prefix push succeeded), so one
 	// walk covers both endpoints.
 	enumerate(nil, func(pi []int) bool {
+		if cancelled() {
+			return false
+		}
 		if len(pi) == 0 {
 			return true
 		}
@@ -853,6 +892,9 @@ func DecomposeExhaustive(g, h *hypergraph.Hypergraph, opt Options) (*Listing, er
 		})
 		return true
 	})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	return l, nil
 }
 
@@ -881,7 +923,14 @@ func FindFailPath(g, h *hypergraph.Hypergraph, opt Options) (pi []int, witness b
 	failLabel := []int{}
 	failT := bitset.Set{}
 	failFound := false
+	var ctxErr error
 	decomposeWalk(w, nil, func(label []int) bool {
+		if ctxErr == nil {
+			ctxErr = opt.ctxCheck()
+		}
+		if ctxErr != nil {
+			return false
+		}
 		mark, tMember := w.nodeMark(w.depth())
 		if mark != core.MarkFail {
 			return true
@@ -896,6 +945,9 @@ func FindFailPath(g, h *hypergraph.Hypergraph, opt Options) (pi []int, witness b
 		}
 		return false
 	})
+	if ctxErr != nil {
+		return nil, bitset.Set{}, false, ctxErr
+	}
 	if !failFound {
 		return nil, bitset.Set{}, false, nil
 	}

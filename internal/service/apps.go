@@ -1,0 +1,228 @@
+package service
+
+// The paper's three database applications as endpoints (Propositions
+// 1.1–1.3): itemset borders, additional keys, coterie non-domination. Each
+// runs on the same bounded worker pool as the duality endpoints; inputs go
+// through the hardened hgio readers.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dualspace/internal/coterie"
+	"dualspace/internal/hgio"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/itemsets"
+)
+
+// bordersRequest is the /v1/borders body: a transaction database (one
+// transaction per line, whitespace-separated item names) and the frequency
+// threshold z (frequent ⟺ support > z).
+type bordersRequest struct {
+	Data string `json:"data"`
+	Z    int    `json:"z"`
+}
+
+type bordersResponse struct {
+	MaxFrequent   [][]string `json:"max_frequent"`
+	MinInfrequent [][]string `json:"min_infrequent"`
+	DualityChecks int        `json:"duality_checks"`
+	Transactions  int        `json:"transactions"`
+	Items         int        `json:"items"`
+}
+
+func (s *Server) handleBorders(w http.ResponseWriter, r *http.Request) {
+	s.reqBorders.Add(1)
+	var req bordersRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, sy, err := hgio.ReadDatasetLimited(strings.NewReader(req.Data), s.cfg.Limits)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		return
+	}
+	defer s.release()
+	b, err := itemsets.ComputeBordersContext(r.Context(), d, req.Z)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.cancelled.Add(1)
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, bordersResponse{
+		MaxFrequent:   edgeNames(b.MaxFrequent.Canonical(), sy),
+		MinInfrequent: edgeNames(b.MinInfrequent.Canonical(), sy),
+		DualityChecks: b.DualityChecks,
+		Transactions:  d.NumRows(),
+		Items:         d.NumItems(),
+	})
+}
+
+// keysRequest is the /v1/keys body: a relational instance as CSV (header
+// row of attribute names, then tuples). With Known empty every minimal key
+// is enumerated; otherwise Known lists already-known minimal keys (one per
+// line, attribute names) and the additional-key problem is decided.
+type keysRequest struct {
+	CSV   string `json:"csv"`
+	Known string `json:"known,omitempty"`
+}
+
+type keysResponse struct {
+	Keys     [][]string  `json:"keys,omitempty"`
+	Complete bool        `json:"complete"`
+	NewKey   []string    `json:"new_key,omitempty"`
+	Stats    decideStats `json:"stats"`
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	s.reqKeys.Add(1)
+	var req keysRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rel, err := hgio.ReadRelationCSVLimited(strings.NewReader(req.CSV), s.cfg.Limits)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	attrSym := hgio.NewSymbols()
+	for i := 0; i < rel.NumAttrs(); i++ {
+		attrSym.Intern(rel.AttrName(i))
+	}
+	if err := s.acquire(r); err != nil {
+		return
+	}
+	defer s.release()
+
+	if strings.TrimSpace(req.Known) == "" {
+		all, _, err := rel.EnumerateKeysIncrementallyContext(r.Context())
+		if err != nil {
+			if r.Context().Err() != nil {
+				s.cancelled.Add(1)
+				return
+			}
+			s.writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, keysResponse{Keys: edgeNames(all.Canonical(), attrSym), Complete: true})
+		return
+	}
+
+	el, err := hgio.ParseEdgesLimited(strings.NewReader(req.Known), s.cfg.Limits)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	known := hypergraph.New(rel.NumAttrs())
+	for _, edge := range el {
+		idx := make([]int, len(edge))
+		for i, name := range edge {
+			j := rel.AttrIndex(name)
+			if j < 0 {
+				s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown attribute %q in known keys", name))
+				return
+			}
+			idx[i] = j
+		}
+		known.AddEdgeElems(idx...)
+	}
+	res, err := rel.AdditionalKeyContext(r.Context(), known)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.cancelled.Add(1)
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := keysResponse{
+		Complete: res.Complete,
+		Stats: decideStats{
+			Nodes:       res.DualityStats.Nodes,
+			Leaves:      res.DualityStats.Leaves,
+			MaxDepth:    res.DualityStats.MaxDepth,
+			MaxChildren: res.DualityStats.MaxChildren,
+		},
+	}
+	if res.FoundNew {
+		resp.NewKey = names(res.NewKey, attrSym)
+	}
+	writeJSON(w, resp)
+}
+
+// coteriesRequest is the /v1/coteries body: quorums in the hgio edge
+// format. With Improve set, a dominating coterie is returned when the
+// input is dominated.
+type coteriesRequest struct {
+	Quorums string `json:"quorums"`
+	Improve bool   `json:"improve,omitempty"`
+}
+
+type coteriesResponse struct {
+	NonDominated bool       `json:"non_dominated"`
+	Quorums      int        `json:"quorums"`
+	Nodes        int        `json:"nodes"`
+	Dominating   [][]string `json:"dominating,omitempty"`
+}
+
+func (s *Server) handleCoteries(w http.ResponseWriter, r *http.Request) {
+	s.reqCoteries.Add(1)
+	var req coteriesRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hs, sy, err := hgio.ReadHypergraphsLimited(s.cfg.Limits, strings.NewReader(req.Quorums))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := coterie.New(hs[0])
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		return
+	}
+	defer s.release()
+	resp := coteriesResponse{Quorums: c.NumQuorums(), Nodes: c.Universe()}
+	if req.Improve {
+		// One self-duality decomposition answers both questions: found is
+		// false exactly when the coterie is non-dominated.
+		dom, found, err := c.FindDominatingContext(r.Context())
+		if err != nil {
+			if r.Context().Err() != nil {
+				s.cancelled.Add(1)
+				return
+			}
+			s.writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp.NonDominated = !found
+		if found {
+			resp.Dominating = edgeNames(dom.Hypergraph(), sy)
+		}
+	} else {
+		nd, err := c.IsNonDominatedContext(r.Context())
+		if err != nil {
+			if r.Context().Err() != nil {
+				s.cancelled.Add(1)
+				return
+			}
+			s.writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp.NonDominated = nd
+	}
+	writeJSON(w, resp)
+}

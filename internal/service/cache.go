@@ -1,0 +1,81 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"dualspace/internal/core"
+	"dualspace/internal/hypergraph"
+)
+
+// verdictCache is a mutex-guarded LRU of duality verdicts keyed by the pair
+// of canonical hypergraph fingerprints. Cached Results are index-level (the
+// witness and edge indices refer to the canonicalized instance) and treated
+// as immutable by every reader; per-request name resolution happens at
+// response-rendering time, so one cached verdict serves every request whose
+// inputs canonicalize to the same instance — including requests whose
+// vertex names differ but induce the same index families.
+type verdictCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// newVerdictCache returns an LRU holding up to capacity verdicts; a
+// capacity <= 0 disables caching (every lookup misses, adds are dropped).
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// pairKey is the cache key of an ordered instance pair.
+func pairKey(fg, fh hypergraph.Fingerprint) string {
+	buf := make([]byte, 0, 2*hypergraph.FingerprintSize)
+	buf = fg.AppendTo(buf)
+	buf = fh.AppendTo(buf)
+	return string(buf)
+}
+
+func (c *verdictCache) get(key string) (*core.Result, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *verdictCache) add(key string, res *core.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,381 @@
+// Package service exposes the dualspace façade as a long-lived HTTP/JSON
+// service — the serving layer the ROADMAP's production north star asks for
+// on top of the one-shot CLIs. docs/API.md documents the wire protocol.
+//
+// Architecture:
+//
+//   - Every decision endpoint runs on a bounded worker pool (Config.Workers
+//     concurrent decompositions); excess requests queue in acquire() and
+//     leave the queue the moment their client disconnects.
+//   - Requests are cancellable end to end: the handler passes the request
+//     context into core.DecideContext / transversal.EnumerateContext, which
+//     poll it at every decomposition-tree (resp. search-tree) node, so a
+//     closed client connection aborts the computation within one node.
+//   - /v1/decide verdicts are cached in an LRU keyed by the canonical
+//     Fingerprint pair of the inputs. Decisions run on the canonicalized
+//     instance, so a cached verdict (including its witness and edge
+//     indices) is valid for every request with the same canonical form —
+//     repeats and renamed-but-isomorphic-after-canonicalization queries
+//     never recompute. Concurrent identical misses may race to compute the
+//     same verdict; both results are identical, so the stampede is benign.
+//   - All input parsing goes through internal/hgio's *Limited readers with
+//     explicit size/universe limits (Config.Limits), and request bodies are
+//     bounded by Config.MaxBodyBytes, so untrusted traffic cannot force
+//     unbounded allocation before validation.
+//
+// Observability: /healthz for liveness, /statsz for request, cache,
+// decomposition, cancellation and stream counters.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/core"
+	"dualspace/internal/hgio"
+	"dualspace/internal/hypergraph"
+)
+
+// Config parameterizes a Server. The zero value gets sensible production
+// defaults from New.
+type Config struct {
+	// Workers bounds the number of concurrently executing decision
+	// computations (default: GOMAXPROCS). Requests beyond the bound queue
+	// until a slot frees or their client disconnects.
+	Workers int
+	// CacheSize is the verdict-LRU capacity in entries (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// Limits bounds parsed hypergraph/dataset/relation inputs; zero fields
+	// get the package defaults (DefaultLimits).
+	Limits hgio.Limits
+	// MaxBodyBytes bounds a request body (default 4 MiB).
+	MaxBodyBytes int64
+	// MaxStreamResults caps the /v1/transversals limit knob (default
+	// 65536). Requests may ask for less, never more.
+	MaxStreamResults int
+}
+
+// DefaultLimits is the input bound applied when Config.Limits is zero:
+// generous for real workloads, small enough that parsing stays cheap
+// relative to the decisions themselves.
+var DefaultLimits = hgio.Limits{
+	MaxEdges:     1 << 16,
+	MaxEdgeVerts: 1 << 12,
+	MaxUniverse:  1 << 12,
+	MaxLineBytes: 1 << 20,
+}
+
+// Server is the HTTP duality/border service. Create with New; it is an
+// http.Handler and safe for concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	cache *verdictCache
+	start time.Time
+
+	reqDecide       atomic.Int64
+	reqTransversals atomic.Int64
+	reqBorders      atomic.Int64
+	reqKeys         atomic.Int64
+	reqCoteries     atomic.Int64
+	reqHealth       atomic.Int64
+	reqStats        atomic.Int64
+	inFlight        atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	decompositions  atomic.Int64
+	cancelled       atomic.Int64
+	badRequests     atomic.Int64
+	streamedSets    atomic.Int64
+
+	// testHookDecideStart, when non-nil, runs right after a /v1/decide
+	// request has claimed a worker slot and before the decomposition
+	// starts; tests use it to cancel in-flight requests deterministically.
+	testHookDecideStart func()
+}
+
+// New returns a Server with defaults applied to the zero fields of cfg.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.Limits == (hgio.Limits{}) {
+		cfg.Limits = DefaultLimits
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
+	if cfg.MaxStreamResults <= 0 {
+		cfg.MaxStreamResults = 1 << 16
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.Workers),
+		cache: newVerdictCache(cfg.CacheSize),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	s.mux.HandleFunc("POST /v1/transversals", s.handleTransversals)
+	s.mux.HandleFunc("POST /v1/borders", s.handleBorders)
+	s.mux.HandleFunc("POST /v1/keys", s.handleKeys)
+	s.mux.HandleFunc("POST /v1/coteries", s.handleCoteries)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// acquire claims a worker-pool slot, waiting until one frees or the
+// request's context is cancelled. release must be called iff err is nil.
+func (s *Server) acquire(r *http.Request) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		s.cancelled.Add(1)
+		return r.Context().Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// decodeJSON reads a bounded request body into dst.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// writeJSON renders a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError renders a JSON error with the status matching the failure
+// class: 413 for input-limit violations (hgio limits and the body bound
+// alike), the given status otherwise.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.badRequests.Add(1)
+	var mbe *http.MaxBytesError
+	if errors.Is(err, hgio.ErrLimitExceeded) || errors.As(err, &mbe) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// names renders a vertex set as its interned names in index order.
+func names(set bitset.Set, sy *hgio.Symbols) []string {
+	out := []string{}
+	set.ForEach(func(v int) bool {
+		out = append(out, sy.Name(v))
+		return true
+	})
+	return out
+}
+
+// edgeNames renders every edge of h as a name list.
+func edgeNames(h *hypergraph.Hypergraph, sy *hgio.Symbols) [][]string {
+	out := make([][]string, 0, h.M())
+	for _, e := range h.Edges() {
+		out = append(out, names(e, sy))
+	}
+	return out
+}
+
+// statsResponse is the /statsz body.
+type statsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int64   `json:"in_flight"`
+	Workers       int     `json:"workers"`
+	Requests      struct {
+		Decide       int64 `json:"decide"`
+		Transversals int64 `json:"transversals"`
+		Borders      int64 `json:"borders"`
+		Keys         int64 `json:"keys"`
+		Coteries     int64 `json:"coteries"`
+		Health       int64 `json:"health"`
+		Stats        int64 `json:"stats"`
+	} `json:"requests"`
+	Cache struct {
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+		Size     int   `json:"size"`
+		Capacity int   `json:"capacity"`
+	} `json:"cache"`
+	Decompositions  int64 `json:"decompositions"`
+	Cancelled       int64 `json:"cancelled"`
+	BadRequests     int64 `json:"bad_requests"`
+	StreamedResults int64 `json:"streamed_results"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.reqHealth.Add(1)
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reqStats.Add(1)
+	var resp statsResponse
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	resp.InFlight = s.inFlight.Load()
+	resp.Workers = s.cfg.Workers
+	resp.Requests.Decide = s.reqDecide.Load()
+	resp.Requests.Transversals = s.reqTransversals.Load()
+	resp.Requests.Borders = s.reqBorders.Load()
+	resp.Requests.Keys = s.reqKeys.Load()
+	resp.Requests.Coteries = s.reqCoteries.Load()
+	resp.Requests.Health = s.reqHealth.Load()
+	resp.Requests.Stats = s.reqStats.Load()
+	resp.Cache.Hits = s.cacheHits.Load()
+	resp.Cache.Misses = s.cacheMisses.Load()
+	resp.Cache.Size = s.cache.len()
+	resp.Cache.Capacity = s.cfg.CacheSize
+	resp.Decompositions = s.decompositions.Load()
+	resp.Cancelled = s.cancelled.Load()
+	resp.BadRequests = s.badRequests.Load()
+	resp.StreamedResults = s.streamedSets.Load()
+	writeJSON(w, resp)
+}
+
+// decideRequest is the /v1/decide body: two hypergraphs in the hgio
+// line-oriented edge format (docs/API.md).
+type decideRequest struct {
+	G string `json:"g"`
+	H string `json:"h"`
+}
+
+// decideStats mirrors core.Stats on the wire.
+type decideStats struct {
+	Nodes       int `json:"nodes"`
+	Leaves      int `json:"leaves"`
+	MaxDepth    int `json:"max_depth"`
+	MaxChildren int `json:"max_children"`
+}
+
+// decideResponse is the /v1/decide verdict. Edge indices refer to the
+// canonicalized (sorted, deduplicated) instance the decision ran on; the
+// offending edges are also rendered as name lists so clients need not
+// re-canonicalize.
+type decideResponse struct {
+	Dual            bool        `json:"dual"`
+	Reason          string      `json:"reason"`
+	Witness         []string    `json:"witness,omitempty"`
+	CoWitness       []string    `json:"cowitness,omitempty"`
+	GEdge           int         `json:"g_edge"`
+	HEdge           int         `json:"h_edge"`
+	GEdgeVerts      []string    `json:"g_edge_verts,omitempty"`
+	HEdgeVerts      []string    `json:"h_edge_verts,omitempty"`
+	RedundantVertex string      `json:"redundant_vertex,omitempty"`
+	FailPath        []int       `json:"fail_path,omitempty"`
+	Swapped         bool        `json:"swapped"`
+	Stats           decideStats `json:"stats"`
+	Cached          bool        `json:"cached"`
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	s.reqDecide.Add(1)
+	var req decideRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hs, sy, err := hgio.ReadHypergraphsLimited(s.cfg.Limits,
+		strings.NewReader(req.G), strings.NewReader(req.H))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, h := hs[0].Canonical(), hs[1].Canonical()
+	key := pairKey(g.Fingerprint(), h.Fingerprint())
+	if res, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		writeJSON(w, renderDecide(res, g, h, sy, true))
+		return
+	}
+	s.cacheMisses.Add(1)
+	if err := s.acquire(r); err != nil {
+		return // client gone; nothing to write to
+	}
+	defer s.release()
+	if s.testHookDecideStart != nil {
+		s.testHookDecideStart()
+	}
+	s.decompositions.Add(1)
+	res, err := core.DecideContext(r.Context(), g, h)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.cancelled.Add(1)
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.cache.add(key, res)
+	writeJSON(w, renderDecide(res, g, h, sy, false))
+}
+
+// renderDecide resolves an index-level verdict into the request's names;
+// g and h are the canonicalized inputs the verdict's edge indices refer to.
+func renderDecide(res *core.Result, g, h *hypergraph.Hypergraph, sy *hgio.Symbols, cached bool) decideResponse {
+	resp := decideResponse{
+		Dual:    res.Dual,
+		Reason:  res.Reason.String(),
+		GEdge:   res.GEdge,
+		HEdge:   res.HEdge,
+		Swapped: res.Swapped,
+		Cached:  cached,
+		Stats: decideStats{
+			Nodes:       res.Stats.Nodes,
+			Leaves:      res.Stats.Leaves,
+			MaxDepth:    res.Stats.MaxDepth,
+			MaxChildren: res.Stats.MaxChildren,
+		},
+	}
+	if res.Reason == core.ReasonNewTransversal {
+		resp.Witness = names(res.Witness, sy)
+		resp.CoWitness = names(res.CoWitness, sy)
+		resp.FailPath = res.FailPath
+	}
+	if res.GEdge >= 0 && res.GEdge < g.M() {
+		resp.GEdgeVerts = names(g.Edge(res.GEdge), sy)
+	}
+	if res.HEdge >= 0 && res.HEdge < h.M() {
+		resp.HEdgeVerts = names(h.Edge(res.HEdge), sy)
+	}
+	if res.RedundantVertex >= 0 {
+		resp.RedundantVertex = sy.Name(res.RedundantVertex)
+	}
+	return resp
+}

@@ -1,0 +1,130 @@
+package service
+
+// /v1/transversals: chunked streaming enumeration of tr(H). Each minimal
+// transversal is written (and flushed) as one NDJSON record the moment the
+// enumerator yields it, so clients see results with enumeration delay
+// rather than completion delay; a terminal record distinguishes clean
+// completion, truncation at the limit knob, and mid-stream failure — the
+// error path EnumerateContext's fallible yield exists for.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/hgio"
+	"dualspace/internal/transversal"
+)
+
+// streamWriteTimeout bounds each streamed write (record or terminal), so a
+// client that stops reading releases its worker-pool slot once the TCP
+// buffers fill instead of pinning it indefinitely; streamMaxDuration caps
+// the whole stream, so a client draining one record per deadline window
+// cannot hold the slot forever either.
+const (
+	streamWriteTimeout = 30 * time.Second
+	streamMaxDuration  = 10 * time.Minute
+)
+
+// transversalsRequest is the /v1/transversals body. Limit caps the number
+// of streamed transversals; 0 means the server maximum
+// (Config.MaxStreamResults), larger values are clamped to it.
+type transversalsRequest struct {
+	H     string `json:"h"`
+	Limit int    `json:"limit"`
+}
+
+// streamSetRecord is one streamed transversal. The field is always present
+// (the empty transversal is a legitimate result: tr(∅) = {∅}), which is
+// how clients tell result lines from the terminal line.
+type streamSetRecord struct {
+	Transversal []string `json:"transversal"`
+}
+
+// streamEndRecord is the single terminal NDJSON line: Done for clean
+// completion (Truncated when the limit knob stopped the stream early),
+// Error for a mid-stream failure. Count is the number of transversals
+// streamed before the end in either case.
+type streamEndRecord struct {
+	Done      bool   `json:"done,omitempty"`
+	Count     int    `json:"count"`
+	Truncated bool   `json:"truncated,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (s *Server) handleTransversals(w http.ResponseWriter, r *http.Request) {
+	s.reqTransversals.Add(1)
+	var req transversalsRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hs, sy, err := hgio.ReadHypergraphsLimited(s.cfg.Limits, strings.NewReader(req.H))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > s.cfg.MaxStreamResults {
+		limit = s.cfg.MaxStreamResults
+	}
+	if err := s.acquire(r); err != nil {
+		return // client gone before a slot freed
+	}
+	defer s.release()
+	// Minimal transversals are invariant under minimization, and the
+	// enumerator is specified for simple inputs. Minimize is O(m²), so it
+	// runs inside the worker-pool slot like the enumeration itself.
+	h := hs[0].Minimize()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	streamDeadline := time.Now().Add(streamMaxDuration)
+	emit := func(rec any) error {
+		// A stalled client must not pin the worker slot: bound every write
+		// so a non-reading connection errors out instead of blocking, and
+		// bound the stream as a whole so drip-feeding cannot renew the
+		// per-write window forever.
+		d := time.Now().Add(streamWriteTimeout)
+		if d.After(streamDeadline) {
+			d = streamDeadline
+		}
+		_ = rc.SetWriteDeadline(d)
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+		_ = rc.Flush()
+		return nil
+	}
+
+	// truncated is set only when a transversal beyond the limit actually
+	// arrives: a stream that stops at exactly |tr(h)| = limit is complete.
+	count, truncated := 0, false
+	err = transversal.EnumerateContext(r.Context(), h, func(t bitset.Set) (bool, error) {
+		if count >= limit {
+			truncated = true
+			return false, nil
+		}
+		if err := emit(streamSetRecord{Transversal: names(t, sy)}); err != nil {
+			return false, err // client write failed: abort the enumeration
+		}
+		count++
+		return true, nil
+	})
+	s.streamedSets.Add(int64(count))
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.cancelled.Add(1)
+			return // client is gone; no terminal record can reach it
+		}
+		// Mid-stream failure with a live client: surface it in-band.
+		_ = emit(streamEndRecord{Error: err.Error(), Count: count})
+		return
+	}
+	// Truncated means the limit stopped the stream: tr(h) may hold more
+	// elements than were streamed.
+	_ = emit(streamEndRecord{Done: true, Count: count, Truncated: truncated})
+}

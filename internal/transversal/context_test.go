@@ -1,0 +1,126 @@
+package transversal_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/transversal"
+)
+
+func matching(k int) *hypergraph.Hypergraph {
+	h := hypergraph.New(2 * k)
+	for i := 0; i < k; i++ {
+		h.AddEdgeElems(2*i, 2*i+1)
+	}
+	return h
+}
+
+func TestEnumerateContextYieldError(t *testing.T) {
+	h := matching(3) // 8 minimal transversals
+	wantErr := errors.New("sink full")
+	n := 0
+	err := transversal.EnumerateContext(context.Background(), h, func(bitset.Set) (bool, error) {
+		n++
+		if n == 3 {
+			return false, wantErr
+		}
+		return true, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v; want the yield's error", err)
+	}
+	if n != 3 {
+		t.Fatalf("enumeration continued after the error: %d yields", n)
+	}
+}
+
+func TestEnumerateContextCleanStop(t *testing.T) {
+	h := matching(3)
+	n := 0
+	err := transversal.EnumerateContext(context.Background(), h, func(bitset.Set) (bool, error) {
+		n++
+		return n < 2, nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("clean stop: err=%v n=%d", err, n)
+	}
+}
+
+func TestEnumerateContextCancelled(t *testing.T) {
+	h := matching(6) // 64 minimal transversals
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	err := transversal.EnumerateContext(ctx, h, func(bitset.Set) (bool, error) {
+		n++
+		if n == 2 {
+			cancel() // cancel mid-stream; the DFS must stop at its next node
+		}
+		return true, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	if n >= 64 {
+		t.Fatalf("enumeration ran to completion despite cancellation (%d yields)", n)
+	}
+}
+
+func TestEnumerateViaOracleStreamsAndSurfacesErrors(t *testing.T) {
+	h := matching(2) // tr = 4 sets
+	brute := func(g, partial *hypergraph.Hypergraph) (bitset.Set, bool, error) {
+		tr := transversal.BruteForce(g)
+		for _, e := range tr.Edges() {
+			if !partial.ContainsEdge(e) {
+				return e.Clone(), true, nil
+			}
+		}
+		return bitset.Set{}, false, nil
+	}
+
+	var got []bitset.Set
+	err := transversal.EnumerateViaOracle(context.Background(), h, brute, func(s bitset.Set) (bool, error) {
+		got = append(got, s)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatalf("EnumerateViaOracle: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("streamed %d transversals, want 4", len(got))
+	}
+	if !hypergraph.FromSets(h.N(), got).EqualAsFamily(transversal.BruteForce(h)) {
+		t.Fatal("streamed family differs from tr(h)")
+	}
+
+	// A failing oracle surfaces its error mid-stream.
+	oracleErr := errors.New("oracle backend down")
+	calls := 0
+	failing := func(g, partial *hypergraph.Hypergraph) (bitset.Set, bool, error) {
+		calls++
+		if calls > 2 {
+			return bitset.Set{}, false, oracleErr
+		}
+		return brute(g, partial)
+	}
+	got = nil
+	err = transversal.EnumerateViaOracle(context.Background(), h, failing, func(s bitset.Set) (bool, error) {
+		got = append(got, s)
+		return true, nil
+	})
+	if !errors.Is(err, oracleErr) {
+		t.Fatalf("err = %v; want the oracle's error", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("yields before the failure = %d, want 2", len(got))
+	}
+
+	// A cancelled context stops before the next oracle call.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := transversal.EnumerateViaOracle(ctx, h, brute, func(bitset.Set) (bool, error) { return true, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+}

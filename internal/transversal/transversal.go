@@ -22,6 +22,8 @@
 package transversal
 
 import (
+	"context"
+
 	"dualspace/internal/bitset"
 	"dualspace/internal/hypergraph"
 )
@@ -95,13 +97,29 @@ func minimizeSets(sets []bitset.Set, pool *bitset.Pool) []bitset.Set {
 // Duplicate suppression follows the standard prefix-exclusion rule: within a
 // branching edge the i-th candidate's subtree excludes candidates 1..i−1.
 func Enumerate(h *hypergraph.Hypergraph, yield func(bitset.Set) bool) {
+	// The infallible yield cannot produce an error and the background
+	// context cannot cancel, so the error is structurally nil.
+	_ = EnumerateContext(context.Background(), h, func(s bitset.Set) (bool, error) {
+		return yield(s), nil
+	})
+}
+
+// EnumerateContext is Enumerate for streaming consumers: the yield may abort
+// the enumeration with an error (returned verbatim), and a cancelled ctx
+// aborts the DFS within one search-node boundary and returns ctx's error. A
+// nil return means the enumeration ran to completion or yield asked to stop
+// cleanly — the distinction streaming endpoints need to tell a truncated
+// stream from a failed one.
+func EnumerateContext(ctx context.Context, h *hypergraph.Hypergraph, yield func(bitset.Set) (bool, error)) error {
 	n := h.N()
 	if h.HasEmptyEdge() {
-		return // no transversals at all
+		return nil // no transversals at all
 	}
 	e := &enumerator{
 		h:         h,
 		yield:     yield,
+		done:      ctx.Done(),
+		ctx:       ctx,
 		s:         bitset.New(n),
 		cand:      bitset.Full(n),
 		cover:     make([]int, h.M()),
@@ -113,6 +131,7 @@ func Enumerate(h *hypergraph.Hypergraph, yield func(bitset.Set) bool) {
 		e.critOwner[i] = -1
 	}
 	e.rec()
+	return e.err
 }
 
 // All collects every minimal transversal of h.
@@ -142,7 +161,10 @@ func Count(h *hypergraph.Hypergraph) int {
 
 type enumerator struct {
 	h         *hypergraph.Hypergraph
-	yield     func(bitset.Set) bool
+	yield     func(bitset.Set) (bool, error)
+	done      <-chan struct{} // cancellation channel (ctx.Done())
+	ctx       context.Context
+	err       error      // terminal error: ctx's or the yield's
 	s         bitset.Set // current partial transversal
 	sElems    []int      // stack of S in insertion order
 	cand      bitset.Set // available candidate vertices
@@ -177,8 +199,21 @@ func (e *enumerator) rec() {
 	if e.stopped {
 		return
 	}
+	if e.done != nil {
+		select {
+		case <-e.done:
+			e.stopped, e.err = true, e.ctx.Err()
+			return
+		default:
+		}
+	}
 	if e.uncovered == 0 {
-		if !e.yield(e.s.Clone()) {
+		cont, err := e.yield(e.s.Clone())
+		if err != nil {
+			e.stopped, e.err = true, err
+			return
+		}
+		if !cont {
 			e.stopped = true
 		}
 		return
@@ -325,7 +360,38 @@ func ViaOracle(g *hypergraph.Hypergraph, oracle WitnessOracle) (*hypergraph.Hype
 		if !ok {
 			return partial, nil
 		}
+		partial.AddEdge(g.MinimalizeTransversal(w))
+	}
+}
+
+// EnumerateViaOracle is the streaming form of ViaOracle: each minimalized
+// transversal is yielded as soon as the oracle produces it, with the
+// incremental delay of one duality decision per element (experiment E17).
+// Oracle errors surface mid-stream as the return value instead of silently
+// truncating the enumeration; the yield may likewise abort with an error,
+// and a cancelled ctx stops before the next oracle call. The sets passed to
+// yield are fresh copies owned by the callee.
+func EnumerateViaOracle(ctx context.Context, g *hypergraph.Hypergraph, oracle WitnessOracle, yield func(bitset.Set) (bool, error)) error {
+	partial := hypergraph.New(g.N())
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w, ok, err := oracle(g, partial)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
 		m := g.MinimalizeTransversal(w)
 		partial.AddEdge(m)
+		cont, err := yield(m.Clone())
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
 	}
 }
