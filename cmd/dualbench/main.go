@@ -7,15 +7,23 @@
 //	dualbench                  # run all experiments
 //	dualbench -run E5,E8       # run selected experiments
 //	dualbench -json            # machine-readable results (ns/op, allocs/op)
+//	dualbench -engine all      # additionally benchmark every decision engine
 //
 // Every experiment reports PASS/FAIL against the corresponding claim of
 // Gottlob (PODS 2013); see DESIGN.md §3 for the index. With -json the
 // aligned tables are replaced by one JSON document on stdout carrying
 // per-experiment wall time and allocation counts, the format of the
 // BENCH_*.json perf-trajectory files recorded at the repository root.
+//
+// -engine (a registry name or "all") appends an engine benchmark: each
+// selected engine decides a fixed ground-truth instance suite through a
+// pinned session, reporting wall time and allocations per suite pass plus a
+// verdict-conformance flag; with -json these appear as per-engine rows
+// under "engines".
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,7 +32,9 @@ import (
 	"strings"
 	"time"
 
+	"dualspace/internal/engine"
 	"dualspace/internal/experiments"
+	"dualspace/internal/gen"
 )
 
 // jsonResult is one experiment's machine-readable outcome.
@@ -37,19 +47,31 @@ type jsonResult struct {
 	Rows     int    `json:"rows"`
 }
 
+// engineResult is one engine's machine-readable benchmark row: one "op" is
+// a full pass over the ground-truth suite through a pinned session.
+type engineResult struct {
+	Engine    string `json:"engine"`
+	Instances int    `json:"instances"`
+	Pass      bool   `json:"pass"`
+	NsOp      int64  `json:"ns_op"`
+	AllocsOp  uint64 `json:"allocs_op"`
+}
+
 // jsonReport is the -json document.
 type jsonReport struct {
-	GoVersion   string       `json:"go_version"`
-	GOOS        string       `json:"goos"`
-	GOARCH      string       `json:"goarch"`
-	Experiments []jsonResult `json:"experiments"`
-	Pass        bool         `json:"pass"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	Experiments []jsonResult   `json:"experiments"`
+	Engines     []engineResult `json:"engines,omitempty"`
+	Pass        bool           `json:"pass"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-experiment ns/op and allocs/op)")
+	engines := flag.String("engine", "", "benchmark decision engines: a registry name or \"all\"")
 	flag.Parse()
 
 	if *list {
@@ -76,6 +98,23 @@ func main() {
 
 	failures := 0
 	report := jsonReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Pass: true}
+	if *engines != "" {
+		rows, err := benchEngines(*engines)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dualbench:", err)
+			os.Exit(2)
+		}
+		report.Engines = rows
+		for _, row := range rows {
+			if !row.Pass {
+				failures++
+				report.Pass = false
+			}
+		}
+		if !*jsonOut {
+			printEngineTable(rows)
+		}
+	}
 	for _, e := range selected {
 		tbl, ns, allocs := measure(e)
 		if *jsonOut {
@@ -116,4 +155,72 @@ func measure(e experiments.Experiment) (tbl *experiments.Table, ns int64, allocs
 	ns = time.Since(start).Nanoseconds()
 	runtime.ReadMemStats(&after)
 	return tbl, ns, after.Mallocs - before.Mallocs
+}
+
+// engineSuite is the fixed ground-truth workload every engine is measured
+// on: the named generator families (duals, dropped-edge non-duals,
+// self-duals, random pairs) plus a heavier matching and majority pair, all
+// with known answers.
+func engineSuite() []gen.Pair {
+	suite := gen.Families(42)
+	suite = append(suite,
+		gen.Pair{Name: "matching-6", G: gen.Matching(6), H: gen.MatchingDual(6), Dual: true},
+		gen.Pair{Name: "matching-6-dropped", G: gen.Matching(6), H: gen.DropEdge(gen.MatchingDual(6), 17), Dual: false},
+		gen.Pair{Name: "majority-9", G: gen.Majority(9), H: gen.Majority(9), Dual: true},
+	)
+	return suite
+}
+
+// benchEngines decides the suite on each selected engine (a registry name
+// or "all") through a pinned session, measuring wall time and allocations
+// per full suite pass and checking every verdict against ground truth.
+func benchEngines(sel string) ([]engineResult, error) {
+	names := []string{sel}
+	if sel == "all" {
+		names = engine.Names()
+	}
+	suite := engineSuite()
+	ctx := context.Background()
+	var rows []engineResult
+	for _, name := range names {
+		eng, err := engine.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sess := engine.NewSession(eng)
+		pass := true
+		runPass := func() {
+			for _, p := range suite {
+				res, err := sess.Decide(ctx, p.G, p.H)
+				if err != nil || res.Dual != p.Dual {
+					pass = false
+				}
+			}
+		}
+		runPass() // warm the session scratch before measuring
+		const passes = 3
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < passes; i++ {
+			runPass()
+		}
+		ns := time.Since(start).Nanoseconds() / passes
+		runtime.ReadMemStats(&after)
+		rows = append(rows, engineResult{
+			Engine:    name,
+			Instances: len(suite),
+			Pass:      pass,
+			NsOp:      ns,
+			AllocsOp:  (after.Mallocs - before.Mallocs) / passes,
+		})
+	}
+	return rows, nil
+}
+
+func printEngineTable(rows []engineResult) {
+	fmt.Printf("%-14s %10s %14s %14s %6s\n", "ENGINE", "INSTANCES", "NS/PASS", "ALLOCS/PASS", "PASS")
+	for _, r := range rows {
+		fmt.Printf("%-14s %10d %14d %14d %6v\n", r.Engine, r.Instances, r.NsOp, r.AllocsOp, r.Pass)
+	}
 }

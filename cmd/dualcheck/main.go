@@ -3,18 +3,25 @@
 //
 // Usage:
 //
-//	dualcheck [-algo bm|fka|fkb|space] [-mode replay|strict|pipelined] G.hg H.hg
+//	dualcheck [-engine portfolio|core|core-parallel|fk-a|fk-b|logspace]
+//	          [-race] [-workers n] [-algo bm|bmp|fka|fkb|space]
+//	          [-mode replay|strict|pipelined] G.hg H.hg
 //
 // Each input file lists one hyperedge per line as whitespace-separated
 // vertex names ('-' denotes the empty edge, '#' starts a comment). The two
-// files share one vertex universe. Exit status: 0 dual, 1 not dual, 2
-// error.
+// files share one vertex universe. The decision runs on the selected
+// engine; the default portfolio dispatches on instance shape, and -race
+// hedges it by racing two engines. -algo keeps the legacy spellings (bm,
+// bmp, fka, fkb) plus the space-bounded certificate search, whose regime
+// -mode selects. Exit status: 0 dual, 1 not dual, 2 error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dualspace"
 	"dualspace/internal/core"
@@ -23,13 +30,15 @@ import (
 )
 
 func main() {
-	algo := flag.String("algo", "bm", "algorithm: bm (Boros–Makino), bmp (parallel), fka, fkb, space (space-bounded search)")
+	engineName := flag.String("engine", "", "decision engine: "+strings.Join(dualspace.EngineNames(), ", ")+" (default portfolio; overrides -algo)")
+	raceMode := flag.Bool("race", false, "race the portfolio's selection against a contrasting engine")
+	algo := flag.String("algo", "", "legacy algorithm spelling: bm, bmp, fka, fkb, space")
 	mode := flag.String("mode", "replay", "space regime for -algo space: replay, strict, pipelined")
-	workers := flag.Int("workers", 0, "goroutines for -algo bmp (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "goroutines for core-parallel / -algo bmp (0 = GOMAXPROCS)")
 	quiet := flag.Bool("q", false, "suppress witness output")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: dualcheck [-algo bm|fka|fkb|space] G.hg H.hg")
+		fmt.Fprintln(os.Stderr, "usage: dualcheck [-engine name] [-algo bm|bmp|fka|fkb|space] G.hg H.hg")
 		os.Exit(2)
 	}
 	gf, err := os.Open(flag.Arg(0))
@@ -42,48 +51,85 @@ func main() {
 	exitOn(err)
 	g, h := hs[0], hs[1]
 
-	switch *algo {
-	case "bm":
-		res, err := dualspace.Explain(g, h)
-		exitOn(err)
-		report(res.Dual, describe(res, sy), *quiet)
-	case "bmp":
-		res, err := dualspace.ExplainParallel(g, h, *workers)
-		exitOn(err)
-		report(res.Dual, describe(res, sy), *quiet)
-	case "fka", "fkb":
-		decide := dualspace.FKDecideA
-		if *algo == "fkb" {
-			decide = dualspace.FKDecideB
+	if *engineName == "" && *algo == "space" {
+		// Keep the error-instead-of-silent-fallback policy of resolveEngine:
+		// the certificate search neither races nor takes a worker bound.
+		if *raceMode {
+			exitOn(fmt.Errorf("-race applies only to the portfolio engine, not the space certificate search"))
 		}
-		res, err := decide(g, h)
-		exitOn(err)
-		detail := ""
-		if !res.Dual && res.HasWitness {
-			detail = fmt.Sprintf("witness assignment %s (%d recursive calls)", names(res.Witness, sy), res.Stats.Calls)
+		if *workers != 0 {
+			exitOn(fmt.Errorf("-workers does not apply to the space certificate search"))
 		}
-		report(res.Dual, detail, *quiet)
-	case "space":
-		m, err := parseMode(*mode)
-		exitOn(err)
-		// Full duality = preconditions (core) + space-bounded tree search.
-		res, err := dualspace.Explain(g, h)
-		exitOn(err)
-		if !res.Dual && res.Reason != dualspace.ReasonNewTransversal {
-			report(false, describe(res, sy), *quiet)
-			return
-		}
-		meter := dualspace.NewSpaceMeter()
-		pi, w, found, err := dualspace.FailCertificate(g, h, m, meter)
-		exitOn(err)
-		detail := fmt.Sprintf("peak workspace %d bits (%s mode)", meter.Peak(), m)
-		if found {
-			detail = fmt.Sprintf("certificate %v, witness %s, %s", pi, names(w, sy), detail)
-		}
-		report(!found, detail, *quiet)
-	default:
-		exitOn(fmt.Errorf("unknown algorithm %q", *algo))
+		runSpace(g, h, *mode, sy, *quiet)
+		return
 	}
+	eng, err := resolveEngine(*engineName, *algo, *raceMode, *workers)
+	exitOn(err)
+	res, err := dualspace.ExplainWith(context.Background(), g, h, dualspace.Options{Engine: eng})
+	exitOn(err)
+	report(res.Dual, describe(res, sy), *quiet)
+}
+
+// resolveEngine maps the -engine / -algo / -race / -workers flags to an
+// engine: -engine wins over the legacy -algo spellings, then the default
+// portfolio. -race applies only to the portfolio and -workers only to the
+// parallel engines; asking for either on an engine that cannot honor it is
+// an error rather than a silent fallback.
+func resolveEngine(name, algo string, raceMode bool, workers int) (dualspace.Engine, error) {
+	if name == "" {
+		switch algo {
+		case "":
+			name = "portfolio"
+		case "bm":
+			name = "core"
+		case "bmp":
+			name = "core-parallel"
+		case "fka":
+			name = "fk-a"
+		case "fkb":
+			name = "fk-b"
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", algo)
+		}
+	}
+	if raceMode && name != "portfolio" {
+		return nil, fmt.Errorf("-race applies only to the portfolio engine, not %q", name)
+	}
+	if workers != 0 && name != "portfolio" && name != "core-parallel" {
+		return nil, fmt.Errorf("-workers applies only to core-parallel or the portfolio, not %q", name)
+	}
+	switch name {
+	case "portfolio":
+		if raceMode || workers != 0 {
+			return dualspace.NewPortfolioEngine(dualspace.PortfolioConfig{Workers: workers, Race: raceMode}), nil
+		}
+	case "core-parallel":
+		if workers != 0 {
+			return dualspace.NewParallelEngine(workers), nil
+		}
+	}
+	return dualspace.EngineByName(name)
+}
+
+// runSpace is the certificate-search path: preconditions through the
+// engine, then the space-bounded fail-path search with a workspace meter.
+func runSpace(g, h *dualspace.Hypergraph, mode string, sy *hgio.Symbols, quiet bool) {
+	m, err := parseMode(mode)
+	exitOn(err)
+	res, err := dualspace.Explain(g, h)
+	exitOn(err)
+	if !res.Dual && res.Reason != dualspace.ReasonNewTransversal {
+		report(false, describe(res, sy), quiet)
+		return
+	}
+	meter := dualspace.NewSpaceMeter()
+	pi, w, found, err := dualspace.FailCertificate(g, h, m, meter)
+	exitOn(err)
+	detail := fmt.Sprintf("peak workspace %d bits (%s mode)", meter.Peak(), m)
+	if found {
+		detail = fmt.Sprintf("certificate %v, witness %s, %s", pi, names(w, sy), detail)
+	}
+	report(!found, detail, quiet)
 }
 
 func describe(res *core.Result, sy *hgio.Symbols) string {

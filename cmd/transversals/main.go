@@ -11,12 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"dualspace/internal/bitset"
-	"dualspace/internal/core"
+	"dualspace/internal/engine"
 	"dualspace/internal/hgio"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/transversal"
@@ -38,6 +39,13 @@ func main() {
 	exitOn(err)
 	h := hs[0].Minimize()
 
+	// Counting needs no materialization: stream the DFS enumerator and keep
+	// only the integer.
+	if *countOnly && *method == "dfs" && *limit <= 0 {
+		fmt.Println(transversal.Count(h))
+		return
+	}
+
 	var result *hypergraph.Hypergraph
 	switch *method {
 	case "dfs":
@@ -54,12 +62,9 @@ func main() {
 	case "berge":
 		result = transversal.Berge(h)
 	case "oracle":
-		got, err := transversal.ViaOracle(h, func(g, partial *hypergraph.Hypergraph) (bitset.Set, bool, error) {
-			if partial.M() == 0 {
-				return bitset.Full(g.N()), true, nil
-			}
-			return core.NewTransversal(g, partial)
-		})
+		// One pinned engine session serves the |tr(h)| + 1 oracle decisions.
+		sess := engine.NewSession(nil)
+		got, err := transversal.ViaOracle(h, sess.NewTransversalOracle(context.Background()))
 		exitOn(err)
 		result = got.Canonical()
 	default:

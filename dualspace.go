@@ -22,11 +22,18 @@
 //     of relational instances (Proposition 1.2), and coterie
 //     non-domination (Proposition 1.3).
 //
-// Long-running entry points have Context variants (ExplainContext,
-// ExplainParallelContext, EnumerateMinimalTransversalsContext) that abort
-// within one decomposition-tree node of cancellation. The same machinery
-// is served over HTTP by cmd/dualserved (internal/service), whose wire
-// protocol — including the canonical-Fingerprint verdict cache and the
+// Duality decisions route through the pluggable engine layer
+// (internal/engine): five procedures behind one interface — the
+// decomposition serial and parallel, the logspace replay, FK-A and FK-B —
+// selected explicitly (ExplainWith, EngineByName) or by the default
+// portfolio, which dispatches on instance features and can race two
+// engines; NewEngineSession pins scratch so repeated decisions from one
+// holder are allocation-free across calls. Long-running entry points have
+// Context variants (ExplainContext, ExplainParallelContext,
+// EnumerateMinimalTransversalsContext) that abort within one
+// decomposition-tree node of cancellation. The same machinery is served
+// over HTTP by cmd/dualserved (internal/service), whose wire protocol —
+// including the engine-keyed canonical-Fingerprint verdict cache and the
 // streaming enumeration endpoint — is documented in docs/API.md.
 //
 // # Conventions
@@ -43,6 +50,7 @@ import (
 	"dualspace/internal/core"
 	"dualspace/internal/coterie"
 	"dualspace/internal/dnf"
+	"dualspace/internal/engine"
 	"dualspace/internal/fkdual"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/itemsets"
@@ -84,6 +92,17 @@ type (
 	PathAttr = logspace.Attr
 	// FKResult is the outcome of a Fredman–Khachiyan decision.
 	FKResult = fkdual.Result
+	// Engine is a pluggable duality decision procedure (see internal/engine):
+	// the paper's decomposition (serial and parallel), the logspace replay
+	// walker, the Fredman–Khachiyan baselines, or a feature-dispatching
+	// portfolio over them.
+	Engine = engine.Engine
+	// EngineSession pins per-engine scratch so repeated decisions from one
+	// long-lived holder are allocation-free across calls. Not safe for
+	// concurrent use; results are valid until the session's next call.
+	EngineSession = engine.Session
+	// PortfolioConfig parameterizes NewPortfolioEngine.
+	PortfolioConfig = engine.PortfolioConfig
 )
 
 // Non-duality reasons (see core.Reason).
@@ -127,31 +146,84 @@ func NewSet(n int, elems ...int) Set { return bitset.FromSlice(n, elems) }
 
 // IsDual reports whether h = tr(g), i.e. whether the monotone DNFs of g
 // and h are mutually dual. Both hypergraphs must be simple and share a
-// universe.
+// universe. The decision runs on the default engine portfolio, which
+// dispatches per instance shape (see Options.Engine to choose explicitly).
 func IsDual(g, h *Hypergraph) (bool, error) {
-	res, err := core.Decide(g, h)
+	res, err := Explain(g, h)
 	if err != nil {
 		return false, err
 	}
 	return res.Dual, nil
 }
 
-// Explain decides duality like IsDual and returns the full verdict:
-// the reason for a negative answer, the offending edges, and — when the
-// decomposition stage ran — a new-transversal witness and the fail leaf's
-// path descriptor.
-func Explain(g, h *Hypergraph) (*Result, error) { return core.Decide(g, h) }
-
-// ExplainContext is Explain with cancellation: the decomposition-tree
-// search polls ctx at every node, so cancelling aborts the decision within
-// one tree-node boundary and returns ctx's error.
-func ExplainContext(ctx context.Context, g, h *Hypergraph) (*Result, error) {
-	return core.DecideContext(ctx, g, h)
+// Options configures an explicit duality decision.
+type Options struct {
+	// Engine selects the decision procedure; nil uses the default portfolio.
+	// Engines come from EngineByName, NewPortfolioEngine, NewParallelEngine,
+	// or a long-lived NewEngineSession.
+	Engine Engine
 }
+
+// Explain decides duality like IsDual and returns the full verdict: the
+// reason for a negative answer, the offending edges, and — when the
+// tree/recursion stage ran — a new-transversal witness (plus the fail
+// leaf's path descriptor for engines with the FailPath capability).
+func Explain(g, h *Hypergraph) (*Result, error) {
+	return ExplainWith(context.Background(), g, h, Options{})
+}
+
+// ExplainContext is Explain with cancellation: the decision polls ctx at
+// every tree-node (or recursion-step) boundary, so cancelling aborts it
+// within one boundary and returns ctx's error.
+func ExplainContext(ctx context.Context, g, h *Hypergraph) (*Result, error) {
+	return ExplainWith(ctx, g, h, Options{})
+}
+
+// ExplainWith is ExplainContext with an explicit engine choice. All engines
+// agree on verdicts and classify negative answers with the same Reason
+// taxonomy; they differ in search strategy, parallelism, and whether a
+// FailPath accompanies new-transversal witnesses.
+func ExplainWith(ctx context.Context, g, h *Hypergraph, opts Options) (*Result, error) {
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.Default()
+	}
+	return eng.Decide(ctx, g, h)
+}
+
+// EngineByName resolves an engine registry name — one of EngineNames() —
+// with "" meaning the default portfolio.
+func EngineByName(name string) (Engine, error) { return engine.ByName(name) }
+
+// EngineNames lists the available engine names, default first.
+func EngineNames() []string { return engine.Names() }
+
+// NewPortfolioEngine returns a feature-dispatching portfolio engine; the
+// zero config is the default dispatch, and Race hedges the heuristic by
+// running the selected engine against a contrasting one.
+func NewPortfolioEngine(cfg PortfolioConfig) Engine { return engine.NewPortfolio(cfg) }
+
+// NewParallelEngine returns the parallel decomposition engine with the given
+// goroutine bound (0 = GOMAXPROCS).
+func NewParallelEngine(workers int) Engine { return engine.NewCoreParallel(workers) }
+
+// NewEngineSession returns a session pinning eng's scratch (nil = default
+// portfolio) for allocation-free repeated decisions by one holder.
+func NewEngineSession(eng Engine) *EngineSession { return engine.NewSession(eng) }
 
 // IsSelfDual reports whether h = tr(h) (e.g. coterie non-domination,
 // majority functions).
 func IsSelfDual(h *Hypergraph) (bool, error) { return IsDual(h, h) }
+
+// IdentifyBordersWith is IdentifyBorders with cancellation and an explicit
+// engine (see Options.Engine).
+func IdentifyBordersWith(ctx context.Context, d *Dataset, z int, g, h *Hypergraph, opts Options) (*IdentifyResult, error) {
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.Default()
+	}
+	return itemsets.IdentifyWith(ctx, d, z, g, h, eng)
+}
 
 // ExplainParallel is Explain with the decomposition tree searched by up to
 // the given number of goroutines (0 = GOMAXPROCS) — the practical
@@ -159,13 +231,13 @@ func IsSelfDual(h *Hypergraph) (bool, error) { return IsDual(h, h) }
 // verdict matches Explain; on non-dual instances the witness may name a
 // different (equally valid) fail leaf.
 func ExplainParallel(g, h *Hypergraph, workers int) (*Result, error) {
-	return core.DecideParallel(g, h, workers)
+	return ExplainParallelContext(context.Background(), g, h, workers)
 }
 
 // ExplainParallelContext is ExplainParallel with cancellation (see
 // ExplainContext); every worker polls ctx at every node it visits.
 func ExplainParallelContext(ctx context.Context, g, h *Hypergraph, workers int) (*Result, error) {
-	return core.DecideParallelContext(ctx, g, h, workers)
+	return ExplainWith(ctx, g, h, Options{Engine: engine.NewCoreParallel(workers)})
 }
 
 // IsAcyclic reports α-acyclicity of a hypergraph (GYO reduction) — the
@@ -186,9 +258,17 @@ func ArmstrongRelation(k *Hypergraph, attrs []string) (*Relation, error) {
 // NewTransversal returns a transversal of g containing no edge of h, or
 // ok = false when none exists (tr(g) ⊆ h). This is the witness operation
 // the incremental border/key algorithms are built on; the result is not
-// necessarily minimal (see MinimalizeTransversal).
+// necessarily minimal (see MinimalizeTransversal). It runs the raw tree
+// stage of the default engine.
 func NewTransversal(g, h *Hypergraph) (w Set, ok bool, err error) {
-	return core.NewTransversal(g, h)
+	res, err := engine.TrSubset(context.Background(), engine.Default(), g, h)
+	if err != nil {
+		return Set{}, false, err
+	}
+	if res.Dual {
+		return Set{}, false, nil
+	}
+	return res.Witness, true, nil
 }
 
 // MinimalizeTransversal shrinks a transversal of h to a minimal one.
@@ -218,10 +298,15 @@ func EnumerateMinimalTransversalsContext(ctx context.Context, h *Hypergraph, yie
 // classical baseline).
 func MinimalTransversalsBerge(h *Hypergraph) *Hypergraph { return transversal.Berge(h) }
 
-// FKDecideA tests duality with Fredman–Khachiyan Algorithm A.
+// FKDecideA tests duality with Fredman–Khachiyan Algorithm A, returning the
+// algorithm's native result (assignment-style witness, recursion counters).
+// This is raw baseline access for the reproduction experiments; decision
+// paths that want FK semantics under the uniform Result vocabulary should
+// use ExplainWith with the "fk-a" engine instead.
 func FKDecideA(g, h *Hypergraph) (*FKResult, error) { return fkdual.DecideA(g, h) }
 
-// FKDecideB tests duality with the Algorithm-B-inspired variant.
+// FKDecideB tests duality with the Algorithm-B-inspired variant (see
+// FKDecideA for the engine-layer alternative).
 func FKDecideB(g, h *Hypergraph) (*FKResult, error) { return fkdual.DecideB(g, h) }
 
 // ParseDNF parses an irredundant monotone DNF ("a b + b c"; "0"/"1" for

@@ -1,6 +1,7 @@
 package dualspace
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -70,6 +71,38 @@ func MustHypergraph(n int, edges [][]int) *Hypergraph {
 		panic(err)
 	}
 	return h
+}
+
+func TestFacadeEngines(t *testing.T) {
+	g := MustHypergraph(4, [][]int{{0, 1}, {2, 3}})
+	h := MustHypergraph(4, [][]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	ctx := context.Background()
+	for _, name := range EngineNames() {
+		eng, err := EngineByName(name)
+		if err != nil {
+			t.Fatalf("EngineByName(%q): %v", name, err)
+		}
+		res, err := ExplainWith(ctx, g, h, Options{Engine: eng})
+		if err != nil || !res.Dual {
+			t.Errorf("engine %s: %v, %v", name, res, err)
+		}
+	}
+	if _, err := EngineByName("nope"); err == nil {
+		t.Error("unknown engine name accepted")
+	}
+	// A session reuses scratch across calls and still answers correctly.
+	sess := NewEngineSession(nil)
+	for i := 0; i < 3; i++ {
+		res, err := sess.Decide(ctx, g, h)
+		if err != nil || !res.Dual {
+			t.Fatalf("session decide %d: %v, %v", i, res, err)
+		}
+	}
+	// Racing portfolio through the façade.
+	res, err := ExplainWith(ctx, g, h, Options{Engine: NewPortfolioEngine(PortfolioConfig{Race: true})})
+	if err != nil || !res.Dual {
+		t.Errorf("racing portfolio: %v, %v", res, err)
+	}
 }
 
 func TestFacadeFK(t *testing.T) {

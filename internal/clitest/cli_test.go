@@ -88,6 +88,29 @@ func TestDualcheckNonDual(t *testing.T) {
 	}
 }
 
+func TestDualcheckEngineFlag(t *testing.T) {
+	g := writeFile(t, "g.hg", "a b\nc d\n")
+	h := writeFile(t, "h.hg", "a c\na d\nb c\nb d\n")
+	hBad := writeFile(t, "hbad.hg", "a c\na d\nb c\n")
+	for _, eng := range []string{"portfolio", "core", "core-parallel", "fk-a", "fk-b", "logspace"} {
+		out, code := run(t, "dualcheck", "-engine", eng, g, h)
+		if code != 0 || !strings.Contains(out, "DUAL") || strings.Contains(out, "NOT DUAL") {
+			t.Errorf("engine %s dual: code=%d out=%q", eng, code, out)
+		}
+		out, code = run(t, "dualcheck", "-engine", eng, g, hBad)
+		if code != 1 || !strings.Contains(out, "NOT DUAL") {
+			t.Errorf("engine %s non-dual: code=%d out=%q", eng, code, out)
+		}
+	}
+	// Racing portfolio agrees too.
+	if out, code := run(t, "dualcheck", "-race", g, h); code != 0 || !strings.Contains(out, "DUAL") {
+		t.Errorf("-race: code=%d out=%q", code, out)
+	}
+	if _, code := run(t, "dualcheck", "-engine", "quantum", g, h); code != 2 {
+		t.Error("unknown engine accepted")
+	}
+}
+
 func TestDualcheckErrors(t *testing.T) {
 	g := writeFile(t, "g.hg", "a b\n")
 	if _, code := run(t, "dualcheck", g); code != 2 {
@@ -283,5 +306,29 @@ func TestDualbenchList(t *testing.T) {
 	}
 	if _, code = run(t, "dualbench", "-run", "E99"); code != 2 {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestDualbenchEngineRows(t *testing.T) {
+	// One cheap experiment keeps the run fast; the engine table must carry a
+	// row per registry engine, all conforming to ground truth.
+	out, code := run(t, "dualbench", "-engine", "all", "-run", "E2")
+	if code != 0 {
+		t.Fatalf("dualbench -engine all: code=%d\n%s", code, out)
+	}
+	for _, eng := range []string{"portfolio", "core", "core-parallel", "fk-a", "fk-b", "logspace"} {
+		// Rows are left-aligned at the line start and padded with spaces, so
+		// anchor the match to keep "core" from being satisfied by the
+		// "core-parallel" row.
+		if !strings.Contains(out, "\n"+eng+" ") {
+			t.Errorf("engine table missing %s:\n%s", eng, out)
+		}
+	}
+	out, code = run(t, "dualbench", "-engine", "fk-a", "-run", "E2", "-json")
+	if code != 0 || !strings.Contains(out, `"engines"`) || !strings.Contains(out, `"fk-a"`) {
+		t.Fatalf("dualbench -engine -json: code=%d\n%s", code, out)
+	}
+	if _, code = run(t, "dualbench", "-engine", "quantum", "-run", "E2"); code != 2 {
+		t.Error("unknown engine accepted")
 	}
 }

@@ -280,6 +280,17 @@ type Result struct {
 	Stats Stats
 }
 
+// Clone returns a deep copy of the result — for callers that retain a
+// verdict beyond the lifetime of session-pinned storage (a Decider's results
+// alias its reusable buffers and are valid only until its next call).
+func (r *Result) Clone() *Result {
+	c := *r
+	c.Witness = r.Witness.Clone()
+	c.CoWitness = r.CoWitness.Clone()
+	c.FailPath = append([]int(nil), r.FailPath...)
+	return &c
+}
+
 // String renders a short human-readable verdict.
 func (r *Result) String() string {
 	if r.Dual {
@@ -322,6 +333,65 @@ func isConstant(x *hypergraph.Hypergraph) (bottom, top bool) {
 	return false, false
 }
 
+// precheckInto runs the logspace-checkable stages of Decide — validation,
+// constants, cross-intersection, and both minimality preconditions — writing
+// any verdict they alone determine into res (which the caller must have
+// initialized with GEdge/HEdge/RedundantVertex = -1). done reports that res
+// now holds the final verdict; done = false means the pair is simple,
+// non-constant, cross-intersecting and mutually minimal, so only the tree
+// stage remains. The done = false path allocates nothing, which is what lets
+// a Decider stay allocation-free across calls.
+func precheckInto(g, h *hypergraph.Hypergraph, res *Result) (bool, error) {
+	if err := validatePair(g, h); err != nil {
+		return false, err
+	}
+	gBot, gTop := isConstant(g)
+	hBot, hTop := isConstant(h)
+	if gBot || gTop || hBot || hTop {
+		if (gBot && hTop) || (gTop && hBot) {
+			res.Dual = true
+			return true, nil
+		}
+		res.Reason = ReasonConstantMismatch
+		return true, nil
+	}
+
+	// Precondition: cross-intersection.
+	if ok, gi, hi := g.CrossIntersecting(h); !ok {
+		res.Reason, res.GEdge, res.HEdge = ReasonNotCrossIntersecting, gi, hi
+		return true, nil
+	}
+	// Precondition: H ⊆ tr(G). Cross-intersection already makes every
+	// h-edge a transversal of g, so only minimality can fail.
+	if v := h.AllEdgesMinimalTransversalsOf(g); v != nil {
+		res.Reason, res.HEdge, res.RedundantVertex = ReasonHEdgeNotMinimal, v.EdgeIndex, v.RedundantVertex
+		return true, nil
+	}
+	// Precondition: G ⊆ tr(H).
+	if v := g.AllEdgesMinimalTransversalsOf(h); v != nil {
+		res.Reason, res.GEdge, res.RedundantVertex = ReasonGEdgeNotMinimal, v.EdgeIndex, v.RedundantVertex
+		return true, nil
+	}
+	return false, nil
+}
+
+// Precheck exposes the precondition stage of Decide to alternative decision
+// procedures (internal/engine's Fredman–Khachiyan and logspace adapters run
+// it before their own tree stage, so every engine classifies precondition
+// failures with the same Reason taxonomy). It returns the verdict and
+// done = true when the preconditions alone decide the instance, or
+// (nil, false, nil) when the tree stage is still needed — in which case the
+// pair is guaranteed simple, non-constant, cross-intersecting and mutually
+// minimal.
+func Precheck(g, h *hypergraph.Hypergraph) (*Result, bool, error) {
+	res := &Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	done, err := precheckInto(g, h, res)
+	if err != nil || !done {
+		return nil, false, err
+	}
+	return res, true, nil
+}
+
 // Decide determines whether h = tr(g) — equivalently, whether the monotone
 // DNFs of g and h are mutually dual. Both inputs must be simple hypergraphs
 // over the same universe.
@@ -342,30 +412,13 @@ func Decide(g, h *hypergraph.Hypergraph) (*Result, error) {
 // fast); a context that is already cancelled on entry aborts before the
 // first tree node.
 func DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
-	if err := validatePair(g, h); err != nil {
+	res := &Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	done, err := precheckInto(g, h, res)
+	if err != nil {
 		return nil, err
 	}
-	gBot, gTop := isConstant(g)
-	hBot, hTop := isConstant(h)
-	if gBot || gTop || hBot || hTop {
-		if (gBot && hTop) || (gTop && hBot) {
-			return &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}, nil
-		}
-		return &Result{Reason: ReasonConstantMismatch, GEdge: -1, HEdge: -1, RedundantVertex: -1}, nil
-	}
-
-	// Precondition: cross-intersection.
-	if ok, gi, hi := g.CrossIntersecting(h); !ok {
-		return &Result{Reason: ReasonNotCrossIntersecting, GEdge: gi, HEdge: hi, RedundantVertex: -1}, nil
-	}
-	// Precondition: H ⊆ tr(G). Cross-intersection already makes every
-	// h-edge a transversal of g, so only minimality can fail.
-	if v := h.AllEdgesMinimalTransversalsOf(g); v != nil {
-		return &Result{Reason: ReasonHEdgeNotMinimal, GEdge: -1, HEdge: v.EdgeIndex, RedundantVertex: v.RedundantVertex}, nil
-	}
-	// Precondition: G ⊆ tr(H).
-	if v := g.AllEdgesMinimalTransversalsOf(h); v != nil {
-		return &Result{Reason: ReasonGEdgeNotMinimal, GEdge: v.EdgeIndex, HEdge: -1, RedundantVertex: v.RedundantVertex}, nil
+	if done {
+		return res, nil
 	}
 
 	// Tree stage. Honor the paper's |H| ≤ |G| convention by swapping when
@@ -375,7 +428,7 @@ func DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, e
 	if h.M() > g.M() {
 		a, b, swapped = h, g, true
 	}
-	res, err := TrSubsetContext(ctx, a, b)
+	res, err = TrSubsetContext(ctx, a, b)
 	if err != nil {
 		return nil, err
 	}
@@ -450,9 +503,16 @@ func serialWalk(w *walkState, s bitset.Set, depth int, res *Result) bool {
 		if v.mark == MarkFail {
 			res.Dual = false
 			res.Reason = ReasonNewTransversal
-			res.Witness = w.sc.wit.Clone()
-			res.CoWitness = res.Witness.Complement()
-			res.FailPath = append([]int(nil), w.path[:depth]...)
+			if w.reuse {
+				w.witBuf.CopyFrom(w.sc.wit)
+				w.sc.wit.ComplementInto(w.cowitBuf)
+				w.pathBuf = append(w.pathBuf[:0], w.path[:depth]...)
+				res.Witness, res.CoWitness, res.FailPath = w.witBuf, w.cowitBuf, w.pathBuf
+			} else {
+				res.Witness = w.sc.wit.Clone()
+				res.CoWitness = res.Witness.Complement()
+				res.FailPath = append([]int(nil), w.path[:depth]...)
+			}
 			return false // stop the search
 		}
 		return true

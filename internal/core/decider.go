@@ -1,0 +1,110 @@
+package core
+
+// Decider: the reusable per-holder decision state behind internal/engine's
+// Session. A plain DecideContext call pays a per-call setup (classification
+// scratch, per-depth frames, result, witness clones); a Decider pins all of
+// that and re-binds it to each new instance, so a long-lived holder's
+// repeated decisions are allocation-free at steady state — across calls, not
+// just within one — including on non-dual verdicts, whose witness and
+// fail-path storage live in the pinned walker (scratch.go).
+
+import (
+	"context"
+	"errors"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/hypergraph"
+)
+
+// Decider is a reusable serial decision state for repeated Decide/TrSubset
+// calls. The zero value is not usable; create with NewDecider.
+//
+// The returned *Result — including its Witness, CoWitness and FailPath —
+// aliases the Decider's pinned storage and is valid only until the next call
+// on the same Decider; callers that retain verdicts must Clone them. A
+// Decider is not safe for concurrent use: it is meant to be owned by one
+// worker (internal/engine.Session hands one to each service worker slot).
+type Decider struct {
+	w    *walkState
+	full bitset.Set
+	res  Result
+}
+
+// NewDecider returns an empty decider; its scratch is sized lazily on the
+// first call and re-sized only when the instance universe changes.
+func NewDecider() *Decider { return &Decider{} }
+
+// bind points the pinned walker at (g, h), reallocating only when the
+// universe size differs from the previous instance's.
+func (d *Decider) bind(g, h *hypergraph.Hypergraph) *walkState {
+	n := g.N()
+	if d.w == nil || d.w.sc.n != n {
+		d.w = newWalkState(g, h)
+		d.w.reuse = true
+		d.w.witBuf = bitset.New(n)
+		d.w.cowitBuf = bitset.New(n)
+		d.full = bitset.Full(n)
+	} else {
+		d.w.sc.g, d.w.sc.h = g, h
+	}
+	return d.w
+}
+
+// DecideContext is DecideContext on the decider's pinned state: identical
+// verdicts, reasons, witnesses and statistics, with the reuse contract
+// documented on Decider.
+func (d *Decider) DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
+	d.res = Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	done, err := precheckInto(g, h, &d.res)
+	if err != nil {
+		return nil, err
+	}
+	if done {
+		return &d.res, nil
+	}
+	a, b, swapped := g, h, false
+	if h.M() > g.M() {
+		a, b, swapped = h, g, true
+	}
+	if err := d.treeStage(ctx, a, b); err != nil {
+		return nil, err
+	}
+	d.res.Swapped = swapped
+	if !d.res.Dual && swapped {
+		d.res.Witness, d.res.CoWitness = d.res.CoWitness, d.res.Witness
+	}
+	return &d.res, nil
+}
+
+// TrSubsetContext is TrSubsetContext on the decider's pinned state, under
+// the same input contract as the package-level function.
+func (d *Decider) TrSubsetContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
+	if err := validatePair(g, h); err != nil {
+		return nil, err
+	}
+	if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() || h.HasEmptyEdge() {
+		return nil, errors.New("core: TrSubset requires non-constant inputs; use Decide")
+	}
+	if ok, _, _ := g.CrossIntersecting(h); !ok {
+		return nil, errors.New("core: TrSubset requires a cross-intersecting pair")
+	}
+	d.res = Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	if err := d.treeStage(ctx, g, h); err != nil {
+		return nil, err
+	}
+	return &d.res, nil
+}
+
+// treeStage runs the serial DFS over T(g,h) on the pinned walker; the pair
+// must already be validated (simple, non-constant, cross-intersecting).
+func (d *Decider) treeStage(ctx context.Context, g, h *hypergraph.Hypergraph) error {
+	w := d.bind(g, h)
+	w.done = ctx.Done()
+	w.cancelled = false
+	d.res.Dual = true
+	serialWalk(w, d.full, 0, &d.res)
+	if w.cancelled {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -40,25 +40,13 @@ func DecideParallel(g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
 // before the cancellation won the race, the (valid) non-dual verdict is
 // returned instead of the context error.
 func DecideParallelContext(ctx context.Context, g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
-	if err := validatePair(g, h); err != nil {
+	pres := &Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	done, err := precheckInto(g, h, pres)
+	if err != nil {
 		return nil, err
 	}
-	gBot, gTop := isConstant(g)
-	hBot, hTop := isConstant(h)
-	if gBot || gTop || hBot || hTop {
-		if (gBot && hTop) || (gTop && hBot) {
-			return &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}, nil
-		}
-		return &Result{Reason: ReasonConstantMismatch, GEdge: -1, HEdge: -1, RedundantVertex: -1}, nil
-	}
-	if ok, gi, hi := g.CrossIntersecting(h); !ok {
-		return &Result{Reason: ReasonNotCrossIntersecting, GEdge: gi, HEdge: hi, RedundantVertex: -1}, nil
-	}
-	if v := h.AllEdgesMinimalTransversalsOf(g); v != nil {
-		return &Result{Reason: ReasonHEdgeNotMinimal, GEdge: -1, HEdge: v.EdgeIndex, RedundantVertex: v.RedundantVertex}, nil
-	}
-	if v := g.AllEdgesMinimalTransversalsOf(h); v != nil {
-		return &Result{Reason: ReasonGEdgeNotMinimal, GEdge: v.EdgeIndex, HEdge: -1, RedundantVertex: v.RedundantVertex}, nil
+	if done {
+		return pres, nil
 	}
 
 	a, b, swapped := g, h, false

@@ -55,6 +55,14 @@ type walkState struct {
 	// the serial DFS polls it at every node and sets cancelled on abort.
 	done      <-chan struct{}
 	cancelled bool
+	// reuse, set by a Decider on its pinned walker, makes serialWalk capture
+	// fail verdicts into witBuf/cowitBuf/pathBuf instead of fresh clones, so
+	// repeated decisions on one walker allocate nothing at steady state. The
+	// resulting Result aliases these buffers and is valid only until the
+	// walker's next run.
+	reuse            bool
+	witBuf, cowitBuf bitset.Set
+	pathBuf          []int
 }
 
 func newWalkState(g, h *hypergraph.Hypergraph) *walkState {

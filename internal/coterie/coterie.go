@@ -17,6 +17,7 @@ import (
 
 	"dualspace/internal/bitset"
 	"dualspace/internal/core"
+	"dualspace/internal/engine"
 	"dualspace/internal/hypergraph"
 )
 
@@ -89,9 +90,15 @@ func (c *Coterie) IsNonDominated() (bool, error) {
 }
 
 // IsNonDominatedContext is IsNonDominated with cancellation (see
-// core.DecideContext).
+// core.DecideContext), on the default engine portfolio.
 func (c *Coterie) IsNonDominatedContext(ctx context.Context) (bool, error) {
-	res, err := core.DecideContext(ctx, c.h, c.h)
+	return c.IsNonDominatedWith(ctx, engine.Default())
+}
+
+// IsNonDominatedWith is IsNonDominatedContext with a caller-chosen duality
+// engine.
+func (c *Coterie) IsNonDominatedWith(ctx context.Context, eng engine.Engine) (bool, error) {
+	res, err := eng.Decide(ctx, c.h, c.h)
 	if err != nil {
 		return false, err
 	}
@@ -105,9 +112,17 @@ func (c *Coterie) FindDominating() (*Coterie, bool, error) {
 	return c.FindDominatingContext(context.Background())
 }
 
-// FindDominatingContext is FindDominating with cancellation.
+// FindDominatingContext is FindDominating with cancellation, on the default
+// engine portfolio.
 func (c *Coterie) FindDominatingContext(ctx context.Context) (*Coterie, bool, error) {
-	res, err := core.DecideContext(ctx, c.h, c.h)
+	return c.FindDominatingWith(ctx, engine.Default())
+}
+
+// FindDominatingWith is FindDominatingContext with a caller-chosen duality
+// engine. Every engine reports precondition failures with core's Reason
+// taxonomy, so the witness-to-coterie conversion below is engine-independent.
+func (c *Coterie) FindDominatingWith(ctx context.Context, eng engine.Engine) (*Coterie, bool, error) {
+	res, err := eng.Decide(ctx, c.h, c.h)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,213 @@
+package engine
+
+// Portfolio dispatch. Gottlob–Malizia ("Achieving New Upper Bounds for the
+// Hypergraph Duality Problem through Logic") underline that no single
+// duality algorithm dominates across instance shapes; the Portfolio engine
+// therefore selects per instance on cheap features:
+//
+//   - A side with ≤ 2 edges goes to FK-B, whose small-side base resolves the
+//     instance by one dualization of that tiny side — no tree search at all.
+//   - Mid-size instances (|G|·|H| below the parallel threshold) go to the
+//     serial decomposition: its session-pinnable scratch and lack of spawn
+//     overhead beat goroutines while trees are small.
+//   - Large instances go to the parallel decomposition — unless the first
+//     input is α-acyclic or has degeneracy ≤ 2, the structural classes §6 of
+//     the paper singles out: their decomposition trees stay shallow, so the
+//     serial walker wins again.
+//
+// Racing mode hedges the heuristic: the selected engine runs against a
+// contrasting one (FK-A against core engines, core against FK picks) under
+// a shared context, the first verdict wins and cancels the loser within one
+// tree-node/recursion-step boundary.
+
+import (
+	"context"
+
+	"dualspace/internal/core"
+	"dualspace/internal/hypergraph"
+)
+
+// Selection thresholds (see the package comment above for the rationale).
+const (
+	// fkSmallSide: at or below this min-side edge count FK-B resolves the
+	// instance directly from its small-side base.
+	fkSmallSide = 2
+	// parallelProduct: |G|·|H| at or above which the tree is expected deep
+	// enough to amortize goroutine spawns.
+	parallelProduct = 2048
+	// lowDegeneracy: degeneracy at or below which the instance counts as
+	// structurally easy (paper §6) and stays on the serial walker.
+	lowDegeneracy = 2
+)
+
+// Features are the per-instance measurements the portfolio dispatches on.
+// Acyclic and Degeneracy are computed only when the cheap counts do not
+// already decide the dispatch (Structural reports whether they were).
+type Features struct {
+	// Vertices is |V|; GEdges and HEdges are |G| and |H|.
+	Vertices, GEdges, HEdges int
+	// MinSide is min(|G|,|H|); Product is |G|·|H|.
+	MinSide, Product int
+	// Structural reports that Acyclic and Degeneracy below are populated.
+	Structural bool
+	// Acyclic is α-acyclicity of g (GYO reduction).
+	Acyclic bool
+	// Degeneracy is g's min-degree-elimination degeneracy.
+	Degeneracy int
+}
+
+// ExtractFeatures computes the full feature tuple, including the structural
+// fields, for observability and tests; Select itself skips the structural
+// pass when the edge counts already decide the dispatch.
+func ExtractFeatures(g, h *hypergraph.Hypergraph) Features {
+	f := countFeatures(g, h)
+	f.Structural = true
+	f.Acyclic = g.IsAcyclic()
+	f.Degeneracy = g.Degeneracy()
+	return f
+}
+
+func countFeatures(g, h *hypergraph.Hypergraph) Features {
+	return Features{
+		Vertices: g.N(),
+		GEdges:   g.M(),
+		HEdges:   h.M(),
+		MinSide:  min(g.M(), h.M()),
+		Product:  g.M() * h.M(),
+	}
+}
+
+// PortfolioConfig parameterizes a Portfolio; the zero value is the default
+// non-racing portfolio with GOMAXPROCS-wide parallel fallback.
+type PortfolioConfig struct {
+	// Workers bounds the parallel engine's goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Race runs the selected engine against a contrasting one and takes the
+	// first verdict, cancelling the loser.
+	Race bool
+}
+
+// Portfolio is the feature-dispatching engine. It is stateless and safe for
+// concurrent use; create with NewPortfolio.
+type Portfolio struct {
+	cfg      PortfolioConfig
+	serial   coreSerial
+	parallel coreParallel
+	fka, fkb fk
+}
+
+// NewPortfolio returns a portfolio over the core and FK engines.
+func NewPortfolio(cfg PortfolioConfig) *Portfolio {
+	return &Portfolio{cfg: cfg, parallel: coreParallel{workers: cfg.Workers}, fka: fk{}, fkb: fk{b: true}}
+}
+
+// Name returns "portfolio".
+func (p *Portfolio) Name() string { return "portfolio" }
+
+// Caps reports the portfolio's own contract: it may parallelize and a
+// Session can pin its scratch, but a fail path is not guaranteed (the FK
+// engines do not produce one), and TrSubset runs on the serial walker.
+func (p *Portfolio) Caps() Caps {
+	return Caps{Parallel: true, TrSubset: true, Reusable: true}
+}
+
+// Select returns the engine the portfolio would dispatch (g, h) to, plus the
+// features that determined the choice — exposed so tests and /statsz
+// consumers can observe the policy.
+func (p *Portfolio) Select(g, h *hypergraph.Hypergraph) (Engine, Features) {
+	f := countFeatures(g, h)
+	if f.MinSide <= fkSmallSide {
+		return p.fkb, f
+	}
+	if f.Product < parallelProduct {
+		return p.serial, f
+	}
+	f.Structural = true
+	f.Acyclic = g.IsAcyclic()
+	f.Degeneracy = g.Degeneracy()
+	if f.Acyclic || f.Degeneracy <= lowDegeneracy {
+		return p.serial, f
+	}
+	return p.parallel, f
+}
+
+// rival returns the contrasting engine raced against the selection: the
+// FK-A baseline against core picks, the serial decomposition against FK
+// picks — maximally different search strategies, per the racing rationale.
+func (p *Portfolio) rival(sel Engine) Engine {
+	switch sel.(type) {
+	case fk:
+		return p.serial
+	default:
+		return p.fka
+	}
+}
+
+// Decide dispatches to the selected engine, or races it against its rival
+// when racing is configured.
+func (p *Portfolio) Decide(ctx context.Context, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	sel, _ := p.Select(g, h)
+	if p.cfg.Race {
+		return race(ctx, sel, p.rival(sel), g, h)
+	}
+	return sel.Decide(ctx, g, h)
+}
+
+// TrSubset runs the raw tree stage on the serial walker (the FK engines
+// cannot answer the precondition-free question, and the choice does not
+// affect the verdict).
+func (p *Portfolio) TrSubset(ctx context.Context, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	return core.TrSubsetContext(ctx, g, h)
+}
+
+func (p *Portfolio) decideWith(ctx context.Context, d *core.Decider, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	if p.cfg.Race {
+		// Racing runs two engines concurrently; the single-threaded pinned
+		// decider cannot serve both, so racing portfolios decide statelessly.
+		return p.Decide(ctx, g, h)
+	}
+	sel, _ := p.Select(g, h)
+	if db, ok := sel.(deciderBacked); ok {
+		return db.decideWith(ctx, d, g, h)
+	}
+	return sel.Decide(ctx, g, h)
+}
+
+func (p *Portfolio) trSubsetWith(ctx context.Context, d *core.Decider, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	return d.TrSubsetContext(ctx, g, h)
+}
+
+// race runs a and b under a shared cancellable context and returns the first
+// verdict, cancelling the loser (which drains within one node boundary). It
+// waits for both goroutines before returning, so no work outlives the call.
+func race(ctx context.Context, a, b Engine, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan outcome, 2)
+	for _, e := range []Engine{a, b} {
+		go func(e Engine) {
+			res, err := e.Decide(rctx, g, h)
+			ch <- outcome{res, err}
+		}(e)
+	}
+	var winner *core.Result
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		o := <-ch
+		switch {
+		case o.err == nil && winner == nil:
+			winner = o.res
+			cancel() // stop the loser; its (cancelled) error is discarded
+		case o.err != nil && firstErr == nil:
+			firstErr = o.err
+		}
+	}
+	if winner != nil {
+		return winner, nil
+	}
+	return nil, firstErr
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"context"
+
+	"dualspace/internal/core"
+	"dualspace/internal/hypergraph"
+)
+
+// Session is the per-holder reuse layer: it wraps an engine together with a
+// pinned core.Decider (classification scratch, frame stack, witness and
+// result storage), so that repeated decisions from one long-lived holder —
+// a service worker, an incremental border/key loop, a CLI batch — are
+// allocation-free across calls, not just within one. Engines that cannot
+// use the pinned scratch (the parallel search pools its own worker states;
+// the FK recursion allocates per call by nature) simply decide statelessly
+// through the same Session.
+//
+// A Session is itself an Engine, so it can be handed to any engine-accepting
+// call site. It is NOT safe for concurrent use, and results returned through
+// it alias the pinned storage: they are valid until the Session's next call,
+// so holders that retain verdicts (e.g. a cache) must Clone them.
+type Session struct {
+	eng Engine
+	dec *core.Decider
+}
+
+// NewSession returns a session driving eng (nil = the default portfolio).
+func NewSession(eng Engine) *Session {
+	if eng == nil {
+		eng = Default()
+	}
+	return &Session{eng: eng, dec: core.NewDecider()}
+}
+
+// Engine returns the engine this session drives by default.
+func (s *Session) Engine() Engine { return s.eng }
+
+// Name reports the wrapped engine's name.
+func (s *Session) Name() string { return s.eng.Name() }
+
+// Caps reports the wrapped engine's capabilities.
+func (s *Session) Caps() Caps { return s.eng.Caps() }
+
+// Decide decides with the session's engine on the pinned scratch.
+func (s *Session) Decide(ctx context.Context, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	return s.DecideWith(ctx, s.eng, g, h)
+}
+
+// DecideWith decides with an explicit engine (e.g. a per-request override)
+// while still reusing the session's pinned scratch when that engine can.
+func (s *Session) DecideWith(ctx context.Context, eng Engine, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	if db, ok := eng.(deciderBacked); ok {
+		return db.decideWith(ctx, s.dec, g, h)
+	}
+	return eng.Decide(ctx, g, h)
+}
+
+// TrSubset decides tr(g) ⊆ h on the pinned scratch when the session's
+// engine supports the raw tree stage, falling back like the package-level
+// TrSubset otherwise.
+func (s *Session) TrSubset(ctx context.Context, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	if db, ok := s.eng.(deciderBacked); ok {
+		return db.trSubsetWith(ctx, s.dec, g, h)
+	}
+	return TrSubset(ctx, s.eng, g, h)
+}

@@ -23,6 +23,7 @@
 package fkdual
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -76,13 +77,29 @@ const (
 )
 
 // DecideA tests duality with Fredman–Khachiyan Algorithm A.
-func DecideA(g, h *hypergraph.Hypergraph) (*Result, error) { return decide(g, h, algoA) }
+func DecideA(g, h *hypergraph.Hypergraph) (*Result, error) {
+	return decide(context.Background(), g, h, algoA)
+}
 
 // DecideB tests duality with the Algorithm-B-inspired variant (see the
 // package comment for the documented deviation).
-func DecideB(g, h *hypergraph.Hypergraph) (*Result, error) { return decide(g, h, algoB) }
+func DecideB(g, h *hypergraph.Hypergraph) (*Result, error) {
+	return decide(context.Background(), g, h, algoB)
+}
 
-func decide(g, h *hypergraph.Hypergraph, algo algorithm) (*Result, error) {
+// DecideAContext is DecideA with cancellation: the recursion polls ctx at
+// every call node, so a cancelled ctx aborts the decision within one
+// recursion step and surfaces ctx's error.
+func DecideAContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
+	return decide(ctx, g, h, algoA)
+}
+
+// DecideBContext is DecideB with cancellation (see DecideAContext).
+func DecideBContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
+	return decide(ctx, g, h, algoB)
+}
+
+func decide(ctx context.Context, g, h *hypergraph.Hypergraph, algo algorithm) (*Result, error) {
 	if g.N() != h.N() {
 		return nil, core.ErrUniverseMismatch
 	}
@@ -92,11 +109,14 @@ func decide(g, h *hypergraph.Hypergraph, algo algorithm) (*Result, error) {
 	if err := h.ValidateSimple(); err != nil {
 		return nil, fmt.Errorf("fkdual: h: %w", err)
 	}
-	d := &decider{n: g.N(), algo: algo}
+	d := &decider{n: g.N(), algo: algo, done: ctx.Done()}
 	f := cloneSets(g.Edges())
 	gg := cloneSets(h.Edges())
 	res := &Result{}
 	dual, witness, hasW := d.rec(f, gg, 0)
+	if d.cancelled {
+		return nil, ctx.Err()
+	}
 	res.Dual = dual
 	res.Witness = witness
 	res.HasWitness = hasW
@@ -116,11 +136,24 @@ type decider struct {
 	n     int
 	algo  algorithm
 	stats Stats
+	// done, when non-nil, is the cancellation channel; rec polls it at every
+	// call node and sets cancelled, after which every return value is
+	// discarded by decide in favor of ctx's error.
+	done      <-chan struct{}
+	cancelled bool
 }
 
 // rec decides duality of the DNF pair (f, g); both families are simple.
 // On non-dual it returns a witness x with f(x) == g(¬x).
 func (d *decider) rec(f, g []bitset.Set, depth int) (bool, bitset.Set, bool) {
+	if d.done != nil {
+		select {
+		case <-d.done:
+			d.cancelled = true
+			return true, bitset.Set{}, false // discarded by decide
+		default:
+		}
+	}
 	d.stats.Calls++
 	if depth > d.stats.MaxDepth {
 		d.stats.MaxDepth = depth

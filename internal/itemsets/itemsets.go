@@ -31,6 +31,7 @@ import (
 
 	"dualspace/internal/bitset"
 	"dualspace/internal/core"
+	"dualspace/internal/engine"
 	"dualspace/internal/hypergraph"
 )
 
@@ -197,8 +198,15 @@ func ComputeBorders(d *Dataset, z int) (*Borders, error) {
 // ComputeBordersContext is ComputeBorders with cancellation: every duality
 // check of the dualize-and-advance loop polls ctx at every tree node (see
 // core.DecideContext), so cancelling aborts the mining mid-loop with ctx's
-// error.
+// error. The duality checks run on the default engine portfolio.
 func ComputeBordersContext(ctx context.Context, d *Dataset, z int) (*Borders, error) {
+	return ComputeBordersWith(ctx, d, z, engine.Default())
+}
+
+// ComputeBordersWith is ComputeBordersContext with the duality engine chosen
+// by the caller — typically an engine.Session, so that the |IS+| + |IS−| + 1
+// decisions of one mining run share pinned scratch.
+func ComputeBordersWith(ctx context.Context, d *Dataset, z int, eng engine.Engine) (*Borders, error) {
 	if err := d.validateThreshold(z); err != nil {
 		return nil, err
 	}
@@ -217,7 +225,7 @@ func ComputeBordersContext(ctx context.Context, d *Dataset, z int) (*Borders, er
 
 	for {
 		b.DualityChecks++
-		newMax, newMin, done, err := advance(ctx, d, z, b.MaxFrequent, b.MinInfrequent)
+		newMax, newMin, done, err := advance(ctx, d, z, b.MaxFrequent, b.MinInfrequent, eng)
 		if err != nil {
 			return nil, err
 		}
@@ -240,12 +248,14 @@ func ComputeBordersContext(ctx context.Context, d *Dataset, z int) (*Borders, er
 
 // advance performs one duality check of (X, G) with X = Hᶜ and converts a
 // negative verdict into one new verified border element: a maximal frequent
-// itemset (newMax) or a minimal infrequent itemset (newMin).
-func advance(ctx context.Context, d *Dataset, z int, h, g *hypergraph.Hypergraph) (newMax, newMin *bitset.Set, done bool, err error) {
+// itemset (newMax) or a minimal infrequent itemset (newMin). Every engine
+// classifies verdicts with core's Reason taxonomy, so the conversion below
+// is engine-independent.
+func advance(ctx context.Context, d *Dataset, z int, h, g *hypergraph.Hypergraph, eng engine.Engine) (newMax, newMin *bitset.Set, done bool, err error) {
 	n := d.nItems
 	x := h.ComplementEdges() // Hᶜ
 
-	res, err := core.DecideContext(ctx, x, g)
+	res, err := eng.Decide(ctx, x, g)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -340,8 +350,15 @@ type IdentifyResult struct {
 // an additional maximal frequent or minimal infrequent itemset
 // (Proposition 1.1: this is logspace-equivalent to DUAL — after verifying
 // the membership claims, completeness is exactly G = tr(Hᶜ)). On
-// incompleteness a concrete missing border element is returned.
+// incompleteness a concrete missing border element is returned. The duality
+// check runs on the default engine portfolio; IdentifyWith chooses.
 func Identify(d *Dataset, z int, g, h *hypergraph.Hypergraph) (*IdentifyResult, error) {
+	return IdentifyWith(context.Background(), d, z, g, h, engine.Default())
+}
+
+// IdentifyWith is Identify with cancellation and a caller-chosen duality
+// engine.
+func IdentifyWith(ctx context.Context, d *Dataset, z int, g, h *hypergraph.Hypergraph, eng engine.Engine) (*IdentifyResult, error) {
 	if err := d.validateThreshold(z); err != nil {
 		return nil, err
 	}
@@ -377,7 +394,7 @@ func Identify(d *Dataset, z int, g, h *hypergraph.Hypergraph) (*IdentifyResult, 
 		res.NewMaxFrequent = &m
 		return res, nil
 	}
-	newMax, newMin, done, err := advance(context.Background(), d, z, h, g)
+	newMax, newMin, done, err := advance(ctx, d, z, h, g, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -494,9 +511,10 @@ func maxElem(s bitset.Set) int {
 }
 
 // VerifyBorderIdentity checks the Gunopulos et al. identity IS− = tr((IS+)ᶜ)
-// on computed borders using the duality engine; it backs experiment E10.
+// on computed borders using the default duality engine; it backs experiment
+// E10.
 func VerifyBorderIdentity(b *Borders) (bool, error) {
-	res, err := core.Decide(b.MaxFrequent.ComplementEdges(), b.MinInfrequent)
+	res, err := engine.Default().Decide(context.Background(), b.MaxFrequent.ComplementEdges(), b.MinInfrequent)
 	if err != nil {
 		return false, err
 	}

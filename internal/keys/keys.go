@@ -19,6 +19,7 @@ import (
 
 	"dualspace/internal/bitset"
 	"dualspace/internal/core"
+	"dualspace/internal/engine"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/transversal"
 )
@@ -201,8 +202,18 @@ func (r *Relation) AdditionalKey(known *hypergraph.Hypergraph) (*AdditionalKeyRe
 }
 
 // AdditionalKeyContext is AdditionalKey with cancellation: the underlying
-// tree search polls ctx at every node (see core.TrSubsetContext).
+// tree search polls ctx at every node (see core.TrSubsetContext). The
+// decision runs on the default engine portfolio; AdditionalKeyWith chooses.
 func (r *Relation) AdditionalKeyContext(ctx context.Context, known *hypergraph.Hypergraph) (*AdditionalKeyResult, error) {
+	return r.AdditionalKeyWith(ctx, known, engine.Default())
+}
+
+// AdditionalKeyWith is AdditionalKeyContext with a caller-chosen duality
+// engine. The question tr(D) ⊆ K is the raw tree stage, so engines without
+// the TrSubset capability fall back to the reference serial walker (see
+// engine.TrSubset); an engine.Session pins scratch across the incremental
+// calls of EnumerateKeysIncrementallyWith.
+func (r *Relation) AdditionalKeyWith(ctx context.Context, known *hypergraph.Hypergraph, eng engine.Engine) (*AdditionalKeyResult, error) {
 	n := len(r.attrs)
 	if known.N() != n {
 		return nil, errors.New("keys: known-keys universe differs from attribute count")
@@ -234,7 +245,7 @@ func (r *Relation) AdditionalKeyContext(ctx context.Context, known *hypergraph.H
 		return &AdditionalKeyResult{NewKey: k, FoundNew: true}, nil
 	}
 
-	res, err := core.TrSubsetContext(ctx, d, known)
+	res, err := engine.TrSubset(ctx, eng, d, known)
 	if err != nil {
 		return nil, err
 	}
@@ -253,13 +264,20 @@ func (r *Relation) EnumerateKeysIncrementally() (*hypergraph.Hypergraph, int, er
 }
 
 // EnumerateKeysIncrementallyContext is EnumerateKeysIncrementally with
-// cancellation between and within the additional-key calls.
+// cancellation between and within the additional-key calls. Each run pins a
+// fresh engine session, so the |keys| + 1 decisions share scratch.
 func (r *Relation) EnumerateKeysIncrementallyContext(ctx context.Context) (*hypergraph.Hypergraph, int, error) {
+	return r.EnumerateKeysIncrementallyWith(ctx, engine.NewSession(nil))
+}
+
+// EnumerateKeysIncrementallyWith is EnumerateKeysIncrementallyContext on a
+// caller-chosen engine (typically a long-lived engine.Session).
+func (r *Relation) EnumerateKeysIncrementallyWith(ctx context.Context, eng engine.Engine) (*hypergraph.Hypergraph, int, error) {
 	known := hypergraph.New(len(r.attrs))
 	calls := 0
 	for {
 		calls++
-		res, err := r.AdditionalKeyContext(ctx, known)
+		res, err := r.AdditionalKeyWith(ctx, known, eng)
 		if err != nil {
 			return nil, calls, err
 		}

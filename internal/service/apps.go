@@ -2,8 +2,11 @@ package service
 
 // The paper's three database applications as endpoints (Propositions
 // 1.1–1.3): itemset borders, additional keys, coterie non-domination. Each
-// runs on the same bounded worker pool as the duality endpoints; inputs go
-// through the hardened hgio readers.
+// runs on the same bounded worker pool as the duality endpoints and drives
+// its duality checks through the worker slot's pinned engine.Session, so
+// the incremental loops (dualize-and-advance, key enumeration) reuse
+// scratch across their many decisions; inputs go through the hardened hgio
+// readers.
 
 import (
 	"fmt"
@@ -44,11 +47,12 @@ func (s *Server) handleBorders(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.acquire(r); err != nil {
+	sess, err := s.acquire(r)
+	if err != nil {
 		return
 	}
-	defer s.release()
-	b, err := itemsets.ComputeBordersContext(r.Context(), d, req.Z)
+	defer s.release(sess)
+	b, err := itemsets.ComputeBordersWith(r.Context(), d, req.Z, sess)
 	if err != nil {
 		if r.Context().Err() != nil {
 			s.cancelled.Add(1)
@@ -98,13 +102,14 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < rel.NumAttrs(); i++ {
 		attrSym.Intern(rel.AttrName(i))
 	}
-	if err := s.acquire(r); err != nil {
+	sess, err := s.acquire(r)
+	if err != nil {
 		return
 	}
-	defer s.release()
+	defer s.release(sess)
 
 	if strings.TrimSpace(req.Known) == "" {
-		all, _, err := rel.EnumerateKeysIncrementallyContext(r.Context())
+		all, _, err := rel.EnumerateKeysIncrementallyWith(r.Context(), sess)
 		if err != nil {
 			if r.Context().Err() != nil {
 				s.cancelled.Add(1)
@@ -135,7 +140,7 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 		}
 		known.AddEdgeElems(idx...)
 	}
-	res, err := rel.AdditionalKeyContext(r.Context(), known)
+	res, err := rel.AdditionalKeyWith(r.Context(), known, sess)
 	if err != nil {
 		if r.Context().Err() != nil {
 			s.cancelled.Add(1)
@@ -191,15 +196,16 @@ func (s *Server) handleCoteries(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	if err := s.acquire(r); err != nil {
+	sess, err := s.acquire(r)
+	if err != nil {
 		return
 	}
-	defer s.release()
+	defer s.release(sess)
 	resp := coteriesResponse{Quorums: c.NumQuorums(), Nodes: c.Universe()}
 	if req.Improve {
 		// One self-duality decomposition answers both questions: found is
 		// false exactly when the coterie is non-dominated.
-		dom, found, err := c.FindDominatingContext(r.Context())
+		dom, found, err := c.FindDominatingWith(r.Context(), sess)
 		if err != nil {
 			if r.Context().Err() != nil {
 				s.cancelled.Add(1)
@@ -213,7 +219,7 @@ func (s *Server) handleCoteries(w http.ResponseWriter, r *http.Request) {
 			resp.Dominating = edgeNames(dom.Hypergraph(), sy)
 		}
 	} else {
-		nd, err := c.IsNonDominatedContext(r.Context())
+		nd, err := c.IsNonDominatedWith(r.Context(), sess)
 		if err != nil {
 			if r.Context().Err() != nil {
 				s.cancelled.Add(1)

@@ -8,13 +8,17 @@ import (
 	"dualspace/internal/hypergraph"
 )
 
-// verdictCache is a mutex-guarded LRU of duality verdicts keyed by the pair
-// of canonical hypergraph fingerprints. Cached Results are index-level (the
-// witness and edge indices refer to the canonicalized instance) and treated
-// as immutable by every reader; per-request name resolution happens at
-// response-rendering time, so one cached verdict serves every request whose
-// inputs canonicalize to the same instance — including requests whose
-// vertex names differ but induce the same index families.
+// verdictCache is a mutex-guarded LRU of duality verdicts keyed by the
+// resolved engine name plus the pair of canonical hypergraph fingerprints.
+// Cached Results are index-level (the witness and edge indices refer to the
+// canonicalized instance) and treated as immutable by every reader;
+// per-request name resolution happens at response-rendering time, so one
+// cached verdict serves every request whose inputs canonicalize to the same
+// instance — including requests whose vertex names differ but induce the
+// same index families. The engine name is part of the key because engines
+// agree on verdicts but not on witnesses, fail paths or statistics: a
+// verdict computed by the core decomposition must never answer an explicit
+// FK-B request (or vice versa).
 type verdictCache struct {
 	mu  sync.Mutex
 	cap int
@@ -33,9 +37,13 @@ func newVerdictCache(capacity int) *verdictCache {
 	return &verdictCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// pairKey is the cache key of an ordered instance pair.
-func pairKey(fg, fh hypergraph.Fingerprint) string {
-	buf := make([]byte, 0, 2*hypergraph.FingerprintSize)
+// pairKey is the cache key of an ordered instance pair decided on the named
+// engine. Engine names never contain NUL, and the fixed-size fingerprints
+// follow the separator, so distinct (engine, g, h) triples cannot collide.
+func pairKey(engName string, fg, fh hypergraph.Fingerprint) string {
+	buf := make([]byte, 0, len(engName)+1+2*hypergraph.FingerprintSize)
+	buf = append(buf, engName...)
+	buf = append(buf, 0)
 	buf = fg.AppendTo(buf)
 	buf = fh.AppendTo(buf)
 	return string(buf)

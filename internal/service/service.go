@@ -6,25 +6,37 @@
 //
 //   - Every decision endpoint runs on a bounded worker pool (Config.Workers
 //     concurrent decompositions); excess requests queue in acquire() and
-//     leave the queue the moment their client disconnects.
+//     leave the queue the moment their client disconnects. Each worker slot
+//     carries a long-lived engine.Session, so the decisions it serves —
+//     /v1/decide verdicts and the incremental loops behind the application
+//     endpoints alike — reuse pinned scratch instead of allocating per
+//     request.
+//   - All duality work routes through internal/engine: requests pick a
+//     decision procedure with the /v1/decide "engine" field (validated
+//     against engine.Names(); empty = the default portfolio, which
+//     dispatches on instance features), and /statsz reports per-engine
+//     cache-hit and decision counters.
 //   - Requests are cancellable end to end: the handler passes the request
-//     context into core.DecideContext / transversal.EnumerateContext, which
-//     poll it at every decomposition-tree (resp. search-tree) node, so a
-//     closed client connection aborts the computation within one node.
-//   - /v1/decide verdicts are cached in an LRU keyed by the canonical
-//     Fingerprint pair of the inputs. Decisions run on the canonicalized
-//     instance, so a cached verdict (including its witness and edge
-//     indices) is valid for every request with the same canonical form —
-//     repeats and renamed-but-isomorphic-after-canonicalization queries
-//     never recompute. Concurrent identical misses may race to compute the
-//     same verdict; both results are identical, so the stampede is benign.
+//     context into the engine / transversal.EnumerateContext, which poll it
+//     at every decomposition-tree (resp. search-tree) node, so a closed
+//     client connection aborts the computation within one node.
+//   - /v1/decide verdicts are cached in an LRU keyed by the resolved engine
+//     name plus the canonical Fingerprint pair of the inputs. Decisions run
+//     on the canonicalized instance, so a cached verdict (including its
+//     witness and edge indices) is valid for every request with the same
+//     canonical form and engine — repeats and
+//     renamed-but-isomorphic-after-canonicalization queries never recompute,
+//     while a verdict computed by one engine is never served for an explicit
+//     request of another (engines agree on verdicts but not on witnesses or
+//     statistics). Concurrent identical misses may race to compute the same
+//     verdict; both results are identical, so the stampede is benign.
 //   - All input parsing goes through internal/hgio's *Limited readers with
 //     explicit size/universe limits (Config.Limits), and request bodies are
 //     bounded by Config.MaxBodyBytes, so untrusted traffic cannot force
 //     unbounded allocation before validation.
 //
 // Observability: /healthz for liveness, /statsz for request, cache,
-// decomposition, cancellation and stream counters.
+// decomposition (total and per engine), cancellation and stream counters.
 package service
 
 import (
@@ -39,6 +51,7 @@ import (
 
 	"dualspace/internal/bitset"
 	"dualspace/internal/core"
+	"dualspace/internal/engine"
 	"dualspace/internal/hgio"
 	"dualspace/internal/hypergraph"
 )
@@ -73,14 +86,28 @@ var DefaultLimits = hgio.Limits{
 	MaxLineBytes: 1 << 20,
 }
 
+// engineCounters are the per-engine /statsz observables.
+type engineCounters struct {
+	hits      atomic.Int64 // cache hits for verdicts requested on this engine
+	decisions atomic.Int64 // decisions actually run on this engine
+}
+
 // Server is the HTTP duality/border service. Create with New; it is an
 // http.Handler and safe for concurrent use.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
-	sem   chan struct{}
 	cache *verdictCache
 	start time.Time
+
+	// sessions is the worker pool: each slot is a long-lived engine.Session
+	// owned exclusively by the request holding it (acquire/release), so
+	// session scratch is reused across requests without locking.
+	sessions chan *engine.Session
+
+	// engStats maps every registry engine name to its counters; built once
+	// in New, so reads are lock-free.
+	engStats map[string]*engineCounters
 
 	reqDecide       atomic.Int64
 	reqTransversals atomic.Int64
@@ -121,11 +148,18 @@ func New(cfg Config) *Server {
 		cfg.MaxStreamResults = 1 << 16
 	}
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		sem:   make(chan struct{}, cfg.Workers),
-		cache: newVerdictCache(cfg.CacheSize),
-		start: time.Now(),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		sessions: make(chan *engine.Session, cfg.Workers),
+		cache:    newVerdictCache(cfg.CacheSize),
+		engStats: make(map[string]*engineCounters, len(engine.Names())),
+		start:    time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.sessions <- engine.NewSession(nil)
+	}
+	for _, name := range engine.Names() {
+		s.engStats[name] = &engineCounters{}
 	}
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
 	s.mux.HandleFunc("POST /v1/transversals", s.handleTransversals)
@@ -144,19 +178,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// acquire claims a worker-pool slot, waiting until one frees or the
-// request's context is cancelled. release must be called iff err is nil.
-func (s *Server) acquire(r *http.Request) error {
+// acquire claims a worker-pool slot — with its pinned session — waiting
+// until one frees or the request's context is cancelled. release must be
+// called iff err is nil.
+func (s *Server) acquire(r *http.Request) (*engine.Session, error) {
 	select {
-	case s.sem <- struct{}{}:
-		return nil
+	case sess := <-s.sessions:
+		return sess, nil
 	case <-r.Context().Done():
 		s.cancelled.Add(1)
-		return r.Context().Err()
+		return nil, r.Context().Err()
 	}
 }
 
-func (s *Server) release() { <-s.sem }
+func (s *Server) release(sess *engine.Session) { s.sessions <- sess }
 
 // decodeJSON reads a bounded request body into dst.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
@@ -234,10 +269,20 @@ type statsResponse struct {
 		Size     int   `json:"size"`
 		Capacity int   `json:"capacity"`
 	} `json:"cache"`
-	Decompositions  int64 `json:"decompositions"`
-	Cancelled       int64 `json:"cancelled"`
-	BadRequests     int64 `json:"bad_requests"`
-	StreamedResults int64 `json:"streamed_results"`
+	// Engines carries per-engine cache hits and decision runs, keyed by
+	// registry name; requests without an explicit engine count under
+	// "portfolio".
+	Engines         map[string]engineStats `json:"engines"`
+	Decompositions  int64                  `json:"decompositions"`
+	Cancelled       int64                  `json:"cancelled"`
+	BadRequests     int64                  `json:"bad_requests"`
+	StreamedResults int64                  `json:"streamed_results"`
+}
+
+// engineStats is the wire form of one engine's counters.
+type engineStats struct {
+	Hits      int64 `json:"hits"`
+	Decisions int64 `json:"decisions"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +307,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Misses = s.cacheMisses.Load()
 	resp.Cache.Size = s.cache.len()
 	resp.Cache.Capacity = s.cfg.CacheSize
+	resp.Engines = make(map[string]engineStats, len(s.engStats))
+	for name, c := range s.engStats {
+		resp.Engines[name] = engineStats{Hits: c.hits.Load(), Decisions: c.decisions.Load()}
+	}
 	resp.Decompositions = s.decompositions.Load()
 	resp.Cancelled = s.cancelled.Load()
 	resp.BadRequests = s.badRequests.Load()
@@ -270,10 +319,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // decideRequest is the /v1/decide body: two hypergraphs in the hgio
-// line-oriented edge format (docs/API.md).
+// line-oriented edge format, plus an optional engine name (docs/API.md).
 type decideRequest struct {
 	G string `json:"g"`
 	H string `json:"h"`
+	// Engine selects the decision procedure by registry name; empty means
+	// the default portfolio. Unknown names are a 400.
+	Engine string `json:"engine,omitempty"`
 }
 
 // decideStats mirrors core.Stats on the wire.
@@ -302,6 +354,8 @@ type decideResponse struct {
 	Swapped         bool        `json:"swapped"`
 	Stats           decideStats `json:"stats"`
 	Cached          bool        `json:"cached"`
+	// Engine is the resolved engine name the verdict was requested on.
+	Engine string `json:"engine"`
 }
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
@@ -311,6 +365,12 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	eng, err := engine.ByName(req.Engine)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	engName := eng.Name() // "" resolves to the default portfolio's name
 	hs, sy, err := hgio.ReadHypergraphsLimited(s.cfg.Limits,
 		strings.NewReader(req.G), strings.NewReader(req.H))
 	if err != nil {
@@ -318,22 +378,25 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g, h := hs[0].Canonical(), hs[1].Canonical()
-	key := pairKey(g.Fingerprint(), h.Fingerprint())
+	key := pairKey(engName, g.Fingerprint(), h.Fingerprint())
 	if res, ok := s.cache.get(key); ok {
 		s.cacheHits.Add(1)
-		writeJSON(w, renderDecide(res, g, h, sy, true))
+		s.engStats[engName].hits.Add(1)
+		writeJSON(w, renderDecide(res, g, h, sy, true, engName))
 		return
 	}
 	s.cacheMisses.Add(1)
-	if err := s.acquire(r); err != nil {
+	sess, err := s.acquire(r)
+	if err != nil {
 		return // client gone; nothing to write to
 	}
-	defer s.release()
+	defer s.release(sess)
 	if s.testHookDecideStart != nil {
 		s.testHookDecideStart()
 	}
 	s.decompositions.Add(1)
-	res, err := core.DecideContext(r.Context(), g, h)
+	s.engStats[engName].decisions.Add(1)
+	res, err := sess.DecideWith(r.Context(), eng, g, h)
 	if err != nil {
 		if r.Context().Err() != nil {
 			s.cancelled.Add(1)
@@ -342,13 +405,16 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.cache.add(key, res)
-	writeJSON(w, renderDecide(res, g, h, sy, false))
+	// Session results alias the worker's pinned scratch and are only valid
+	// until its next decision; the cache retains verdicts, so it gets a
+	// detached copy.
+	s.cache.add(key, res.Clone())
+	writeJSON(w, renderDecide(res, g, h, sy, false, engName))
 }
 
 // renderDecide resolves an index-level verdict into the request's names;
 // g and h are the canonicalized inputs the verdict's edge indices refer to.
-func renderDecide(res *core.Result, g, h *hypergraph.Hypergraph, sy *hgio.Symbols, cached bool) decideResponse {
+func renderDecide(res *core.Result, g, h *hypergraph.Hypergraph, sy *hgio.Symbols, cached bool, engName string) decideResponse {
 	resp := decideResponse{
 		Dual:    res.Dual,
 		Reason:  res.Reason.String(),
@@ -356,6 +422,7 @@ func renderDecide(res *core.Result, g, h *hypergraph.Hypergraph, sy *hgio.Symbol
 		HEdge:   res.HEdge,
 		Swapped: res.Swapped,
 		Cached:  cached,
+		Engine:  engName,
 		Stats: decideStats{
 			Nodes:       res.Stats.Nodes,
 			Leaves:      res.Stats.Leaves,

@@ -226,6 +226,72 @@ func TestDecideFingerprintCache(t *testing.T) {
 	}
 }
 
+// TestDecideEngineSelection drives /v1/decide across every registry engine:
+// all must agree on the verdict, echo the resolved engine name, and an
+// unknown name must be rejected before any work runs.
+func TestDecideEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, name := range []string{"portfolio", "core", "core-parallel", "fk-a", "fk-b", "logspace"} {
+		code, out := post(t, ts.URL+"/v1/decide", map[string]any{"g": gDual, "h": hDual, "engine": name})
+		if code != 200 || out["dual"] != true || out["engine"] != name {
+			t.Errorf("engine %s: code=%d out=%v", name, code, out)
+		}
+		code, out = post(t, ts.URL+"/v1/decide", map[string]any{"g": gDual, "h": hNonDual, "engine": name})
+		if code != 200 || out["dual"] != false {
+			t.Errorf("engine %s non-dual: code=%d out=%v", name, code, out)
+		}
+		if wit, ok := out["witness"].([]any); !ok || len(wit) == 0 {
+			t.Errorf("engine %s: missing witness: %v", name, out["witness"])
+		}
+	}
+	// The empty engine resolves to the portfolio.
+	if _, out := post(t, ts.URL+"/v1/decide", map[string]any{"g": gDual, "h": hDual}); out["engine"] != "portfolio" {
+		t.Errorf("default engine = %v", out["engine"])
+	}
+	// Unknown engines are client errors.
+	if code, _ := post(t, ts.URL+"/v1/decide", map[string]any{"g": gDual, "h": hDual, "engine": "quantum"}); code != 400 {
+		t.Errorf("unknown engine: code=%d", code)
+	}
+}
+
+// TestDecideEngineKeyedCache is the satellite guard: a verdict cached for
+// one engine is never served for an explicit request of another, and the
+// per-engine /statsz counters track hits and decisions separately.
+func TestDecideEngineKeyedCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	decide := func(eng string) map[string]any {
+		code, out := post(t, ts.URL+"/v1/decide", map[string]any{"g": gDual, "h": hDual, "engine": eng})
+		if code != 200 || out["dual"] != true {
+			t.Fatalf("engine %s: code=%d out=%v", eng, code, out)
+		}
+		return out
+	}
+	if out := decide("core"); out["cached"] != false {
+		t.Fatalf("first core decide cached: %v", out)
+	}
+	// The same instance on fk-b must be a fresh miss, not the core entry.
+	if out := decide("fk-b"); out["cached"] != false {
+		t.Fatalf("fk-b served from the core cache entry: %v", out)
+	}
+	// Repeats hit within each engine.
+	if out := decide("core"); out["cached"] != true || out["engine"] != "core" {
+		t.Fatalf("core repeat not cached: %v", out)
+	}
+	if out := decide("fk-b"); out["cached"] != true || out["engine"] != "fk-b" {
+		t.Fatalf("fk-b repeat not cached: %v", out)
+	}
+	engines := getJSON(t, ts.URL+"/statsz")["engines"].(map[string]any)
+	for _, eng := range []string{"core", "fk-b"} {
+		c := engines[eng].(map[string]any)
+		if c["hits"].(float64) != 1 || c["decisions"].(float64) != 1 {
+			t.Errorf("engine %s counters = %v, want 1 hit / 1 decision", eng, c)
+		}
+	}
+	if c := engines["portfolio"].(map[string]any); c["decisions"].(float64) != 0 {
+		t.Errorf("portfolio counters moved without portfolio traffic: %v", c)
+	}
+}
+
 // streamTransversals posts to /v1/transversals and returns the streamed
 // sets plus the terminal record.
 func streamTransversals(t *testing.T, url string, body any) ([][]string, map[string]any) {

@@ -70,10 +70,13 @@ func (s *Server) handleTransversals(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 || limit > s.cfg.MaxStreamResults {
 		limit = s.cfg.MaxStreamResults
 	}
-	if err := s.acquire(r); err != nil {
+	// Enumeration does not decide duality, but it competes for the same CPU:
+	// it occupies a worker slot (whose session simply goes unused).
+	sess, err := s.acquire(r)
+	if err != nil {
 		return // client gone before a slot freed
 	}
-	defer s.release()
+	defer s.release(sess)
 	// Minimal transversals are invariant under minimization, and the
 	// enumerator is specified for simple inputs. Minimize is O(m²), so it
 	// runs inside the worker-pool slot like the enumeration itself.

@@ -111,6 +111,14 @@ func Enumerate(h *hypergraph.Hypergraph, yield func(bitset.Set) bool) {
 // cleanly — the distinction streaming endpoints need to tell a truncated
 // stream from a failed one.
 func EnumerateContext(ctx context.Context, h *hypergraph.Hypergraph, yield func(bitset.Set) (bool, error)) error {
+	return enumerateContext(ctx, h, yield, false)
+}
+
+// enumerateContext is the shared enumerator driver. With borrow set, yield
+// receives the enumerator's working set itself (valid only for the duration
+// of the call) instead of a fresh clone — the mode Count uses, so that
+// consumers that never retain a transversal never pay for one.
+func enumerateContext(ctx context.Context, h *hypergraph.Hypergraph, yield func(bitset.Set) (bool, error), borrow bool) error {
 	n := h.N()
 	if h.HasEmptyEdge() {
 		return nil // no transversals at all
@@ -118,6 +126,7 @@ func EnumerateContext(ctx context.Context, h *hypergraph.Hypergraph, yield func(
 	e := &enumerator{
 		h:         h,
 		yield:     yield,
+		borrow:    borrow,
 		done:      ctx.Done(),
 		ctx:       ctx,
 		s:         bitset.New(n),
@@ -149,19 +158,30 @@ func AsHypergraph(h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
 	return hypergraph.FromSets(h.N(), All(h)).Canonical()
 }
 
-// Count returns |tr(h)|.
+// Count returns |tr(h)| by streaming over the enumerator in borrow mode: no
+// minimal transversal is materialized (or even cloned) on the way to the
+// integer, so counting costs only the DFS's own working state however large
+// tr(h) grows.
 func Count(h *hypergraph.Hypergraph) int {
-	c := 0
-	Enumerate(h, func(bitset.Set) bool {
-		c++
-		return true
-	})
+	c, _ := CountContext(context.Background(), h)
 	return c
+}
+
+// CountContext is Count with cancellation; on a cancelled ctx the partial
+// count so far is returned alongside ctx's error.
+func CountContext(ctx context.Context, h *hypergraph.Hypergraph) (int, error) {
+	c := 0
+	err := enumerateContext(ctx, h, func(bitset.Set) (bool, error) {
+		c++
+		return true, nil
+	}, true)
+	return c, err
 }
 
 type enumerator struct {
 	h         *hypergraph.Hypergraph
 	yield     func(bitset.Set) (bool, error)
+	borrow    bool            // pass s itself to yield instead of a clone
 	done      <-chan struct{} // cancellation channel (ctx.Done())
 	ctx       context.Context
 	err       error      // terminal error: ctx's or the yield's
@@ -208,7 +228,11 @@ func (e *enumerator) rec() {
 		}
 	}
 	if e.uncovered == 0 {
-		cont, err := e.yield(e.s.Clone())
+		out := e.s
+		if !e.borrow {
+			out = e.s.Clone()
+		}
+		cont, err := e.yield(out)
 		if err != nil {
 			e.stopped, e.err = true, err
 			return
