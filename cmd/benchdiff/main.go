@@ -1,0 +1,119 @@
+// Command benchdiff compares two dualbench -json reports and fails when the
+// newer one regresses: the CI bench-regression smoke job runs the suite and
+// diffs it against the checked-in BENCH_*.json of the previous PR, so a
+// hot-path regression fails the build instead of landing silently.
+//
+// Usage:
+//
+//	benchdiff [-tolerance pct] [-floor ns] old.json new.json
+//
+// Rows are matched by experiment id, engine name and family name. A row
+// regresses when new_ns > old_ns × (1 + tolerance/100) AND new_ns exceeds
+// the floor — sub-floor rows are treated as noise, since micro-rows on
+// shared CI runners jitter far more than the long rows the trajectory
+// actually tracks. Rows present on only one side are reported but never
+// fatal (experiments come and go across PRs). Exit status: 0 ok, 1
+// regression, 2 usage/IO.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type row struct {
+	ID     string `json:"id"`
+	Engine string `json:"engine"`
+	Family string `json:"family"`
+	NsOp   int64  `json:"ns_op"`
+}
+
+type report struct {
+	GoVersion   string `json:"go_version"`
+	GitRevision string `json:"git_revision"`
+	Experiments []row  `json:"experiments"`
+	Engines     []row  `json:"engines"`
+	Families    []row  `json:"families"`
+}
+
+// rows flattens a report into name → ns_op.
+func (r *report) rows() map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range r.Experiments {
+		out["experiment/"+e.ID] = e.NsOp
+	}
+	for _, e := range r.Engines {
+		out["engine/"+e.Engine] = e.NsOp
+	}
+	for _, e := range r.Families {
+		out["family/"+e.Family] = e.NsOp
+	}
+	return out
+}
+
+func load(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 25, "allowed ns/op growth in percent before a row counts as a regression")
+	floor := flag.Int64("floor", 1_000_000, "ignore rows whose new ns/op is below this (noise floor)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance pct] [-floor ns] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("old: %s (%s)   new: %s (%s)   tolerance %.0f%%, floor %dns\n",
+		flag.Arg(0), oldRep.GitRevision, flag.Arg(1), newRep.GitRevision, *tolerance, *floor)
+
+	oldRows, newRows := oldRep.rows(), newRep.rows()
+	limit := 1 + *tolerance/100
+	regressions := 0
+	for name, oldNs := range oldRows {
+		newNs, ok := newRows[name]
+		if !ok {
+			fmt.Printf("  ~ %-28s only in old\n", name)
+			continue
+		}
+		ratio := float64(newNs) / float64(oldNs)
+		switch {
+		case oldNs > 0 && ratio > limit && newNs > *floor:
+			regressions++
+			fmt.Printf("  ✗ %-28s %12d → %12d ns/op (%.2f×) REGRESSION\n", name, oldNs, newNs, ratio)
+		case oldNs > 0 && ratio < 1/limit:
+			fmt.Printf("  ✓ %-28s %12d → %12d ns/op (%.2f×) improved\n", name, oldNs, newNs, ratio)
+		default:
+			fmt.Printf("    %-28s %12d → %12d ns/op (%.2f×)\n", name, oldNs, newNs, ratio)
+		}
+	}
+	for name := range newRows {
+		if _, ok := oldRows[name]; !ok {
+			fmt.Printf("  + %-28s only in new\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed beyond %.0f%%\n", regressions, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}

@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
+	"dualspace/internal/core"
 	"dualspace/internal/engine"
 	"dualspace/internal/experiments"
 	"dualspace/internal/gen"
@@ -57,14 +59,63 @@ type engineResult struct {
 	AllocsOp  uint64 `json:"allocs_op"`
 }
 
-// jsonReport is the -json document.
+// familyResult is one instance family's machine-readable benchmark row,
+// decided on the serial core engine: NsOp through a warm pinned session
+// (indexes, scratch and subinstance memo reused — the serving steady
+// state), NsOpCold through a fresh memo-less session per op (the pure
+// kernel cost).
+type familyResult struct {
+	Family   string `json:"family"`
+	Dual     bool   `json:"dual"`
+	Pass     bool   `json:"pass"`
+	NsOp     int64  `json:"ns_op"`
+	NsOpCold int64  `json:"ns_op_cold"`
+}
+
+// jsonReport is the -json document. The environment metadata (git revision,
+// Go version, GOMAXPROCS, CPU count) makes BENCH_*.json rows comparable
+// across the perf trajectory: rows recorded on different machines or
+// configurations are visibly so.
 type jsonReport struct {
 	GoVersion   string         `json:"go_version"`
+	GitRevision string         `json:"git_revision"`
 	GOOS        string         `json:"goos"`
 	GOARCH      string         `json:"goarch"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	NumCPU      int            `json:"num_cpu"`
 	Experiments []jsonResult   `json:"experiments"`
 	Engines     []engineResult `json:"engines,omitempty"`
+	Families    []familyResult `json:"families,omitempty"`
 	Pass        bool           `json:"pass"`
+}
+
+// gitRevision reports the VCS revision stamped into the binary by the Go
+// toolchain ("unknown" outside a build with VCS info, "+dirty" appended for
+// modified trees).
+func gitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 func main() {
@@ -97,7 +148,24 @@ func main() {
 	}
 
 	failures := 0
-	report := jsonReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Pass: true}
+	report := jsonReport{
+		GoVersion:   runtime.Version(),
+		GitRevision: gitRevision(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Pass:        true,
+	}
+	if *jsonOut {
+		report.Families = benchFamilies()
+		for _, row := range report.Families {
+			if !row.Pass {
+				failures++
+				report.Pass = false
+			}
+		}
+	}
 	if *engines != "" {
 		rows, err := benchEngines(*engines)
 		if err != nil {
@@ -116,7 +184,11 @@ func main() {
 		}
 	}
 	for _, e := range selected {
-		tbl, ns, allocs := measure(e)
+		reps := 1
+		if *jsonOut {
+			reps = 3
+		}
+		tbl, ns, allocs := measure(e, reps)
 		if *jsonOut {
 			report.Experiments = append(report.Experiments, jsonResult{
 				ID: e.ID, Title: e.Title, Pass: tbl.Pass,
@@ -146,15 +218,25 @@ func main() {
 
 // measure runs one experiment, returning its table plus wall time and
 // allocation count for the run ("per op" with the experiment as the op —
-// the granularity the perf trajectory tracks across PRs).
-func measure(e experiments.Experiment) (tbl *experiments.Table, ns int64, allocs uint64) {
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	tbl = e.Run()
-	ns = time.Since(start).Nanoseconds()
-	runtime.ReadMemStats(&after)
-	return tbl, ns, after.Mallocs - before.Mallocs
+// the granularity the perf trajectory tracks across PRs). The reported
+// time is the minimum over runs: experiments are deterministic, so the
+// minimum is the least scheduler-noise-contaminated estimate, which keeps
+// the BENCH_*.json rows comparable enough for the CI bench-regression
+// gate (-json measures three runs; table mode runs once).
+func measure(e experiments.Experiment, runs int) (tbl *experiments.Table, ns int64, allocs uint64) {
+	for i := 0; i < runs; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		tbl = e.Run()
+		elapsed := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&after)
+		if i == 0 || elapsed < ns {
+			ns = elapsed
+			allocs = after.Mallocs - before.Mallocs
+		}
+	}
+	return tbl, ns, allocs
 }
 
 // engineSuite is the fixed ground-truth workload every engine is measured
@@ -216,6 +298,49 @@ func benchEngines(sel string) ([]engineResult, error) {
 		})
 	}
 	return rows, nil
+}
+
+// benchFamilies benchmarks every suite instance individually on the serial
+// core engine: warm through one pinned session per family (scratch +
+// subinstance memo reused across ops, the serving steady state) and cold
+// through a fresh memo-less session per op (pure kernel + setup).
+func benchFamilies() []familyResult {
+	coreEng, err := engine.ByName("core")
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	var rows []familyResult
+	for _, p := range engineSuite() {
+		row := familyResult{Family: p.Name, Dual: p.Dual, Pass: true}
+
+		sess := engine.NewSession(coreEng)
+		check := func(res *core.Result, err error) {
+			if err != nil || res == nil || res.Dual != p.Dual {
+				row.Pass = false
+			}
+		}
+		res, err := sess.Decide(ctx, p.G, p.H) // warm the session + memo
+		check(res, err)
+		const warmOps = 5
+		start := time.Now()
+		for i := 0; i < warmOps; i++ {
+			res, err := sess.Decide(ctx, p.G, p.H)
+			check(res, err)
+		}
+		row.NsOp = time.Since(start).Nanoseconds() / warmOps
+
+		const coldOps = 3
+		start = time.Now()
+		for i := 0; i < coldOps; i++ {
+			cold := engine.NewSessionMemo(coreEng, -1)
+			res, err := cold.Decide(ctx, p.G, p.H)
+			check(res, err)
+		}
+		row.NsOpCold = time.Since(start).Nanoseconds() / coldOps
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 func printEngineTable(rows []engineResult) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dualserved [-addr host:port] [-workers n] [-cache n]
+//	dualserved [-addr host:port] [-workers n] [-cache n] [-memo n]
 //	           [-max-edges n] [-max-edge-verts n] [-max-universe n]
 //	           [-max-body bytes] [-stream-max n]
 //
@@ -35,6 +35,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8372", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "max concurrent decision computations (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 1024, "verdict cache capacity in entries (negative disables)")
+	memo := flag.Int("memo", 0, "per-worker subinstance-memo entries (0 = default, negative disables)")
 	maxEdges := flag.Int("max-edges", service.DefaultLimits.MaxEdges, "max edges/rows per input")
 	maxEdgeVerts := flag.Int("max-edge-verts", service.DefaultLimits.MaxEdgeVerts, "max vertices per edge")
 	maxUniverse := flag.Int("max-universe", service.DefaultLimits.MaxUniverse, "max distinct vertex/item names per request")
@@ -47,8 +48,9 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Workers:   *workers,
-		CacheSize: *cache,
+		Workers:     *workers,
+		CacheSize:   *cache,
+		MemoEntries: *memo,
 		Limits: hgio.Limits{
 			MaxEdges:     *maxEdges,
 			MaxEdgeVerts: *maxEdgeVerts,

@@ -36,6 +36,25 @@ func New(n int) Set {
 	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// NewBatch returns count empty sets over the universe [0, n) whose word
+// storage is carved out of a single shared slab — two allocations total
+// instead of count+1. The incidence index (internal/hypergraph) keeps one
+// occurrence set per vertex; allocating them as a batch keeps index
+// construction cheap and the words cache-adjacent. The sets behave exactly
+// like individually allocated ones.
+func NewBatch(n, count int) []Set {
+	if n < 0 || count < 0 {
+		panic("bitset: negative batch dimensions")
+	}
+	w := (n + wordBits - 1) / wordBits
+	slab := make([]uint64, w*count)
+	out := make([]Set, count)
+	for i := range out {
+		out[i] = Set{n: n, words: slab[i*w : (i+1)*w : (i+1)*w]}
+	}
+	return out
+}
+
 // FromSlice returns the set over [0, n) containing the given elements.
 // It panics if any element is outside [0, n).
 func FromSlice(n int, elems []int) Set {
@@ -264,6 +283,56 @@ func (s Set) Min() int {
 		}
 	}
 	return -1
+}
+
+// MinAbsent returns the smallest element of [0, n) that is NOT in s, or -1
+// if s is full. The decomposition kernel uses it to pick the first edge
+// index missing from an occurrence union without materializing the
+// complement.
+func (s Set) MinAbsent() int {
+	for i, w := range s.words {
+		if w != ^uint64(0) {
+			e := i*wordBits + bits.TrailingZeros64(^w)
+			if e >= s.n {
+				return -1
+			}
+			return e
+		}
+	}
+	return -1
+}
+
+// AppendDiffElems appends the elements of s − t to buf in increasing order
+// and returns the extended slice, allowing tree walkers to collect the
+// vertices removed between a node and its child without allocating.
+func (s Set) AppendDiffElems(t Set, buf []int) []int {
+	s.sameUniverse(t)
+	for i := range s.words {
+		w := s.words[i] &^ t.words[i]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			buf = append(buf, i*wordBits+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return buf
+}
+
+// AppendWords appends the raw words of s to buf and returns the extended
+// slice. Together with AppendIntersectionWords it is the zero-allocation
+// encoder behind the subinstance memo keys of internal/core.
+func (s Set) AppendWords(buf []uint64) []uint64 {
+	return append(buf, s.words...)
+}
+
+// AppendIntersectionWords appends the words of s ∩ t to buf without
+// materializing the intersection.
+func (s Set) AppendIntersectionWords(t Set, buf []uint64) []uint64 {
+	s.sameUniverse(t)
+	for i := range s.words {
+		buf = append(buf, s.words[i]&t.words[i])
+	}
+	return buf
 }
 
 // Elems returns the elements of s in increasing order.

@@ -31,6 +31,42 @@ func TestDecideAllocsPerOp(t *testing.T) {
 	}
 }
 
+// TestDeciderIndexedSteadyStateAllocFree pins the indexed-kernel steady
+// state: a pinned Decider — incidence indexes rebuilt in place, incremental
+// scratch, memo populated — must allocate NOTHING per decision once warm,
+// on dual and non-dual verdicts alike, and whether the memo is enabled or
+// not (memo hits replace subtree walks; memo lookups and the key encoding
+// run on per-depth reusable buffers).
+func TestDeciderIndexedSteadyStateAllocFree(t *testing.T) {
+	gD, hD := gen.Matching(5), gen.MatchingDual(5)
+	hN := gen.DropEdge(hD, 11)
+	for _, memo := range []bool{false, true} {
+		d := core.NewDecider()
+		if memo {
+			d.EnableMemo(0)
+		}
+		ctx := t.Context()
+		for i := 0; i < 3; i++ { // warm scratch, frames, memo arena
+			if res, err := d.DecideContext(ctx, gD, hD); err != nil || !res.Dual {
+				t.Fatalf("memo=%v warmup dual: %v, %v", memo, res, err)
+			}
+			if res, err := d.DecideContext(ctx, gD, hN); err != nil || res.Dual {
+				t.Fatalf("memo=%v warmup non-dual: %v, %v", memo, res, err)
+			}
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			if res, err := d.DecideContext(ctx, gD, hD); err != nil || !res.Dual {
+				t.Fatal("wrong dual verdict")
+			}
+			if res, err := d.DecideContext(ctx, gD, hN); err != nil || res.Dual {
+				t.Fatal("wrong non-dual verdict")
+			}
+		}); allocs != 0 {
+			t.Errorf("memo=%v: warm Decider allocates %.1f per decision pair, want 0", memo, allocs)
+		}
+	}
+}
+
 // TestTrSubsetAllocsPerOpNonDual covers the witness-producing path: a fail
 // leaf adds only the witness, its complement and the fail path descriptor.
 func TestTrSubsetAllocsPerOpNonDual(t *testing.T) {

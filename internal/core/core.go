@@ -166,8 +166,11 @@ func Classify(g, h *hypergraph.Hypergraph, s bitset.Set) *NodeInfo {
 
 // classifyWith is Classify on caller-provided scratch state: every set in
 // the returned NodeInfo is freshly cloned, so the scratch and frame are free
-// for reuse (BuildTree classifies its whole tree through one of each).
+// for reuse (BuildTree classifies its whole tree through one of each). The
+// one-shot form synchronizes the incremental scratch to s before
+// classifying; tree walks maintain it by diffs instead.
 func classifyWith(sc *scratch, fr *frame, s bitset.Set) *NodeInfo {
+	sc.syncTo(s)
 	v := sc.classifyNode(s, fr)
 
 	info := &NodeInfo{
@@ -249,6 +252,11 @@ type Stats struct {
 	MaxDepth int
 	// MaxChildren is the maximum child count κ(α) observed.
 	MaxChildren int
+	// MemoHits counts internal nodes whose entire subtrees were skipped by
+	// the cross-node subinstance memo (memo.go; only walkers pinned by a
+	// memo-carrying Decider report non-zero values). Skipped nodes do not
+	// appear in Nodes/Leaves.
+	MemoHits int
 }
 
 // Result is the outcome of a duality decision.
@@ -333,17 +341,27 @@ func isConstant(x *hypergraph.Hypergraph) (bottom, top bool) {
 	return false, false
 }
 
-// precheckInto runs the logspace-checkable stages of Decide — validation,
+// precheckIntoIdx runs the logspace-checkable stages of Decide — validation,
 // constants, cross-intersection, and both minimality preconditions — writing
 // any verdict they alone determine into res (which the caller must have
 // initialized with GEdge/HEdge/RedundantVertex = -1). done reports that res
 // now holds the final verdict; done = false means the pair is simple,
 // non-constant, cross-intersecting and mutually minimal, so only the tree
-// stage remains. The done = false path allocates nothing, which is what lets
-// a Decider stay allocation-free across calls.
-func precheckInto(g, h *hypergraph.Hypergraph, res *Result) (bool, error) {
-	if err := validatePair(g, h); err != nil {
-		return false, err
+// stage remains.
+//
+// Every probe is index-driven (hypergraph/indexed.go): gi/hi are the
+// incidence indexes of g and h, and gScratch/hScratch are caller-owned sets
+// over their respective OccUniverses — so the done = false path allocates
+// nothing, which is what lets a Decider stay allocation-free across calls.
+func precheckIntoIdx(g, h *hypergraph.Hypergraph, gi, hi *hypergraph.Index, gScratch, hScratch bitset.Set, res *Result) (bool, error) {
+	if g.N() != h.N() {
+		return false, ErrUniverseMismatch
+	}
+	if err := g.ValidateSimpleIdx(gi, gScratch); err != nil {
+		return false, fmt.Errorf("core: g: %w", err)
+	}
+	if err := h.ValidateSimpleIdx(hi, hScratch); err != nil {
+		return false, fmt.Errorf("core: h: %w", err)
 	}
 	gBot, gTop := isConstant(g)
 	hBot, hTop := isConstant(h)
@@ -356,23 +374,34 @@ func precheckInto(g, h *hypergraph.Hypergraph, res *Result) (bool, error) {
 		return true, nil
 	}
 
-	// Precondition: cross-intersection.
-	if ok, gi, hi := g.CrossIntersecting(h); !ok {
-		res.Reason, res.GEdge, res.HEdge = ReasonNotCrossIntersecting, gi, hi
+	// Precondition: cross-intersection (g's edges against h's occurrence
+	// rows).
+	if ok, gIdx, hIdx := g.CrossIntersectingIdx(h, hi, hScratch); !ok {
+		res.Reason, res.GEdge, res.HEdge = ReasonNotCrossIntersecting, gIdx, hIdx
 		return true, nil
 	}
 	// Precondition: H ⊆ tr(G). Cross-intersection already makes every
 	// h-edge a transversal of g, so only minimality can fail.
-	if v := h.AllEdgesMinimalTransversalsOf(g); v != nil {
+	if v := h.AllEdgesMinimalTransversalsOfIdx(g, gi, gScratch); v != nil {
 		res.Reason, res.HEdge, res.RedundantVertex = ReasonHEdgeNotMinimal, v.EdgeIndex, v.RedundantVertex
 		return true, nil
 	}
 	// Precondition: G ⊆ tr(H).
-	if v := g.AllEdgesMinimalTransversalsOf(h); v != nil {
+	if v := g.AllEdgesMinimalTransversalsOfIdx(h, hi, hScratch); v != nil {
 		res.Reason, res.GEdge, res.RedundantVertex = ReasonGEdgeNotMinimal, v.EdgeIndex, v.RedundantVertex
 		return true, nil
 	}
 	return false, nil
+}
+
+// indexFor returns x's attached index when one is maintained, else builds a
+// standalone one — the entry path for the package-level (non-Decider)
+// decision functions and the parallel search.
+func indexFor(x *hypergraph.Hypergraph) *hypergraph.Index {
+	if ix := x.AttachedIndex(); ix != nil {
+		return ix
+	}
+	return hypergraph.NewIndex(x)
 }
 
 // Precheck exposes the precondition stage of Decide to alternative decision
@@ -385,7 +414,9 @@ func precheckInto(g, h *hypergraph.Hypergraph, res *Result) (bool, error) {
 // minimal.
 func Precheck(g, h *hypergraph.Hypergraph) (*Result, bool, error) {
 	res := &Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
-	done, err := precheckInto(g, h, res)
+	gi, hi := indexFor(g), indexFor(h)
+	done, err := precheckIntoIdx(g, h, gi, hi,
+		bitset.New(gi.OccUniverse()), bitset.New(hi.OccUniverse()), res)
 	if err != nil || !done {
 		return nil, false, err
 	}
@@ -413,7 +444,10 @@ func Decide(g, h *hypergraph.Hypergraph) (*Result, error) {
 // first tree node.
 func DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
 	res := &Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
-	done, err := precheckInto(g, h, res)
+	// One walker serves the whole decision: its scratch carries the
+	// incidence indexes the precheck probes and the tree stage share.
+	w := newWalkState(g, h)
+	done, err := precheckIntoIdx(g, h, w.sc.gIdx, w.sc.hIdx, w.sc.hitG, w.sc.notCont, res)
 	if err != nil {
 		return nil, err
 	}
@@ -424,13 +458,18 @@ func DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, e
 	// Tree stage. Honor the paper's |H| ≤ |G| convention by swapping when
 	// beneficial; duality is symmetric once the preconditions hold, and a
 	// witness for one orientation complements to one for the other.
-	a, b, swapped := g, h, false
+	swapped := false
 	if h.M() > g.M() {
-		a, b, swapped = h, g, true
+		w.sc.swap()
+		swapped = true
 	}
-	res, err = TrSubsetContext(ctx, a, b)
-	if err != nil {
-		return nil, err
+	res.Dual = true
+	w.done = ctx.Done()
+	root := bitset.Full(g.N())
+	w.sc.syncTo(root)
+	serialWalk(w, root, 0, res)
+	if w.cancelled {
+		return nil, ctx.Err()
 	}
 	res.Swapped = swapped
 	if !res.Dual && swapped {
@@ -457,32 +496,56 @@ func TrSubset(g, h *hypergraph.Hypergraph) (*Result, error) {
 // contract as DecideContext: a cancelled ctx aborts the DFS within one tree
 // node and surfaces ctx's error.
 func TrSubsetContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
-	if err := validatePair(g, h); err != nil {
+	w := newWalkState(g, h)
+	if err := trSubsetPreflight(g, h, w.sc); err != nil {
 		return nil, err
 	}
-	if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() || h.HasEmptyEdge() {
-		return nil, errors.New("core: TrSubset requires non-constant inputs; use Decide")
-	}
-	if ok, _, _ := g.CrossIntersecting(h); !ok {
-		return nil, errors.New("core: TrSubset requires a cross-intersecting pair")
-	}
-
 	res := &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}
-	w := newWalkState(g, h)
 	w.done = ctx.Done()
-	serialWalk(w, bitset.Full(g.N()), 0, res)
+	root := bitset.Full(g.N())
+	w.sc.syncTo(root)
+	serialWalk(w, root, 0, res)
 	if w.cancelled {
 		return nil, ctx.Err()
 	}
 	return res, nil
 }
 
+// trSubsetPreflight checks TrSubset's input contract (simple, non-constant,
+// cross-intersecting) on the scratch's indexes, allocation-free for a
+// pinned Decider.
+func trSubsetPreflight(g, h *hypergraph.Hypergraph, sc *scratch) error {
+	if g.N() != h.N() {
+		return ErrUniverseMismatch
+	}
+	if err := g.ValidateSimpleIdx(sc.gIdx, sc.hitG); err != nil {
+		return fmt.Errorf("core: g: %w", err)
+	}
+	if err := h.ValidateSimpleIdx(sc.hIdx, sc.notCont); err != nil {
+		return fmt.Errorf("core: h: %w", err)
+	}
+	if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() || h.HasEmptyEdge() {
+		return errors.New("core: TrSubset requires non-constant inputs; use Decide")
+	}
+	if ok, _, _ := g.CrossIntersectingIdx(h, sc.hIdx, sc.notCont); !ok {
+		return errors.New("core: TrSubset requires a cross-intersecting pair")
+	}
+	return nil
+}
+
 // serialWalk is the serial DFS over T(g,h) on one walkState: one scratch
 // for classification and one frame per depth, so the search allocates
 // nothing per node beyond first-touch warm-up of each depth level (bounded
 // by ⌊log₂|H|⌋, Proposition 2.1). It classifies the node s at the given
-// depth and recurses, reporting false once a fail leaf has been recorded to
-// stop the search.
+// depth — whose incremental scratch state the caller has established — and
+// recurses, maintaining the state by removed-vertex diffs on the way down
+// and up, reporting false once a fail leaf has been recorded to stop the
+// search.
+//
+// When the walker carries a memo, every internal node is looked up by its
+// projected-subinstance key: a hit means an identical subtree was already
+// verified all-done (here or in an earlier decision sharing the memo) and
+// is skipped; a subtree completed without a fail leaf is inserted.
 func serialWalk(w *walkState, s bitset.Set, depth int, res *Result) bool {
 	if w.done != nil {
 		select {
@@ -517,14 +580,37 @@ func serialWalk(w *walkState, s bitset.Set, depth int, res *Result) bool {
 		}
 		return true
 	}
+	memoize := false
+	if w.memo != nil {
+		key := w.sc.appendInstanceKey(w.keyBuf(depth), s)
+		w.keys[depth] = key
+		if w.memo.lookup(key) {
+			res.Stats.MemoHits++
+			return true // identical subtree already verified all-done
+		}
+		memoize = true
+	}
 	if fr.nChildren > res.Stats.MaxChildren {
 		res.Stats.MaxChildren = fr.nChildren
 	}
 	for i := 0; i < fr.nChildren; i++ {
 		w.path = append(w.path[:depth], i+1)
-		if !serialWalk(w, fr.children[i], depth+1, res) {
+		c := fr.children[i]
+		rem := s.AppendDiffElems(c, w.remBuf(depth))
+		w.rem[depth] = rem
+		for _, u := range rem {
+			w.sc.removeVertex(u)
+		}
+		ok := serialWalk(w, c, depth+1, res)
+		for _, u := range rem {
+			w.sc.restoreVertex(u)
+		}
+		if !ok {
 			return false
 		}
+	}
+	if memoize {
+		w.memo.insert(w.keys[depth])
 	}
 	return true
 }

@@ -1,16 +1,23 @@
 package core
 
 // Decider: the reusable per-holder decision state behind internal/engine's
-// Session. A plain DecideContext call pays a per-call setup (classification
-// scratch, per-depth frames, result, witness clones); a Decider pins all of
-// that and re-binds it to each new instance, so a long-lived holder's
-// repeated decisions are allocation-free at steady state — across calls, not
-// just within one — including on non-dual verdicts, whose witness and
-// fail-path storage live in the pinned walker (scratch.go).
+// Session. A plain DecideContext call pays a per-call setup (incidence
+// indexes, classification scratch, per-depth frames, result, witness
+// clones); a Decider pins all of that and re-binds it to each new instance,
+// so a long-lived holder's repeated decisions are allocation-free at steady
+// state — across calls, not just within one — including on non-dual
+// verdicts, whose witness and fail-path storage live in the pinned walker
+// (scratch.go).
+//
+// A Decider may additionally carry a cross-node subinstance Memo (memo.go):
+// all-done subtrees recorded by one decision short-circuit identical
+// subtrees later in the same decision and in every subsequent decision on
+// the same Decider — the reuse pattern of the incremental applications
+// (border/key/coterie loops decide against a growing family whose
+// subinstances largely repeat) and of repeated service traffic.
 
 import (
 	"context"
-	"errors"
 
 	"dualspace/internal/bitset"
 	"dualspace/internal/hypergraph"
@@ -28,14 +35,36 @@ type Decider struct {
 	w    *walkState
 	full bitset.Set
 	res  Result
+	memo *Memo
 }
 
 // NewDecider returns an empty decider; its scratch is sized lazily on the
-// first call and re-sized only when the instance universe changes.
+// first call and re-sized only when the instance shape changes. It carries
+// no memo until EnableMemo.
 func NewDecider() *Decider { return &Decider{} }
 
+// EnableMemo attaches a cross-node subinstance memo bounded to the given
+// number of entries (0 or negative: DefaultMemoEntries), replacing any
+// existing one. See memo.go for keying, bounds and soundness.
+func (d *Decider) EnableMemo(entries int) {
+	d.memo = NewMemo(entries)
+	if d.w != nil {
+		d.w.memo = d.memo
+	}
+}
+
+// MemoStats snapshots the memo counters (zero value when no memo is
+// attached). Safe to call concurrently with decisions.
+func (d *Decider) MemoStats() MemoStats {
+	if d.memo == nil {
+		return MemoStats{}
+	}
+	return d.memo.Stats()
+}
+
 // bind points the pinned walker at (g, h), reallocating only when the
-// universe size differs from the previous instance's.
+// universe size differs from the previous instance's; the scratch re-binds
+// its indexes and per-edge state in place otherwise.
 func (d *Decider) bind(g, h *hypergraph.Hypergraph) *walkState {
 	n := g.N()
 	if d.w == nil || d.w.sc.n != n {
@@ -45,8 +74,9 @@ func (d *Decider) bind(g, h *hypergraph.Hypergraph) *walkState {
 		d.w.cowitBuf = bitset.New(n)
 		d.full = bitset.Full(n)
 	} else {
-		d.w.sc.g, d.w.sc.h = g, h
+		d.w.sc.bind(g, h)
 	}
+	d.w.memo = d.memo
 	return d.w
 }
 
@@ -55,18 +85,20 @@ func (d *Decider) bind(g, h *hypergraph.Hypergraph) *walkState {
 // documented on Decider.
 func (d *Decider) DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
 	d.res = Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
-	done, err := precheckInto(g, h, &d.res)
+	w := d.bind(g, h)
+	done, err := precheckIntoIdx(g, h, w.sc.gIdx, w.sc.hIdx, w.sc.hitG, w.sc.notCont, &d.res)
 	if err != nil {
 		return nil, err
 	}
 	if done {
 		return &d.res, nil
 	}
-	a, b, swapped := g, h, false
+	swapped := false
 	if h.M() > g.M() {
-		a, b, swapped = h, g, true
+		w.sc.swap()
+		swapped = true
 	}
-	if err := d.treeStage(ctx, a, b); err != nil {
+	if err := d.treeStage(ctx); err != nil {
 		return nil, err
 	}
 	d.res.Swapped = swapped
@@ -79,29 +111,26 @@ func (d *Decider) DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph
 // TrSubsetContext is TrSubsetContext on the decider's pinned state, under
 // the same input contract as the package-level function.
 func (d *Decider) TrSubsetContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
-	if err := validatePair(g, h); err != nil {
+	w := d.bind(g, h)
+	if err := trSubsetPreflight(g, h, w.sc); err != nil {
 		return nil, err
 	}
-	if g.M() == 0 || h.M() == 0 || g.HasEmptyEdge() || h.HasEmptyEdge() {
-		return nil, errors.New("core: TrSubset requires non-constant inputs; use Decide")
-	}
-	if ok, _, _ := g.CrossIntersecting(h); !ok {
-		return nil, errors.New("core: TrSubset requires a cross-intersecting pair")
-	}
 	d.res = Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
-	if err := d.treeStage(ctx, g, h); err != nil {
+	if err := d.treeStage(ctx); err != nil {
 		return nil, err
 	}
 	return &d.res, nil
 }
 
-// treeStage runs the serial DFS over T(g,h) on the pinned walker; the pair
-// must already be validated (simple, non-constant, cross-intersecting).
-func (d *Decider) treeStage(ctx context.Context, g, h *hypergraph.Hypergraph) error {
-	w := d.bind(g, h)
+// treeStage runs the serial DFS over the pinned walker's current
+// orientation; the pair must already be validated (simple, non-constant,
+// cross-intersecting).
+func (d *Decider) treeStage(ctx context.Context) error {
+	w := d.w
 	w.done = ctx.Done()
 	w.cancelled = false
 	d.res.Dual = true
+	w.sc.syncTo(d.full)
 	serialWalk(w, d.full, 0, &d.res)
 	if w.cancelled {
 		return ctx.Err()

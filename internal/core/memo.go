@@ -1,0 +1,151 @@
+package core
+
+// Cross-node subinstance memoization. The Boros–Makino tree re-derives
+// structurally identical subinstances across branches — on dense and
+// self-dual families most internal nodes have a twin elsewhere in the tree
+// whose projected pair (G_Sα, H_Sα) is word-for-word equal — and, through
+// the incremental applications (border/key/coterie loops, repeated service
+// traffic), across separate decisions too. A Memo records "the subtree
+// rooted at this projected subinstance contains only done leaves" and lets
+// the serial DFS skip such subtrees wholesale.
+//
+// Soundness: the decomposition tree below a node is a deterministic function
+// of the ordered projected pair alone — every rule of marksmall/process and
+// every child-set construction depends only on the projections, and child
+// projections are determined by parent projections (DESIGN.md §7 gives the
+// induction). The DFS stops at the first fail leaf, so every subtree it
+// completes is all-done; those are exactly the entries a Memo holds, and a
+// hit therefore never hides a fail leaf. Keys are full encodings (not
+// hashes): lookups compare the stored words, so hash collisions cannot
+// produce a false hit.
+//
+// Bounds: the table holds at most maxEntries keys and maxEntries×128 words
+// of key storage (≈4 MiB at the default size); keys larger than a quarter
+// of the arena are never memoized, and a full table is reset wholesale
+// (epoch eviction) rather than thrashing entry by entry.
+// Hit/miss/insert/eviction counters are atomic so a service can report
+// them from /statsz while the owning worker keeps deciding.
+
+import (
+	"slices"
+	"sync/atomic"
+)
+
+// DefaultMemoEntries is the subinstance-memo bound used when a caller asks
+// for a memo without sizing it (engine.NewSession, dualserved's -memo
+// default).
+const DefaultMemoEntries = 4096
+
+// memoArenaWordsPerEntry bounds total key storage relative to the entry
+// bound: the arena holds at most maxEntries×memoArenaWordsPerEntry words
+// (≈4 MiB at the default size), and a single key larger than a quarter of
+// that arena is never memoized (a handful of such keys would monopolize
+// it).
+const memoArenaWordsPerEntry = 128
+
+// MemoStats is a point-in-time snapshot of a memo's counters.
+type MemoStats struct {
+	// Hits and Misses count lookups (one per internal tree node visited by a
+	// memo-carrying walker).
+	Hits, Misses int64
+	// Inserts counts completed all-done subtrees recorded.
+	Inserts int64
+	// Entries is the current table size; Evictions counts entries dropped by
+	// epoch resets.
+	Entries, Evictions int64
+}
+
+// Memo is a bounded, collision-checked table of all-done subinstances. It
+// is owned by a single walker (a Decider pins one); only the stats counters
+// may be read concurrently.
+type Memo struct {
+	maxEntries int
+	maxWords   int
+	table      map[uint64][]memoSpan
+	arena      []uint64
+	count      int
+
+	hits, misses, inserts, evictions atomic.Int64
+	entries                          atomic.Int64
+}
+
+// memoSpan locates one stored key inside the arena.
+type memoSpan struct {
+	off, n uint32
+}
+
+// NewMemo returns a memo bounded to the given number of entries
+// (0 or negative: DefaultMemoEntries).
+func NewMemo(entries int) *Memo {
+	if entries <= 0 {
+		entries = DefaultMemoEntries
+	}
+	return &Memo{
+		maxEntries: entries,
+		maxWords:   entries * memoArenaWordsPerEntry,
+		table:      make(map[uint64][]memoSpan),
+	}
+}
+
+// Stats snapshots the counters.
+func (m *Memo) Stats() MemoStats {
+	return MemoStats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Inserts:   m.inserts.Load(),
+		Entries:   m.entries.Load(),
+		Evictions: m.evictions.Load(),
+	}
+}
+
+func memoHash(key []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range key {
+		h ^= w
+		h *= prime64
+	}
+	return h
+}
+
+// lookup reports whether key is recorded as an all-done subinstance.
+func (m *Memo) lookup(key []uint64) bool {
+	for _, sp := range m.table[memoHash(key)] {
+		if slices.Equal(m.arena[sp.off:sp.off+sp.n], key) {
+			m.hits.Add(1)
+			return true
+		}
+	}
+	m.misses.Add(1)
+	return false
+}
+
+// insert records key as an all-done subinstance. Oversized keys are
+// ignored; a full table is reset first (epoch eviction).
+func (m *Memo) insert(key []uint64) {
+	if len(key) > m.maxWords/4 {
+		return // a handful of such keys would monopolize the arena
+	}
+	if m.count >= m.maxEntries || len(m.arena)+len(key) > m.maxWords {
+		m.evictions.Add(int64(m.count))
+		clear(m.table)
+		m.arena = m.arena[:0]
+		m.count = 0
+		m.entries.Store(0)
+	}
+	h := memoHash(key)
+	for _, sp := range m.table[h] {
+		if slices.Equal(m.arena[sp.off:sp.off+sp.n], key) {
+			return // already recorded
+		}
+	}
+	off := uint32(len(m.arena))
+	m.arena = append(m.arena, key...)
+	m.table[h] = append(m.table[h], memoSpan{off: off, n: uint32(len(key))})
+	m.count++
+	m.inserts.Add(1)
+	m.entries.Store(int64(m.count))
+}

@@ -41,7 +41,9 @@ func DecideParallel(g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
 // returned instead of the context error.
 func DecideParallelContext(ctx context.Context, g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
 	pres := &Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
-	done, err := precheckInto(g, h, pres)
+	gi, hi := indexFor(g), indexFor(h)
+	done, err := precheckIntoIdx(g, h, gi, hi,
+		bitset.New(gi.OccUniverse()), bitset.New(hi.OccUniverse()), pres)
 	if err != nil {
 		return nil, err
 	}
@@ -50,10 +52,12 @@ func DecideParallelContext(ctx context.Context, g, h *hypergraph.Hypergraph, wor
 	}
 
 	a, b, swapped := g, h, false
+	ai, bi := gi, hi
 	if h.M() > g.M() {
 		a, b, swapped = h, g, true
+		ai, bi = hi, gi
 	}
-	res := trSubsetParallel(ctx, a, b, workers)
+	res := trSubsetParallel(ctx, a, b, ai, bi, workers)
 	if res == nil {
 		return nil, ctx.Err()
 	}
@@ -88,8 +92,9 @@ type parallelSearch struct {
 
 // trSubsetParallel runs the parallel tree search; it returns nil when ctx
 // was cancelled before any fail leaf was recorded (the caller surfaces
-// ctx.Err()).
-func trSubsetParallel(ctx context.Context, g, h *hypergraph.Hypergraph, workers int) *Result {
+// ctx.Err()). gi and hi are the read-only incidence indexes of g and h,
+// shared by every worker's scratch.
+func trSubsetParallel(ctx context.Context, g, h *hypergraph.Hypergraph, gi, hi *hypergraph.Index, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -99,9 +104,15 @@ func trSubsetParallel(ctx context.Context, g, h *hypergraph.Hypergraph, workers 
 		stop: make(chan struct{}),
 		done: ctx.Done(),
 	}
-	p.states.New = func() any { return newWalkState(g, h) }
+	p.states.New = func() any {
+		w := &walkState{sc: &scratch{dedup: make(map[uint64]int32)}}
+		w.sc.bindShared(g, h, gi, hi)
+		return w
+	}
 	st := p.states.Get().(*walkState)
-	p.walk(st, bitset.Full(g.N()), 0)
+	root := bitset.Full(g.N())
+	st.sc.syncTo(root)
+	p.walk(st, root, 0)
 	p.states.Put(st)
 	p.wg.Wait()
 
@@ -146,8 +157,11 @@ func (p *parallelSearch) cancelled() bool {
 }
 
 // walk classifies s at the given depth on st (whose path buffer holds the
-// labels of the ancestors) and descends: inline on st when the pool is
-// saturated, otherwise handing cloned child state to a fresh goroutine.
+// labels of the ancestors and whose incremental scratch state matches s) and
+// descends: inline on st when the pool is saturated — maintaining the
+// scratch by removed-vertex diffs — otherwise handing cloned child state to
+// a fresh goroutine, which re-synchronizes its pooled scratch at the
+// subtree root.
 func (p *parallelSearch) walk(st *walkState, s bitset.Set, depth int) {
 	if p.cancelled() {
 		return
@@ -181,13 +195,22 @@ func (p *parallelSearch) walk(st *walkState, s bitset.Set, depth int) {
 				defer func() { <-p.sem }()
 				st2 := p.states.Get().(*walkState)
 				st2.path = append(st2.path[:0], cp...)
+				st2.sc.syncTo(cs)
 				p.walk(st2, cs, depth+1)
 				p.states.Put(st2)
 			}()
 		default:
 			// Pool exhausted: descend inline to keep progress bounded.
 			st.path = append(st.path[:depth], i+1)
+			rem := s.AppendDiffElems(c, st.remBuf(depth))
+			st.rem[depth] = rem
+			for _, u := range rem {
+				st.sc.removeVertex(u)
+			}
 			p.walk(st, c, depth+1)
+			for _, u := range rem {
+				st.sc.restoreVertex(u)
+			}
 		}
 	}
 }

@@ -1,15 +1,29 @@
 package core
 
-// Allocation-free node classification. Classify (core.go) documents the
-// semantics; this file holds the engine that the tree walks actually run
-// on. A scratch carries every temporary the marksmall/process procedures
-// need, so classifying a node allocates nothing once the walker has warmed
-// up; a frame carries the reusable child storage of one tree depth, which
-// must outlive the classification because the walk descends through it.
+// Incidence-indexed, allocation-free node classification. Classify (core.go)
+// documents the semantics; this file holds the engine the tree walks run on.
+//
+// The classification state is INCREMENTAL: instead of re-scanning every edge
+// of G and H against the node set Sα (the O(m·n/w) per-node work of the
+// naive kernel), a scratch maintains, through hypergraph.Index occurrence
+// rows, the quantities marksmall/process actually consume —
+//
+//	cntG[j]  = |E_j ∩ Sα|          (per g-edge projected size)
+//	zeroG    = #{j : cntG[j] = 0}   (is ∅ ∈ G_Sα? — marksmall, O(1))
+//	missH[j] = |F_j − Sα|           (h-edge distance from H_Sα membership)
+//	hsSet    = {j : missH[j] = 0}   (H_Sα as an edge-index set)
+//	degH[v]  = #{j ∈ hsSet : v ∈ F_j} (the degrees behind the majority set)
+//
+// — and updates them in O(changed) as the DFS removes and restores the
+// vertices that differ between a node and its child (every child set of the
+// Boros–Makino decomposition is obtained from its parent by deletions).
+// A walker that hands an arbitrary set to the scratch (the parallel search
+// at a subtree handoff, Classify/BuildTree per node) re-synchronizes with
+// one syncTo pass.
 //
 // The conventions (scratch is single-walker state, frames are per-depth,
 // child sets are valid until the same depth is revisited) are documented in
-// DESIGN.md §5.
+// DESIGN.md §5; the index itself in DESIGN.md §7.
 
 import (
 	"dualspace/internal/bitset"
@@ -45,12 +59,23 @@ func (fr *frame) slot(n int) bitset.Set {
 }
 
 // walkState is the complete reusable state of one tree walker — the
-// classification scratch, the per-depth frames, and the path-label buffer.
+// classification scratch, the per-depth frames, the path-label buffer, and
+// the per-depth descent buffers (removed-vertex diffs and memo keys).
 // The serial DFS owns one; the parallel search pools one per worker.
 type walkState struct {
 	sc     *scratch
 	frames []*frame
 	path   []int
+	// rem[d] holds the vertices removed between the node at depth d and the
+	// child currently being explored, so the DFS can restore the incremental
+	// scratch state on the way back up.
+	rem [][]int
+	// keys[d] holds the memo key of the internal node at depth d while its
+	// subtree is walked (insert happens after the subtree completes).
+	keys [][]uint64
+	// memo, when non-nil, is the cross-node subinstance memo consulted at
+	// every internal node (see memo.go; set by Decider).
+	memo *Memo
 	// done, when non-nil, is the walk's cancellation channel (ctx.Done());
 	// the serial DFS polls it at every node and sets cancelled on abort.
 	done      <-chan struct{}
@@ -76,35 +101,251 @@ func (w *walkState) frame(depth int) *frame {
 	return w.frames[depth]
 }
 
+func (w *walkState) remBuf(depth int) []int {
+	for len(w.rem) <= depth {
+		w.rem = append(w.rem, nil)
+	}
+	return w.rem[depth][:0]
+}
+
+func (w *walkState) keyBuf(depth int) []uint64 {
+	for len(w.keys) <= depth {
+		w.keys = append(w.keys, nil)
+	}
+	return w.keys[depth][:0]
+}
+
 // scratch is the reusable working state of one tree walker. It is not safe
-// for concurrent use; the parallel search keeps one per worker.
+// for concurrent use; the parallel search keeps one per worker (sharing the
+// read-only indexes).
 type scratch struct {
 	g, h *hypergraph.Hypergraph
 	n    int
 
-	hs    []int            // indices of the h-edges inside the current S
-	deg   []int            // per-vertex H_S degree (process step 1)
-	iSet  bitset.Set       // the majority set Iα
-	gProj bitset.Set       // chosen projected g-edge (process step 3)
-	tmp   bitset.Set       // per-edge temporary
-	wit   bitset.Set       // witness t(α) of the last fail classification
-	dedup map[uint64]int32 // child-set hash → index of first occurrence
+	// gIdx/hIdx are the incidence indexes driving classification: attached
+	// ones when the caller maintains them, otherwise the pinned gIdxOwn/
+	// hIdxOwn rebuilt in place per bind (allocation-free at steady state).
+	gIdx, hIdx       *hypergraph.Index
+	gIdxOwn, hIdxOwn *hypergraph.Index
+
+	// Incremental per-Sα state; see the package comment. Valid for the set
+	// last passed to syncTo, as adjusted by removeVertex/restoreVertex.
+	cntG    []int32
+	zeroG   int
+	missH   []int32
+	hsSet   bitset.Set // over [0, hIdx.OccUniverse())
+	hsCount int
+	degH    []int32
+
+	iSet      bitset.Set       // the majority set Iα
+	gProj     bitset.Set       // chosen projected g-edge (process step 3)
+	tmp       bitset.Set       // per-edge temporary
+	wit       bitset.Set       // witness t(α) of the last fail classification
+	hitG      bitset.Set       // over [0, gIdx.OccUniverse()): g-edges meeting Iα
+	candG     bitset.Set       // over [0, gIdx.OccUniverse()): step-3 candidate edges
+	notCont   bitset.Set       // over [0, hIdx.OccUniverse()): h-edges meeting Sα − Iα
+	contained bitset.Set       // over [0, hIdx.OccUniverse()): H_Sα edges inside Iα
+	dedup     map[uint64]int32 // child-set hash → index of first occurrence
 }
 
 func newScratch(g, h *hypergraph.Hypergraph) *scratch {
-	n := g.N()
-	return &scratch{
-		g: g, h: h, n: n,
-		deg:   make([]int, n),
-		iSet:  bitset.New(n),
-		gProj: bitset.New(n),
-		tmp:   bitset.New(n),
-		wit:   bitset.New(n),
-		dedup: make(map[uint64]int32),
+	sc := &scratch{dedup: make(map[uint64]int32)}
+	sc.bind(g, h)
+	return sc
+}
+
+// bind points the scratch at the instance (g, h), rebuilding the pinned
+// indexes and resizing the incremental state. Allocation-free once the
+// scratch has seen the same universe and edge-count shape.
+//
+// The two indexes are kept on a COMMON occurrence universe so that swap()
+// can exchange their roles without re-allocating the edge-universe scratch
+// sets. Attached (caller-maintained) indexes — e.g. the AddEdge-maintained
+// index of an oracle loop's growing partial family — are consumed when that
+// constraint can be met by growing only scratch-owned storage; growing a
+// shared attached index here could race with its other readers, so a too-
+// small attached index is simply ignored and the pinned own pair rebuilt.
+func (sc *scratch) bind(g, h *hypergraph.Hypergraph) {
+	gi, hi := g.AttachedIndex(), h.AttachedIndex()
+	if gi != nil && hi != nil && gi.OccUniverse() != hi.OccUniverse() {
+		// Mismatched attached universes: treat both as absent (growing a
+		// shared index here could race with its other readers).
+		gi, hi = nil, nil
+	}
+	// Rebuild pinned own indexes only for the sides lacking a usable
+	// attached one, then align universes — falling back to the own pair
+	// when an attached index is too small to align against (own indexes
+	// are private and growable; attached ones are not).
+	if gi == nil {
+		gi = sc.ownIndex(&sc.gIdxOwn, g)
+	}
+	if hi == nil {
+		hi = sc.ownIndex(&sc.hIdxOwn, h)
+	}
+	if gi.OccUniverse() != hi.OccUniverse() {
+		// An attached side that is too small cannot be grown (shared) and
+		// is replaced by its own rebuild; after these two checks every
+		// smaller side is own, hence growable.
+		if gi != sc.gIdxOwn && gi.OccUniverse() < hi.OccUniverse() {
+			gi = sc.ownIndex(&sc.gIdxOwn, g)
+		}
+		if hi != sc.hIdxOwn && hi.OccUniverse() < gi.OccUniverse() {
+			hi = sc.ownIndex(&sc.hIdxOwn, h)
+		}
+		common := gi.OccUniverse()
+		if hu := hi.OccUniverse(); hu > common {
+			common = hu
+		}
+		if gi == sc.gIdxOwn {
+			gi.EnsureOccUniverse(common)
+		}
+		if hi == sc.hIdxOwn {
+			hi.EnsureOccUniverse(common)
+		}
+	}
+	sc.bindShared(g, h, gi, hi)
+}
+
+// ownIndex rebuilds (in place) and returns the pinned index slot for x.
+func (sc *scratch) ownIndex(slot **hypergraph.Index, x *hypergraph.Hypergraph) *hypergraph.Index {
+	if *slot == nil {
+		*slot = &hypergraph.Index{}
+	}
+	(*slot).Rebuild(x)
+	return *slot
+}
+
+// bindShared is bind with caller-provided (shared, read-only) indexes — the
+// parallel search builds one index pair and hands it to every worker state.
+func (sc *scratch) bindShared(g, h *hypergraph.Hypergraph, gi, hi *hypergraph.Index) {
+	sc.g, sc.h = g, h
+	sc.gIdx, sc.hIdx = gi, hi
+	if n := g.N(); sc.n != n || sc.iSet.Universe() != n {
+		sc.n = n
+		sc.iSet = bitset.New(n)
+		sc.gProj = bitset.New(n)
+		sc.tmp = bitset.New(n)
+		sc.wit = bitset.New(n)
+		sc.degH = make([]int32, n)
+	}
+	sc.size()
+}
+
+// swap flips the scratch's orientation from (g, h) to (h, g) without
+// touching the indexes — the tree stage of Decide runs on the swapped pair
+// when |H| > |G|.
+func (sc *scratch) swap() {
+	sc.g, sc.h = sc.h, sc.g
+	sc.gIdx, sc.hIdx = sc.hIdx, sc.gIdx
+	sc.size()
+}
+
+// size fits the per-edge state and the edge-universe scratch sets to the
+// current (g, h) and their indexes.
+func (sc *scratch) size() {
+	mg, mh := sc.g.M(), sc.h.M()
+	if cap(sc.cntG) < mg {
+		sc.cntG = make([]int32, mg)
+	}
+	sc.cntG = sc.cntG[:mg]
+	if cap(sc.missH) < mh {
+		sc.missH = make([]int32, mh)
+	}
+	sc.missH = sc.missH[:mh]
+	if u := sc.gIdx.OccUniverse(); sc.hitG.Universe() != u {
+		sc.hitG = bitset.New(u)
+		sc.candG = bitset.New(u)
+	}
+	if u := sc.hIdx.OccUniverse(); sc.hsSet.Universe() != u {
+		sc.hsSet = bitset.New(u)
+		sc.notCont = bitset.New(u)
+		sc.contained = bitset.New(u)
 	}
 }
 
-// classifyNode applies marksmall/process to the node with set s. Children
+// syncTo initializes the incremental state for an arbitrary node set s in
+// one pass over the edges — the entry point for walk roots and for one-shot
+// classification; descent along the tree then uses removeVertex/
+// restoreVertex diffs instead.
+func (sc *scratch) syncTo(s bitset.Set) {
+	sc.zeroG = 0
+	for j := 0; j < sc.g.M(); j++ {
+		c := int32(sc.g.Edge(j).IntersectionCount(s))
+		sc.cntG[j] = c
+		if c == 0 {
+			sc.zeroG++
+		}
+	}
+	sc.hsSet.Clear()
+	sc.hsCount = 0
+	for v := 0; v < sc.n; v++ {
+		sc.degH[v] = 0
+	}
+	for j := 0; j < sc.h.M(); j++ {
+		e := sc.h.Edge(j)
+		miss := int32(sc.hIdx.Card(j) - e.IntersectionCount(s))
+		sc.missH[j] = miss
+		if miss == 0 {
+			sc.hsSet.Add(j)
+			sc.hsCount++
+			e.ForEach(func(u int) bool {
+				sc.degH[u]++
+				return true
+			})
+		}
+	}
+}
+
+// removeVertex updates the incremental state for Sα := Sα − {v}, in
+// O(deg_G(v)/w + deg_H(v)/w) plus the contents of the h-edges that leave
+// H_Sα (each edge leaves at most once per root-to-node path).
+func (sc *scratch) removeVertex(v int) {
+	sc.gIdx.Occ(v).ForEach(func(j int) bool {
+		sc.cntG[j]--
+		if sc.cntG[j] == 0 {
+			sc.zeroG++
+		}
+		return true
+	})
+	sc.hIdx.Occ(v).ForEach(func(j int) bool {
+		sc.missH[j]++
+		if sc.missH[j] == 1 {
+			sc.hsSet.Remove(j)
+			sc.hsCount--
+			sc.h.Edge(j).ForEach(func(u int) bool {
+				sc.degH[u]--
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// restoreVertex reverses removeVertex.
+func (sc *scratch) restoreVertex(v int) {
+	sc.gIdx.Occ(v).ForEach(func(j int) bool {
+		if sc.cntG[j] == 0 {
+			sc.zeroG--
+		}
+		sc.cntG[j]++
+		return true
+	})
+	sc.hIdx.Occ(v).ForEach(func(j int) bool {
+		sc.missH[j]--
+		if sc.missH[j] == 0 {
+			sc.hsSet.Add(j)
+			sc.hsCount++
+			sc.h.Edge(j).ForEach(func(u int) bool {
+				sc.degH[u]++
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// classifyNode applies marksmall/process to the node with set s, whose
+// incremental state must be current (syncTo or diff-maintained). Children
 // (for internal nodes) are generated into fr; on a fail verdict the witness
 // is left in sc.wit, and for |H_S| ≥ 2 the majority set in sc.iSet. All
 // outputs are valid only until the next classifyNode call on this scratch
@@ -112,17 +353,8 @@ func newScratch(g, h *hypergraph.Hypergraph) *scratch {
 func (sc *scratch) classifyNode(s bitset.Set, fr *frame) nodeVerdict {
 	v := nodeVerdict{chosenEdge: -1}
 	fr.nChildren = 0
-
-	// H_S: the h-edges fully inside S.
-	sc.hs = sc.hs[:0]
-	for j := 0; j < sc.h.M(); j++ {
-		if sc.h.Edge(j).SubsetOf(s) {
-			sc.hs = append(sc.hs, j)
-		}
-	}
-	v.hsCount = len(sc.hs)
-
-	if len(sc.hs) <= 1 {
+	v.hsCount = sc.hsCount
+	if sc.hsCount <= 1 {
 		sc.marksmall(s, &v)
 		return v
 	}
@@ -132,14 +364,8 @@ func (sc *scratch) classifyNode(s bitset.Set, fr *frame) nodeVerdict {
 
 // marksmall implements the paper's marksmall procedure for |H_S| ≤ 1.
 func (sc *scratch) marksmall(s bitset.Set, v *nodeVerdict) {
-	emptyInGS := false
-	for j := 0; j < sc.g.M(); j++ {
-		if !sc.g.Edge(j).Intersects(s) {
-			emptyInGS = true
-			break
-		}
-	}
-	if len(sc.hs) == 0 {
+	emptyInGS := sc.zeroG > 0 // some g-edge projects to ∅ within S
+	if sc.hsCount == 0 {
 		if !emptyInGS {
 			v.kind, v.mark = KindSmall0Fail, MarkFail // case 1: t(α) = Sα
 			sc.wit.CopyFrom(s)
@@ -149,10 +375,11 @@ func (sc *scratch) marksmall(s bitset.Set, v *nodeVerdict) {
 		return
 	}
 	// |H_S| = 1.
-	he := sc.h.Edge(sc.hs[0])
+	j := sc.hsSet.Min()
+	he := sc.h.Edge(j)
 	missing := -1
 	he.ForEach(func(i int) bool {
-		if !sc.singletonInGS(s, i) {
+		if !sc.singletonInGS(i) {
 			missing = i
 			return false // smallest such i, per the deterministic variant
 		}
@@ -163,114 +390,97 @@ func (sc *scratch) marksmall(s bitset.Set, v *nodeVerdict) {
 		return
 	}
 	v.kind, v.mark = KindSmall1Fail, MarkFail // case 4: t(α) = Sα − {i}
-	v.chosenEdge = sc.hs[0]
+	v.chosenEdge = j
 	sc.wit.CopyFrom(s)
 	sc.wit.Remove(missing)
 }
 
-// singletonInGS reports whether {i} ∈ G_S, i.e. some edge of g projects onto
-// exactly {i} within s.
-func (sc *scratch) singletonInGS(s bitset.Set, i int) bool {
-	for j := 0; j < sc.g.M(); j++ {
-		e := sc.g.Edge(j)
-		if e.Contains(i) && s.Contains(i) && e.IntersectionCount(s) == 1 {
-			return true
+// singletonInGS reports whether {i} ∈ G_S for a vertex i ∈ Sα: some g-edge
+// containing i projects onto exactly {i}, read off the occurrence row and
+// the maintained projected sizes.
+func (sc *scratch) singletonInGS(i int) bool {
+	found := false
+	sc.gIdx.Occ(i).ForEach(func(j int) bool {
+		if sc.cntG[j] == 1 {
+			found = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return found
 }
 
 // process implements the paper's process procedure for |H_S| ≥ 2.
 func (sc *scratch) process(s bitset.Set, fr *frame, v *nodeVerdict) {
-	g, h := sc.g, sc.h
-
 	// Step 1: the majority set Iα — vertices occurring in more than
-	// |H_S|/2 hyperedges of H_S.
-	deg := sc.deg
-	for i := range deg {
-		deg[i] = 0
-	}
-	for _, j := range sc.hs {
-		h.Edge(j).ForEach(func(u int) bool {
-			deg[u]++
-			return true
-		})
-	}
+	// |H_S|/2 hyperedges of H_S, read off the maintained degrees.
 	sc.iSet.Clear()
-	for u := 0; u < sc.n; u++ {
-		if 2*deg[u] > len(sc.hs) {
+	s.ForEach(func(u int) bool {
+		if 2*int(sc.degH[u]) > sc.hsCount {
 			sc.iSet.Add(u)
 		}
-	}
+		return true
+	})
 
-	// Step 2: is Iα a new transversal of G_S with respect to H_S?
-	isTransversal := true
-	for j := 0; j < g.M(); j++ {
-		if !g.Edge(j).TripleIntersects(s, sc.iSet) {
-			isTransversal = false
-			break
-		}
-	}
-	if isTransversal {
-		containsHS := false
-		for _, j := range sc.hs {
-			if h.Edge(j).SubsetOf(sc.iSet) {
-				containsHS = true
-				break
-			}
-		}
-		if !containsHS {
-			v.kind, v.mark = KindProcessFail, MarkFail // t(α) = Iα
-			sc.wit.CopyFrom(sc.iSet)
-			return
-		}
-	}
-
-	// Step 3: a projected edge disjoint from Iα (first by input index).
-	if !isTransversal {
-		for j := 0; j < g.M(); j++ {
-			if g.Edge(j).TripleIntersects(s, sc.iSet) {
-				continue
-			}
-			g.Edge(j).IntersectInto(s, sc.gProj)
-			v.kind = KindProcessDisjoint
-			v.chosenEdge = j
-			sc.disjointChildren(s, fr)
-			return
-		}
-		// Unreachable: !isTransversal means some projection misses Iα.
-		panic("core: process step 3 found no disjoint edge")
-	}
-
-	// Step 4: an H_S edge contained in Iα (first by input index). One must
-	// exist: Iα is a transversal of G_S and step 2 did not fire.
-	for _, j := range sc.hs {
-		he := h.Edge(j)
-		if !he.SubsetOf(sc.iSet) {
-			continue
-		}
-		v.kind = KindProcessContained
-		v.chosenEdge = j
-		sc.containedChildren(s, he, fr)
+	// Step 2: is Iα a transversal of G_S? Since Iα ⊆ Sα, a projected edge
+	// meets Iα iff the original edge does, so the hit set is the union of
+	// Iα's occurrence rows.
+	sc.hitG.Clear()
+	sc.iSet.ForEach(func(u int) bool {
+		sc.gIdx.Occ(u).UnionInto(sc.hitG, sc.hitG)
+		return true
+	})
+	if sc.hitG.Len() != sc.g.M() {
+		// Step 3: the first (by input index) projected edge disjoint from
+		// Iα is the first edge index absent from the hit set.
+		jstar := sc.hitG.MinAbsent()
+		sc.g.Edge(jstar).IntersectInto(s, sc.gProj)
+		v.kind = KindProcessDisjoint
+		v.chosenEdge = jstar
+		sc.disjointChildren(s, fr)
 		return
 	}
-	panic("core: process step 4 found no contained edge")
+
+	// Iα is a transversal; does it contain an H_S edge? Occurrence-driven
+	// ⊆-probe: an edge of H_Sα is ⊆ Iα iff it avoids every vertex of
+	// Sα − Iα (H_Sα edges are already ⊆ Sα).
+	sc.notCont.Clear()
+	s.ForEach(func(u int) bool {
+		if !sc.iSet.Contains(u) {
+			sc.hIdx.Occ(u).UnionInto(sc.notCont, sc.notCont)
+		}
+		return true
+	})
+	sc.hsSet.DiffInto(sc.notCont, sc.contained)
+	j := sc.contained.Min()
+	if j < 0 {
+		v.kind, v.mark = KindProcessFail, MarkFail // step 2: t(α) = Iα
+		sc.wit.CopyFrom(sc.iSet)
+		return
+	}
+	// Step 4: the first (by input index) H_S edge contained in Iα.
+	v.kind = KindProcessContained
+	v.chosenEdge = j
+	sc.containedChildren(s, sc.h.Edge(j), fr)
 }
 
 // disjointChildren enumerates C = {Sα − (E − {i}) | E ∈ G_Sα^G, i ∈ E ∩ G}
 // in canonical (edge index, vertex index) order with duplicates removed,
 // where G = sc.gProj is the chosen projected edge disjoint from Iα and
-// G_Sα^G consists of the projected edges meeting G.
+// G_Sα^G consists of the projected edges meeting G. The candidate edges are
+// exactly the union of G's occurrence rows (G ⊆ Sα, so meeting G within Sα
+// is meeting G).
 func (sc *scratch) disjointChildren(s bitset.Set, fr *frame) {
 	sc.resetDedup()
-	for j := 0; j < sc.g.M(); j++ {
+	sc.candG.Clear()
+	sc.gProj.ForEach(func(u int) bool {
+		sc.gIdx.Occ(u).UnionInto(sc.candG, sc.candG)
+		return true
+	})
+	sc.candG.ForEach(func(j int) bool {
 		e := sc.g.Edge(j)
-		if !e.TripleIntersects(s, sc.gProj) {
-			continue // E ⊆ Sα − G: excluded from G_Sα^G
-		}
-		// Iterate i over E ∩ G = e ∩ s ∩ gProj.
-		e.IntersectInto(s, sc.tmp)
-		sc.tmp.IntersectInto(sc.gProj, sc.tmp)
+		// Iterate i over E ∩ G (= e ∩ s ∩ gProj, as gProj ⊆ Sα).
+		e.IntersectInto(sc.gProj, sc.tmp)
 		sc.tmp.ForEach(func(i int) bool {
 			// Sα − (E − {i}) = (Sα − e) ∪ {i} since i ∈ Sα.
 			c := fr.slot(sc.n)
@@ -279,7 +489,8 @@ func (sc *scratch) disjointChildren(s bitset.Set, fr *frame) {
 			sc.commitIfNew(fr)
 			return true
 		})
-	}
+		return true
+	})
 }
 
 // containedChildren enumerates C = {Sα − {i} | i ∈ H} ∪ {H} in canonical
@@ -323,4 +534,23 @@ func (sc *scratch) commitIfNew(fr *frame) bool {
 	}
 	fr.nChildren++
 	return true
+}
+
+// appendInstanceKey encodes the projected subinstance (G_Sα, H_Sα) at the
+// node with set s into buf: a (universe, |G|, |H_Sα|) header, the words of
+// every projected g-edge in input order, then the words of every H_Sα edge
+// in input order. The encoding is injective (fixed word count per set given
+// the header), so it is the collision-checkable memo key of memo.go: two
+// nodes — in the same tree, across branches, or across decisions sharing a
+// Decider — with equal encodings root identical (deterministic) subtrees.
+func (sc *scratch) appendInstanceKey(buf []uint64, s bitset.Set) []uint64 {
+	buf = append(buf, uint64(sc.n), uint64(sc.g.M()), uint64(sc.hsCount))
+	for j := 0; j < sc.g.M(); j++ {
+		buf = sc.g.Edge(j).AppendIntersectionWords(s, buf)
+	}
+	sc.hsSet.ForEach(func(j int) bool {
+		buf = sc.h.Edge(j).AppendWords(buf)
+		return true
+	})
+	return buf
 }

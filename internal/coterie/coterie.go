@@ -21,9 +21,27 @@ import (
 	"dualspace/internal/hypergraph"
 )
 
-// Coterie is a validated set of quorums.
+// Coterie is a validated set of quorums. The quorum hypergraph carries an
+// attached incidence index (read-only after New, so a Coterie stays safe
+// for concurrent use).
 type Coterie struct {
 	h *hypergraph.Hypergraph
+}
+
+// quorumProbe returns the containment probe for repeated "some quorum ⊆ t"
+// questions against this coterie: occurrence-row lookups through one
+// per-probe scratch set for large families, the plain edge scan otherwise.
+// The returned closure owns its scratch and is single-goroutine; the
+// Coterie itself is not touched.
+func (c *Coterie) quorumProbe() func(t bitset.Set) bool {
+	ix := c.h.AttachedIndex()
+	if ix == nil || c.h.M() < 64 {
+		return c.h.ContainsEdgeSubsetOf
+	}
+	scratch := bitset.New(ix.OccUniverse())
+	return func(t bitset.Set) bool {
+		return ix.FirstEdgeSubsetOf(t, scratch) >= 0
+	}
 }
 
 // New validates and wraps a quorum hypergraph: it must be non-empty, with
@@ -45,7 +63,12 @@ func New(h *hypergraph.Hypergraph) (*Coterie, error) {
 			}
 		}
 	}
-	return &Coterie{h: h.Clone()}, nil
+	c := &Coterie{h: h.Clone()}
+	// The coterie owns its clone; an attached incidence index turns the
+	// quorum-containment probes of Dominates (and the engines' rebinds in
+	// the self-duality decision) into occurrence-row lookups.
+	c.h.EnsureIndex()
+	return c, nil
 }
 
 // MustNew panics on invalid input; for tests and literals.
@@ -75,8 +98,9 @@ func (c *Coterie) Dominates(d *Coterie) bool {
 	if c.h.EqualAsFamily(d.h) {
 		return false
 	}
+	probe := c.quorumProbe()
 	for _, q := range d.h.Edges() {
-		if !c.h.ContainsEdgeSubsetOf(q) {
+		if !probe(q) {
 			return false
 		}
 	}
@@ -164,6 +188,7 @@ func (c *Coterie) IsDominatedBrute() bool {
 	if n > 20 {
 		panic("coterie: brute-force universe too large")
 	}
+	probe := c.quorumProbe()
 	for mask := 0; mask < 1<<uint(n); mask++ {
 		t := bitset.New(n)
 		for v := 0; v < n; v++ {
@@ -171,7 +196,7 @@ func (c *Coterie) IsDominatedBrute() bool {
 				t.Add(v)
 			}
 		}
-		if c.h.IsTransversal(t) && !c.h.ContainsEdgeSubsetOf(t) {
+		if c.h.IsTransversal(t) && !probe(t) {
 			return true
 		}
 	}

@@ -51,7 +51,10 @@ func star(m int) *hypergraph.Hypergraph {
 }
 
 func TestPortfolioSelect(t *testing.T) {
-	p := engine.NewPortfolio(engine.PortfolioConfig{})
+	// Pin the worker bound so the selection policy under test does not
+	// depend on the host's GOMAXPROCS (a single-slot pool never goes
+	// parallel; see the dedicated case below).
+	p := engine.NewPortfolio(engine.PortfolioConfig{Workers: 4})
 
 	// A two-edge side dispatches to FK-B regardless of the other side.
 	if sel, f := p.Select(gen.Matching(2), gen.MatchingDual(2)); sel.Name() != "fk-b" || f.MinSide != 2 {
@@ -75,6 +78,14 @@ func TestPortfolioSelect(t *testing.T) {
 	// works.
 	if sel, f := p.Select(star(60), star(60)); sel.Name() != "core" || !f.Acyclic {
 		t.Errorf("large acyclic: selected %s (features %+v)", sel.Name(), f)
+	}
+
+	// A single-slot pool degenerates to serial search with spawn overhead:
+	// even the large non-acyclic instance stays on the (memoizable) serial
+	// walker.
+	p1 := engine.NewPortfolio(engine.PortfolioConfig{Workers: 1})
+	if sel, _ := p1.Select(big, big); sel.Name() != "core" {
+		t.Errorf("single worker: selected %s, want core", sel.Name())
 	}
 }
 

@@ -22,6 +22,7 @@ package engine
 
 import (
 	"context"
+	"runtime"
 
 	"dualspace/internal/core"
 	"dualspace/internal/hypergraph"
@@ -120,6 +121,11 @@ func (p *Portfolio) Select(g, h *hypergraph.Hypergraph) (Engine, Features) {
 		return p.fkb, f
 	}
 	if f.Product < parallelProduct {
+		return p.serial, f
+	}
+	// A single-slot pool degenerates to serial search with spawn overhead
+	// and without the session-pinnable (memoized) scratch: never pick it.
+	if w := p.cfg.Workers; w == 1 || (w <= 0 && runtime.GOMAXPROCS(0) == 1) {
 		return p.serial, f
 	}
 	f.Structural = true

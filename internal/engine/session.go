@@ -20,18 +20,41 @@ import (
 // call site. It is NOT safe for concurrent use, and results returned through
 // it alias the pinned storage: they are valid until the Session's next call,
 // so holders that retain verdicts (e.g. a cache) must Clone them.
+//
+// Sessions carry a cross-node subinstance memo by default (core/memo.go):
+// decomposition subtrees verified all-done are skipped when the same
+// projected subinstance recurs — across branches of one tree and across the
+// session's lifetime of decisions, the access pattern of the incremental
+// border/key/coterie loops and of repeated service traffic. MemoStats
+// exposes the counters; NewSessionMemo sizes or disables the table.
 type Session struct {
 	eng Engine
 	dec *core.Decider
 }
 
-// NewSession returns a session driving eng (nil = the default portfolio).
+// NewSession returns a session driving eng (nil = the default portfolio),
+// with a default-sized subinstance memo.
 func NewSession(eng Engine) *Session {
+	return NewSessionMemo(eng, 0)
+}
+
+// NewSessionMemo is NewSession with an explicit memo bound: entries > 0
+// sizes the table, entries == 0 applies core.DefaultMemoEntries, and a
+// negative value disables memoization entirely.
+func NewSessionMemo(eng Engine, entries int) *Session {
 	if eng == nil {
 		eng = Default()
 	}
-	return &Session{eng: eng, dec: core.NewDecider()}
+	s := &Session{eng: eng, dec: core.NewDecider()}
+	if entries >= 0 {
+		s.dec.EnableMemo(entries)
+	}
+	return s
 }
+
+// MemoStats snapshots the session's subinstance-memo counters (zeros when
+// the memo is disabled). Safe to call concurrently with decisions.
+func (s *Session) MemoStats() core.MemoStats { return s.dec.MemoStats() }
 
 // Engine returns the engine this session drives by default.
 func (s *Session) Engine() Engine { return s.eng }

@@ -6,7 +6,10 @@ package hypergraph
 // hypergraphs (= hypertree width 1), while bounded hypertree width ≥ 2
 // does not help. The recognizers below identify those islands of
 // tractability; they are the entry points for the future-work directions
-// the paper sketches.
+// the paper sketches, and the feature extractors internal/engine's
+// Portfolio dispatches on — which is why both run on the incidence index
+// (occurrence rows + maintained degrees) instead of re-scanning the edge
+// list every elimination round.
 
 import "dualspace/internal/bitset"
 
@@ -17,67 +20,106 @@ import "dualspace/internal/bitset"
 // is eventually deleted. The empty hypergraph and every single-edge
 // hypergraph are α-acyclic; the triangle {ab, bc, ca} is the smallest
 // cyclic example.
+//
+// GYO is confluent, so the worklist evaluation below (degree-1 vertices and
+// shrunk/initial edges, driven by occurrence rows) reaches the same fixpoint
+// as round-based re-scanning, in near-linear total work: a vertex deletion
+// costs its occurrence row, and an edge is containment-checked only when it
+// shrinks.
 func (h *Hypergraph) IsAcyclic() bool {
-	edges := make([]bitset.Set, 0, len(h.edges))
-	for _, e := range h.edges {
-		edges = append(edges, e.Clone())
+	m := len(h.edges)
+	if m == 0 {
+		return true
 	}
-	for {
-		changed := false
+	ix := h.AttachedIndex()
+	if ix == nil {
+		ix = NewIndex(h)
+	}
+	edges := make([]bitset.Set, m) // mutable working copies
+	for j, e := range h.edges {
+		edges[j] = e.Clone()
+	}
+	alive := bitset.New(ix.OccUniverse())
+	deg := make([]int, h.n)
+	for j := 0; j < m; j++ {
+		alive.Add(j)
+	}
+	for v := 0; v < h.n; v++ {
+		deg[v] = ix.Occ(v).Len()
+	}
+	aliveCount := m
 
-		// Rule 1: a vertex occurring in exactly one edge is removed.
-		deg := make([]int, h.n)
-		for _, e := range edges {
-			e.ForEach(func(v int) bool { deg[v]++; return true })
+	var vQueue, eQueue []int
+	for v := 0; v < h.n; v++ {
+		if deg[v] == 1 {
+			vQueue = append(vQueue, v)
 		}
-		for _, e := range edges {
-			var isolated []int
-			e.ForEach(func(v int) bool {
-				if deg[v] == 1 {
-					isolated = append(isolated, v)
-				}
-				return true
-			})
-			for _, v := range isolated {
-				e.Remove(v)
-				changed = true
-			}
-		}
+	}
+	for j := 0; j < m; j++ {
+		eQueue = append(eQueue, j)
+	}
 
-		// Rule 2: an edge contained in another edge is removed (duplicates
-		// keep one copy; empty edges are contained in any other edge, and a
-		// lone empty edge is removed outright).
-		var kept []bitset.Set
-		for i, e := range edges {
-			if e.IsEmpty() {
-				changed = true
-				continue
+	removeEdge := func(j int) {
+		alive.Remove(j)
+		aliveCount--
+		edges[j].ForEach(func(u int) bool {
+			deg[u]--
+			if deg[u] == 1 {
+				vQueue = append(vQueue, u)
 			}
-			covered := false
-			for j, f := range edges {
-				if i == j {
-					continue
-				}
-				if e.SubsetOf(f) && (!e.Equal(f) || j < i) {
-					covered = true
-					break
-				}
-			}
-			if covered {
-				changed = true
-				continue
-			}
-			kept = append(kept, e)
-		}
-		edges = kept
-
-		if len(edges) == 0 {
 			return true
+		})
+	}
+
+	for len(vQueue) > 0 || len(eQueue) > 0 {
+		if len(vQueue) > 0 {
+			v := vQueue[len(vQueue)-1]
+			vQueue = vQueue[:len(vQueue)-1]
+			if deg[v] != 1 {
+				continue
+			}
+			// Rule 1: v occurs in exactly one alive edge; find it through
+			// the (over-approximating) occurrence row and delete v from it.
+			ix.Occ(v).ForEach(func(j int) bool {
+				if !alive.Contains(j) || !edges[j].Contains(v) {
+					return true
+				}
+				edges[j].Remove(v)
+				deg[v] = 0
+				eQueue = append(eQueue, j) // shrunk: recheck containment
+				return false
+			})
+			continue
 		}
-		if !changed {
-			return false
+		j := eQueue[len(eQueue)-1]
+		eQueue = eQueue[:len(eQueue)-1]
+		if !alive.Contains(j) {
+			continue
+		}
+		e := edges[j]
+		if e.IsEmpty() {
+			removeEdge(j)
+			continue
+		}
+		// Rule 2: is e contained in another alive edge? Candidates must
+		// contain e's vertices, so any vertex's occurrence row bounds them.
+		v0 := e.Min()
+		covered := false
+		ix.Occ(v0).ForEach(func(f int) bool {
+			if f == j || !alive.Contains(f) {
+				return true
+			}
+			if e.SubsetOf(edges[f]) && (!e.Equal(edges[f]) || f < j) {
+				covered = true
+				return false
+			}
+			return true
+		})
+		if covered {
+			removeEdge(j)
 		}
 	}
+	return aliveCount == 0
 }
 
 // Degeneracy returns the degeneracy of the hypergraph under min-degree
@@ -86,48 +128,55 @@ func (h *Hypergraph) IsAcyclic() bool {
 // largest minimum degree encountered. For ordinary graphs (2-uniform
 // hypergraphs) this is the standard graph degeneracy (trees: 1, cycles: 2,
 // K_{k+1}: k). Zero for hypergraphs with no nonempty edges.
+//
+// Runs on the incidence index: degrees are maintained through occurrence
+// rows as edges die, so the elimination costs O(Σ|e| + n²) instead of
+// re-scanning every edge each round.
 func (h *Hypergraph) Degeneracy() int {
-	edges := make([]bitset.Set, 0, len(h.edges))
-	for _, e := range h.edges {
-		if !e.IsEmpty() {
-			edges = append(edges, e.Clone())
-		}
+	m := len(h.edges)
+	if m == 0 {
+		return 0
 	}
-	alive := bitset.New(h.n)
-	for _, e := range edges {
-		alive = alive.Union(e)
+	ix := h.AttachedIndex()
+	if ix == nil {
+		ix = NewIndex(h)
 	}
-	degeneracy := 0
-	for len(edges) > 0 {
-		// Find the minimum-positive-degree vertex.
-		deg := make([]int, h.n)
-		for _, e := range edges {
-			e.ForEach(func(v int) bool { deg[v]++; return true })
-		}
-		minV, minD := -1, 0
-		alive.ForEach(func(v int) bool {
-			if deg[v] == 0 {
+	alive := bitset.New(ix.OccUniverse())
+	deg := make([]int, h.n)
+	for j := 0; j < m; j++ {
+		if ix.Card(j) > 0 {
+			alive.Add(j)
+			h.edges[j].ForEach(func(v int) bool {
+				deg[v]++
 				return true
-			}
-			if minV == -1 || deg[v] < minD {
+			})
+		}
+	}
+	tmp := bitset.New(ix.OccUniverse())
+	degeneracy := 0
+	for {
+		minV, minD := -1, 0
+		for v := 0; v < h.n; v++ {
+			if deg[v] > 0 && (minV == -1 || deg[v] < minD) {
 				minV, minD = v, deg[v]
 			}
-			return true
-		})
+		}
 		if minV == -1 {
-			break
+			return degeneracy
 		}
 		if minD > degeneracy {
 			degeneracy = minD
 		}
-		alive.Remove(minV)
-		var kept []bitset.Set
-		for _, e := range edges {
-			if !e.Contains(minV) {
-				kept = append(kept, e)
-			}
-		}
-		edges = kept
+		// Kill minV: every alive edge containing it dies, decrementing its
+		// vertices' degrees.
+		ix.Occ(minV).IntersectInto(alive, tmp)
+		tmp.ForEach(func(j int) bool {
+			alive.Remove(j)
+			h.edges[j].ForEach(func(u int) bool {
+				deg[u]--
+				return true
+			})
+			return true
+		})
 	}
-	return degeneracy
 }

@@ -35,6 +35,9 @@ import (
 type Hypergraph struct {
 	n     int
 	edges []bitset.Set
+	// idx, when attached via EnsureIndex, is the incidence index (index.go),
+	// maintained through AddEdge/AddEdgeElems/RestrictInto/InducedSubInto.
+	idx *Index
 }
 
 // New returns an empty hypergraph over the universe [0, n).
@@ -102,11 +105,21 @@ func (h *Hypergraph) AddEdge(e bitset.Set) {
 		panic(fmt.Sprintf("hypergraph: edge universe %d != %d", e.Universe(), h.n))
 	}
 	h.edges = append(h.edges, e.Clone())
+	h.indexAddedEdge()
 }
 
 // AddEdgeElems appends a new hyperedge containing exactly the given vertices.
 func (h *Hypergraph) AddEdgeElems(vs ...int) {
 	h.edges = append(h.edges, bitset.FromSlice(h.n, vs))
+	h.indexAddedEdge()
+}
+
+// indexAddedEdge extends an attached, previously in-sync index by the edge
+// just appended; an out-of-sync index is left for EnsureIndex to rebuild.
+func (h *Hypergraph) indexAddedEdge() {
+	if h.idx != nil && h.idx.n == h.n && h.idx.m == len(h.edges)-1 {
+		h.idx.addEdge(h.edges[len(h.edges)-1])
+	}
 }
 
 // Clone returns a deep copy of h.
@@ -204,6 +217,9 @@ func (h *Hypergraph) ContainsEdge(e bitset.Set) bool {
 }
 
 // ContainsEdgeSubsetOf reports whether some hyperedge is a subset of s.
+// Callers probing a large indexed family repeatedly should use
+// Index.FirstEdgeSubsetOf with a pinned scratch instead (see
+// internal/coterie's domination checks).
 func (h *Hypergraph) ContainsEdgeSubsetOf(s bitset.Set) bool {
 	for _, f := range h.edges {
 		if f.SubsetOf(s) {
@@ -319,6 +335,9 @@ func (h *Hypergraph) RestrictInto(s bitset.Set, dst *Hypergraph) {
 	for _, e := range h.edges {
 		e.IntersectInto(s, dst.scratchSlot())
 	}
+	if dst.idx != nil {
+		dst.idx.afterRestrict(h, s, dst)
+	}
 }
 
 // InducedSubInto is InducedSub with a reusable destination, under the same
@@ -330,6 +349,11 @@ func (h *Hypergraph) InducedSubInto(s bitset.Set, dst *Hypergraph) {
 		if e.SubsetOf(s) {
 			dst.scratchSlot().CopyFrom(e)
 		}
+	}
+	if dst.idx != nil {
+		// The surviving subfamily is compacted (edge indices shift), so the
+		// index is rebuilt from the destination; see index.go.
+		dst.idx.Rebuild(dst)
 	}
 }
 
@@ -393,10 +417,14 @@ func (h *Hypergraph) MaxEdgeSize() int {
 }
 
 // MinEdgeSize returns the size of the smallest hyperedge, or 0 for an empty
-// family.
+// family. With an attached index this reads the cardinality bucket queue's
+// minimum in O(1) amortized.
 func (h *Hypergraph) MinEdgeSize() int {
 	if len(h.edges) == 0 {
 		return 0
+	}
+	if ix := h.AttachedIndex(); ix != nil {
+		return ix.MinCard()
 	}
 	m := h.edges[0].Len()
 	for _, e := range h.edges[1:] {

@@ -1,0 +1,429 @@
+package hypergraph
+
+// Incidence index. The decomposition kernel (internal/core), the transversal
+// enumerator (internal/transversal) and the portfolio feature extractors
+// (internal/engine) all ask the same questions of a hypergraph over and over:
+// "which edges contain v?", "how large is edge j?", "which edge is
+// smallest?". Answering them by scanning the edge list costs O(m·n/w) per
+// question; an Index answers each from precomputed occurrence bitsets in
+// O(deg) or O(1), and can be maintained incrementally instead of rebuilt:
+//
+//   - AddEdge on an indexed hypergraph extends the index in O(|e|) — the
+//     regime of the oracle loops' growing partial families.
+//   - RestrictInto derives the destination's index from the source's. When
+//     the destination was previously restricted from the same source, only
+//     the vertices entering or leaving the restriction set are touched
+//     (O(changed)); otherwise the occurrence sets are copied per vertex,
+//     which is still cheaper than re-scanning every edge. This serves
+//     callers that materialize subinstance chains; the decomposition
+//     kernel never materializes — its scratch maintains the equivalent
+//     per-node state directly from the root indexes' occurrence rows
+//     (internal/core/scratch.go).
+//   - InducedSubInto rebuilds the destination index from the (typically
+//     small) surviving subfamily.
+//
+// DESIGN.md §7 documents the layout and the maintenance contract.
+
+import (
+	"fmt"
+
+	"dualspace/internal/bitset"
+)
+
+// Index is the incidence index of one hypergraph: per-vertex occurrence sets
+// over the edge-index universe, per-edge cardinalities, and a bucket queue
+// over cardinalities that yields the minimum-size edge in O(1) amortized.
+//
+// An Index is safe for concurrent READS (the parallel tree search shares one
+// per side across workers) but not for concurrent mutation. The occurrence
+// sets returned by Occ are views into index storage and must not be mutated.
+type Index struct {
+	n    int          // vertex universe of the indexed hypergraph
+	m    int          // number of edges covered
+	mCap int          // universe of the occurrence sets (≥ m, grow-only)
+	occ  []bitset.Set // occ[v] ⊆ [0, m): edges containing v
+	card []int        // card[j] = |edge j|; len == m
+
+	// Bucket queue over cardinalities: buckets[c] lists the edges of size c,
+	// pos[j] is j's position within its bucket, and minCard is a lazily
+	// advanced lower bound on the smallest non-empty bucket.
+	buckets [][]int32
+	pos     []int32
+	minCard int
+
+	// gen is bumped on every mutation; derivation bookkeeping below uses it
+	// to detect that a remembered source index has moved on.
+	gen uint64
+
+	// Derivation base for the O(changed) RestrictInto fast path: this index
+	// currently describes src restricted to prevS.
+	src        *Index
+	srcGen     uint64
+	prevS      bitset.Set
+	prevSValid bool
+	diff       []int // reusable vertex buffer for the diff walk
+}
+
+// NewIndex builds a standalone index of h. Unlike EnsureIndex it does not
+// attach the index to the hypergraph: callers that do not own h (and so must
+// not mutate it, even monotonically) use this form.
+func NewIndex(h *Hypergraph) *Index {
+	ix := &Index{}
+	ix.Rebuild(h)
+	return ix
+}
+
+// EnsureIndex returns h's attached index, building or rebuilding it if it is
+// missing or stale. The attached index is maintained through AddEdge,
+// AddEdgeElems, RestrictInto and InducedSubInto; only callers that own h
+// should attach one (attachment mutates h, and concurrent EnsureIndex calls
+// on a shared hypergraph would race).
+func (h *Hypergraph) EnsureIndex() *Index {
+	if h.idx == nil {
+		h.idx = &Index{}
+	}
+	if h.idx.n != h.n || h.idx.m != len(h.edges) {
+		h.idx.Rebuild(h)
+	}
+	return h.idx
+}
+
+// AttachedIndex returns h's attached index if one exists and is in sync with
+// the edge list, or nil. Read-only consumers (the decision kernel) use it to
+// skip their own index build when the caller has already paid for one.
+func (h *Hypergraph) AttachedIndex() *Index {
+	if h.idx != nil && h.idx.n == h.n && h.idx.m == len(h.edges) {
+		return h.idx
+	}
+	return nil
+}
+
+// N returns the vertex universe size of the indexed hypergraph.
+func (ix *Index) N() int { return ix.n }
+
+// M returns the number of edges the index covers.
+func (ix *Index) M() int { return ix.m }
+
+// OccUniverse returns the universe of the occurrence sets (≥ M). Scratch
+// sets that combine with occurrence sets (unions of occ rows) must be
+// allocated over this universe.
+func (ix *Index) OccUniverse() int { return ix.mCap }
+
+// Occ returns the set of edge indices containing v. The set is a read-only
+// view into index storage; bits at positions ≥ M are always zero.
+func (ix *Index) Occ(v int) bitset.Set { return ix.occ[v] }
+
+// Card returns |edge j|.
+func (ix *Index) Card(j int) int { return ix.card[j] }
+
+// MinCard returns the smallest edge cardinality, or 0 for an empty family.
+func (ix *Index) MinCard() int {
+	if ix.m == 0 {
+		return 0
+	}
+	ix.advanceMin()
+	return ix.minCard
+}
+
+// MinCardEdge returns the index of a smallest edge (the most recently
+// bucketed one of minimum cardinality), or -1 for an empty family.
+func (ix *Index) MinCardEdge() int {
+	if ix.m == 0 {
+		return -1
+	}
+	ix.advanceMin()
+	b := ix.buckets[ix.minCard]
+	return int(b[len(b)-1])
+}
+
+func (ix *Index) advanceMin() {
+	for ix.minCard < len(ix.buckets) && len(ix.buckets[ix.minCard]) == 0 {
+		ix.minCard++
+	}
+}
+
+func (ix *Index) bucketAdd(j, c int) {
+	ix.pos[j] = int32(len(ix.buckets[c]))
+	ix.buckets[c] = append(ix.buckets[c], int32(j))
+	if c < ix.minCard {
+		ix.minCard = c
+	}
+}
+
+func (ix *Index) bucketRemove(j, c int) {
+	b := ix.buckets[c]
+	p := ix.pos[j]
+	last := b[len(b)-1]
+	b[p] = last
+	ix.pos[last] = p
+	ix.buckets[c] = b[:len(b)-1]
+}
+
+// setCard moves edge j to cardinality c, maintaining the bucket queue.
+func (ix *Index) setCard(j, c int) {
+	if ix.card[j] == c {
+		return
+	}
+	ix.bucketRemove(j, ix.card[j])
+	ix.card[j] = c
+	ix.bucketAdd(j, c)
+}
+
+// ensureShape sizes the index storage for a hypergraph with n vertices and m
+// edges, reusing existing storage when it fits (the path that keeps a
+// pinned core.Decider allocation-free across same-universe instances).
+// Occurrence set contents are NOT preserved across a grow.
+func (ix *Index) ensureShape(n, m int) {
+	if ix.occ == nil || ix.n != n || m > ix.mCap {
+		mCap := m
+		if ix.n == n && 2*ix.mCap > mCap {
+			mCap = 2 * ix.mCap // grow-only within a universe: amortize AddEdge
+		}
+		if mCap < 8 {
+			mCap = 8
+		}
+		ix.occ = bitset.NewBatch(mCap, n)
+		ix.mCap = mCap
+		ix.n = n
+	}
+	if cap(ix.card) < m {
+		ix.card = make([]int, 0, ix.mCap)
+		ix.pos = make([]int32, ix.mCap)
+	}
+	if ix.buckets == nil || len(ix.buckets) != n+1 {
+		ix.buckets = make([][]int32, n+1)
+	}
+}
+
+// Rebuild re-indexes h from scratch into ix, reusing storage where shapes
+// allow. It resets any derivation base.
+func (ix *Index) Rebuild(h *Hypergraph) {
+	m := len(h.edges)
+	ix.ensureShape(h.n, m)
+	for v := range ix.occ {
+		ix.occ[v].Clear()
+	}
+	for c := range ix.buckets {
+		ix.buckets[c] = ix.buckets[c][:0]
+	}
+	ix.card = ix.card[:0]
+	ix.minCard = len(ix.buckets)
+	ix.m = m
+	for j, e := range h.edges {
+		c := 0
+		e.ForEach(func(v int) bool {
+			ix.occ[v].Add(j)
+			c++
+			return true
+		})
+		ix.card = append(ix.card, c)
+		ix.bucketAdd(j, c)
+	}
+	ix.invalidateDerivation()
+}
+
+func (ix *Index) invalidateDerivation() {
+	ix.gen++
+	ix.src = nil
+	ix.prevSValid = false
+}
+
+// addEdge extends the index by one edge (the maintenance hook behind
+// Hypergraph.AddEdge on an indexed hypergraph). Amortized O(|e|).
+func (ix *Index) addEdge(e bitset.Set) {
+	j := ix.m
+	if j >= ix.mCap {
+		ix.growEdgeSpace(2 * ix.mCap)
+	}
+	if cap(ix.card) <= j {
+		card := make([]int, j, ix.mCap)
+		copy(card, ix.card)
+		ix.card = card
+		pos := make([]int32, ix.mCap)
+		copy(pos, ix.pos)
+		ix.pos = pos
+	}
+	c := 0
+	e.ForEach(func(v int) bool {
+		ix.occ[v].Add(j)
+		c++
+		return true
+	})
+	ix.card = append(ix.card, c)
+	ix.bucketAdd(j, c)
+	ix.m++
+	ix.invalidateDerivation()
+}
+
+// EnsureOccUniverse widens the occurrence-set universe to at least mCap,
+// preserving contents; a no-op (and safe under concurrent readers) when the
+// universe is already large enough. The serial decision scratch aligns the
+// two sides' indexes to a common universe so that swapping the orientation
+// of an instance never invalidates its edge-universe scratch sets.
+func (ix *Index) EnsureOccUniverse(mCap int) {
+	if mCap > ix.mCap {
+		ix.growEdgeSpace(mCap)
+	}
+}
+
+// growEdgeSpace widens the occurrence universe to mCap, preserving contents.
+func (ix *Index) growEdgeSpace(mCap int) {
+	if mCap <= ix.mCap {
+		return
+	}
+	old := ix.occ
+	ix.occ = bitset.NewBatch(mCap, ix.n)
+	for v, o := range old {
+		o.ForEach(func(j int) bool {
+			ix.occ[v].Add(j)
+			return true
+		})
+	}
+	ix.mCap = mCap
+	if cap(ix.pos) < mCap {
+		pos := make([]int32, mCap)
+		copy(pos, ix.pos)
+		ix.pos = pos
+	}
+}
+
+// afterRestrict maintains dst's attached index after dst was overwritten
+// with {e ∩ s : e ∈ src} by RestrictInto. Three regimes, fastest first:
+//
+//  1. dst was previously restricted from the same (unchanged) source: only
+//     the vertices in s XOR prevS are touched — O(changed).
+//  2. the source carries a fresh index: dst's occurrence rows are copied
+//     from the source's (occ_dst[v] = occ_src[v] for v ∈ s, ∅ otherwise),
+//     establishing a derivation base for subsequent calls.
+//  3. otherwise: full rebuild from dst's own edges.
+func (ix *Index) afterRestrict(src *Hypergraph, s bitset.Set, dst *Hypergraph) {
+	srcIdx := src.AttachedIndex()
+	if srcIdx == ix {
+		panic("hypergraph: index derivation from itself")
+	}
+	if srcIdx == nil {
+		ix.Rebuild(dst)
+		return
+	}
+	if ix.src == srcIdx && ix.srcGen == srcIdx.gen && ix.prevSValid &&
+		ix.n == srcIdx.n && ix.m == srcIdx.m && ix.mCap == srcIdx.mCap {
+		// Regime 1: diff against the previous restriction set.
+		ix.diff = ix.prevS.AppendDiffElems(s, ix.diff[:0])
+		for _, v := range ix.diff {
+			// v left the restriction: every source edge containing it
+			// shrinks by one, and its occurrence row empties.
+			ix.occ[v].ForEach(func(j int) bool {
+				ix.setCard(j, ix.card[j]-1)
+				return true
+			})
+			ix.occ[v].Clear()
+		}
+		ix.diff = s.AppendDiffElems(ix.prevS, ix.diff[:0])
+		for _, v := range ix.diff {
+			// v entered the restriction: inherit the source's row.
+			ix.occ[v].CopyFrom(srcIdx.occ[v])
+			ix.occ[v].ForEach(func(j int) bool {
+				ix.setCard(j, ix.card[j]+1)
+				return true
+			})
+		}
+		ix.prevS.CopyFrom(s)
+		ix.gen++
+		return
+	}
+	// Regime 2: copy rows from the source index.
+	ix.ensureShape(srcIdx.n, srcIdx.m)
+	if ix.mCap != srcIdx.mCap {
+		// Row copies need matching occurrence universes; adopt the source's.
+		ix.occ = bitset.NewBatch(srcIdx.mCap, srcIdx.n)
+		ix.mCap = srcIdx.mCap
+		if cap(ix.pos) < ix.mCap {
+			ix.pos = make([]int32, ix.mCap)
+		}
+	}
+	for v := 0; v < ix.n; v++ {
+		if s.Contains(v) {
+			ix.occ[v].CopyFrom(srcIdx.occ[v])
+		} else {
+			ix.occ[v].Clear()
+		}
+	}
+	for c := range ix.buckets {
+		ix.buckets[c] = ix.buckets[c][:0]
+	}
+	ix.card = ix.card[:0]
+	ix.minCard = len(ix.buckets)
+	ix.m = srcIdx.m
+	for j, e := range dst.edges {
+		c := e.Len()
+		ix.card = append(ix.card, c)
+		ix.bucketAdd(j, c)
+	}
+	ix.gen++
+	ix.src = srcIdx
+	ix.srcGen = srcIdx.gen
+	if ix.prevS.Universe() != ix.n {
+		ix.prevS = bitset.New(ix.n)
+	}
+	ix.prevS.CopyFrom(s)
+	ix.prevSValid = true
+}
+
+// Validate cross-checks the index against h and returns a descriptive error
+// on the first inconsistency; tests use it, production code relies on the
+// maintenance hooks.
+func (ix *Index) Validate(h *Hypergraph) error {
+	if ix.n != h.n || ix.m != len(h.edges) {
+		return fmt.Errorf("index shape (n=%d, m=%d) != hypergraph (n=%d, m=%d)", ix.n, ix.m, h.n, len(h.edges))
+	}
+	want := NewIndex(h)
+	for v := 0; v < h.n; v++ {
+		if !ix.occ[v].ForEach(func(j int) bool { return want.occ[v].Contains(j) }) ||
+			!want.occ[v].ForEach(func(j int) bool { return ix.occ[v].Contains(j) }) {
+			return fmt.Errorf("occ[%d] = %v, want %v", v, ix.occ[v], want.occ[v])
+		}
+	}
+	for j := range h.edges {
+		if ix.card[j] != want.card[j] {
+			return fmt.Errorf("card[%d] = %d, want %d", j, ix.card[j], want.card[j])
+		}
+	}
+	if ix.m > 0 && ix.MinCard() != want.MinCard() {
+		return fmt.Errorf("MinCard = %d, want %d", ix.MinCard(), want.MinCard())
+	}
+	if ix.m > 0 {
+		if j := ix.MinCardEdge(); j < 0 || ix.card[j] != ix.MinCard() {
+			return fmt.Errorf("MinCardEdge = %d (card %v), want an edge of size %d", j, ix.card, ix.MinCard())
+		}
+	}
+	return nil
+}
+
+// FirstEdgeSubsetOf returns the index of some edge contained in s, or -1.
+// scratch must be a set over OccUniverse(); it is clobbered. The probe runs
+// on the occurrence rows of the vertices OUTSIDE s — every edge meeting one
+// of them is disqualified — so it costs O((n−|s|)·m/w) instead of the
+// O(m·n/w) edge scan, the right trade for the large-|s| probes of
+// IsNewTransversal-style checks.
+func (ix *Index) FirstEdgeSubsetOf(s bitset.Set, scratch bitset.Set) int {
+	scratch.Clear()
+	full := true
+	for v := 0; v < ix.n; v++ {
+		if s.Contains(v) {
+			continue
+		}
+		full = false
+		ix.occ[v].UnionInto(scratch, scratch)
+	}
+	if full {
+		if ix.m == 0 {
+			return -1
+		}
+		return 0
+	}
+	j := scratch.MinAbsent()
+	if j < 0 || j >= ix.m {
+		return -1
+	}
+	return j
+}

@@ -1,0 +1,217 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualspace/internal/bitset"
+)
+
+func randomSubset(r *rand.Rand, n int, p float64) bitset.Set {
+	s := bitset.New(n)
+	for v := 0; v < n; v++ {
+		if r.Float64() < p {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+// TestIndexPropertyMaintained is the consistency property test for the
+// maintained incidence index: after an arbitrary interleaving of AddEdge,
+// RestrictInto and InducedSubInto operations over a little family of
+// indexed hypergraphs — repeatedly restricting into the same destinations,
+// so the O(changed) diff path, the row-copy derivation path and the full
+// rebuild path all fire — every attached index must equal a from-scratch
+// rebuild (occurrence rows, cardinalities, min-cardinality bucket).
+func TestIndexPropertyMaintained(t *testing.T) {
+	const n = 40
+	r := rand.New(rand.NewSource(20260726))
+
+	src := randomFamily(r, n, 8)
+	src.EnsureIndex()
+	srcNoIdx := randomFamily(r, n, 6) // derivation source WITHOUT an index
+	dstA, dstB, dstC := New(n), New(n), New(n)
+	dstA.EnsureIndex()
+	dstB.EnsureIndex()
+	dstC.EnsureIndex()
+	all := []*Hypergraph{src, srcNoIdx, dstA, dstB, dstC}
+
+	validate := func(step int, opName string) {
+		t.Helper()
+		for gi, g := range all {
+			if ix := g.AttachedIndex(); ix != nil {
+				if err := ix.Validate(g); err != nil {
+					t.Fatalf("step %d (%s): graph %d: %v", step, opName, gi, err)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		var opName string
+		switch op := r.Intn(10); {
+		case op < 3: // AddEdge on a random graph (maintained in O(|e|))
+			opName = "AddEdge"
+			g := all[r.Intn(len(all))]
+			g.AddEdge(randomSubset(r, n, 0.3))
+		case op < 6: // RestrictInto from the indexed source (diff/copy paths)
+			opName = "RestrictInto/indexed-src"
+			dst := []*Hypergraph{dstA, dstB}[r.Intn(2)]
+			// Alternate small perturbations of the restriction set (the
+			// regime-1 diff path) with fresh random sets (regime 2).
+			src.RestrictInto(randomSubset(r, n, 0.2+0.6*r.Float64()), dst)
+		case op < 7: // RestrictInto from the index-less source (full rebuild)
+			opName = "RestrictInto/plain-src"
+			srcNoIdx.RestrictInto(randomSubset(r, n, 0.5), dstB)
+		case op < 9: // InducedSubInto (rebuild derivation)
+			opName = "InducedSubInto"
+			from := []*Hypergraph{src, srcNoIdx, dstA}[r.Intn(3)]
+			if from != dstC {
+				from.InducedSubInto(randomSubset(r, n, 0.6), dstC)
+			}
+		default: // chain: restrict a derived destination further
+			opName = "RestrictInto/chained"
+			if dstA.M() > 0 {
+				dstA.RestrictInto(randomSubset(r, n, 0.7), dstC)
+			}
+		}
+		validate(step, opName)
+	}
+}
+
+// TestIndexRestrictDiffPath drives the regime-1 O(changed) path explicitly:
+// the same destination repeatedly restricted from the same source with
+// restriction sets differing in a few vertices.
+func TestIndexRestrictDiffPath(t *testing.T) {
+	const n = 64
+	r := rand.New(rand.NewSource(7))
+	src := randomFamily(r, n, 12)
+	src.EnsureIndex()
+	dst := New(n)
+	dst.EnsureIndex()
+
+	s := randomSubset(r, n, 0.5)
+	src.RestrictInto(s, dst) // establishes the derivation base
+	if err := dst.AttachedIndex().Validate(dst); err != nil {
+		t.Fatalf("after base restriction: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		// Flip a couple of vertices in the restriction set.
+		for k := 0; k < 1+r.Intn(3); k++ {
+			v := r.Intn(n)
+			if s.Contains(v) {
+				s.Remove(v)
+			} else {
+				s.Add(v)
+			}
+		}
+		src.RestrictInto(s, dst)
+		if err := dst.AttachedIndex().Validate(dst); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+// TestIndexBasics covers the read API against a hand-built family.
+func TestIndexBasics(t *testing.T) {
+	h := MustFromEdges(6, [][]int{{0, 1, 2}, {2, 3}, {3, 4, 5}, {5}})
+	ix := h.EnsureIndex()
+
+	if ix.N() != 6 || ix.M() != 4 {
+		t.Fatalf("shape (%d, %d), want (6, 4)", ix.N(), ix.M())
+	}
+	wantOcc := map[int][]int{0: {0}, 1: {0}, 2: {0, 1}, 3: {1, 2}, 4: {2}, 5: {2, 3}}
+	for v, want := range wantOcc {
+		got := ix.Occ(v).Elems()
+		if len(got) != len(want) {
+			t.Fatalf("Occ(%d) = %v, want %v", v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Occ(%d) = %v, want %v", v, got, want)
+			}
+		}
+	}
+	for j, want := range []int{3, 2, 3, 1} {
+		if ix.Card(j) != want {
+			t.Fatalf("Card(%d) = %d, want %d", j, ix.Card(j), want)
+		}
+	}
+	if ix.MinCard() != 1 {
+		t.Fatalf("MinCard = %d, want 1", ix.MinCard())
+	}
+	if j := ix.MinCardEdge(); j != 3 {
+		t.Fatalf("MinCardEdge = %d, want 3", j)
+	}
+
+	// AddEdge moves the minimum.
+	h.AddEdgeElems()
+	if ix.MinCard() != 0 || ix.MinCardEdge() != 4 {
+		t.Fatalf("after empty AddEdge: MinCard %d, MinCardEdge %d", ix.MinCard(), ix.MinCardEdge())
+	}
+	if err := ix.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexFirstEdgeSubsetOf cross-checks the occurrence-row subset probe
+// against the edge-scan ContainsEdgeSubsetOf on random inputs.
+func TestIndexFirstEdgeSubsetOf(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		n := 5 + r.Intn(20)
+		h := randomFamily(r, n, 1+r.Intn(8))
+		ix := NewIndex(h)
+		scratch := bitset.New(ix.OccUniverse())
+		s := randomSubset(r, n, r.Float64())
+		got := ix.FirstEdgeSubsetOf(s, scratch)
+		want := h.ContainsEdgeSubsetOf(s)
+		if (got >= 0) != want {
+			t.Fatalf("FirstEdgeSubsetOf=%d but ContainsEdgeSubsetOf=%v for %v ⊆ %v", got, want, h, s)
+		}
+		if got >= 0 && !h.Edge(got).SubsetOf(s) {
+			t.Fatalf("edge %d = %v not ⊆ %v", got, h.Edge(got), s)
+		}
+	}
+}
+
+// TestIndexedPrecheckProbesAgree cross-checks the index-driven precheck
+// probes (indexed.go) against their scan-based counterparts, including the
+// exact violation/tie-break choices.
+func TestIndexedPrecheckProbesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 300; i++ {
+		n := 4 + r.Intn(8)
+		g := randomFamily(r, n, 1+r.Intn(6))
+		h := randomFamily(r, n, 1+r.Intn(6))
+		gi, hi := NewIndex(g), NewIndex(h)
+		gS := bitset.New(gi.OccUniverse())
+		hS := bitset.New(hi.OccUniverse())
+
+		wantV := g.simpleViolation()
+		gotV := g.SimpleViolationIdx(gi, gS)
+		if (wantV == nil) != (gotV == nil) {
+			t.Fatalf("simplicity: scan %v, indexed %v for %v", wantV, gotV, g)
+		}
+		if wantV != nil && (wantV[0] != gotV[0] || wantV[1] != gotV[1]) {
+			t.Fatalf("simplicity violation: scan %v, indexed %v for %v", wantV, gotV, g)
+		}
+
+		okWant, giWant, hiWant := g.CrossIntersecting(h)
+		okGot, giGot, hiGot := g.CrossIntersectingIdx(h, hi, hS)
+		if okWant != okGot || giWant != giGot || hiWant != hiGot {
+			t.Fatalf("cross-intersect: scan (%v,%d,%d), indexed (%v,%d,%d)",
+				okWant, giWant, hiWant, okGot, giGot, hiGot)
+		}
+
+		wantM := h.AllEdgesMinimalTransversalsOf(g)
+		gotM := h.AllEdgesMinimalTransversalsOfIdx(g, gi, gS)
+		if (wantM == nil) != (gotM == nil) {
+			t.Fatalf("minimality: scan %v, indexed %v", wantM, gotM)
+		}
+		if wantM != nil && *wantM != *gotM {
+			t.Fatalf("minimality violation: scan %+v, indexed %+v", wantM, gotM)
+		}
+	}
+}

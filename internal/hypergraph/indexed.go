@@ -1,0 +1,123 @@
+package hypergraph
+
+// Index-driven forms of the precondition probes. Each mirrors its scan-based
+// counterpart exactly — same violation, same tie-breaking — but walks
+// occurrence rows instead of the full edge list, turning the O(|G|·|H|·n/w)
+// pairwise scans of the DUAL precheck into O(Σ|e|·m/w) row unions. The
+// callers (internal/core's precheck stage) provide the index of the OTHER
+// side and a scratch set over its OccUniverse, so a pinned core.Decider can
+// run them allocation-free.
+
+import (
+	"fmt"
+
+	"dualspace/internal/bitset"
+)
+
+// CrossIntersectingIdx is CrossIntersecting with g's incidence index: for
+// each edge e of h it unions the occurrence rows of e's vertices — the set
+// of g-edges e meets — and reports the first g-edge missing from the union.
+// scratch must be over gIdx.OccUniverse() and is clobbered.
+func (h *Hypergraph) CrossIntersectingIdx(g *Hypergraph, gIdx *Index, scratch bitset.Set) (ok bool, hIdx, gEdge int) {
+	for i, e := range h.edges {
+		scratch.Clear()
+		e.ForEach(func(v int) bool {
+			gIdx.occ[v].UnionInto(scratch, scratch)
+			return true
+		})
+		if j := scratch.MinAbsent(); j >= 0 && j < len(g.edges) {
+			return false, i, j
+		}
+	}
+	return true, -1, -1
+}
+
+// AllEdgesMinimalTransversalsOfIdx is AllEdgesMinimalTransversalsOf with g's
+// incidence index: the transversal check reuses the occurrence-row union and
+// the criticality check for a vertex v scans only the g-edges containing v.
+// scratch must be over gIdx.OccUniverse() and is clobbered.
+func (h *Hypergraph) AllEdgesMinimalTransversalsOfIdx(g *Hypergraph, gIdx *Index, scratch bitset.Set) *MinimalTransversalViolation {
+	for i, e := range h.edges {
+		scratch.Clear()
+		e.ForEach(func(v int) bool {
+			gIdx.occ[v].UnionInto(scratch, scratch)
+			return true
+		})
+		if j := scratch.MinAbsent(); j >= 0 && j < len(g.edges) {
+			return &MinimalTransversalViolation{EdgeIndex: i, MissedEdgeIndex: j, RedundantVertex: -1}
+		}
+		redundant := -1
+		e.ForEach(func(v int) bool {
+			critical := false
+			gIdx.occ[v].ForEach(func(j int) bool {
+				if g.edges[j].IntersectionCount(e) == 1 {
+					critical = true
+					return false
+				}
+				return true
+			})
+			if !critical {
+				redundant = v
+				return false
+			}
+			return true
+		})
+		if redundant >= 0 {
+			return &MinimalTransversalViolation{EdgeIndex: i, MissedEdgeIndex: -1, RedundantVertex: redundant}
+		}
+	}
+	return nil
+}
+
+// ValidateSimpleIdx is ValidateSimple on the index-driven probe, with the
+// same error shape. scratch must be over ix.OccUniverse() and is clobbered.
+func (h *Hypergraph) ValidateSimpleIdx(ix *Index, scratch bitset.Set) error {
+	if v := h.SimpleViolationIdx(ix, scratch); v != nil {
+		return fmt.Errorf("%w: edge %d %v ⊆ edge %d %v",
+			ErrNotSimple, v[0], h.edges[v[0]], v[1], h.edges[v[1]])
+	}
+	return nil
+}
+
+// SimpleViolationIdx is the index-driven simplicity probe: the candidate
+// supersets of an edge e are the intersection of the occurrence rows of e's
+// vertices. It returns indices (i, j) with edge i ⊆ edge j and i ≠ j — the
+// same first violation simpleViolation reports — or nil. scratch must be
+// over ix.OccUniverse() (ix indexes h itself) and is clobbered.
+func (h *Hypergraph) SimpleViolationIdx(ix *Index, scratch bitset.Set) []int {
+	if len(h.edges) < 2 {
+		return nil
+	}
+	for i, e := range h.edges {
+		first := true
+		e.ForEach(func(v int) bool {
+			if first {
+				scratch.CopyFrom(ix.occ[v])
+				first = false
+			} else {
+				scratch.IntersectInto(ix.occ[v], scratch)
+			}
+			return true
+		})
+		if first {
+			// The empty edge is contained in every other edge.
+			j := 0
+			if i == 0 {
+				j = 1
+			}
+			return []int{i, j}
+		}
+		found := -1
+		scratch.ForEach(func(j int) bool {
+			if j != i {
+				found = j
+				return false
+			}
+			return true
+		})
+		if found >= 0 {
+			return []int{i, found}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package service
+
+// Request coalescing (singleflight) for /v1/decide. A cache-miss stampede —
+// many concurrent requests for the same (engine, canonical instance) key —
+// used to burn one worker slot per request on identical decompositions; now
+// the first request in becomes the leader and computes, while the others
+// wait on the flight and serve the leader's (immutable, detached) verdict.
+// A follower whose own client disconnects stops waiting; if the LEADER's
+// client disconnects mid-computation, the flight fails with a cancellation
+// error and each waiter retries the loop, the first of them becoming the
+// new leader. Keys are the verdict-cache keys, so coalescing can never
+// merge requests a cache lookup would distinguish.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dualspace/internal/core"
+)
+
+// flight is one in-progress decide computation. res/err are written by the
+// leader before done is closed and read by followers only after; res, when
+// non-nil, is a detached Result treated as immutable by every reader.
+// waiters gauges the followers currently blocked on this flight (tests use
+// it to sequence stampedes deterministically; the coalesced COUNTER is
+// incremented only when a follower is actually served from the flight).
+type flight struct {
+	done    chan struct{}
+	res     *core.Result
+	err     error
+	waiters atomic.Int32
+}
+
+// flightGroup deduplicates concurrent computations by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the flight for key, creating it (leader = true) when none is
+// in progress.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and releases the key for future
+// flights.
+func (g *flightGroup) finish(key string, f *flight, res *core.Result, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// totalWaiters sums the followers currently blocked across all in-progress
+// flights.
+func (g *flightGroup) totalWaiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, f := range g.m {
+		n += int(f.waiters.Load())
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDecideCoalescesStampede drives a stampede of identical cache-miss
+// /v1/decide requests and asserts exactly one decomposition runs: the first
+// request becomes the flight leader (blocked on the test hook until every
+// other request has attached as a follower), the rest coalesce onto its
+// verdict.
+func TestDecideCoalescesStampede(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	const clients = 8
+
+	release := make(chan struct{})
+	s.testHookDecideStart = func() { <-release }
+
+	g, h := matchingText(4)
+	body, err := json.Marshal(map[string]any{"g": g, "h": h})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		code int
+		resp map[string]any
+		err  error
+	}
+	results := make(chan outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/decide", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var out map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			results <- outcome{code: resp.StatusCode, resp: out, err: err}
+		}()
+	}
+
+	// Hold the leader until every other request is blocked on its flight,
+	// so the test is deterministic rather than a race the stampede usually
+	// wins. (The coalesced counter increments only when a follower is
+	// served, which requires releasing the leader — hence the waiter
+	// gauge.)
+	deadline := time.Now().Add(30 * time.Second)
+	for s.flights.totalWaiters() < clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests waiting on the flight", s.flights.totalWaiters(), clients-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	served := 0
+	for o := range results {
+		if o.err != nil {
+			t.Fatalf("request failed: %v", o.err)
+		}
+		if o.code != http.StatusOK {
+			t.Fatalf("status %d, body %v", o.code, o.resp)
+		}
+		if o.resp["dual"] != true {
+			t.Fatalf("verdict %v, want dual", o.resp)
+		}
+		served++
+	}
+	if served != clients {
+		t.Fatalf("served %d responses, want %d", served, clients)
+	}
+	if got := s.decompositions.Load(); got != 1 {
+		t.Errorf("stampede ran %d decompositions, want exactly 1", got)
+	}
+	if got := s.coalesced.Load(); got != clients-1 {
+		t.Errorf("coalesced = %d, want %d", got, clients-1)
+	}
+
+	// The counters surface through /statsz.
+	stats := getJSON(t, ts.URL+"/statsz")
+	if stats["coalesced"].(float64) != clients-1 {
+		t.Errorf("/statsz coalesced = %v, want %d", stats["coalesced"], clients-1)
+	}
+	if stats["decompositions"].(float64) != 1 {
+		t.Errorf("/statsz decompositions = %v, want 1", stats["decompositions"])
+	}
+	memo, ok := stats["memo"].(map[string]any)
+	if !ok {
+		t.Fatalf("/statsz has no memo block: %v", stats)
+	}
+	if memo["misses"].(float64) == 0 {
+		t.Errorf("memo counters all zero after a decomposition: %v", memo)
+	}
+}
+
+// TestDecideCoalesceDistinctKeysRunSeparately guards the key discipline:
+// requests differing in engine or instance must not coalesce.
+func TestDecideCoalesceDistinctKeysRunSeparately(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	g, h := matchingText(3)
+	for _, engine := range []string{"core", "fk-b"} {
+		code, resp := post(t, ts.URL+"/v1/decide", map[string]any{"g": g, "h": h, "engine": engine})
+		if code != http.StatusOK || resp["dual"] != true {
+			t.Fatalf("engine %s: code %d, resp %v", engine, code, resp)
+		}
+	}
+	if got := s.coalesced.Load(); got != 0 {
+		t.Errorf("distinct engines coalesced %d times, want 0", got)
+	}
+	if got := s.decompositions.Load(); got != 2 {
+		t.Errorf("decompositions = %d, want 2 (one per engine)", got)
+	}
+}

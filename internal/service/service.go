@@ -40,6 +40,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,6 +75,10 @@ type Config struct {
 	// MaxStreamResults caps the /v1/transversals limit knob (default
 	// 65536). Requests may ask for less, never more.
 	MaxStreamResults int
+	// MemoEntries bounds each worker session's cross-node subinstance memo
+	// (core/memo.go): 0 applies core.DefaultMemoEntries, a negative value
+	// disables memoization. Aggregate hit/miss counters appear in /statsz.
+	MemoEntries int
 }
 
 // DefaultLimits is the input bound applied when Config.Limits is zero:
@@ -102,8 +107,15 @@ type Server struct {
 
 	// sessions is the worker pool: each slot is a long-lived engine.Session
 	// owned exclusively by the request holding it (acquire/release), so
-	// session scratch is reused across requests without locking.
-	sessions chan *engine.Session
+	// session scratch — and the session's subinstance memo — is reused
+	// across requests without locking. allSessions keeps every slot
+	// reachable for /statsz memo aggregation (MemoStats is atomic).
+	sessions    chan *engine.Session
+	allSessions []*engine.Session
+
+	// flights coalesces concurrent identical cache-miss /v1/decide requests
+	// (flight.go).
+	flights flightGroup
 
 	// engStats maps every registry engine name to its counters; built once
 	// in New, so reads are lock-free.
@@ -123,6 +135,7 @@ type Server struct {
 	cancelled       atomic.Int64
 	badRequests     atomic.Int64
 	streamedSets    atomic.Int64
+	coalesced       atomic.Int64
 
 	// testHookDecideStart, when non-nil, runs right after a /v1/decide
 	// request has claimed a worker slot and before the decomposition
@@ -156,7 +169,9 @@ func New(cfg Config) *Server {
 		start:    time.Now(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		s.sessions <- engine.NewSession(nil)
+		sess := engine.NewSessionMemo(nil, cfg.MemoEntries)
+		s.allSessions = append(s.allSessions, sess)
+		s.sessions <- sess
 	}
 	for _, name := range engine.Names() {
 		s.engStats[name] = &engineCounters{}
@@ -272,11 +287,23 @@ type statsResponse struct {
 	// Engines carries per-engine cache hits and decision runs, keyed by
 	// registry name; requests without an explicit engine count under
 	// "portfolio".
-	Engines         map[string]engineStats `json:"engines"`
-	Decompositions  int64                  `json:"decompositions"`
-	Cancelled       int64                  `json:"cancelled"`
-	BadRequests     int64                  `json:"bad_requests"`
-	StreamedResults int64                  `json:"streamed_results"`
+	Engines map[string]engineStats `json:"engines"`
+	// Memo aggregates the cross-node subinstance memo counters over every
+	// worker session (core/memo.go).
+	Memo struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Inserts   int64 `json:"inserts"`
+		Entries   int64 `json:"entries"`
+		Evictions int64 `json:"evictions"`
+	} `json:"memo"`
+	Decompositions int64 `json:"decompositions"`
+	// Coalesced counts /v1/decide requests that joined another request's
+	// in-flight identical computation instead of running their own.
+	Coalesced       int64 `json:"coalesced"`
+	Cancelled       int64 `json:"cancelled"`
+	BadRequests     int64 `json:"bad_requests"`
+	StreamedResults int64 `json:"streamed_results"`
 }
 
 // engineStats is the wire form of one engine's counters.
@@ -311,7 +338,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, c := range s.engStats {
 		resp.Engines[name] = engineStats{Hits: c.hits.Load(), Decisions: c.decisions.Load()}
 	}
+	for _, sess := range s.allSessions {
+		ms := sess.MemoStats()
+		resp.Memo.Hits += ms.Hits
+		resp.Memo.Misses += ms.Misses
+		resp.Memo.Inserts += ms.Inserts
+		resp.Memo.Entries += ms.Entries
+		resp.Memo.Evictions += ms.Evictions
+	}
 	resp.Decompositions = s.decompositions.Load()
+	resp.Coalesced = s.coalesced.Load()
 	resp.Cancelled = s.cancelled.Load()
 	resp.BadRequests = s.badRequests.Load()
 	resp.StreamedResults = s.streamedSets.Load()
@@ -334,6 +370,9 @@ type decideStats struct {
 	Leaves      int `json:"leaves"`
 	MaxDepth    int `json:"max_depth"`
 	MaxChildren int `json:"max_children"`
+	// MemoHits counts subtrees skipped by the worker session's subinstance
+	// memo during this decision (0 on cached or coalesced responses).
+	MemoHits int `json:"memo_hits,omitempty"`
 }
 
 // decideResponse is the /v1/decide verdict. Edge indices refer to the
@@ -386,8 +425,52 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cacheMisses.Add(1)
+	for {
+		f, leader := s.flights.join(key)
+		if leader {
+			s.decideLeader(w, r, key, f, eng, engName, g, h, sy)
+			return
+		}
+		// Identical computation already in flight: wait for its verdict
+		// instead of burning a worker slot on a duplicate decomposition.
+		f.waiters.Add(1)
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			f.waiters.Add(-1)
+			s.cancelled.Add(1)
+			return // this client gone; the leader carries on for the rest
+		}
+		f.waiters.Add(-1)
+		if f.err == nil {
+			s.coalesced.Add(1)
+			writeJSON(w, renderDecide(f.res, g, h, sy, true, engName))
+			return
+		}
+		if !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
+			// A real decision error — identical inputs would fail
+			// identically, so surface it without recomputing.
+			s.coalesced.Add(1)
+			s.writeError(w, http.StatusUnprocessableEntity, f.err)
+			return
+		}
+		// The leader's client disconnected mid-computation; loop and race
+		// to become the new leader (not counted as coalesced: this request
+		// was not served by the dead flight).
+	}
+}
+
+// decideLeader runs the actual decomposition for a coalesced flight and
+// publishes the outcome to its followers, successful or not — a flight left
+// open would strand every waiter.
+func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key string, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols) {
+	var fres *core.Result
+	var ferr error
+	defer func() { s.flights.finish(key, f, fres, ferr) }()
+
 	sess, err := s.acquire(r)
 	if err != nil {
+		ferr = err
 		return // client gone; nothing to write to
 	}
 	defer s.release(sess)
@@ -398,6 +481,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	s.engStats[engName].decisions.Add(1)
 	res, err := sess.DecideWith(r.Context(), eng, g, h)
 	if err != nil {
+		ferr = err
 		if r.Context().Err() != nil {
 			s.cancelled.Add(1)
 			return
@@ -406,9 +490,10 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Session results alias the worker's pinned scratch and are only valid
-	// until its next decision; the cache retains verdicts, so it gets a
-	// detached copy.
-	s.cache.add(key, res.Clone())
+	// until its next decision; the cache and the flight's followers retain
+	// the verdict, so both get one shared detached copy.
+	fres = res.Clone()
+	s.cache.add(key, fres)
 	writeJSON(w, renderDecide(res, g, h, sy, false, engName))
 }
 
@@ -428,6 +513,7 @@ func renderDecide(res *core.Result, g, h *hypergraph.Hypergraph, sy *hgio.Symbol
 			Leaves:      res.Stats.Leaves,
 			MaxDepth:    res.Stats.MaxDepth,
 			MaxChildren: res.Stats.MaxChildren,
+			MemoHits:    res.Stats.MemoHits,
 		},
 	}
 	if res.Reason == core.ReasonNewTransversal {
@@ -443,6 +529,11 @@ func renderDecide(res *core.Result, g, h *hypergraph.Hypergraph, sy *hgio.Symbol
 	}
 	if res.RedundantVertex >= 0 {
 		resp.RedundantVertex = sy.Name(res.RedundantVertex)
+	}
+	if cached {
+		// memo_hits gauges THIS request's decomposition work; a cached or
+		// coalesced response ran none, whatever the original run recorded.
+		resp.Stats.MemoHits = 0
 	}
 	return resp
 }

@@ -123,8 +123,13 @@ func enumerateContext(ctx context.Context, h *hypergraph.Hypergraph, yield func(
 	if h.HasEmptyEdge() {
 		return nil // no transversals at all
 	}
+	idx := h.AttachedIndex()
+	if idx == nil {
+		idx = hypergraph.NewIndex(h)
+	}
 	e := &enumerator{
 		h:         h,
+		idx:       idx,
 		yield:     yield,
 		borrow:    borrow,
 		done:      ctx.Done(),
@@ -134,10 +139,16 @@ func enumerateContext(ctx context.Context, h *hypergraph.Hypergraph, yield func(
 		cover:     make([]int, h.M()),
 		critOwner: make([]int, h.M()),
 		critCount: make([]int, n),
+		candCnt:   make([]int, h.M()),
+		uncovSet:  bitset.New(idx.OccUniverse()),
 		uncovered: h.M(),
 	}
 	for i := range e.critOwner {
 		e.critOwner[i] = -1
+	}
+	for f := 0; f < h.M(); f++ {
+		e.candCnt[f] = idx.Card(f) // cand starts full
+		e.uncovSet.Add(f)
 	}
 	e.rec()
 	return e.err
@@ -180,6 +191,7 @@ func CountContext(ctx context.Context, h *hypergraph.Hypergraph) (int, error) {
 
 type enumerator struct {
 	h         *hypergraph.Hypergraph
+	idx       *hypergraph.Index // incidence index: occ rows drive every update
 	yield     func(bitset.Set) (bool, error)
 	borrow    bool            // pass s itself to yield instead of a clone
 	done      <-chan struct{} // cancellation channel (ctx.Done())
@@ -191,10 +203,31 @@ type enumerator struct {
 	cover     []int      // cover[f] = |edge f ∩ S|
 	critOwner []int      // when cover[f]==1, the unique vertex of S in f
 	critCount []int      // critCount[v] = # edges f with cover==1, owner v
+	candCnt   []int      // candCnt[f] = |edge f ∩ cand| (branch selection)
+	uncovSet  bitset.Set // edges with cover == 0, over the occ universe
 	uncovered int        // # edges with cover == 0
 	stopped   bool
 	branchBuf [][]int // per-depth branch vertex buffers, reused
 	depth     int
+}
+
+// candRemove/candAdd maintain cand and the per-edge candidate counts through
+// the occurrence row of v — O(deg(v)) instead of a per-edge rescan at branch
+// time.
+func (e *enumerator) candRemove(v int) {
+	e.cand.Remove(v)
+	e.idx.Occ(v).ForEach(func(f int) bool {
+		e.candCnt[f]--
+		return true
+	})
+}
+
+func (e *enumerator) candAdd(v int) {
+	e.cand.Add(v)
+	e.idx.Occ(v).ForEach(func(f int) bool {
+		e.candCnt[f]++
+		return true
+	})
 }
 
 // pushBranch returns an empty reusable vertex buffer for the current
@@ -242,20 +275,16 @@ func (e *enumerator) rec() {
 		}
 		return
 	}
-	// Pick an uncovered edge with the fewest candidates.
+	// Pick an uncovered edge with the fewest candidates, off the maintained
+	// uncovered-edge set and candidate counts (no per-edge intersection).
 	best, bestCount := -1, -1
-	for fi := 0; fi < e.h.M(); fi++ {
-		if e.cover[fi] != 0 {
-			continue
-		}
-		c := e.h.Edge(fi).IntersectionCount(e.cand)
+	e.uncovSet.ForEach(func(fi int) bool {
+		c := e.candCnt[fi]
 		if best == -1 || c < bestCount {
 			best, bestCount = fi, c
-			if c == 0 {
-				break
-			}
 		}
-	}
+		return c != 0 // a zero-candidate edge is an immediate dead end
+	})
 	if bestCount == 0 {
 		return // dead end: uncovered edge with no candidates left
 	}
@@ -269,7 +298,7 @@ func (e *enumerator) rec() {
 	for _, v := range branch {
 		// Prefix exclusion: v leaves the candidate pool for this subtree
 		// and for all later siblings, guaranteeing uniqueness.
-		e.cand.Remove(v)
+		e.candRemove(v)
 		e.addVertex(v)
 		if e.allCritical() {
 			e.rec()
@@ -280,7 +309,7 @@ func (e *enumerator) rec() {
 		}
 	}
 	for _, v := range branch {
-		e.cand.Add(v)
+		e.candAdd(v)
 	}
 	e.popBranch(branch)
 }
@@ -288,44 +317,40 @@ func (e *enumerator) rec() {
 func (e *enumerator) addVertex(v int) {
 	e.s.Add(v)
 	e.sElems = append(e.sElems, v)
-	for fi := 0; fi < e.h.M(); fi++ {
-		f := e.h.Edge(fi)
-		if !f.Contains(v) {
-			continue
-		}
+	e.idx.Occ(v).ForEach(func(fi int) bool {
 		e.cover[fi]++
 		switch e.cover[fi] {
 		case 1:
 			e.uncovered--
+			e.uncovSet.Remove(fi)
 			e.critOwner[fi] = v
 			e.critCount[v]++
 		case 2:
 			e.critCount[e.critOwner[fi]]--
 			e.critOwner[fi] = -1
 		}
-	}
+		return true
+	})
 }
 
 func (e *enumerator) removeVertex(v int) {
 	e.s.Remove(v)
 	e.sElems = e.sElems[:len(e.sElems)-1]
-	for fi := 0; fi < e.h.M(); fi++ {
-		f := e.h.Edge(fi)
-		if !f.Contains(v) {
-			continue
-		}
+	e.idx.Occ(v).ForEach(func(fi int) bool {
 		e.cover[fi]--
 		switch e.cover[fi] {
 		case 0:
 			e.uncovered++
+			e.uncovSet.Add(fi)
 			e.critCount[v]--
 			e.critOwner[fi] = -1
 		case 1:
-			u := f.IntersectionMin(e.s)
+			u := e.h.Edge(fi).IntersectionMin(e.s)
 			e.critOwner[fi] = u
 			e.critCount[u]++
 		}
-	}
+		return true
+	})
 }
 
 // allCritical reports whether every vertex of S still owns a critical edge.
@@ -376,6 +401,10 @@ type WitnessOracle func(g, partial *hypergraph.Hypergraph) (witness bitset.Set, 
 // The number of oracle calls is |tr(g)| + 1.
 func ViaOracle(g *hypergraph.Hypergraph, oracle WitnessOracle) (*hypergraph.Hypergraph, error) {
 	partial := hypergraph.New(g.N())
+	// The growing partial family keeps an AddEdge-maintained incidence
+	// index, so each oracle decision rebinds to it in O(1) instead of
+	// re-scanning the ever-larger family.
+	partial.EnsureIndex()
 	for {
 		w, ok, err := oracle(g, partial)
 		if err != nil {
@@ -397,6 +426,7 @@ func ViaOracle(g *hypergraph.Hypergraph, oracle WitnessOracle) (*hypergraph.Hype
 // yield are fresh copies owned by the callee.
 func EnumerateViaOracle(ctx context.Context, g *hypergraph.Hypergraph, oracle WitnessOracle, yield func(bitset.Set) (bool, error)) error {
 	partial := hypergraph.New(g.N())
+	partial.EnsureIndex() // see ViaOracle
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
