@@ -1,0 +1,395 @@
+// Command dualload is a load generator for dualserved: concurrent clients
+// replay a dedup-heavy decision mix against POST /v1/decide (one HTTP round
+// trip per decision) and/or POST /v1/batch (NDJSON batches drained by the
+// server's dedup scheduler), reporting throughput and a latency histogram
+// per mode — the measurement behind the batch subsystem's perf claims
+// (BENCH_PR5.json, EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dualload -addr http://127.0.0.1:8372 [-clients 8] [-requests 200]
+//	         [-distinct 8] [-batch-size 64] [-mode both|decide|batch]
+//	         [-engine name] [-json]
+//
+// The mix holds -distinct canonically distinct instances (matchings of
+// growing width with dual, near-dual and self-dual variants); every client
+// issues -requests decisions sampled round-robin from the mix, a third of
+// them under renamed vertices — the repetitive, rename-heavy stream shape
+// of the dualize-and-advance applications. With -mode both the same mix
+// runs first as individual decides, then as batches, and the report carries
+// the batch/decide throughput ratio.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type instance struct{ g, h string }
+
+// matchingText renders the k-edge matching and its 2^k-edge dual (minus one
+// edge when dual is false) with a naming tag, so tagged copies are
+// renamed-isomorphic: distinct names, identical canonical fingerprints.
+func matchingText(k int, dual bool, tag string) instance {
+	var g, h strings.Builder
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&g, "%sv%da %sv%db\n", tag, i, tag, i)
+	}
+	limit := 1 << k
+	if !dual {
+		limit--
+	}
+	for mask := 0; mask < limit; mask++ {
+		for i := 0; i < k; i++ {
+			side := "a"
+			if mask&(1<<i) != 0 {
+				side = "b"
+			}
+			fmt.Fprintf(&h, "%sv%d%s ", tag, i, side)
+		}
+		h.WriteString("\n")
+	}
+	return instance{g.String(), h.String()}
+}
+
+// triangleText is the self-dual majority triangle under a naming tag.
+func triangleText(tag string) instance {
+	e := func(a, b string) string { return tag + a + " " + tag + b + "\n" }
+	t := e("a", "b") + e("b", "c") + e("a", "c")
+	return instance{t, t}
+}
+
+// mix builds n canonically distinct instances: the self-dual triangle plus
+// dual and near-dual matchings of growing width. Renaming never leaves a
+// canonical class, so distinctness comes from structure alone; the pool
+// tops out at 15 distinct shapes (triangle + matchings 2..8 × {dual,
+// near-dual}) and n is clamped to it.
+func mix(n int) []instance {
+	out := []instance{triangleText("")}
+	for k := 2; len(out) < n && k <= 8; k++ {
+		out = append(out, matchingText(k, true, ""))
+		if len(out) < n {
+			out = append(out, matchingText(k, false, ""))
+		}
+	}
+	return out
+}
+
+// retag renames an instance's vertices (prefixing every name) without
+// changing its canonical fingerprint class.
+func retag(in instance, tag string) instance {
+	if tag == "" {
+		return in
+	}
+	re := func(text string) string {
+		var b strings.Builder
+		for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+			fields := strings.Fields(line)
+			for i, f := range fields {
+				fields[i] = tag + f
+			}
+			b.WriteString(strings.Join(fields, " ") + "\n")
+		}
+		return b.String()
+	}
+	return instance{re(in.g), re(in.h)}
+}
+
+// request i of a client's replay: instance + rename tag.
+func requestBody(instances []instance, i int) instance {
+	in := instances[i%len(instances)]
+	switch i % 3 {
+	case 1:
+		return retag(in, "x_")
+	case 2:
+		return retag(in, "yy_")
+	}
+	return in
+}
+
+// precomputeRows marshals the replay's request lines once (the mix cycles
+// every len(instances)×3 requests), so the timed loops replay canned bytes
+// instead of re-tagging and re-marshaling per call — the client must not be
+// the bottleneck of its own measurement. Each line ends in '\n' (NDJSON
+// row; also a valid /v1/decide body).
+func precomputeRows(instances []instance, eng string) [][]byte {
+	cycle := len(instances) * 3
+	rows := make([][]byte, cycle)
+	for i := range rows {
+		in := requestBody(instances, i)
+		b, err := json.Marshal(map[string]string{"g": in.g, "h": in.h, "engine": eng})
+		if err != nil {
+			panic(err)
+		}
+		rows[i] = append(b, '\n')
+	}
+	return rows
+}
+
+// runResult is one mode's measurement (a row of the -json report).
+type runResult struct {
+	Mode        string  `json:"mode"`
+	Clients     int     `json:"clients"`
+	Items       int     `json:"items"`
+	HTTPCalls   int     `json:"http_calls"`
+	Errors      int     `json:"errors"`
+	BatchSize   int     `json:"batch_size,omitempty"`
+	Seconds     float64 `json:"seconds"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	P50Us       int64   `json:"p50_us"`
+	P90Us       int64   `json:"p90_us"`
+	P99Us       int64   `json:"p99_us"`
+	MaxUs       int64   `json:"max_us"`
+}
+
+// report is the -json document.
+type report struct {
+	Addr              string      `json:"addr"`
+	RequestsPerClient int         `json:"requests_per_client"`
+	Distinct          int         `json:"distinct"`
+	Engine            string      `json:"engine,omitempty"`
+	Runs              []runResult `json:"runs"`
+	// SpeedupBatchVsDecide is the items/sec ratio (only with -mode both).
+	SpeedupBatchVsDecide float64 `json:"speedup_batch_vs_decide,omitempty"`
+}
+
+func percentile(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i].Microseconds()
+}
+
+func summarize(mode string, clients, items, calls, errors, batchSize int, wall time.Duration, lat []time.Duration) runResult {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	r := runResult{
+		Mode: mode, Clients: clients, Items: items, HTTPCalls: calls,
+		Errors: errors, BatchSize: batchSize, Seconds: wall.Seconds(),
+		P50Us: percentile(lat, 0.50), P90Us: percentile(lat, 0.90),
+		P99Us: percentile(lat, 0.99),
+	}
+	if len(lat) > 0 {
+		r.MaxUs = lat[len(lat)-1].Microseconds()
+	}
+	if wall > 0 {
+		r.ItemsPerSec = float64(items) / wall.Seconds()
+	}
+	return r
+}
+
+// client is shared across workers: keep-alives sized to the worker count so
+// the decide mode reuses connections like a real pooled client would.
+func newHTTPClient(clients int) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = clients * 2
+	tr.MaxIdleConnsPerHost = clients * 2
+	return &http.Client{Transport: tr, Timeout: 5 * time.Minute}
+}
+
+// runDecide replays the mix as individual /v1/decide calls.
+func runDecide(hc *http.Client, addr string, rows [][]byte, clients, requests int) runResult {
+	var (
+		mu     sync.Mutex
+		lat    []time.Duration
+		errors int
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var myLat []time.Duration
+			myErrs := 0
+			for i := 0; i < requests; i++ {
+				body := rows[(c*requests+i)%len(rows)]
+				t0 := time.Now()
+				resp, err := hc.Post(addr+"/v1/decide", "application/json", bytes.NewReader(body))
+				if err != nil {
+					myErrs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					myErrs++
+				}
+				myLat = append(myLat, time.Since(t0))
+			}
+			mu.Lock()
+			lat = append(lat, myLat...)
+			errors += myErrs
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return summarize("decide", clients, clients*requests, len(lat)+errors, errors, 0, wall, lat)
+}
+
+// runBatch replays the same mix as NDJSON batches of batchSize.
+func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, batchSize int) runResult {
+	var (
+		mu     sync.Mutex
+		lat    []time.Duration
+		errors int
+		calls  int
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var myLat []time.Duration
+			myErrs, myCalls := 0, 0
+			for off := 0; off < requests; off += batchSize {
+				n := batchSize
+				if off+n > requests {
+					n = requests - off
+				}
+				var body bytes.Buffer
+				for i := 0; i < n; i++ {
+					body.Write(rows[(c*requests+off+i)%len(rows)])
+				}
+				t0 := time.Now()
+				resp, err := hc.Post(addr+"/v1/batch", "application/x-ndjson", bytes.NewReader(body.Bytes()))
+				myCalls++
+				if err != nil {
+					myErrs += n
+					continue
+				}
+				// Count rows by cheap byte sniffing: fully JSON-decoding
+				// every response line would make the measuring client the
+				// bottleneck on a shared machine (this is a load tool, and
+				// the generated vertex names cannot collide with the
+				// markers).
+				rows, termOK := 0, false
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+				for sc.Scan() {
+					line := sc.Bytes()
+					switch {
+					case bytes.Contains(line, []byte(`"index"`)):
+						rows++
+						if bytes.Contains(line, []byte(`"error"`)) {
+							myErrs++
+						}
+					case bytes.Contains(line, []byte(`"done":true`)):
+						termOK = true
+					}
+				}
+				resp.Body.Close()
+				if rows != n || !termOK {
+					myErrs += n - rows
+				}
+				myLat = append(myLat, time.Since(t0))
+			}
+			mu.Lock()
+			lat = append(lat, myLat...)
+			errors += myErrs
+			calls += myCalls
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return summarize("batch", clients, clients*requests, calls, errors, batchSize, wall, lat)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8372", "dualserved base URL")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	requests := flag.Int("requests", 200, "decisions per client")
+	distinct := flag.Int("distinct", 8, "canonically distinct instances in the mix")
+	batchSize := flag.Int("batch-size", 64, "decisions per /v1/batch call")
+	mode := flag.String("mode", "both", "workload: decide, batch, both")
+	eng := flag.String("engine", "", "engine field on every request (empty = portfolio)")
+	asJSON := flag.Bool("json", false, "machine-readable report on stdout")
+	flag.Parse()
+	if flag.NArg() != 0 || *clients < 1 || *requests < 1 || *distinct < 1 || *batchSize < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dualload [-addr URL] [-clients n] [-requests n] [-distinct n] [-batch-size n] [-mode decide|batch|both] [-engine name] [-json]")
+		os.Exit(2)
+	}
+	if *mode != "decide" && *mode != "batch" && *mode != "both" {
+		fmt.Fprintf(os.Stderr, "dualload: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	instances := mix(*distinct)
+	hc := newHTTPClient(*clients)
+	// One throwaway call verifies the server is reachable before timing.
+	if resp, err := hc.Get(*addr + "/healthz"); err != nil {
+		fmt.Fprintln(os.Stderr, "dualload: server unreachable:", err)
+		os.Exit(1)
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	rep := report{Addr: *addr, RequestsPerClient: *requests, Distinct: *distinct, Engine: *eng}
+	rows := precomputeRows(instances, *eng)
+	var decideRun, batchRun *runResult
+	if *mode == "decide" || *mode == "both" {
+		r := runDecide(hc, *addr, rows, *clients, *requests)
+		rep.Runs = append(rep.Runs, r)
+		decideRun = &r
+	}
+	if *mode == "batch" || *mode == "both" {
+		r := runBatch(hc, *addr, rows, *clients, *requests, *batchSize)
+		rep.Runs = append(rep.Runs, r)
+		batchRun = &r
+	}
+	if decideRun != nil && batchRun != nil && decideRun.ItemsPerSec > 0 {
+		rep.SpeedupBatchVsDecide = batchRun.ItemsPerSec / decideRun.ItemsPerSec
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "dualload:", err)
+			os.Exit(1)
+		}
+		exitOnErrors(rep)
+		return
+	}
+	fmt.Printf("dualload: %d clients × %d requests, %d distinct instances, against %s\n",
+		*clients, *requests, *distinct, *addr)
+	for _, r := range rep.Runs {
+		extra := ""
+		if r.Mode == "batch" {
+			extra = fmt.Sprintf(" (batch size %d)", r.BatchSize)
+		}
+		fmt.Printf("  %-6s %8.0f items/s  %6d items in %6.2fs  %4d HTTP calls%s\n",
+			r.Mode, r.ItemsPerSec, r.Items, r.Seconds, r.HTTPCalls, extra)
+		fmt.Printf("         latency/call µs: p50 %d  p90 %d  p99 %d  max %d  (errors %d)\n",
+			r.P50Us, r.P90Us, r.P99Us, r.MaxUs, r.Errors)
+	}
+	if rep.SpeedupBatchVsDecide > 0 {
+		fmt.Printf("  batch vs decide throughput: %.2f×\n", rep.SpeedupBatchVsDecide)
+	}
+	exitOnErrors(rep)
+}
+
+// exitOnErrors fails the process when any request errored, so scripted runs
+// (CI, bench recording) cannot silently measure a broken server.
+func exitOnErrors(rep report) {
+	for _, r := range rep.Runs {
+		if r.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "dualload: %d errors in %s run\n", r.Errors, r.Mode)
+			os.Exit(1)
+		}
+	}
+}

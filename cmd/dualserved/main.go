@@ -1,14 +1,16 @@
 // Command dualserved serves the dualspace engine over HTTP/JSON: duality
-// decisions with a canonical-fingerprint verdict cache, streaming minimal
-// transversal enumeration, and the paper's three database applications
-// (itemset borders, additional keys, coterie non-domination). docs/API.md
-// documents the endpoints.
+// decisions with a sharded canonical-fingerprint verdict cache, NDJSON
+// batch decision with in-stream dedup (/v1/batch), streaming border mining
+// (/v1/mine), streaming minimal transversal enumeration, and the paper's
+// three database applications (itemset borders, additional keys, coterie
+// non-domination). docs/API.md documents the endpoints.
 //
 // Usage:
 //
-//	dualserved [-addr host:port] [-workers n] [-cache n] [-memo n]
-//	           [-max-edges n] [-max-edge-verts n] [-max-universe n]
-//	           [-max-body bytes] [-stream-max n]
+//	dualserved [-addr host:port] [-workers n] [-cache n] [-cache-shards n]
+//	           [-memo n] [-max-edges n] [-max-edge-verts n] [-max-universe n]
+//	           [-max-body bytes] [-stream-max n] [-batch-max-items n]
+//	           [-batch-max-bytes n]
 //
 // The listen address is printed to stdout once the socket is bound (so
 // -addr 127.0.0.1:0 works for scripted use), and SIGINT/SIGTERM trigger a
@@ -35,12 +37,15 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8372", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "max concurrent decision computations (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 1024, "verdict cache capacity in entries (negative disables)")
+	cacheShards := flag.Int("cache-shards", 0, "verdict cache shard count (0 = default, rounded up to a power of two)")
 	memo := flag.Int("memo", 0, "per-worker subinstance-memo entries (0 = default, negative disables)")
 	maxEdges := flag.Int("max-edges", service.DefaultLimits.MaxEdges, "max edges/rows per input")
 	maxEdgeVerts := flag.Int("max-edge-verts", service.DefaultLimits.MaxEdgeVerts, "max vertices per edge")
 	maxUniverse := flag.Int("max-universe", service.DefaultLimits.MaxUniverse, "max distinct vertex/item names per request")
 	maxBody := flag.Int64("max-body", 4<<20, "max request body bytes")
 	streamMax := flag.Int("stream-max", 1<<16, "server-side cap on /v1/transversals limit")
+	batchMaxItems := flag.Int("batch-max-items", 4096, "max rows per /v1/batch request")
+	batchMaxBytes := flag.Int64("batch-max-bytes", 64<<20, "max /v1/batch request body bytes")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dualserved [flags]")
@@ -50,6 +55,7 @@ func main() {
 	srv := service.New(service.Config{
 		Workers:     *workers,
 		CacheSize:   *cache,
+		CacheShards: *cacheShards,
 		MemoEntries: *memo,
 		Limits: hgio.Limits{
 			MaxEdges:     *maxEdges,
@@ -59,6 +65,8 @@ func main() {
 		},
 		MaxBodyBytes:     *maxBody,
 		MaxStreamResults: *streamMax,
+		MaxBatchItems:    *batchMaxItems,
+		MaxBatchBytes:    *batchMaxBytes,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,325 @@
+package batch
+
+// The Scheduler: one batch = one call to Run with a stream of Requests.
+//
+// The dominant production pattern for a dualization service is not one
+// isolated decision but thousands of related ones per client — the
+// dualize-and-advance loop of the itemset miner, key enumeration, or a
+// client replaying a workload — and such streams are highly repetitive:
+// identical instances, permuted edge orders, renamed-isomorphic copies.
+// The scheduler therefore canonicalizes every request, dedups the stream by
+// (engine, fingerprint-pair) Key, and runs each distinct instance exactly
+// once: the first arrival becomes the entry's leader and is dispatched to a
+// drain worker, later duplicates attach as waiters (or are answered
+// immediately when the entry is already resolved), and the shared sharded
+// Cache answers repeats across batches without any engine work at all.
+// This is the service's /v1/decide singleflight idea promoted to batch
+// granularity, with the waiting made free: duplicates never occupy a
+// worker.
+//
+// Work drains through a bounded set of workers (Config.Parallelism), each
+// of which checks a memoizing engine.Session out of the shared pool per
+// decision, so batch traffic and interactive traffic compete for the same
+// bounded compute. Cancelling the Run context aborts the whole batch:
+// in-flight decisions stop at the next decomposition-tree node, undispatched
+// entries resolve with the context error.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"dualspace/internal/core"
+	"dualspace/internal/engine"
+	"dualspace/internal/hypergraph"
+)
+
+// Request is one decision in a batch stream. Index is an opaque caller
+// correlation id echoed on the Response (responses are emitted in
+// completion order, not stream order). Engine must be the resolved engine
+// for EngineName; G and H are the raw inputs (the scheduler canonicalizes).
+type Request struct {
+	Index      int
+	EngineName string
+	Engine     engine.Engine
+	G, H       *hypergraph.Hypergraph
+	// Key, when non-nil, asserts that G and H are already canonical and
+	// that *Key is their dedup key — producers that dedup raw request
+	// texts upstream (the /v1/batch handler) compute it once per distinct
+	// text, and the scheduler then skips per-duplicate canonicalization
+	// and fingerprinting, the second-largest per-row cost after parsing.
+	Key *Key
+	// Meta is opaque caller context echoed verbatim on this request's
+	// Response (each duplicate keeps its own Meta, whichever request led).
+	Meta any
+}
+
+// Response is the outcome of one Request. Res is detached and immutable
+// (shared between all duplicates of the instance); G and H are the
+// canonical forms its edge indices refer to. Exactly one of Res/Err is
+// non-nil. CacheHit marks verdicts served from the shared cache; Deduped
+// marks responses that coalesced onto another request of the same batch.
+type Response struct {
+	Index    int
+	G, H     *hypergraph.Hypergraph
+	Res      *core.Result
+	Err      error
+	CacheHit bool
+	Deduped  bool
+	// Meta echoes the request's Meta field.
+	Meta any
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Pool supplies the sessions decisions run on; required.
+	Pool *engine.SessionPool
+	// Cache is the shared verdict cache; nil or disabled means every
+	// distinct instance is decided.
+	Cache *Cache
+	// Parallelism bounds the drain workers per Run (<= 0: the pool size).
+	// The pool itself bounds total concurrent decisions across batches and
+	// any other pool users.
+	Parallelism int
+}
+
+// Stats is a snapshot of a Scheduler's lifetime counters (the /statsz
+// "batch" block).
+type Stats struct {
+	Batches   int64 `json:"batches"`
+	Active    int64 `json:"active"`
+	Items     int64 `json:"items"`
+	Unique    int64 `json:"unique"`
+	Deduped   int64 `json:"deduped"`
+	CacheHits int64 `json:"cache_hits"`
+	Decisions int64 `json:"decisions"`
+	Errors    int64 `json:"errors"`
+}
+
+// RunStats summarizes one Run: Items = requests consumed, Unique = distinct
+// canonical instances, Deduped = responses coalesced onto an in-batch
+// duplicate, CacheHits = responses answered by the shared cache, Decisions
+// = engine runs completed, Errors = responses carrying an error.
+type RunStats struct {
+	Items, Unique, Deduped, CacheHits, Decisions, Errors int
+}
+
+// Scheduler drains batches; safe for concurrent Runs (which then share the
+// pool, the cache and the lifetime counters, but dedup only within their
+// own stream — cross-batch sharing happens through the cache).
+type Scheduler struct {
+	cfg Config
+
+	batches   atomic.Int64
+	active    atomic.Int64
+	items     atomic.Int64
+	unique    atomic.Int64
+	deduped   atomic.Int64
+	cacheHits atomic.Int64
+	decisions atomic.Int64
+	errors    atomic.Int64
+}
+
+// NewScheduler returns a Scheduler over cfg; cfg.Pool must be non-nil.
+func NewScheduler(cfg Config) *Scheduler {
+	if cfg.Pool == nil {
+		panic("batch: NewScheduler without a session pool")
+	}
+	if cfg.Parallelism <= 0 || cfg.Parallelism > cfg.Pool.Size() {
+		cfg.Parallelism = cfg.Pool.Size()
+	}
+	return &Scheduler{cfg: cfg}
+}
+
+// Stats snapshots the lifetime counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Batches:   s.batches.Load(),
+		Active:    s.active.Load(),
+		Items:     s.items.Load(),
+		Unique:    s.unique.Load(),
+		Deduped:   s.deduped.Load(),
+		CacheHits: s.cacheHits.Load(),
+		Decisions: s.decisions.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+// entry is one distinct canonical instance within a Run. Fields past key
+// are guarded by the Run's mu until resolved flips true; afterwards res,
+// err, g, h and fromCache are immutable.
+type entry struct {
+	key       Key
+	leader    Request
+	g, h      *hypergraph.Hypergraph
+	resolved  bool
+	res       *core.Result
+	err       error
+	fromCache bool
+	waiters   []Request
+}
+
+// Run consumes reqs until the channel closes, emitting one Response per
+// Request through emit (serially — emit is never called concurrently) and
+// returning the batch's statistics. Cancelling ctx fails the remaining
+// requests with ctx's error but still drains the channel, so producers
+// never block on a dead batch.
+func (s *Scheduler) Run(ctx context.Context, reqs <-chan Request, emit func(Response)) RunStats {
+	return s.RunN(ctx, 0, reqs, emit)
+}
+
+// RunN is Run with a per-batch worker bound overriding Config.Parallelism
+// (<= 0 or beyond the configured bound falls back to it) — the
+// ?parallelism= knob of POST /v1/batch.
+func (s *Scheduler) RunN(ctx context.Context, parallelism int, reqs <-chan Request, emit func(Response)) RunStats {
+	if parallelism <= 0 || parallelism > s.cfg.Parallelism {
+		parallelism = s.cfg.Parallelism
+	}
+	s.batches.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	var (
+		mu      sync.Mutex // entries map, waiter lists, rs
+		emitMu  sync.Mutex // serializes emit
+		rs      RunStats
+		entries = make(map[Key]*entry)
+		work    = make(chan *entry)
+		wg      sync.WaitGroup
+	)
+	send := func(r Response) {
+		emitMu.Lock()
+		emit(r)
+		emitMu.Unlock()
+	}
+	respond := func(e *entry, req Request, deduped bool) {
+		send(Response{
+			Index: req.Index, G: e.g, H: e.h,
+			Res: e.res, Err: e.err,
+			CacheHit: e.fromCache, Deduped: deduped,
+			Meta: req.Meta,
+		})
+	}
+
+	for i := 0; i < parallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range work {
+				var res *core.Result
+				err := ctx.Err()
+				if err == nil {
+					var sess *engine.Session
+					sess, err = s.cfg.Pool.Acquire(ctx)
+					if err == nil {
+						var r *core.Result
+						r, err = sess.DecideWith(ctx, e.leader.Engine, e.g, e.h)
+						if err == nil {
+							// Session results alias the session's pinned
+							// scratch; everyone past this point (cache,
+							// waiters, the emitted response) shares one
+							// detached copy.
+							res = r.Clone()
+						}
+						s.cfg.Pool.Release(sess)
+					}
+				}
+				if res != nil && s.cfg.Cache != nil {
+					s.cfg.Cache.Add(e.key, res)
+				}
+				mu.Lock()
+				e.resolved, e.res, e.err = true, res, err
+				ws := e.waiters
+				e.waiters = nil
+				if err == nil {
+					rs.Decisions++
+				} else {
+					rs.Errors += 1 + len(ws)
+				}
+				rs.Deduped += len(ws)
+				mu.Unlock()
+				respond(e, e.leader, false)
+				for _, wr := range ws {
+					respond(e, wr, true)
+				}
+			}
+		}()
+	}
+
+	for req := range reqs {
+		mu.Lock()
+		rs.Items++
+		mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			// Dead batch: keep draining so the producer can finish, but
+			// answer without touching the dedup state or the workers.
+			mu.Lock()
+			rs.Errors++
+			mu.Unlock()
+			send(Response{Index: req.Index, Err: err, Meta: req.Meta})
+			continue
+		}
+		var g, h *hypergraph.Hypergraph
+		var key Key
+		if req.Key != nil {
+			g, h, key = req.G, req.H, *req.Key
+		} else {
+			g, h = req.G.Canonical(), req.H.Canonical()
+			key = NewKey(req.EngineName, g.Fingerprint(), h.Fingerprint())
+		}
+		mu.Lock()
+		if e, ok := entries[key]; ok {
+			if e.resolved {
+				rs.Deduped++
+				if e.err != nil {
+					rs.Errors++
+				}
+				mu.Unlock()
+				respond(e, req, true)
+			} else {
+				e.waiters = append(e.waiters, req)
+				mu.Unlock()
+			}
+			continue
+		}
+		e := &entry{key: key, leader: req, g: g, h: h}
+		entries[key] = e
+		rs.Unique++
+		if s.cfg.Cache != nil {
+			if res, ok := s.cfg.Cache.Get(key); ok {
+				e.resolved, e.res, e.fromCache = true, res, true
+				rs.CacheHits++
+				mu.Unlock()
+				respond(e, req, false)
+				continue
+			}
+		}
+		mu.Unlock()
+		select {
+		case work <- e:
+		case <-ctx.Done():
+			// Batch cancelled with this entry undispatched.
+			mu.Lock()
+			e.resolved, e.err = true, ctx.Err()
+			ws := e.waiters
+			e.waiters = nil
+			rs.Errors += 1 + len(ws)
+			rs.Deduped += len(ws)
+			mu.Unlock()
+			respond(e, e.leader, false)
+			for _, wr := range ws {
+				respond(e, wr, true)
+			}
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	s.items.Add(int64(rs.Items))
+	s.unique.Add(int64(rs.Unique))
+	s.deduped.Add(int64(rs.Deduped))
+	s.cacheHits.Add(int64(rs.CacheHits))
+	s.decisions.Add(int64(rs.Decisions))
+	s.errors.Add(int64(rs.Errors))
+	return rs
+}

@@ -44,6 +44,36 @@ func TestMinebordersEdgeCases(t *testing.T) {
 	if stripComments(outD) != stripComments(outA) {
 		t.Errorf("methods disagree at z=rows:\n%q\nvs\n%q", outD, outA)
 	}
+
+	// -progress streams border elements to stderr as the loop advances;
+	// the final report is unchanged.
+	outP, code := run(t, "mineborders", "-z", "1", "-progress", data)
+	if code != 0 {
+		t.Fatalf("-progress: %s", outP)
+	}
+	if !strings.Contains(outP, "+ ") || !strings.Contains(outP, "- ") {
+		t.Errorf("-progress printed no border elements: %q", outP)
+	}
+	outQ, code := run(t, "mineborders", "-z", "1", data)
+	if code != 0 {
+		t.Fatalf("plain run: %s", outQ)
+	}
+	if got, want := stripComments(stripProgress(outP)), stripComments(outQ); got != want {
+		t.Errorf("-progress changed the report:\n%q\nvs\n%q", got, want)
+	}
+}
+
+// stripProgress drops the "+ items" / "- items" stderr lines -progress
+// interleaves into the combined output.
+func stripProgress(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "+ ") || strings.HasPrefix(line, "- ") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
 }
 
 func TestKeyscanErrorPaths(t *testing.T) {

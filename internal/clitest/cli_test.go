@@ -18,7 +18,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"dualcheck", "transversals", "mineborders", "keyscan", "coteriecheck", "hggen", "dualbench", "dualserved"} {
+	for _, tool := range []string{"dualcheck", "transversals", "mineborders", "keyscan", "coteriecheck", "hggen", "dualbench", "dualserved", "dualload"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "dualspace/cmd/"+tool)
 		cmd.Dir = repoRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {

@@ -159,6 +159,107 @@ func TestDualservedEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDualservedBatchMineAndLoad drives the batch subsystem end to end
+// with the real binaries: an NDJSON /v1/batch round trip, a streaming
+// /v1/mine, mineborders -server against the live service, and a small
+// dualload run in both modes with -json output.
+func TestDualservedBatchMineAndLoad(t *testing.T) {
+	base := startServed(t)
+
+	// NDJSON batch: duplicates and a renamed copy dedup onto one decision.
+	rows := `{"g":"a b\nc d","h":"a c\na d\nb c\nb d"}
+{"g":"a b\nc d","h":"a c\na d\nb c\nb d"}
+{"g":"p q\nr s","h":"p r\np s\nq r\nq s"}
+`
+	resp, err := http.Post(base+"/v1/batch", "application/x-ndjson", strings.NewReader(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var itemRows int
+	var terminal map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("batch line %q: %v", sc.Text(), err)
+		}
+		if _, ok := rec["index"]; ok {
+			itemRows++
+			if rec["dual"] != true {
+				t.Errorf("batch row not dual: %v", rec)
+			}
+		} else {
+			terminal = rec
+		}
+	}
+	if itemRows != 3 || terminal == nil || terminal["done"] != true {
+		t.Fatalf("batch shape: %d rows, terminal %v", itemRows, terminal)
+	}
+	if terminal["decisions"].(float64) != 1 || terminal["deduped"].(float64) != 2 {
+		t.Errorf("batch dedup: %v", terminal)
+	}
+
+	// Streaming mine.
+	mineReq, _ := json.Marshal(map[string]any{"data": "milk bread\nmilk bread\nbeer\n", "z": 1})
+	mresp, err := http.Post(base+"/v1/mine", "application/json", bytes.NewReader(mineReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mraw, _ := io.ReadAll(mresp.Body)
+	if !bytes.Contains(mraw, []byte(`"done":true`)) || !bytes.Contains(mraw, []byte(`"max_frequent"`)) {
+		t.Fatalf("mine stream: %s", mraw)
+	}
+
+	// mineborders in server mode mines through /v1/mine.
+	dataPath := writeFile(t, "data.tx", "milk bread\nmilk bread\nmilk bread\nbeer chips\nbeer chips\nbeer chips\nmilk beer\n")
+	out, code := run(t, "mineborders", "-server", base, "-z", "2", dataPath)
+	if code != 0 || !strings.Contains(out, "maximal frequent itemsets (IS+): 2") {
+		t.Fatalf("mineborders -server: code=%d out=%s", code, out)
+	}
+
+	// dualload against the live server, both modes, machine-readable.
+	out, code = run(t, "dualload", "-addr", base, "-clients", "2", "-requests", "24",
+		"-distinct", "4", "-batch-size", "12", "-mode", "both", "-json")
+	if code != 0 {
+		t.Fatalf("dualload: code=%d out=%s", code, out)
+	}
+	var rep struct {
+		Runs []struct {
+			Mode   string `json:"mode"`
+			Items  int    `json:"items"`
+			Errors int    `json:"errors"`
+		} `json:"runs"`
+		Speedup float64 `json:"speedup_batch_vs_decide"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("dualload -json output %q: %v", out, err)
+	}
+	if len(rep.Runs) != 2 || rep.Speedup <= 0 {
+		t.Fatalf("dualload report: %+v", rep)
+	}
+	for _, r := range rep.Runs {
+		if r.Items != 48 || r.Errors != 0 {
+			t.Errorf("dualload %s run: %+v", r.Mode, r)
+		}
+	}
+
+	// /statsz shows the batch traffic.
+	sresp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if b := stats["batch"].(map[string]any); b["batches"].(float64) < 2 {
+		t.Errorf("batch stats: %v", b)
+	}
+}
+
 func TestDualservedFlagLimits(t *testing.T) {
 	base := startServed(t, "-max-edges", "2")
 	code, out := postJSON(t, base+"/v1/decide", map[string]any{"g": "a b\nc d\ne f\n", "h": "x\n"})

@@ -1,0 +1,73 @@
+package engine
+
+// SessionPool is a fixed-size, concurrency-safe pool of Sessions. Sessions
+// are not safe for concurrent use, so long-lived concurrent holders — the
+// HTTP service's worker slots, the batch scheduler's drain workers — check
+// one out with Acquire (blocking until a slot frees or ctx fires), run any
+// number of decisions on it, and hand it back with Release. Each session
+// keeps its pinned scratch and its cross-node subinstance memo for the
+// pool's lifetime, so decisions served through the pool reuse both across
+// holders.
+
+import (
+	"context"
+	"runtime"
+
+	"dualspace/internal/core"
+)
+
+// SessionPool holds size Sessions; see the package comment of Session for
+// what one session reuses across the decisions it serves.
+type SessionPool struct {
+	ch  chan *Session
+	all []*Session
+}
+
+// NewSessionPool builds a pool of size sessions driving eng (nil = the
+// default portfolio), each with the given memo bound (the NewSessionMemo
+// convention: 0 = default size, negative = disabled). size <= 0 means
+// GOMAXPROCS.
+func NewSessionPool(eng Engine, size, memoEntries int) *SessionPool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &SessionPool{ch: make(chan *Session, size)}
+	for i := 0; i < size; i++ {
+		s := NewSessionMemo(eng, memoEntries)
+		p.all = append(p.all, s)
+		p.ch <- s
+	}
+	return p
+}
+
+// Acquire checks a session out, blocking until one is free or ctx is done.
+// The caller owns the session exclusively until Release.
+func (p *SessionPool) Acquire(ctx context.Context) (*Session, error) {
+	select {
+	case s := <-p.ch:
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns a session obtained from Acquire to the pool.
+func (p *SessionPool) Release(s *Session) { p.ch <- s }
+
+// Size reports the pool's fixed capacity.
+func (p *SessionPool) Size() int { return len(p.all) }
+
+// MemoStats aggregates the subinstance-memo counters over every session in
+// the pool, checked out or not (the per-session counters are atomic).
+func (p *SessionPool) MemoStats() core.MemoStats {
+	var agg core.MemoStats
+	for _, s := range p.all {
+		ms := s.MemoStats()
+		agg.Hits += ms.Hits
+		agg.Misses += ms.Misses
+		agg.Inserts += ms.Inserts
+		agg.Entries += ms.Entries
+		agg.Evictions += ms.Evictions
+	}
+	return agg
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dualspace/internal/hypergraph"
+)
+
+func TestSessionPoolAcquireRelease(t *testing.T) {
+	p := NewSessionPool(nil, 2, 0)
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	ctx := context.Background()
+	a, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pool handed out the same session twice")
+	}
+	// Pool drained: Acquire must respect cancellation instead of hanging.
+	shortCtx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(shortCtx); err == nil {
+		t.Fatal("Acquire on a drained pool returned without error")
+	}
+	p.Release(a)
+	c, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("released session not recycled")
+	}
+	p.Release(b)
+	p.Release(c)
+}
+
+func TestSessionPoolConcurrentDecisions(t *testing.T) {
+	p := NewSessionPool(nil, 3, 0)
+	g := hypergraph.MustFromEdges(4, [][]int{{0, 1}, {2, 3}})
+	h := hypergraph.MustFromEdges(4, [][]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := p.Acquire(context.Background())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer p.Release(sess)
+			res, err := sess.Decide(context.Background(), g, h)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.Dual {
+				errs <- context.DeadlineExceeded // any sentinel: wrong verdict
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("pooled decision failed: %v", err)
+	}
+	// MemoStats must be the exact sum of the per-session counters (tiny
+	// instances may legitimately record zero lookups).
+	agg := p.MemoStats()
+	var want int64
+	for _, sess := range p.all {
+		want += sess.MemoStats().Hits + sess.MemoStats().Misses
+	}
+	if agg.Hits+agg.Misses != want {
+		t.Errorf("MemoStats aggregate %d lookups, sessions sum %d", agg.Hits+agg.Misses, want)
+	}
+}

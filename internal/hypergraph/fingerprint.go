@@ -28,6 +28,11 @@ func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 // multi-part cache keys.
 func (f Fingerprint) AppendTo(buf []byte) []byte { return append(buf, f[:]...) }
 
+// Hash64 returns a 64-bit view of the fingerprint for hash-based placement
+// (shard selection, hash maps). The fingerprint is a sha256 digest, so any
+// fixed 8 bytes of it are already uniformly mixed; the first 8 are used.
+func (f Fingerprint) Hash64() uint64 { return binary.LittleEndian.Uint64(f[:8]) }
+
 // Fingerprint returns the canonical digest of h: sha256 over the universe
 // size, the number of distinct edges, and the distinct edge keys
 // (bitset.AppendKey encoding, fixed-length per universe) in sorted order.

@@ -67,6 +67,38 @@ func TestFingerprintMatchesFamilyEquality(t *testing.T) {
 	}
 }
 
+func TestFingerprintHash64(t *testing.T) {
+	a := MustFromEdges(5, [][]int{{0, 1}, {2, 3}})
+	b := MustFromEdges(5, [][]int{{2, 3}, {0, 1}})
+	if a.Fingerprint().Hash64() != b.Fingerprint().Hash64() {
+		t.Error("Hash64 not a function of the fingerprint")
+	}
+	// Distinct fingerprints should (overwhelmingly) spread: over a few
+	// dozen random families a 64-bit hash colliding would be astronomically
+	// unlikely, so treat any collision as a bug in the byte extraction.
+	r := rand.New(rand.NewSource(3))
+	seen := map[uint64]string{}
+	for i := 0; i < 50; i++ {
+		n := 1 + r.Intn(40)
+		h := New(n)
+		for j := 0; j < 1+r.Intn(5); j++ {
+			var edge []int
+			for v := 0; v < n; v++ {
+				if r.Intn(3) == 0 {
+					edge = append(edge, v)
+				}
+			}
+			h.AddEdgeElems(edge...)
+		}
+		f := h.Fingerprint()
+		hv := f.Hash64()
+		if prev, ok := seen[hv]; ok && prev != f.String() {
+			t.Fatalf("Hash64 collision between distinct fingerprints %s and %s", prev, f)
+		}
+		seen[hv] = f.String()
+	}
+}
+
 func TestFingerprintCanonicalAgrees(t *testing.T) {
 	h := MustFromEdges(6, [][]int{{3, 4}, {0, 1}, {2, 5}, {0, 1}})
 	if h.Fingerprint() != h.Canonical().Fingerprint() {

@@ -207,6 +207,29 @@ func ComputeBordersContext(ctx context.Context, d *Dataset, z int) (*Borders, er
 // by the caller — typically an engine.Session, so that the |IS+| + |IS−| + 1
 // decisions of one mining run share pinned scratch.
 func ComputeBordersWith(ctx context.Context, d *Dataset, z int, eng engine.Engine) (*Borders, error) {
+	return ComputeBordersStreamWith(ctx, d, z, eng, nil)
+}
+
+// BorderEvent is one border element the incremental loop has just verified:
+// the progress unit of the streaming miner. Set aliases the stored edge —
+// treat it as read-only, and clone before retaining past the callback.
+type BorderEvent struct {
+	// MaxFrequent reports which border grew: true for IS+, false for IS−.
+	MaxFrequent bool
+	// Set is the new border element.
+	Set bitset.Set
+	// DualityChecks is the number of duality-engine calls made so far
+	// (0 for elements found before the first check: the greedy seed and
+	// the degenerate empty-itemset case).
+	DualityChecks int
+}
+
+// ComputeBordersStreamWith is ComputeBordersWith with progress streaming:
+// onFound (when non-nil) is called synchronously with every border element
+// the moment it is verified, in discovery order — the dualize-and-advance
+// loop made observable, which is what POST /v1/mine streams to clients. A
+// non-nil error from onFound aborts the mining and is returned as is.
+func ComputeBordersStreamWith(ctx context.Context, d *Dataset, z int, eng engine.Engine, onFound func(BorderEvent) error) (*Borders, error) {
 	if err := d.validateThreshold(z); err != nil {
 		return nil, err
 	}
@@ -215,13 +238,25 @@ func ComputeBordersWith(ctx context.Context, d *Dataset, z int, eng engine.Engin
 		MaxFrequent:   hypergraph.New(n),
 		MinInfrequent: hypergraph.New(n),
 	}
+	found := func(maxFrequent bool, set bitset.Set) error {
+		if onFound == nil {
+			return nil
+		}
+		return onFound(BorderEvent{MaxFrequent: maxFrequent, Set: set, DualityChecks: b.DualityChecks})
+	}
 
 	// Degenerate case: even the empty itemset is infrequent (f(∅) = |M|).
 	if !d.IsFrequent(bitset.New(n), z) {
 		b.MinInfrequent.AddEdge(bitset.New(n))
+		if err := found(false, b.MinInfrequent.Edge(0)); err != nil {
+			return nil, err
+		}
 		return b, nil
 	}
 	b.MaxFrequent.AddEdge(d.extendToMaximal(bitset.New(n), z))
+	if err := found(true, b.MaxFrequent.Edge(0)); err != nil {
+		return nil, err
+	}
 
 	for {
 		b.DualityChecks++
@@ -235,10 +270,15 @@ func ComputeBordersWith(ctx context.Context, d *Dataset, z int, eng engine.Engin
 		switch {
 		case newMax != nil:
 			b.MaxFrequent.AddEdge(*newMax)
+			err = found(true, *newMax)
 		case newMin != nil:
 			b.MinInfrequent.AddEdge(*newMin)
+			err = found(false, *newMin)
 		default:
 			return nil, errors.New("itemsets: advance made no progress")
+		}
+		if err != nil {
+			return nil, err
 		}
 		if b.DualityChecks > (1<<uint(min(n, 25)))+2*n+4 {
 			return nil, errors.New("itemsets: border loop exceeded safety bound")

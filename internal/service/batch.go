@@ -1,0 +1,250 @@
+package service
+
+// POST /v1/batch: NDJSON-in → NDJSON-out batch decision. Each input line is
+// a decideRequest; each output line is either one item's verdict (with the
+// input's 0-based "index" for correlation — responses stream in completion
+// order, not input order) or an error row, followed by exactly one terminal
+// record with the batch's dedup/cache/decision counters. The stream is
+// drained by the batch.Scheduler over the server's shared session pool and
+// sharded verdict cache, so a dedup-heavy batch runs one decomposition per
+// distinct canonical instance and one HTTP round trip per thousand
+// decisions instead of one per decision.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dualspace/internal/batch"
+	"dualspace/internal/engine"
+	"dualspace/internal/hgio"
+	"dualspace/internal/hypergraph"
+)
+
+// batchItemResponse is one answered batch row: the /v1/decide response body
+// plus correlation and provenance. "cached" keeps its /v1/decide meaning
+// (served by the shared verdict cache); "deduped" marks rows coalesced onto
+// another row of the same batch (their stats repeat the leader's run,
+// except memo_hits which is zeroed like every response that ran no
+// decomposition of its own).
+type batchItemResponse struct {
+	Index int `json:"index"`
+	decideResponse
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// batchErrorRow reports one row's failure (bad engine name, parse error,
+// semantic rejection) without aborting the rest of the batch.
+type batchErrorRow struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// batchEndRecord is the single terminal NDJSON line.
+type batchEndRecord struct {
+	Done      bool `json:"done"`
+	Items     int  `json:"items"`
+	Unique    int  `json:"unique"`
+	Deduped   int  `json:"deduped"`
+	CacheHits int  `json:"cache_hits"`
+	Decisions int  `json:"decisions"`
+	Errors    int  `json:"errors"`
+	// Truncated is set when the batch hit the server's row cap
+	// (-batch-max-items); rows beyond the cap were not read.
+	Truncated bool `json:"truncated,omitempty"`
+	// Error carries a stream-level failure (broken NDJSON framing, body
+	// over the byte bound): per-row failures use error rows instead.
+	Error string `json:"error,omitempty"`
+}
+
+// rowMeta is the per-row rendering context, carried through the scheduler
+// on Request.Meta and echoed back on the Response.
+type rowMeta struct {
+	sy  *hgio.Symbols
+	eng string
+}
+
+// parsedRow caches one distinct row text's parse outcome. Dedup-heavy
+// streams repeat rows byte for byte, and parsing an edge text costs ~20×
+// the canonicalize+fingerprint work the scheduler's own dedup needs — so
+// the handler dedups raw texts first (decideRequest is three strings,
+// comparable, and a valid map key) and duplicate rows skip straight to the
+// scheduler with the first occurrence's hypergraphs and symbols. Identical
+// text means identical interning, so the leader's symbol table renders
+// every duplicate's response correctly; parse and engine-name errors are
+// deterministic per text and replay from the cache the same way.
+type parsedRow struct {
+	eng     engine.Engine
+	engName string
+	g, h    *hypergraph.Hypergraph
+	sy      *hgio.Symbols
+	key     batch.Key
+	errText string
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.reqBatch.Add(1)
+	parallelism := 0
+	if p := r.URL.Query().Get("parallelism"); p != "" {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad parallelism %q", p))
+			return
+		}
+		parallelism = n
+	}
+
+	var src io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	rc := http.NewResponseController(w)
+	if rc.EnableFullDuplex() != nil {
+		// The transport cannot interleave request reads with response
+		// writes (HTTP/1 without full-duplex support): slurp the — bounded
+		// — body up front so streaming responses cannot kill the parse.
+		data, err := io.ReadAll(src)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		src = bytes.NewReader(data)
+	}
+	dec := json.NewDecoder(src)
+	dec.DisallowUnknownFields()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	streamDeadline := time.Now().Add(streamMaxDuration)
+	var writeMu sync.Mutex
+	var lastFlush time.Time
+	unflushed := 0
+	emitRow := func(v any) {
+		// Same stalled-client defense as /v1/transversals: bound every
+		// write and the stream as a whole. Flushing, however, is adaptive:
+		// a dedup-heavy batch completes rows in microseconds, and flushing
+		// each one would cost a chunked write (and a client-side chunk
+		// parse) per row — so fast rows coalesce into larger TCP writes,
+		// while slow trickles (and the terminal record, emitted last after
+		// this loop) still flush promptly for live progress.
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		now := time.Now()
+		d := now.Add(streamWriteTimeout)
+		if d.After(streamDeadline) {
+			d = streamDeadline
+		}
+		_ = rc.SetWriteDeadline(d)
+		if enc.Encode(v) != nil {
+			return
+		}
+		unflushed++
+		if unflushed >= 64 || now.Sub(lastFlush) > 2*time.Millisecond {
+			_ = rc.Flush()
+			unflushed, lastFlush = 0, now
+		}
+	}
+
+	reqs := make(chan batch.Request)
+	runDone := make(chan batch.RunStats, 1)
+	go func() {
+		runDone <- s.scheduler.RunN(r.Context(), parallelism, reqs, func(resp batch.Response) {
+			if resp.Err != nil {
+				emitRow(batchErrorRow{Index: resp.Index, Error: resp.Err.Error()})
+				return
+			}
+			m := resp.Meta.(rowMeta)
+			// Per-engine /statsz attribution mirrors /v1/decide: a row that
+			// ran a decomposition counts as a decision, a row served by the
+			// shared cache counts as a hit, and coalesced duplicates count
+			// as neither (like decide's coalesced waiters).
+			switch {
+			case resp.Deduped:
+			case resp.CacheHit:
+				s.engStats[m.eng].hits.Add(1)
+			default:
+				s.engStats[m.eng].decisions.Add(1)
+			}
+			dr := renderDecide(resp.Res, resp.G, resp.H, m.sy, resp.CacheHit, m.eng)
+			if resp.Deduped {
+				dr.Stats.MemoHits = 0
+			}
+			emitRow(batchItemResponse{Index: resp.Index, decideResponse: dr, Deduped: resp.Deduped})
+		})
+	}()
+
+	idx, parseErrors := 0, 0
+	var streamErr string
+	truncated := false
+	parsedTexts := make(map[decideRequest]*parsedRow)
+	for {
+		var row decideRequest
+		err := dec.Decode(&row)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Framing is gone (or the body bound tripped): no further rows
+			// can be attributed to indices, so end the stream in-band.
+			streamErr = err.Error()
+			break
+		}
+		if idx >= s.cfg.MaxBatchItems {
+			truncated = true
+			break
+		}
+		pr, ok := parsedTexts[row]
+		if !ok {
+			pr = &parsedRow{}
+			if eng, err := engine.ByName(row.Engine); err != nil {
+				pr.errText = err.Error()
+			} else if hs, sy, err := hgio.ReadHypergraphsLimited(s.cfg.Limits,
+				strings.NewReader(row.G), strings.NewReader(row.H)); err != nil {
+				pr.errText = err.Error()
+			} else {
+				// Canonicalize and key once per distinct text; duplicates
+				// then skip straight to the scheduler's dedup map.
+				pr.eng, pr.engName = eng, eng.Name()
+				pr.g, pr.h, pr.sy = hs[0].Canonical(), hs[1].Canonical(), sy
+				pr.key = batch.NewKey(pr.engName, pr.g.Fingerprint(), pr.h.Fingerprint())
+			}
+			parsedTexts[row] = pr
+		}
+		if pr.errText != "" {
+			emitRow(batchErrorRow{Index: idx, Error: pr.errText})
+			parseErrors++
+			idx++
+			continue
+		}
+		// The scheduler drains reqs even after cancellation, so this send
+		// never wedges on a dead batch.
+		reqs <- batch.Request{
+			Index: idx, EngineName: pr.engName, Engine: pr.eng,
+			G: pr.g, H: pr.h, Key: &pr.key,
+			Meta: rowMeta{sy: pr.sy, eng: pr.engName},
+		}
+		idx++
+	}
+	close(reqs)
+	st := <-runDone
+
+	s.decompositions.Add(int64(st.Decisions))
+	if r.Context().Err() != nil {
+		s.cancelled.Add(1)
+		return // client gone; no terminal record can reach it
+	}
+	emitRow(batchEndRecord{
+		Done:      streamErr == "",
+		Items:     st.Items + parseErrors,
+		Unique:    st.Unique,
+		Deduped:   st.Deduped,
+		CacheHits: st.CacheHits,
+		Decisions: st.Decisions,
+		Errors:    st.Errors + parseErrors,
+		Truncated: truncated,
+		Error:     streamErr,
+	})
+}

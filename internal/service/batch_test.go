@@ -1,0 +1,317 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postNDJSON posts a raw NDJSON body to /v1/batch and splits the response
+// stream into item rows (by index), error rows and the terminal record.
+func postNDJSON(t *testing.T, url, body string) (map[int]map[string]any, map[int]string, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	items := map[int]map[string]any{}
+	errRows := map[int]string{}
+	var terminal map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		idx, hasIdx := rec["index"]
+		switch {
+		case hasIdx && rec["error"] != nil:
+			errRows[int(idx.(float64))] = rec["error"].(string)
+		case hasIdx:
+			items[int(idx.(float64))] = rec
+		default:
+			if terminal != nil {
+				t.Fatalf("multiple terminal records: %v then %v", terminal, rec)
+			}
+			terminal = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if terminal == nil {
+		t.Fatal("batch stream ended without a terminal record")
+	}
+	return items, errRows, terminal
+}
+
+func ndjsonRow(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	// A dedup-heavy stream: the dual pair three times (once with renamed
+	// vertices), the non-dual pair, one invalid-engine row, one non-simple
+	// row.
+	var body strings.Builder
+	body.WriteString(ndjsonRow(t, map[string]any{"g": gDual, "h": hDual}))                         // 0
+	body.WriteString(ndjsonRow(t, map[string]any{"g": gDual, "h": hDual}))                         // 1 dup
+	body.WriteString(ndjsonRow(t, map[string]any{"g": "p q\nr s\n", "h": "p r\np s\nq r\nq s\n"})) // 2 renamed
+	body.WriteString(ndjsonRow(t, map[string]any{"g": gDual, "h": hNonDual}))                      // 3
+	body.WriteString(ndjsonRow(t, map[string]any{"g": gDual, "h": hDual, "engine": "quantum"}))    // 4 bad engine
+	body.WriteString(ndjsonRow(t, map[string]any{"g": "a\na b\n", "h": "a\n"}))                    // 5 non-simple
+
+	items, errRows, term := postNDJSON(t, ts.URL, body.String())
+	for _, idx := range []int{0, 1, 2, 3} {
+		rec, ok := items[idx]
+		if !ok {
+			t.Fatalf("row %d unanswered (items %v, errors %v)", idx, items, errRows)
+		}
+		wantDual := idx != 3
+		if rec["dual"] != wantDual {
+			t.Errorf("row %d: dual=%v, want %v", idx, rec["dual"], wantDual)
+		}
+	}
+	if len(errRows) != 2 || errRows[4] == "" || errRows[5] == "" {
+		t.Fatalf("error rows = %v, want rows 4 and 5", errRows)
+	}
+	if term["done"] != true || term["items"].(float64) != 6 {
+		t.Fatalf("terminal = %v", term)
+	}
+	// Rows 0–2 are one canonical instance, row 3 a second, row 5 a third
+	// (errors during decide still create an entry); the bad-engine row
+	// never reaches the scheduler.
+	if u := term["unique"].(float64); u != 3 {
+		t.Errorf("unique = %v, want 3", u)
+	}
+	if d := term["deduped"].(float64); d != 2 {
+		t.Errorf("deduped = %v, want 2", d)
+	}
+	if e := term["errors"].(float64); e != 2 {
+		t.Errorf("errors = %v, want 2", e)
+	}
+
+	// The batch warmed the shared verdict cache: an interactive /v1/decide
+	// on the same instance must hit.
+	code, out := post(t, ts.URL+"/v1/decide", map[string]any{"g": gDual, "h": hDual})
+	if code != 200 || out["cached"] != true {
+		t.Fatalf("decide after batch not cached: code=%d out=%v", code, out)
+	}
+
+	// And a second identical batch is all cache/dedup, zero decisions.
+	items2, _, term2 := postNDJSON(t, ts.URL,
+		ndjsonRow(t, map[string]any{"g": gDual, "h": hDual})+
+			ndjsonRow(t, map[string]any{"g": gDual, "h": hDual}))
+	if term2["decisions"].(float64) != 0 {
+		t.Fatalf("second batch recomputed: %v", term2)
+	}
+	for idx, rec := range items2 {
+		if rec["cached"] != true && rec["deduped"] != true {
+			t.Errorf("row %d of warm batch served cold: %v", idx, rec)
+		}
+	}
+
+	// /statsz reflects the batches and the sharded cache.
+	stats := getJSON(t, ts.URL+"/statsz")
+	bs := stats["batch"].(map[string]any)
+	if bs["batches"].(float64) != 2 || bs["items"].(float64) < 7 {
+		t.Errorf("batch stats = %v", bs)
+	}
+	cache := stats["cache"].(map[string]any)
+	shards, ok := cache["shards"].([]any)
+	if !ok || len(shards) == 0 {
+		t.Fatalf("no shard stats: %v", cache)
+	}
+	var shardHits float64
+	for _, sh := range shards {
+		shardHits += sh.(map[string]any)["hits"].(float64)
+	}
+	if shardHits < 1 {
+		t.Errorf("shard counters recorded no hits: %v", shards)
+	}
+	if reqs := stats["requests"].(map[string]any); reqs["batch"].(float64) != 2 {
+		t.Errorf("requests.batch = %v", reqs["batch"])
+	}
+	// Per-engine attribution covers batch rows: the portfolio ran 2
+	// decisions (rows 0 and 3 of the first batch; row 5's decision errored
+	// and error rows are not attributed) and saw 2 cache hits (the
+	// /v1/decide repeat and the warm batch's leader row).
+	eng := stats["engines"].(map[string]any)["portfolio"].(map[string]any)
+	if eng["decisions"].(float64) != 2 {
+		t.Errorf("portfolio decisions = %v, want 2 (batch rows attributed)", eng["decisions"])
+	}
+	if eng["hits"].(float64) != 2 {
+		t.Errorf("portfolio hits = %v, want 2 (decide + warm-batch cache hits)", eng["hits"])
+	}
+}
+
+func TestBatchEndpointFraming(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A valid row, then broken JSON: the valid row is answered, the stream
+	// ends with an in-band error terminal.
+	body := ndjsonRow(t, map[string]any{"g": gDual, "h": hDual}) + "{nope\n"
+	items, _, term := postNDJSON(t, ts.URL, body)
+	if len(items) != 1 {
+		t.Fatalf("items = %v", items)
+	}
+	if term["done"] == true || term["error"] == nil {
+		t.Fatalf("terminal = %v", term)
+	}
+}
+
+func TestBatchEndpointRowCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchItems: 2})
+	var body strings.Builder
+	for i := 0; i < 4; i++ {
+		body.WriteString(ndjsonRow(t, map[string]any{"g": gDual, "h": hDual}))
+	}
+	items, _, term := postNDJSON(t, ts.URL, body.String())
+	if len(items) != 2 || term["truncated"] != true {
+		t.Fatalf("items=%d terminal=%v, want 2 rows and truncation", len(items), term)
+	}
+}
+
+func TestBatchEndpointParallelismParam(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	body := ndjsonRow(t, map[string]any{"g": gDual, "h": hDual}) +
+		ndjsonRow(t, map[string]any{"g": gDual, "h": hNonDual})
+	resp, err := http.Post(ts.URL+"/v1/batch?parallelism=1", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(raw, []byte(`"done":true`)) {
+		t.Fatalf("parallelism=1 batch: %d %s", resp.StatusCode, raw)
+	}
+	// Invalid knob is rejected before any work.
+	resp, err = http.Post(ts.URL+"/v1/batch?parallelism=zero", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad parallelism accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestMineEndpoint streams the dualize-and-advance loop and checks the
+// streamed elements agree with the one-shot /v1/borders answer.
+func TestMineEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	data := "milk bread\nmilk bread\nmilk bread\nbeer chips\nbeer chips\nbeer chips\nmilk beer\n"
+
+	buf, _ := json.Marshal(map[string]any{"data": data, "z": 2})
+	resp, err := http.Post(ts.URL+"/v1/mine", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("mine status %d: %s", resp.StatusCode, raw)
+	}
+	var maxSets, minSets [][]string
+	var terminal map[string]any
+	lastCheck := -1.0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad mine line %q: %v", sc.Text(), err)
+		}
+		if rec["done"] == true || rec["error"] != nil {
+			terminal = rec
+			continue
+		}
+		if c := rec["check"].(float64); c < lastCheck {
+			t.Errorf("check regressed: %v after %v", c, lastCheck)
+		} else {
+			lastCheck = c
+		}
+		toSet := func(v any) []string {
+			var out []string
+			for _, it := range v.([]any) {
+				out = append(out, it.(string))
+			}
+			return out
+		}
+		if v, ok := rec["max_frequent"]; ok {
+			maxSets = append(maxSets, toSet(v))
+		} else if v, ok := rec["min_infrequent"]; ok {
+			minSets = append(minSets, toSet(v))
+		} else {
+			t.Fatalf("unclassifiable record %v", rec)
+		}
+	}
+	if terminal == nil {
+		t.Fatal("mine stream ended without a terminal record")
+	}
+	if terminal["done"] != true {
+		t.Fatalf("terminal = %v", terminal)
+	}
+	if float64(len(maxSets)) != terminal["max_frequent_count"].(float64) ||
+		float64(len(minSets)) != terminal["min_infrequent_count"].(float64) {
+		t.Fatalf("streamed %d/%d, terminal %v", len(maxSets), len(minSets), terminal)
+	}
+
+	// One-shot /v1/borders on the same input must agree on the counts.
+	code, out := post(t, ts.URL+"/v1/borders", map[string]any{"data": data, "z": 2})
+	if code != 200 {
+		t.Fatalf("borders: %d %v", code, out)
+	}
+	if len(out["max_frequent"].([]any)) != len(maxSets) ||
+		len(out["min_infrequent"].([]any)) != len(minSets) {
+		t.Errorf("mine streamed %d/%d, borders reports %d/%d",
+			len(maxSets), len(minSets),
+			len(out["max_frequent"].([]any)), len(out["min_infrequent"].([]any)))
+	}
+
+	// Bad threshold is still a proper HTTP error (nothing streamed yet).
+	buf, _ = json.Marshal(map[string]any{"data": data, "z": 99})
+	resp, err = http.Post(ts.URL+"/v1/mine", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 422 {
+		t.Errorf("bad threshold: status %d", resp.StatusCode)
+	}
+
+	// Engine-pinned mining works and is counted.
+	buf, _ = json.Marshal(map[string]any{"data": data, "z": 2, "engine": "fk-b"})
+	resp, err = http.Post(ts.URL+"/v1/mine", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(raw, []byte(`"done":true`)) {
+		t.Fatalf("fk-b mine: %d %s", resp.StatusCode, raw)
+	}
+	stats := getJSON(t, ts.URL+"/statsz")
+	if stats["mined_elements"].(float64) < 2 {
+		t.Errorf("mined_elements = %v", stats["mined_elements"])
+	}
+	if reqs := stats["requests"].(map[string]any); reqs["mine"].(float64) != 3 {
+		t.Errorf("requests.mine = %v", reqs["mine"])
+	}
+}

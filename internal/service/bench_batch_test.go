@@ -1,0 +1,59 @@
+package service
+
+// Benchmark of the /v1/batch row path over a real socket with a
+// dedup-heavy 400-row body (12 distinct texts): the per-item cost behind
+// the dualload throughput numbers in BENCH_PR5.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func batchBody(rows int) string {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for i := 0; i < rows; i++ {
+		tag := fmt.Sprintf("t%d_", i%3)
+		k := 2 + i%4
+		var g, h strings.Builder
+		for j := 0; j < k; j++ {
+			fmt.Fprintf(&g, "%sv%da %sv%db\n", tag, j, tag, j)
+		}
+		for mask := 0; mask < 1<<k; mask++ {
+			for j := 0; j < k; j++ {
+				side := "a"
+				if mask&(1<<j) != 0 {
+					side = "b"
+				}
+				fmt.Fprintf(&h, "%sv%d%s ", tag, j, side)
+			}
+			h.WriteString("\n")
+		}
+		enc.Encode(map[string]string{"g": g.String(), "h": h.String()})
+	}
+	return b.String()
+}
+
+func BenchmarkBatchHandler(b *testing.B) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := batchBody(400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if n == 0 {
+			b.Fatal("empty response")
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dualspace/internal/batch"
 	"dualspace/internal/core"
 )
 
@@ -34,16 +35,16 @@ type flight struct {
 // flightGroup deduplicates concurrent computations by key.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[batch.Key]*flight
 }
 
 // join returns the flight for key, creating it (leader = true) when none is
 // in progress.
-func (g *flightGroup) join(key string) (f *flight, leader bool) {
+func (g *flightGroup) join(key batch.Key) (f *flight, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.m == nil {
-		g.m = make(map[string]*flight)
+		g.m = make(map[batch.Key]*flight)
 	}
 	if f, ok := g.m[key]; ok {
 		return f, false
@@ -55,7 +56,7 @@ func (g *flightGroup) join(key string) (f *flight, leader bool) {
 
 // finish publishes the leader's outcome and releases the key for future
 // flights.
-func (g *flightGroup) finish(key string, f *flight, res *core.Result, err error) {
+func (g *flightGroup) finish(key batch.Key, f *flight, res *core.Result, err error) {
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()

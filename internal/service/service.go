@@ -6,37 +6,49 @@
 //
 //   - Every decision endpoint runs on a bounded worker pool (Config.Workers
 //     concurrent decompositions); excess requests queue in acquire() and
-//     leave the queue the moment their client disconnects. Each worker slot
-//     carries a long-lived engine.Session, so the decisions it serves —
-//     /v1/decide verdicts and the incremental loops behind the application
-//     endpoints alike — reuse pinned scratch instead of allocating per
-//     request.
+//     leave the queue the moment their client disconnects. The pool is an
+//     engine.SessionPool: each slot is a long-lived memoizing
+//     engine.Session, so the decisions it serves — /v1/decide verdicts, the
+//     batch scheduler's drain workers, and the incremental loops behind the
+//     application endpoints alike — reuse pinned scratch instead of
+//     allocating per request.
 //   - All duality work routes through internal/engine: requests pick a
-//     decision procedure with the /v1/decide "engine" field (validated
-//     against engine.Names(); empty = the default portfolio, which
-//     dispatches on instance features), and /statsz reports per-engine
-//     cache-hit and decision counters.
+//     decision procedure with the "engine" field (validated against
+//     engine.Names(); empty = the default portfolio, which dispatches on
+//     instance features), and /statsz reports per-engine cache-hit and
+//     decision counters.
 //   - Requests are cancellable end to end: the handler passes the request
 //     context into the engine / transversal.EnumerateContext, which poll it
 //     at every decomposition-tree (resp. search-tree) node, so a closed
 //     client connection aborts the computation within one node.
-//   - /v1/decide verdicts are cached in an LRU keyed by the resolved engine
-//     name plus the canonical Fingerprint pair of the inputs. Decisions run
-//     on the canonicalized instance, so a cached verdict (including its
-//     witness and edge indices) is valid for every request with the same
-//     canonical form and engine — repeats and
-//     renamed-but-isomorphic-after-canonicalization queries never recompute,
-//     while a verdict computed by one engine is never served for an explicit
-//     request of another (engines agree on verdicts but not on witnesses or
-//     statistics). Concurrent identical misses may race to compute the same
-//     verdict; both results are identical, so the stampede is benign.
+//   - Verdicts are cached in an N-way sharded LRU (internal/batch.Cache,
+//     per-shard locks — the single-mutex LRU it replaces serialized every
+//     concurrent hit) keyed by the resolved engine name plus the canonical
+//     Fingerprint pair of the inputs. Decisions run on the canonicalized
+//     instance, so a cached verdict (including its witness and edge
+//     indices) is valid for every request with the same canonical form and
+//     engine — repeats and renamed-but-isomorphic-after-canonicalization
+//     queries never recompute, while a verdict computed by one engine is
+//     never served for an explicit request of another (engines agree on
+//     verdicts but not on witnesses or statistics). The cache is shared
+//     between /v1/decide and /v1/batch, so batch traffic warms interactive
+//     traffic and vice versa.
+//   - /v1/batch drains NDJSON streams of decisions through the
+//     batch.Scheduler: canonicalize, dedup by fingerprint key (one
+//     computation fans out to every duplicate in the stream — the
+//     /v1/decide singleflight idea at batch granularity), decide distinct
+//     instances on the shared session pool with bounded per-batch
+//     parallelism and whole-batch cancellation. /v1/mine streams the
+//     dualize-and-advance border-mining loop element by element.
 //   - All input parsing goes through internal/hgio's *Limited readers with
 //     explicit size/universe limits (Config.Limits), and request bodies are
-//     bounded by Config.MaxBodyBytes, so untrusted traffic cannot force
-//     unbounded allocation before validation.
+//     bounded by Config.MaxBodyBytes (batches by Config.MaxBatchBytes), so
+//     untrusted traffic cannot force unbounded allocation before
+//     validation.
 //
-// Observability: /healthz for liveness, /statsz for request, cache,
-// decomposition (total and per engine), cancellation and stream counters.
+// Observability: /healthz for liveness, /statsz for request, cache (total
+// and per shard), batch, decomposition (total and per engine), cancellation
+// and stream counters.
 package service
 
 import (
@@ -50,6 +62,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dualspace/internal/batch"
 	"dualspace/internal/bitset"
 	"dualspace/internal/core"
 	"dualspace/internal/engine"
@@ -64,9 +77,12 @@ type Config struct {
 	// computations (default: GOMAXPROCS). Requests beyond the bound queue
 	// until a slot frees or their client disconnects.
 	Workers int
-	// CacheSize is the verdict-LRU capacity in entries (default 1024;
+	// CacheSize is the verdict-cache capacity in entries (default 1024;
 	// negative disables caching).
 	CacheSize int
+	// CacheShards is the verdict-cache shard count (default
+	// batch.DefaultShards; rounded up to a power of two).
+	CacheShards int
 	// Limits bounds parsed hypergraph/dataset/relation inputs; zero fields
 	// get the package defaults (DefaultLimits).
 	Limits hgio.Limits
@@ -79,6 +95,11 @@ type Config struct {
 	// (core/memo.go): 0 applies core.DefaultMemoEntries, a negative value
 	// disables memoization. Aggregate hit/miss counters appear in /statsz.
 	MemoEntries int
+	// MaxBatchItems caps the rows of one /v1/batch request (default 4096).
+	MaxBatchItems int
+	// MaxBatchBytes bounds a /v1/batch request body (default 64 MiB — batch
+	// bodies are streams, so they get a bigger budget than MaxBodyBytes).
+	MaxBatchBytes int64
 }
 
 // DefaultLimits is the input bound applied when Config.Limits is zero:
@@ -102,16 +123,17 @@ type engineCounters struct {
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
-	cache *verdictCache
+	cache *batch.Cache
 	start time.Time
 
-	// sessions is the worker pool: each slot is a long-lived engine.Session
-	// owned exclusively by the request holding it (acquire/release), so
+	// pool is the worker pool: each slot is a long-lived memoizing
+	// engine.Session owned exclusively by the holder that acquired it, so
 	// session scratch — and the session's subinstance memo — is reused
-	// across requests without locking. allSessions keeps every slot
-	// reachable for /statsz memo aggregation (MemoStats is atomic).
-	sessions    chan *engine.Session
-	allSessions []*engine.Session
+	// across requests without locking.
+	pool *engine.SessionPool
+
+	// scheduler drains /v1/batch streams over the shared pool and cache.
+	scheduler *batch.Scheduler
 
 	// flights coalesces concurrent identical cache-miss /v1/decide requests
 	// (flight.go).
@@ -122,6 +144,8 @@ type Server struct {
 	engStats map[string]*engineCounters
 
 	reqDecide       atomic.Int64
+	reqBatch        atomic.Int64
+	reqMine         atomic.Int64
 	reqTransversals atomic.Int64
 	reqBorders      atomic.Int64
 	reqKeys         atomic.Int64
@@ -135,6 +159,7 @@ type Server struct {
 	cancelled       atomic.Int64
 	badRequests     atomic.Int64
 	streamedSets    atomic.Int64
+	minedElements   atomic.Int64
 	coalesced       atomic.Int64
 
 	// testHookDecideStart, when non-nil, runs right after a /v1/decide
@@ -160,23 +185,27 @@ func New(cfg Config) *Server {
 	if cfg.MaxStreamResults <= 0 {
 		cfg.MaxStreamResults = 1 << 16
 	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 4096
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 64 << 20
+	}
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
-		sessions: make(chan *engine.Session, cfg.Workers),
-		cache:    newVerdictCache(cfg.CacheSize),
+		pool:     engine.NewSessionPool(nil, cfg.Workers, cfg.MemoEntries),
+		cache:    batch.NewCache(cfg.CacheSize, cfg.CacheShards),
 		engStats: make(map[string]*engineCounters, len(engine.Names())),
 		start:    time.Now(),
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		sess := engine.NewSessionMemo(nil, cfg.MemoEntries)
-		s.allSessions = append(s.allSessions, sess)
-		s.sessions <- sess
-	}
+	s.scheduler = batch.NewScheduler(batch.Config{Pool: s.pool, Cache: s.cache})
 	for _, name := range engine.Names() {
 		s.engStats[name] = &engineCounters{}
 	}
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/mine", s.handleMine)
 	s.mux.HandleFunc("POST /v1/transversals", s.handleTransversals)
 	s.mux.HandleFunc("POST /v1/borders", s.handleBorders)
 	s.mux.HandleFunc("POST /v1/keys", s.handleKeys)
@@ -197,16 +226,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // until one frees or the request's context is cancelled. release must be
 // called iff err is nil.
 func (s *Server) acquire(r *http.Request) (*engine.Session, error) {
-	select {
-	case sess := <-s.sessions:
-		return sess, nil
-	case <-r.Context().Done():
+	sess, err := s.pool.Acquire(r.Context())
+	if err != nil {
 		s.cancelled.Add(1)
-		return nil, r.Context().Err()
+		return nil, err
 	}
+	return sess, nil
 }
 
-func (s *Server) release(sess *engine.Session) { s.sessions <- sess }
+func (s *Server) release(sess *engine.Session) { s.pool.Release(sess) }
 
 // decodeJSON reads a bounded request body into dst.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
@@ -271,6 +299,8 @@ type statsResponse struct {
 	Workers       int     `json:"workers"`
 	Requests      struct {
 		Decide       int64 `json:"decide"`
+		Batch        int64 `json:"batch"`
+		Mine         int64 `json:"mine"`
 		Transversals int64 `json:"transversals"`
 		Borders      int64 `json:"borders"`
 		Keys         int64 `json:"keys"`
@@ -278,12 +308,20 @@ type statsResponse struct {
 		Health       int64 `json:"health"`
 		Stats        int64 `json:"stats"`
 	} `json:"requests"`
+	// Cache: Hits/Misses are /v1/decide's own lookup counters; Shards
+	// carries the shared sharded cache's per-shard counters across ALL
+	// users (batch included), so sum(shards[].hits) ≥ Hits by design.
 	Cache struct {
-		Hits     int64 `json:"hits"`
-		Misses   int64 `json:"misses"`
-		Size     int   `json:"size"`
-		Capacity int   `json:"capacity"`
+		Hits     int64              `json:"hits"`
+		Misses   int64              `json:"misses"`
+		Size     int                `json:"size"`
+		Capacity int                `json:"capacity"`
+		Shards   []batch.ShardStats `json:"shards,omitempty"`
 	} `json:"cache"`
+	// Batch carries the batch scheduler's lifetime counters: streams
+	// drained, items, in-batch dedup fan-out, shared-cache hits, engine
+	// runs (internal/batch.Stats).
+	Batch batch.Stats `json:"batch"`
 	// Engines carries per-engine cache hits and decision runs, keyed by
 	// registry name; requests without an explicit engine count under
 	// "portfolio".
@@ -304,6 +342,8 @@ type statsResponse struct {
 	Cancelled       int64 `json:"cancelled"`
 	BadRequests     int64 `json:"bad_requests"`
 	StreamedResults int64 `json:"streamed_results"`
+	// MinedElements counts border elements streamed by /v1/mine.
+	MinedElements int64 `json:"mined_elements"`
 }
 
 // engineStats is the wire form of one engine's counters.
@@ -324,6 +364,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.InFlight = s.inFlight.Load()
 	resp.Workers = s.cfg.Workers
 	resp.Requests.Decide = s.reqDecide.Load()
+	resp.Requests.Batch = s.reqBatch.Load()
+	resp.Requests.Mine = s.reqMine.Load()
 	resp.Requests.Transversals = s.reqTransversals.Load()
 	resp.Requests.Borders = s.reqBorders.Load()
 	resp.Requests.Keys = s.reqKeys.Load()
@@ -332,30 +374,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.Stats = s.reqStats.Load()
 	resp.Cache.Hits = s.cacheHits.Load()
 	resp.Cache.Misses = s.cacheMisses.Load()
-	resp.Cache.Size = s.cache.len()
-	resp.Cache.Capacity = s.cfg.CacheSize
+	resp.Cache.Size = s.cache.Len()
+	resp.Cache.Capacity = s.cache.Capacity()
+	resp.Cache.Shards = s.cache.Stats()
+	resp.Batch = s.scheduler.Stats()
 	resp.Engines = make(map[string]engineStats, len(s.engStats))
 	for name, c := range s.engStats {
 		resp.Engines[name] = engineStats{Hits: c.hits.Load(), Decisions: c.decisions.Load()}
 	}
-	for _, sess := range s.allSessions {
-		ms := sess.MemoStats()
-		resp.Memo.Hits += ms.Hits
-		resp.Memo.Misses += ms.Misses
-		resp.Memo.Inserts += ms.Inserts
-		resp.Memo.Entries += ms.Entries
-		resp.Memo.Evictions += ms.Evictions
-	}
+	ms := s.pool.MemoStats()
+	resp.Memo.Hits = ms.Hits
+	resp.Memo.Misses = ms.Misses
+	resp.Memo.Inserts = ms.Inserts
+	resp.Memo.Entries = ms.Entries
+	resp.Memo.Evictions = ms.Evictions
 	resp.Decompositions = s.decompositions.Load()
 	resp.Coalesced = s.coalesced.Load()
 	resp.Cancelled = s.cancelled.Load()
 	resp.BadRequests = s.badRequests.Load()
 	resp.StreamedResults = s.streamedSets.Load()
+	resp.MinedElements = s.minedElements.Load()
 	writeJSON(w, resp)
 }
 
-// decideRequest is the /v1/decide body: two hypergraphs in the hgio
-// line-oriented edge format, plus an optional engine name (docs/API.md).
+// decideRequest is the /v1/decide body (and the /v1/batch row shape): two
+// hypergraphs in the hgio line-oriented edge format, plus an optional
+// engine name (docs/API.md).
 type decideRequest struct {
 	G string `json:"g"`
 	H string `json:"h"`
@@ -417,8 +461,8 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g, h := hs[0].Canonical(), hs[1].Canonical()
-	key := pairKey(engName, g.Fingerprint(), h.Fingerprint())
-	if res, ok := s.cache.get(key); ok {
+	key := batch.NewKey(engName, g.Fingerprint(), h.Fingerprint())
+	if res, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
 		s.engStats[engName].hits.Add(1)
 		writeJSON(w, renderDecide(res, g, h, sy, true, engName))
@@ -463,7 +507,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 // decideLeader runs the actual decomposition for a coalesced flight and
 // publishes the outcome to its followers, successful or not — a flight left
 // open would strand every waiter.
-func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key string, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols) {
+func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.Key, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols) {
 	var fres *core.Result
 	var ferr error
 	defer func() { s.flights.finish(key, f, fres, ferr) }()
@@ -493,7 +537,7 @@ func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key string
 	// until its next decision; the cache and the flight's followers retain
 	// the verdict, so both get one shared detached copy.
 	fres = res.Clone()
-	s.cache.add(key, fres)
+	s.cache.Add(key, fres)
 	writeJSON(w, renderDecide(res, g, h, sy, false, engName))
 }
 

@@ -14,7 +14,6 @@ import (
 	"testing"
 	"time"
 
-	"dualspace/internal/core"
 	"dualspace/internal/hgio"
 )
 
@@ -584,28 +583,6 @@ func TestDecideCancellation(t *testing.T) {
 	}
 }
 
-func TestVerdictCacheLRU(t *testing.T) {
-	c := newVerdictCache(2)
-	r1, r2, r3 := &core.Result{}, &core.Result{}, &core.Result{}
-	c.add("a", r1)
-	c.add("b", r2)
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a evicted too early")
-	}
-	c.add("c", r3) // evicts b (a was just used)
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b not evicted")
-	}
-	if got, ok := c.get("a"); !ok || got != r1 {
-		t.Fatal("a lost or replaced")
-	}
-	if c.len() != 2 {
-		t.Fatalf("len = %d", c.len())
-	}
-	// Disabled cache never stores.
-	off := newVerdictCache(0)
-	off.add("a", r1)
-	if _, ok := off.get("a"); ok {
-		t.Fatal("disabled cache stored an entry")
-	}
-}
+// The verdict cache's LRU/sharding behavior is tested in internal/batch
+// (TestCacheShardingAndLRU); here only its integration is covered
+// (TestDecideFingerprintCache, TestBatchEndpoint).
