@@ -1,0 +1,158 @@
+// Command dualvet is the repo's invariant checker: a multichecker over the
+// analyzers in internal/analysis/... plus two compiler-backed gates. It is
+// run in CI next to vet/staticcheck and must exit clean on the tree:
+//
+//	go run ./cmd/dualvet ./...            # run all analyzers
+//	go run ./cmd/dualvet -run allocfree ./internal/core
+//	go run ./cmd/dualvet -json ./...      # machine-readable findings
+//	go run ./cmd/dualvet -gate bce ./internal/bitset ./internal/core
+//	go run ./cmd/dualvet -gate escape ./...
+//
+// The gates diff compiler diagnostics against checked-in allowlists under
+// internal/analysis/allowlists (override with -allowlist). See
+// docs/ANALYSIS.md for the annotation grammar and allowlist formats.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dualspace/internal/analysis"
+	"dualspace/internal/analysis/allocfree"
+	"dualspace/internal/analysis/bitsetalias"
+	"dualspace/internal/analysis/ctxpoll"
+	"dualspace/internal/analysis/gate"
+	"dualspace/internal/analysis/lockscope"
+	"dualspace/internal/analysis/reasonswitch"
+)
+
+var all = []*analysis.Analyzer{
+	allocfree.Analyzer,
+	bitsetalias.Analyzer,
+	ctxpoll.Analyzer,
+	lockscope.Analyzer,
+	reasonswitch.Analyzer,
+}
+
+func main() {
+	var (
+		runList   = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON")
+		gateName  = flag.String("gate", "", "run a build-time gate instead of the analyzers: bce or escape")
+		allowlist = flag.String("allowlist", "", "allowlist file for -gate (default: internal/analysis/allowlists/<gate>.txt)")
+		listOnly  = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+
+	if *gateName != "" {
+		runGate(dir, *gateName, *allowlist, patterns)
+		return
+	}
+
+	analyzers := all
+	if *runList != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatal(fmt.Errorf("unknown analyzer %q (use -list)", name))
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", relPos(dir, d), d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dualvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func relPos(dir string, d analysis.Diagnostic) string {
+	rel, err := filepath.Rel(dir, d.Pos.Filename)
+	if err != nil {
+		rel = d.Pos.Filename
+	}
+	return fmt.Sprintf("%s:%d:%d", rel, d.Pos.Line, d.Pos.Column)
+}
+
+func runGate(dir, name, allowPath string, patterns []string) {
+	if allowPath == "" {
+		allowPath = filepath.Join(dir, "internal", "analysis", "allowlists", name+".txt")
+	}
+	allow, err := gate.ReadAllowlist(allowPath)
+	if err != nil {
+		fatal(err)
+	}
+	var violations []gate.Finding
+	var stale []string
+	switch name {
+	case "bce":
+		violations, stale, err = gate.BCE(dir, patterns, allow)
+	case "escape":
+		violations, stale, err = gate.Escape(dir, patterns, allow)
+	default:
+		err = fmt.Errorf("unknown gate %q (want bce or escape)", name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range stale {
+		fmt.Printf("dualvet: %s allowlist entry no longer fires (prune it): %s\n", name, s)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Printf("%s: %s gate: new entry not in %s:\n\t%s\n", v.Pos, name, allowPath, v.Entry)
+		}
+		fmt.Fprintf(os.Stderr, "dualvet: %s gate: %d violation(s)\n", name, len(violations))
+		os.Exit(1)
+	}
+	fmt.Printf("dualvet: %s gate clean (%d allowlisted, %d stale)\n", name, len(allow), len(stale))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dualvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,206 @@
+// Package allocfree rejects allocating constructs inside functions
+// annotated //dual:allocfree. Those functions are the kernel's steady-state
+// hot paths (the serial walker, Session.Decide, the bitset in-place ops,
+// the batch scheduler's drain loop): the paper's complexity argument prices
+// them as pointer-chasing over preallocated scratch, and the AllocsPerRun
+// regression tests only cover the shapes they happen to exercise. This
+// analyzer rejects the constructs the compiler is allowed to heap-allocate
+// regardless of input shape:
+//
+//   - any call into package fmt
+//   - string concatenation and string<->[]byte/[]rune conversions inside
+//     loops
+//   - map, slice, and pointer-producing composite literals
+//   - make / new
+//   - function literals that capture enclosing variables (closure
+//     allocation)
+//   - explicit conversions of non-pointer concrete values to interface
+//     types (boxing)
+//
+// Cold-path constructs (error formatting on a panic branch, a one-time
+// lazy build) carry //dual:allow(allocfree: reason).
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dualspace/internal/analysis"
+)
+
+// Analyzer is the allocfree rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "reject allocating constructs in //dual:allocfree functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.IsAllocFree(fn) {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Loop bodies currently open above the visited node. A node is "in a
+	// loop" when it sits inside the Body of an enclosing for/range
+	// statement (loop headers — init, cond, post, the ranged expression —
+	// run O(1) times relative to the loop and are checked loop-free).
+	var bodies []*ast.BlockStmt
+	inLoop := func(n ast.Node) bool {
+		for _, b := range bodies {
+			if n.Pos() >= b.Pos() && n.End() <= b.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		for len(bodies) > 0 && n.Pos() >= bodies[len(bodies)-1].End() {
+			bodies = bodies[:len(bodies)-1]
+		}
+		loopDepth := 0
+		if inLoop(n) {
+			loopDepth = 1
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			bodies = append(bodies, n.Body)
+		case *ast.RangeStmt:
+			bodies = append(bodies, n.Body)
+		case *ast.CallExpr:
+			checkCall(pass, info, n, loopDepth)
+		case *ast.BinaryExpr:
+			if loopDepth > 0 && n.Op == token.ADD && isString(info.Types[n.X].Type) && info.Types[n].Value == nil {
+				pass.Reportf(n.OpPos, "string concatenation in a loop inside //dual:allocfree function %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if loopDepth > 0 && n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.Types[n.Lhs[0]].Type) {
+				pass.Reportf(n.TokPos, "string concatenation in a loop inside //dual:allocfree function %s", fn.Name.Name)
+			}
+		case *ast.CompositeLit:
+			switch types.Unalias(info.Types[n].Type).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in //dual:allocfree function %s", fn.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in //dual:allocfree function %s", fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			if captured := captures(info, fn, n); captured != "" {
+				pass.Reportf(n.Pos(), "closure capturing %q allocates in //dual:allocfree function %s", captured, fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, loopDepth int) {
+	// Conversions: T(x) parses as a call. String conversions allocate; so
+	// does boxing a concrete non-pointer value into an interface.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		if loopDepth > 0 && stringConversion(from, to) {
+			pass.Reportf(call.Pos(), "string conversion in a loop allocates")
+		}
+		if boxes(from, to) {
+			pass.Reportf(call.Pos(), "conversion of non-pointer %s to interface %s allocates", types.TypeString(from, nil), types.TypeString(to, nil))
+		}
+		return
+	}
+	obj := analysis.Callee(info, call)
+	if obj == nil {
+		return
+	}
+	if analysis.PkgPath(obj) == "fmt" {
+		pass.Reportf(call.Pos(), "call to fmt.%s allocates", obj.Name())
+		return
+	}
+	if b, ok := obj.(*types.Builtin); ok {
+		switch b.Name() {
+		case "make":
+			pass.Reportf(call.Pos(), "make allocates")
+		case "new":
+			pass.Reportf(call.Pos(), "new allocates")
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func stringConversion(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	// string([]byte), string(rune), string(int), []byte(s), []rune(s) all
+	// materialize fresh backing storage; string(string) does not.
+	return (isString(to) && !isString(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func boxes(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, isIface := to.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	switch from.Underlying().(type) {
+	case *types.Interface, *types.Pointer:
+		return false
+	}
+	return true
+}
+
+// captures returns the name of a variable declared in the enclosing
+// function that the literal closes over, or "" if the literal is static.
+func captures(info *types.Info, outer *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the outer function but outside the
+		// literal.
+		if v.Pos() > outer.Pos() && v.Pos() < outer.End() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}

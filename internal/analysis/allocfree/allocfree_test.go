@@ -1,0 +1,16 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"dualspace/internal/analysis/allocfree"
+	"dualspace/internal/analysis/analysistest"
+)
+
+func TestAlloc(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "alloc")
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "nofp")
+}

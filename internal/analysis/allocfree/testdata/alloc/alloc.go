@@ -1,0 +1,70 @@
+// Allocation fixture: each rejected construct inside a //dual:allocfree
+// function, plus the same constructs unflagged in an unannotated twin.
+package fixture
+
+import "fmt"
+
+//dual:allocfree
+func hot(xs []int, s string) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+		_ = fmt.Sprint(x) // want `call to fmt.Sprint allocates`
+		t := s + "!"      // want `string concatenation in a loop`
+		s += t            // want `string concatenation in a loop`
+		_ = []byte(s)     // want `string conversion in a loop`
+		_ = string(xs[0]) // want `string conversion in a loop`
+	}
+	m := map[int]int{} // want `map literal`
+	_ = m
+	sl := []int{1, 2} // want `slice literal`
+	_ = sl
+	_ = make([]int, 4)               // want `make allocates`
+	_ = new(int)                     // want `new allocates`
+	f := func() int { return total } // want `closure capturing "total" allocates`
+	_ = f
+	_ = any(total) // want `conversion of non-pointer int to interface any allocates`
+	return total
+}
+
+//dual:allocfree
+func hotAllowed(xs []int) string {
+	out := ""
+	for _, x := range xs {
+		if x < 0 {
+			// Cold path: only reached on invariant violation.
+			out = fmt.Sprint(x) //dual:allow(allocfree: cold error path)
+		}
+	}
+	return out
+}
+
+//dual:allocfree
+func hotClean(xs []int, scratch []int) int {
+	// Constructs that do not allocate stay clean: constant-folded
+	// concatenation, static closures, pointer/interface pass-through,
+	// loop-free conversions.
+	const greeting = "a" + "b"
+	total := 0
+	for i := range xs {
+		total += xs[i]
+		scratch[i&(len(scratch)-1)] = total
+	}
+	f := func(x int) int { return x * 2 } // captures nothing: clean
+	total = f(total)
+	var e error
+	_ = error(e) // interface to interface: clean
+	b := []byte(greeting)
+	_ = b
+	return total
+}
+
+// Unannotated twin: the same constructs are fine outside hot paths.
+func cold(xs []int, s string) {
+	for _, x := range xs {
+		_ = fmt.Sprint(x)
+		s += "!"
+	}
+	_ = map[int]int{}
+	_ = make([]int, 4)
+}

@@ -1,0 +1,54 @@
+// No-false-positive fixture: a serialWalk-shaped function over
+// preallocated scratch, annotated //dual:allocfree. Index arithmetic,
+// in-place bitset algebra, appends into reused buffers, and method calls
+// on scratch must all stay clean.
+package fixture
+
+import "dualspace/internal/bitset"
+
+type frame struct {
+	children []bitset.Set
+	rem      []int
+}
+
+type walker struct {
+	frames  []frame
+	gProj   bitset.Set
+	tmp     bitset.Set
+	wit     bitset.Set
+	hits    []int
+	depth   int
+	visited int
+}
+
+//dual:allocfree
+func (w *walker) walk(edges []bitset.Set, s bitset.Set, depth int) bool {
+	fr := &w.frames[depth]
+	fr.rem = fr.rem[:0]
+	for i, e := range edges {
+		e.IntersectInto(s, w.gProj)
+		if w.gProj.IsEmpty() {
+			fr.rem = append(fr.rem, i)
+			continue
+		}
+		w.gProj.DiffInto(w.tmp, w.wit)
+		w.hits[i&(len(w.hits)-1)]++
+		w.visited++
+	}
+	for _, i := range fr.rem {
+		if i > w.depth {
+			return false
+		}
+	}
+	return true
+}
+
+//dual:allocfree
+func (w *walker) reset(s bitset.Set) {
+	w.wit.CopyFrom(s)
+	w.tmp.Clear()
+	for i := range w.hits {
+		w.hits[i] = 0
+	}
+	w.visited = 0
+}

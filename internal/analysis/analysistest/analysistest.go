@@ -1,0 +1,164 @@
+// Package analysistest runs an analyzer over testdata fixture packages and
+// checks reported diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// fixtures would work under the upstream harness:
+//
+//	x.DiffInto(x, dst) // want `aliased sources`
+//
+// Each `// want` comment carries one or more backquoted regular
+// expressions; every diagnostic on that line must match one, and every
+// expectation must be matched by exactly one diagnostic. A fixture line
+// with no want comment expects no diagnostics — the no-false-positive
+// fixtures are just annotation-free files mirroring real kernel shapes.
+//
+// Fixtures are real packages: they import the module's own internals
+// (dualspace/internal/bitset, …), which the loader resolves from compiled
+// export data, so the type-driven matching under test is exercised exactly
+// as in production runs.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dualspace/internal/analysis"
+)
+
+var (
+	exportsOnce sync.Once
+	exports     map[string]string
+	exportsErr  error
+	moduleRoot  string
+)
+
+// depPatterns lists the package universe fixtures may import from. The
+// module's own packages pull in their stdlib dependency closure, and the
+// extra stdlib names cover imports only fixtures use.
+var depPatterns = []string{"./...", "context", "fmt", "sync", "strings", "errors"}
+
+func load(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		moduleRoot, exportsErr = analysis.ModuleRoot(".")
+		if exportsErr != nil {
+			return
+		}
+		exports, exportsErr = analysis.ExportIndex(moduleRoot, depPatterns...)
+	})
+	if exportsErr != nil {
+		t.Fatalf("loading export index: %v", exportsErr)
+	}
+	return exports
+}
+
+// Run applies the analyzer to the fixture package in dir (relative to the
+// test's testdata directory) and verifies the // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	exp := load(t)
+
+	fixdir := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(fixdir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			abs, err := filepath.Abs(filepath.Join(fixdir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, abs)
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", fixdir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	pkg, err := analysis.CheckFiles(fset, "dualspace/fixture/"+dir, files, exp)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, files)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", relFile(d.Pos.Filename), d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", relFile(w.file), w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want( `[^`]*`)+\\s*$")
+var exprRE = regexp.MustCompile("`([^`]*)`")
+
+func collectWants(t *testing.T, files []string) []want {
+	t.Helper()
+	var out []want
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs, err := filepath.Abs(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindString(line)
+			if m == "" {
+				continue
+			}
+			for _, g := range exprRE.FindAllStringSubmatch(m, -1) {
+				re, err := regexp.Compile(g[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", file, i+1, err)
+				}
+				out = append(out, want{file: abs, line: i + 1, re: re})
+			}
+		}
+	}
+	return out
+}
+
+func relFile(abs string) string {
+	if rel, err := filepath.Rel(moduleRoot, abs); err == nil {
+		return rel
+	}
+	return abs
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation grammar, shared by the analyzers and the build-time gates:
+//
+//	//dual:allocfree
+//	    marks the annotated function as steady-state allocation-free; the
+//	    allocfree analyzer rejects allocating constructs inside it and the
+//	    escape-analysis gate watches its variables for new heap escapes.
+//
+//	//dual:allow(rule)
+//	//dual:allow(rule: reason)
+//	//dual:allow(rule1, rule2: reason)
+//	    suppresses findings of the named analyzers on the same line or the
+//	    line directly below the comment. The reason is free text, kept in
+//	    the source as documentation of why the construct is intentional.
+
+// AllocFreeMarker is the exact annotation line that marks a function
+// allocation-free.
+const AllocFreeMarker = "//dual:allocfree"
+
+const allowPrefix = "//dual:allow("
+
+// ParseAllow parses a //dual:allow(...) comment and returns the rule names
+// it suppresses, or nil if the text is not a well-formed allow annotation.
+func ParseAllow(text string) []string {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, allowPrefix) || !strings.HasSuffix(text, ")") {
+		return nil
+	}
+	body := text[len(allowPrefix) : len(text)-1]
+	// A reason, when present, follows the first colon.
+	if i := strings.IndexByte(body, ':'); i >= 0 {
+		body = body[:i]
+	}
+	var rules []string
+	for _, r := range strings.Split(body, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			return nil
+		}
+		for _, c := range r {
+			if c != '-' && c != '_' && (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+				return nil
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+// IsAllocFree reports whether fn carries the //dual:allocfree annotation in
+// its doc comment.
+func IsAllocFree(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == AllocFreeMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// allowIndex maps file → line → set of suppressed rule names. A comment on
+// line L suppresses findings on lines L and L+1, so both a trailing
+// same-line comment and a comment directly above the flagged statement
+// work.
+type allowIndex map[string]map[int]map[string]bool
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules := ParseAllow(c.Text)
+				if rules == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					set := lines[ln]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[ln] = set
+					}
+					for _, r := range rules {
+						set[r] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx allowIndex) suppressed(rule string, pos token.Position) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][rule]
+}

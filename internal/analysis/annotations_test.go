@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"//dual:allow(allocfree)", []string{"allocfree"}},
+		{"//dual:allow(allocfree: cold error path)", []string{"allocfree"}},
+		{"//dual:allow(allocfree, ctxpoll)", []string{"allocfree", "ctxpoll"}},
+		{"//dual:allow(allocfree, ctxpoll: shared reason)", []string{"allocfree", "ctxpoll"}},
+		{"  //dual:allow(bitsetalias)  ", []string{"bitsetalias"}},
+		{"//dual:allow(rule-with-dash_and_0)", []string{"rule-with-dash_and_0"}},
+		// Reasons may themselves contain colons and parens-free prose.
+		{"//dual:allow(lockscope: guards O(1) map op: see DESIGN §9)", []string{"lockscope"}},
+
+		{"//dual:allow()", nil},
+		{"//dual:allow(, )", nil},
+		{"//dual:allow(UPPER)", nil},
+		{"//dual:allow(rule", nil},
+		{"//dual:allocfree", nil},
+		{"// dual:allow(rule)", nil},
+		{"//dual:allow(a b)", nil},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := ParseAllow(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseAllow(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// FuzzParseAllow pins the parser against panics and grammar drift: any
+// accepted rule list must round-trip through the suppression index
+// unchanged, and rule names must stay in the lowercase identifier
+// alphabet. The seed corpus is checked in under testdata/fuzz and replayed
+// by the CI fuzz job.
+func FuzzParseAllow(f *testing.F) {
+	f.Add("//dual:allow(allocfree)")
+	f.Add("//dual:allow(allocfree, ctxpoll: reason text)")
+	f.Add("//dual:allow(:)")
+	f.Add("//dual:allow((nested))")
+	f.Add("//dual:allow\x00(rule)")
+	f.Add(strings.Repeat("//dual:allow(", 50))
+	f.Fuzz(func(t *testing.T, text string) {
+		rules := ParseAllow(text)
+		for _, r := range rules {
+			if r == "" {
+				t.Fatalf("ParseAllow(%q) returned an empty rule", text)
+			}
+			for _, c := range r {
+				ok := c == '-' || c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+				if !ok {
+					t.Fatalf("ParseAllow(%q) accepted rule %q with invalid rune %q", text, r, c)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,458 @@
+// Package bitsetalias guards the bitset scratch-ownership discipline.
+//
+// Rule 1 — aliasing: the destination-style ops (IntersectInto, UnionInto,
+// DiffInto, ComplementInto, CopyFrom) are word-parallel, so aliasing the
+// destination with an operand is well-defined today — but the moment any of
+// them stops being per-word independent (a future shifted or carry-borrow
+// op), every aliasing call site becomes silent corruption. The analyzer
+// therefore flags every call where two of {receiver, operands, destination}
+// are syntactically the same expression. Intentional in-place accumulation
+// (`acc.UnionInto(e, acc)`) carries //dual:allow(bitsetalias: in-place …),
+// which doubles as a greppable registry of the sites to audit if the
+// word-parallel contract ever changes. Degenerate source aliasing
+// (`x.DiffInto(x, dst)` ≡ clear, `x.IntersectInto(x, dst)` ≡ copy) is
+// almost certainly a bug and gets a sharper message.
+//
+// Rule 2 — pool hygiene: a bitset.Pool Get whose result stays function-
+// local must be Put on every path to a return (or covered by a defer);
+// otherwise the walker leaks a set per call and the steady-state
+// allocation-free guarantee erodes pool miss by pool miss. Sets that
+// escape (returned, stored into a structure, captured by a closure) are
+// ownership transfers and exempt.
+package bitsetalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dualspace/internal/analysis"
+)
+
+const bitsetPkg = "dualspace/internal/bitset"
+
+// Analyzer is the bitsetalias rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "bitsetalias",
+	Doc:  "flag aliased destination-style bitset calls and pool Gets without a Put on every path",
+	Run:  run,
+}
+
+// intoOps maps each destination-style method to the argument index of its
+// destination (receiver and remaining arguments are sources).
+var intoOps = map[string]int{
+	"IntersectInto":  1,
+	"UnionInto":      1,
+	"DiffInto":       1,
+	"ComplementInto": 0,
+	"CopyFrom":       0, // dst is the receiver; arg 0 is the source
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkAliasing(pass, call)
+			}
+			return true
+		})
+	}
+	analysis.FuncBodies(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		checkPool(pass, body)
+	})
+	// Function literals are their own Get/Put scope (checkPool does not
+	// descend into them from the enclosing declaration).
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkPool(pass, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAliasing(pass *analysis.Pass, call *ast.CallExpr) {
+	for method, dstIdx := range intoOps {
+		recv, ok := analysis.MethodOn(pass.TypesInfo, call, bitsetPkg, "Set", method)
+		if !ok || len(call.Args) != dstIdx+1 {
+			continue
+		}
+		// Participants in call order: receiver, then arguments. For
+		// CopyFrom the receiver is the destination; for the others the
+		// last argument is.
+		exprs := append([]ast.Expr{recv}, call.Args...)
+		texts := make([]string, len(exprs))
+		for i, e := range exprs {
+			texts[i] = types.ExprString(ast.Unparen(e))
+		}
+		dst := dstIdx + 1
+		if method == "CopyFrom" {
+			dst = 0
+		}
+		for i := range texts {
+			for j := i + 1; j < len(texts); j++ {
+				if texts[i] != texts[j] {
+					continue
+				}
+				if i != dst && j != dst {
+					pass.Reportf(call.Pos(), "%s with aliased sources %q is degenerate (the result is a copy or a clear); this is almost certainly a bug", method, texts[i])
+				} else {
+					pass.Reportf(call.Pos(), "%s destination aliases source %q; if intentional in-place use, annotate with //dual:allow(bitsetalias: ...)", method, texts[i])
+				}
+				return
+			}
+		}
+		return
+	}
+}
+
+// checkPool enforces Get/Put pairing per function body.
+func checkPool(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are audited as their own scope below
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := analysis.MethodOn(info, call, bitsetPkg, "Pool", "Get"); !ok {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if escapes(info, body, obj, call) {
+			return true
+		}
+		w := &putWalker{info: info, v: obj}
+		if w.deferredPut(body) {
+			return true
+		}
+		after := stmtsAfter(body, assign)
+		if after == nil {
+			return true // Get buried in an expression position we can't order; skip
+		}
+		if exitPut, _ := w.scan(after, false); !exitPut {
+			pass.Reportf(call.Pos(), "bitset.Pool Get result %q is not Put on every path to return; leak erodes the allocation-free steady state", obj.Name())
+		}
+		return true
+	})
+}
+
+// escapes reports whether v's ownership leaves the function: returned,
+// stored into a field/element/map, appended into a slice, placed in a
+// composite literal, sent on a channel, reassigned wholesale, or captured
+// by a function literal. Plain calls taking v are uses, not escapes — a
+// forgotten Put after compute(v) is exactly the leak this rule exists to
+// catch.
+func escapes(info *types.Info, body *ast.BlockStmt, v types.Object, get *ast.CallExpr) bool {
+	esc := false
+	var inLit int
+	ast.Inspect(body, func(n ast.Node) bool {
+		if esc {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if analysis.UsesObject(info, n.Body, v) {
+				esc = true
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if analysis.UsesObject(info, r, v) {
+					esc = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range n.Args[1:] {
+					if uid, ok := ast.Unparen(a).(*ast.Ident); ok && info.Uses[uid] == v {
+						esc = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if analysis.UsesObject(info, elt, v) {
+					esc = true
+				}
+			}
+		case *ast.SendStmt:
+			if analysis.UsesObject(info, n.Value, v) {
+				esc = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					if i < len(n.Rhs) && analysis.UsesObject(info, n.Rhs[i], v) {
+						esc = true
+					}
+					_ = l
+				case *ast.Ident:
+					// Re-binding another name to v (w := v) hands the set
+					// to an alias this per-name analysis cannot follow.
+					if info.Uses[l] != v && i < len(n.Rhs) {
+						if r, ok := n.Rhs[i].(*ast.Ident); ok && info.Uses[r] == v {
+							esc = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	_ = inLit
+	_ = get
+	return esc
+}
+
+// stmtsAfter returns the statement list from the statement containing
+// target (exclusive) to the end of its enclosing block, wrapped so that
+// enclosing blocks' tails follow. For simplicity the search stops at the
+// innermost block; paths that leave it re-enter the scan through the
+// enclosing structured statement, which the scanner treats conservatively.
+func stmtsAfter(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	var find func(b *ast.BlockStmt) bool
+	find = func(b *ast.BlockStmt) bool {
+		for i, s := range b.List {
+			if s == target {
+				out = b.List[i+1:]
+				return true
+			}
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if inner, ok := n.(*ast.BlockStmt); ok && inner != b {
+					if find(inner) {
+						found = true
+						// The remainder of the outer block follows the
+						// inner tail on fallthrough paths.
+						out = append(append([]ast.Stmt{}, out...), b.List[i+1:]...)
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+	if find(body) {
+		return out
+	}
+	return nil
+}
+
+type putWalker struct {
+	info *types.Info
+	v    types.Object
+}
+
+// isPut reports whether n is (or contains, for simple statements) a
+// pool.Put(v) call.
+func (w *putWalker) isPut(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := analysis.MethodOn(w.info, call, bitsetPkg, "Pool", "Put"); !ok {
+			return true
+		}
+		if len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && w.info.Uses[id] == w.v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *putWalker) deferredPut(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && w.isPut(d.Call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// scan walks a statement list with the current "already Put" state and
+// reports (exitPut, sawTerminator): whether every path that falls off the
+// end of the list has Put the set, and whether the list unconditionally
+// terminates (returns/panics on all paths). A return reached with
+// put == false makes the whole scan fail by returning exitPut == false
+// immediately.
+func (w *putWalker) scan(stmts []ast.Stmt, put bool) (exitPut bool, terminated bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return put, true
+		case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+			if w.isPut(s) {
+				put = true
+			}
+			if es, ok := s.(*ast.ExprStmt); ok && isPanic(es) {
+				return true, true // panic paths are exempt
+			}
+		case *ast.BlockStmt:
+			bp, bt := w.scan(s.List, put)
+			if bt {
+				return bp, true
+			}
+			put = bp
+		case *ast.IfStmt:
+			thenPut, thenTerm := w.scan(s.Body.List, put)
+			elsePut, elseTerm := put, false
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elsePut, elseTerm = w.scan(e.List, put)
+			case *ast.IfStmt:
+				elsePut, elseTerm = w.scan([]ast.Stmt{e}, put)
+			}
+			if !thenPut && thenTerm {
+				return false, true // a then-branch return leaks
+			}
+			if !elsePut && elseTerm {
+				return false, true
+			}
+			if thenTerm && elseTerm {
+				return thenPut && elsePut, true
+			}
+			switch {
+			case thenTerm:
+				put = elsePut
+			case elseTerm:
+				put = thenPut
+			default:
+				put = thenPut && elsePut
+			}
+		case *ast.ForStmt:
+			if leaked := w.loopLeaks(s.Body); leaked {
+				return false, true
+			}
+		case *ast.RangeStmt:
+			if leaked := w.loopLeaks(s.Body); leaked {
+				return false, true
+			}
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			allPut, allTerm, hasDefault := true, true, false
+			caseBodies(s, func(isDefault bool, body []ast.Stmt) {
+				if isDefault {
+					hasDefault = true
+				}
+				cp, ct := w.scan(body, put)
+				if !cp && ct {
+					allPut = false
+				}
+				allPut = allPut && cp
+				allTerm = allTerm && ct
+			})
+			if !allPut && allTerm {
+				return false, true
+			}
+			if allPut && hasDefault {
+				put = true
+			}
+			if allTerm && hasDefault {
+				return allPut, true
+			}
+		case *ast.LabeledStmt:
+			lp, lt := w.scan([]ast.Stmt{s.Stmt}, put)
+			if lt {
+				return lp, true
+			}
+			put = lp
+		case *ast.BranchStmt:
+			// break/continue/goto jump somewhere this list-structured scan
+			// cannot follow; assume the target path performs the Put.
+			// Missing a leak through a jump is the price of not reporting
+			// false leaks on the common break-then-Put shape.
+			return true, true
+		}
+	}
+	return put, false
+}
+
+// loopLeaks reports whether a loop body can return from the function
+// without a Put. Approximation: a body containing a return statement and
+// no Put at all leaks; a body with both is assumed to sequence them
+// correctly (the structured scan cannot order statements across
+// iterations).
+func (w *putWalker) loopLeaks(body *ast.BlockStmt) bool {
+	hasReturn := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			hasReturn = true
+		}
+		return !hasReturn
+	})
+	return hasReturn && !w.isPut(body)
+}
+
+func isPanic(es *ast.ExprStmt) bool {
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func caseBodies(s ast.Stmt, visit func(isDefault bool, body []ast.Stmt)) {
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			visit(cc.List == nil, cc.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			visit(cc.List == nil, cc.Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			visit(cc.Comm == nil, cc.Body)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package bitsetalias_test
+
+import (
+	"testing"
+
+	"dualspace/internal/analysis/analysistest"
+	"dualspace/internal/analysis/bitsetalias"
+)
+
+func TestAliasing(t *testing.T) {
+	analysistest.Run(t, bitsetalias.Analyzer, "aliasing")
+}
+
+func TestPool(t *testing.T) {
+	analysistest.Run(t, bitsetalias.Analyzer, "pool")
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	analysistest.Run(t, bitsetalias.Analyzer, "nofp")
+}

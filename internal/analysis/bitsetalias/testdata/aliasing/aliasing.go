@@ -1,0 +1,34 @@
+// Aliasing fixture: destination-style ops where two participants are the
+// same expression.
+package fixture
+
+import "dualspace/internal/bitset"
+
+func aliasing(a, b, dst bitset.Set) {
+	a.IntersectInto(b, dst) // distinct participants: clean
+	a.IntersectInto(a, dst) // want `aliased sources`
+	a.DiffInto(a, dst)      // want `aliased sources`
+	a.UnionInto(b, a)       // want `destination aliases source`
+	a.DiffInto(b, b)        // want `destination aliases source`
+	dst.CopyFrom(dst)       // want `destination aliases source`
+	a.ComplementInto(a)     // want `destination aliases source`
+}
+
+func accumulate(edges []bitset.Set, acc bitset.Set) {
+	for _, e := range edges {
+		e.UnionInto(acc, acc) //dual:allow(bitsetalias: in-place accumulation)
+	}
+	// The comment-above form suppresses the next line too.
+	//dual:allow(bitsetalias: in-place accumulation)
+	acc.UnionInto(acc, acc)
+}
+
+type holder struct{ slot bitset.Set }
+
+func (h *holder) scratch() bitset.Set { return h.slot }
+
+func throughCalls(a, b bitset.Set, h *holder) {
+	// Call results cannot be proven distinct syntactically; never flagged.
+	a.IntersectInto(b, h.scratch())
+	h.scratch().UnionInto(a, b)
+}

@@ -1,0 +1,47 @@
+// No-false-positive fixture mirroring real kernel shapes: a walker-style
+// projection loop over distinct scratch fields, and Berge-style pool use
+// where extensions transfer into the next generation. Nothing here may be
+// flagged.
+package fixture
+
+import "dualspace/internal/bitset"
+
+type scratch struct {
+	gProj, tmp, wit, hsSet, notCont bitset.Set
+	pool                            *bitset.Pool
+}
+
+func (sc *scratch) project(edges []bitset.Set, s bitset.Set) {
+	for _, e := range edges {
+		e.IntersectInto(s, sc.gProj)
+		sc.gProj.DiffInto(sc.tmp, sc.wit)
+		sc.hsSet.DiffInto(sc.notCont, sc.tmp)
+	}
+	sc.wit.CopyFrom(s)
+	s.ComplementInto(sc.tmp)
+}
+
+func (sc *scratch) berge(current []bitset.Set, e bitset.Set) []bitset.Set {
+	var next []bitset.Set
+	for _, r := range current {
+		if r.Intersects(e) {
+			next = append(next, r)
+			continue
+		}
+		e.ForEach(func(v int) bool {
+			c := sc.pool.Get()
+			c.CopyFrom(r)
+			c.Add(v)
+			next = append(next, c)
+			return true
+		})
+		sc.pool.Put(r)
+	}
+	return next
+}
+
+func (sc *scratch) borrowed(f func(bitset.Set)) {
+	s := sc.pool.Get()
+	defer sc.pool.Put(s)
+	f(s)
+}

@@ -1,0 +1,88 @@
+// Pool fixture: Get/Put pairing across return paths.
+package fixture
+
+import "dualspace/internal/bitset"
+
+func use(bitset.Set) {}
+
+func leakEarlyReturn(p *bitset.Pool, cond bool) {
+	s := p.Get() // want `not Put on every path`
+	use(s)
+	if cond {
+		return // leaks s
+	}
+	p.Put(s)
+}
+
+func leakNoPut(p *bitset.Pool) {
+	s := p.Get() // want `not Put on every path`
+	use(s)
+}
+
+func leakLoopReturn(p *bitset.Pool, xs []int) {
+	s := p.Get() // want `not Put on every path`
+	for _, x := range xs {
+		if x < 0 {
+			return // leaks s
+		}
+	}
+	p.Put(s)
+}
+
+func balancedBranches(p *bitset.Pool, cond bool) {
+	s := p.Get()
+	if cond {
+		p.Put(s)
+		return
+	}
+	p.Put(s)
+}
+
+func deferredPut(p *bitset.Pool) {
+	s := p.Get()
+	defer p.Put(s)
+	use(s)
+}
+
+func breakThenPut(p *bitset.Pool, xs []int) {
+	s := p.Get()
+	for _, x := range xs {
+		if x > 10 {
+			break
+		}
+		use(s)
+	}
+	p.Put(s)
+}
+
+func panicIsExempt(p *bitset.Pool, cond bool) {
+	s := p.Get()
+	if cond {
+		panic("invariant broken")
+	}
+	p.Put(s)
+}
+
+func ownershipReturned(p *bitset.Pool) bitset.Set {
+	s := p.Get()
+	use(s)
+	return s // ownership transfer: clean
+}
+
+func ownershipAppended(p *bitset.Pool, out []bitset.Set) []bitset.Set {
+	s := p.Get()
+	out = append(out, s) // ownership transfer: clean
+	return out
+}
+
+type keeper struct{ held bitset.Set }
+
+func ownershipStored(p *bitset.Pool, k *keeper) {
+	s := p.Get()
+	k.held = s // ownership transfer: clean
+}
+
+func suppressed(p *bitset.Pool) {
+	s := p.Get() //dual:allow(bitsetalias: handed to caller via package registry)
+	use(s)
+}

@@ -1,0 +1,16 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"dualspace/internal/analysis/analysistest"
+	"dualspace/internal/analysis/ctxpoll"
+)
+
+func TestLoops(t *testing.T) {
+	analysistest.Run(t, ctxpoll.Analyzer, "loops")
+}
+
+func TestVariants(t *testing.T) {
+	analysistest.Run(t, ctxpoll.Analyzer, "variants")
+}

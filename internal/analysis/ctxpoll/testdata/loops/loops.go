@@ -1,0 +1,83 @@
+// Loop-polling fixture: rule 1 — loops with calls inside ctx-taking
+// functions must reference ctx.
+package fixture
+
+import "context"
+
+type node struct{ children []*node }
+
+func visit(*node) {}
+
+func unpolled(ctx context.Context, nodes []*node) error { // ctx param, never polled in loop
+	for _, n := range nodes { // want `loop with calls never references ctx`
+		visit(n)
+	}
+	return ctx.Err()
+}
+
+func polledDirectly(ctx context.Context, nodes []*node) error {
+	for _, n := range nodes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		visit(n)
+	}
+	return nil
+}
+
+func delegated(ctx context.Context, nodes []*node) error {
+	for _, n := range nodes {
+		if err := visitContext(ctx, n); err != nil { // passing ctx transfers the obligation
+			return err
+		}
+	}
+	return nil
+}
+
+func visitContext(ctx context.Context, n *node) error { return ctx.Err() }
+
+func outerPollCoversInner(ctx context.Context, nodes []*node) {
+	for _, n := range nodes {
+		_ = ctx.Err()
+		for _, c := range n.children { // inner loop rides the outer poll
+			visit(c)
+		}
+	}
+}
+
+func arithmeticOnly(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs { // call-free loop: clean
+		total += x
+	}
+	return total
+}
+
+func smallConstant(ctx context.Context, nodes []*node) {
+	for i := 0; i < 2; i++ { // trivially bounded: clean
+		visit(nodes[i])
+	}
+	for _, n := range []*node{nodes[0], nodes[1]} { // small literal range: clean
+		visit(n)
+	}
+}
+
+func noCtxParam(nodes []*node) {
+	for _, n := range nodes { // no ctx in signature: rule does not apply
+		visit(n)
+	}
+}
+
+func suppressed(ctx context.Context, nodes []*node) {
+	for _, n := range nodes { //dual:allow(ctxpoll: O(1)-amortized bookkeeping)
+		visit(n)
+	}
+}
+
+func unboundedInnerLoop(ctx context.Context, nodes []*node) {
+	for i := 0; i < 2; i++ {
+		for _, n := range nodes { // want `loop with calls never references ctx`
+			visit(n)
+		}
+	}
+}

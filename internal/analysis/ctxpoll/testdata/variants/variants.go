@@ -1,0 +1,44 @@
+// Variant fixture: rule 2 — ctx-holding callers in the serving/app layers
+// must use *Context/*With siblings instead of the legacy façade.
+package fixture
+
+import "context"
+
+func Work() error                               { return nil }
+func WorkContext(ctx context.Context) error     { return ctx.Err() }
+func Plain() error                              { return nil }
+func Mine() error                               { return nil }
+func MineWith(ctx context.Context, n int) error { return ctx.Err() }
+
+type Engine struct{}
+
+func (e *Engine) Solve() error                           { return nil }
+func (e *Engine) SolveContext(ctx context.Context) error { return ctx.Err() }
+
+func handler(ctx context.Context, e *Engine) error {
+	if err := Work(); err != nil { // want `call WorkContext instead of Work`
+		return err
+	}
+	if err := Mine(); err != nil { // want `call MineWith instead of Mine`
+		return err
+	}
+	if err := e.Solve(); err != nil { // want `call SolveContext instead of Solve`
+		return err
+	}
+	if err := Plain(); err != nil { // no variant exists: clean
+		return err
+	}
+	return WorkContext(ctx)
+}
+
+func legacyCaller(e *Engine) error {
+	// No ctx in scope: the legacy façade is the right call.
+	if err := Work(); err != nil {
+		return err
+	}
+	return e.Solve()
+}
+
+func suppressedVariant(ctx context.Context) error {
+	return Work() //dual:allow(ctxpoll: fire-and-forget cleanup, must not be cancelled)
+}

@@ -1,0 +1,305 @@
+// Package gate implements dualvet's two build-time gates, complementing
+// the AST analyzers with facts only the compiler knows:
+//
+//   - BCE: `go build -gcflags=-d=ssa/check_bce` lists every bounds check
+//     the SSA backend could not eliminate. The gate normalizes those
+//     positions to enclosing functions and diffs the function set against
+//     a checked-in allowlist, so a refactor that re-introduces a bounds
+//     check into a hot bitset/core function fails CI while line-number
+//     churn inside already-listed functions does not.
+//
+//   - Escape: `go build -gcflags=-m` reports heap escapes. The gate keeps
+//     the reports that fall inside //dual:allocfree functions and fails on
+//     any not present in the allowlist (keyed function:variable, so
+//     re-orderings don't churn the list).
+//
+// Allowlist format (both gates): one entry per line, '#' comments and
+// blank lines ignored.
+package gate
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dualspace/internal/analysis"
+)
+
+// Finding is one gate violation.
+type Finding struct {
+	Entry string // the allowlist key that would admit it
+	Pos   string // representative file:line for the report
+}
+
+// ReadAllowlist parses an allowlist file; a missing file is an empty list.
+func ReadAllowlist(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[line] = true
+	}
+	return out, nil
+}
+
+// funcIndex locates the enclosing function of a file:line position.
+type funcIndex struct {
+	fset  *token.FileSet
+	funcs []funcSpan
+}
+
+type funcSpan struct {
+	name       string // pkgpath.Recv.Name or pkgpath.Name
+	file       string
+	start, end int
+	allocFree  bool
+}
+
+func buildFuncIndex(dir string, pkgs []pkgFiles) (*funcIndex, error) {
+	idx := &funcIndex{fset: token.NewFileSet()}
+	for _, p := range pkgs {
+		for _, name := range p.files {
+			full := filepath.Join(p.dir, name)
+			f, err := parser.ParseFile(idx.fset, full, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				start := idx.fset.Position(fn.Pos())
+				end := idx.fset.Position(fn.End())
+				idx.funcs = append(idx.funcs, funcSpan{
+					name:      p.importPath + "." + funcName(fn),
+					file:      start.Filename,
+					start:     start.Line,
+					end:       end.Line,
+					allocFree: analysis.IsAllocFree(fn),
+				})
+			}
+		}
+	}
+	return idx, nil
+}
+
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// lookup returns the function containing file:line, matching on absolute
+// or dir-relative file paths.
+func (idx *funcIndex) lookup(dir, file string, line int) *funcSpan {
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(dir, file)
+	}
+	for i := range idx.funcs {
+		f := &idx.funcs[i]
+		if f.file == file && line >= f.start && line <= f.end {
+			return f
+		}
+	}
+	return nil
+}
+
+type pkgFiles struct {
+	importPath string
+	dir        string
+	files      []string
+}
+
+func listPkgFiles(dir string, patterns []string) ([]pkgFiles, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\x00{{.Dir}}\x00{{range .GoFiles}}{{.}} {{end}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var out []pkgFiles
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		parts := strings.SplitN(line, "\x00", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		out = append(out, pkgFiles{importPath: parts[0], dir: parts[1], files: strings.Fields(parts[2])})
+	}
+	return out, nil
+}
+
+func compilerOutput(dir, gcflags string, patterns []string) (string, error) {
+	args := append([]string{"build", "-gcflags=" + gcflags}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go build -gcflags=%s: %v\n%s", gcflags, err, out.String())
+	}
+	return out.String(), nil
+}
+
+// parseDiagLine splits "file.go:12:3: message" into its parts.
+func parseDiagLine(line string) (file string, lineNo int, msg string, ok bool) {
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return parts[0], n, strings.TrimSpace(parts[3]), true
+}
+
+// BCE runs the bounds-check-elimination gate over patterns, returning the
+// violations (functions with residual bounds checks not in the allowlist)
+// and the stale allowlist entries that no longer fire.
+func BCE(dir string, patterns []string, allow map[string]bool) (violations []Finding, stale []string, err error) {
+	pkgs, err := listPkgFiles(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, err := buildFuncIndex(dir, pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := compilerOutput(dir, "-d=ssa/check_bce", patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := map[string]string{} // func → first pos
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "Found Is") { // IsInBounds / IsSliceInBounds
+			continue
+		}
+		file, lineNo, _, ok := parseDiagLine(line)
+		if !ok {
+			continue
+		}
+		fn := idx.lookup(dir, file, lineNo)
+		if fn == nil {
+			continue
+		}
+		if _, dup := seen[fn.name]; !dup {
+			seen[fn.name] = fmt.Sprintf("%s:%d", file, lineNo)
+		}
+	}
+	for name, pos := range seen {
+		if !allow[name] {
+			violations = append(violations, Finding{Entry: name, Pos: pos})
+		}
+	}
+	for name := range allow {
+		if _, still := seen[name]; !still {
+			stale = append(stale, name)
+		}
+	}
+	sortFindings(violations)
+	sort.Strings(stale)
+	return violations, stale, nil
+}
+
+// Escape runs the escape-analysis gate: heap escapes inside
+// //dual:allocfree functions must be allowlisted.
+func Escape(dir string, patterns []string, allow map[string]bool) (violations []Finding, stale []string, err error) {
+	pkgs, err := listPkgFiles(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, err := buildFuncIndex(dir, pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := compilerOutput(dir, "-m", patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := map[string]string{}
+	for _, line := range strings.Split(out, "\n") {
+		var what string
+		switch {
+		case strings.Contains(line, "moved to heap:"):
+			what = strings.TrimSpace(line[strings.Index(line, "moved to heap:")+len("moved to heap:"):])
+		case strings.Contains(line, "escapes to heap"):
+			file, lineNo, msg, ok := parseDiagLine(line)
+			if !ok {
+				continue
+			}
+			fn := idx.lookup(dir, file, lineNo)
+			if fn == nil || !fn.allocFree {
+				continue
+			}
+			entry := fn.name + ": " + strings.TrimSuffix(msg, " escapes to heap")
+			if _, dup := seen[entry]; !dup {
+				seen[entry] = fmt.Sprintf("%s:%d", file, lineNo)
+			}
+			continue
+		default:
+			continue
+		}
+		file, lineNo, _, ok := parseDiagLine(line)
+		if !ok {
+			continue
+		}
+		fn := idx.lookup(dir, file, lineNo)
+		if fn == nil || !fn.allocFree {
+			continue
+		}
+		entry := fn.name + ": moved to heap: " + what
+		if _, dup := seen[entry]; !dup {
+			seen[entry] = fmt.Sprintf("%s:%d", file, lineNo)
+		}
+	}
+	for entry, pos := range seen {
+		if !allow[entry] {
+			violations = append(violations, Finding{Entry: entry, Pos: pos})
+		}
+	}
+	for entry := range allow {
+		if _, still := seen[entry]; !still {
+			stale = append(stale, entry)
+		}
+	}
+	sortFindings(violations)
+	sort.Strings(stale)
+	return violations, stale, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Entry < fs[j].Entry })
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"dualspace/internal/analysis/analysistest"
+	"dualspace/internal/analysis/lockscope"
+)
+
+func TestLocks(t *testing.T) {
+	analysistest.Run(t, lockscope.Analyzer, "locks")
+}

@@ -1,0 +1,80 @@
+// Lock-scope fixture: mutexes held across decisions and channel sends.
+// The engine/session types are the real ones, imported from the module, so
+// the receiver-type matching under test is the production configuration.
+package fixture
+
+import (
+	"context"
+	"sync"
+
+	"dualspace/internal/engine"
+	"dualspace/internal/hypergraph"
+)
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+func decideUnderLock(ctx context.Context, s *cacheShard, ses *engine.Session, g, h *hypergraph.Hypergraph) error {
+	s.mu.Lock()
+	_, err := ses.Decide(ctx, g, h) // want `Session.Decide called while holding s.mu`
+	s.mu.Unlock()
+	return err
+}
+
+func decideUnderDeferredLock(ctx context.Context, s *cacheShard, eng engine.Engine, g, h *hypergraph.Hypergraph) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := eng.Decide(ctx, g, h) // want `Engine.Decide called while holding s.mu`
+	return err
+}
+
+func sendUnderLock(s *cacheShard, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+func lockDroppedFirst(ctx context.Context, s *cacheShard, ses *engine.Session, g, h *hypergraph.Hypergraph) error {
+	s.mu.Lock()
+	s.entries["k"] = 1
+	s.mu.Unlock()
+	_, err := ses.Decide(ctx, g, h) // lock released: clean
+	return err
+}
+
+func branchBalanced(ctx context.Context, s *cacheShard, ses *engine.Session, g, h *hypergraph.Hypergraph, cached bool) error {
+	if cached {
+		s.mu.Lock()
+		s.entries["k"]++
+		s.mu.Unlock()
+	}
+	_, err := ses.Decide(ctx, g, h) // branch released its lock: clean
+	return err
+}
+
+func sendAfterUnlockInSelect(s *cacheShard, ch chan int, done chan struct{}) {
+	s.mu.Lock()
+	v := s.entries["k"]
+	s.mu.Unlock()
+	select {
+	case ch <- v: // clean
+	case <-done:
+	}
+}
+
+func suppressedHandoff(ctx context.Context, s *cacheShard, ses *engine.Session, g, h *hypergraph.Hypergraph) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := ses.Decide(ctx, g, h) //dual:allow(lockscope: single-threaded test shard)
+	return err
+}
+
+func goroutineBody(s *cacheShard, ch chan int) {
+	go func() {
+		s.mu.Lock()
+		ch <- 1 // want `channel send while holding s.mu`
+		s.mu.Unlock()
+	}()
+}

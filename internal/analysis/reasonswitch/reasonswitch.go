@@ -1,0 +1,94 @@
+// Package reasonswitch keeps switches over the engine Reason taxonomy
+// exhaustive. Every engine (core serial/parallel, FK-A/B, logspace replay)
+// classifies precondition failures with core.Reason, and the application
+// layers (itemsets border completion, coterie domination) branch on it to
+// convert witnesses; a Reason added for a future engine must not fall
+// through an existing switch silently. A switch is accepted when it
+// either lists every declared Reason constant or has a default clause that
+// handles the unknown case.
+package reasonswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dualspace/internal/analysis"
+)
+
+const reasonPkg = "dualspace/internal/core"
+
+// Analyzer is the reasonswitch rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "reasonswitch",
+	Doc:  "switches over core.Reason must be exhaustive or carry a default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := info.Types[sw.Tag].Type
+			if !analysis.NamedFrom(tagType, reasonPkg, "Reason") {
+				return true
+			}
+			named := types.Unalias(tagType).(*types.Named)
+			check(pass, sw, named)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, sw *ast.SwitchStmt, reason *types.Named) {
+	declared := declaredConstants(reason)
+	covered := make(map[string]bool, len(declared))
+	for _, clause := range sw.Body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			return // default clause handles the tail
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return // non-constant case: coverage is not decidable, accept
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, c := range declared {
+		if !covered[constant.ToInt(c.Val()).ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Switch, "switch over core.Reason is not exhaustive: missing %s (add the cases or a default)", strings.Join(missing, ", "))
+	}
+}
+
+// declaredConstants enumerates the package-level constants of the Reason
+// type from its defining package (works both when core is the package
+// under analysis and when it arrives through export data).
+func declaredConstants(reason *types.Named) []*types.Const {
+	scope := reason.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if named, ok := types.Unalias(c.Type()).(*types.Named); ok && named.Obj() == reason.Obj() {
+			out = append(out, c)
+		}
+	}
+	return out
+}

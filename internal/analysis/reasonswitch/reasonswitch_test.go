@@ -1,0 +1,12 @@
+package reasonswitch_test
+
+import (
+	"testing"
+
+	"dualspace/internal/analysis/analysistest"
+	"dualspace/internal/analysis/reasonswitch"
+)
+
+func TestSwitches(t *testing.T) {
+	analysistest.Run(t, reasonswitch.Analyzer, "switches")
+}

@@ -1,0 +1,60 @@
+// Reason-switch fixture: exhaustiveness over the real core.Reason
+// taxonomy (six constants as of PR 6).
+package fixture
+
+import "dualspace/internal/core"
+
+func incomplete(r core.Reason) string {
+	switch r { // want `missing ReasonGEdgeNotMinimal, ReasonNewTransversal`
+	case core.ReasonDual:
+		return "dual"
+	case core.ReasonConstantMismatch:
+		return "constant"
+	case core.ReasonNotCrossIntersecting:
+		return "cross"
+	case core.ReasonHEdgeNotMinimal:
+		return "hmin"
+	}
+	return ""
+}
+
+func withDefault(r core.Reason) string {
+	switch r {
+	case core.ReasonNewTransversal:
+		return "witness"
+	default:
+		return "other"
+	}
+}
+
+func exhaustive(r core.Reason) string {
+	switch r {
+	case core.ReasonDual:
+		return "dual"
+	case core.ReasonConstantMismatch:
+		return "constant"
+	case core.ReasonNotCrossIntersecting:
+		return "cross"
+	case core.ReasonHEdgeNotMinimal, core.ReasonGEdgeNotMinimal:
+		return "minimality"
+	case core.ReasonNewTransversal:
+		return "witness"
+	}
+	return ""
+}
+
+func notAReasonSwitch(x int) string {
+	switch x {
+	case 1:
+		return "one"
+	}
+	return ""
+}
+
+func suppressed(r core.Reason) string {
+	switch r { //dual:allow(reasonswitch: only the verdict cases matter here)
+	case core.ReasonDual:
+		return "dual"
+	}
+	return ""
+}

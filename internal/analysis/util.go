@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Type-matching helpers shared by the analyzers. Packages are compared by
+// import path, never by *types.Package identity: each target package is
+// checked independently, so the same dependency can appear as distinct
+// package objects across passes.
+
+// PkgPath returns the import path of obj's package, or "" for builtins.
+func PkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// NamedFrom reports whether t (after stripping pointers and aliases) is the
+// named type pkgPath.name.
+func NamedFrom(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && PkgPath(obj) == pkgPath
+}
+
+// Callee resolves the called object of a call expression (function, method,
+// or builtin), or nil for indirect calls through non-named expressions.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// MethodOn reports whether call invokes a method with the given name whose
+// receiver type is pkgPath.typeName, and returns the receiver expression.
+func MethodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, method string) (recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != method {
+		return nil, false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return nil, false
+	}
+	if !NamedFrom(selection.Recv(), pkgPath, typeName) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	return NamedFrom(t, "context", "Context")
+}
+
+// CtxParam returns the object of fn's context.Context parameter, or nil.
+func CtxParam(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && IsContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// UsesObject reports whether node references obj anywhere.
+func UsesObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// FuncBodies walks every function declaration and function literal in the
+// files, calling visit with the enclosing declaration (nil for literals at
+// package level) and the body.
+func FuncBodies(files []*ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				visit(fn, fn.Body)
+			}
+		}
+	}
+}
