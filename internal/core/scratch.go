@@ -427,7 +427,7 @@ func (sc *scratch) process(s bitset.Set, fr *frame, v *nodeVerdict) {
 	// Iα's occurrence rows.
 	sc.hitG.Clear()
 	sc.iSet.ForEach(func(u int) bool {
-		sc.gIdx.Occ(u).UnionInto(sc.hitG, sc.hitG)
+		sc.gIdx.Occ(u).UnionInto(sc.hitG, sc.hitG) //dual:allow(bitsetalias: word-parallel accumulation into hitG)
 		return true
 	})
 	if sc.hitG.Len() != sc.g.M() {
@@ -447,7 +447,7 @@ func (sc *scratch) process(s bitset.Set, fr *frame, v *nodeVerdict) {
 	sc.notCont.Clear()
 	s.ForEach(func(u int) bool {
 		if !sc.iSet.Contains(u) {
-			sc.hIdx.Occ(u).UnionInto(sc.notCont, sc.notCont)
+			sc.hIdx.Occ(u).UnionInto(sc.notCont, sc.notCont) //dual:allow(bitsetalias: word-parallel accumulation into notCont)
 		}
 		return true
 	})
@@ -474,7 +474,7 @@ func (sc *scratch) disjointChildren(s bitset.Set, fr *frame) {
 	sc.resetDedup()
 	sc.candG.Clear()
 	sc.gProj.ForEach(func(u int) bool {
-		sc.gIdx.Occ(u).UnionInto(sc.candG, sc.candG)
+		sc.gIdx.Occ(u).UnionInto(sc.candG, sc.candG) //dual:allow(bitsetalias: word-parallel accumulation into candG)
 		return true
 	})
 	sc.candG.ForEach(func(j int) bool {

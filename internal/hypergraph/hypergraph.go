@@ -388,7 +388,7 @@ func (h *Hypergraph) scratchSlot() bitset.Set {
 func (h *Hypergraph) Vertices() bitset.Set {
 	u := bitset.New(h.n)
 	for _, e := range h.edges {
-		u.UnionInto(e, u)
+		u.UnionInto(e, u) //dual:allow(bitsetalias: word-parallel accumulation into u)
 	}
 	return u
 }

@@ -413,7 +413,7 @@ func (ix *Index) FirstEdgeSubsetOf(s bitset.Set, scratch bitset.Set) int {
 			continue
 		}
 		full = false
-		ix.occ[v].UnionInto(scratch, scratch)
+		ix.occ[v].UnionInto(scratch, scratch) //dual:allow(bitsetalias: word-parallel accumulation into scratch)
 	}
 	if full {
 		if ix.m == 0 {

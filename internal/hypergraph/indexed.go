@@ -22,7 +22,7 @@ func (h *Hypergraph) CrossIntersectingIdx(g *Hypergraph, gIdx *Index, scratch bi
 	for i, e := range h.edges {
 		scratch.Clear()
 		e.ForEach(func(v int) bool {
-			gIdx.occ[v].UnionInto(scratch, scratch)
+			gIdx.occ[v].UnionInto(scratch, scratch) //dual:allow(bitsetalias: word-parallel accumulation into scratch)
 			return true
 		})
 		if j := scratch.MinAbsent(); j >= 0 && j < len(g.edges) {
@@ -40,7 +40,7 @@ func (h *Hypergraph) AllEdgesMinimalTransversalsOfIdx(g *Hypergraph, gIdx *Index
 	for i, e := range h.edges {
 		scratch.Clear()
 		e.ForEach(func(v int) bool {
-			gIdx.occ[v].UnionInto(scratch, scratch)
+			gIdx.occ[v].UnionInto(scratch, scratch) //dual:allow(bitsetalias: word-parallel accumulation into scratch)
 			return true
 		})
 		if j := scratch.MinAbsent(); j >= 0 && j < len(g.edges) {
@@ -95,7 +95,7 @@ func (h *Hypergraph) SimpleViolationIdx(ix *Index, scratch bitset.Set) []int {
 				scratch.CopyFrom(ix.occ[v])
 				first = false
 			} else {
-				scratch.IntersectInto(ix.occ[v], scratch)
+				scratch.IntersectInto(ix.occ[v], scratch) //dual:allow(bitsetalias: word-parallel running intersection in scratch)
 			}
 			return true
 		})
