@@ -407,12 +407,18 @@ func IdentifyWith(ctx context.Context, d *Dataset, z int, g, h *hypergraph.Hyper
 	}
 	res := &IdentifyResult{BadMaxClaim: -1, BadMinClaim: -1}
 	for i := 0; i < h.M(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !d.IsMaximalFrequent(h.Edge(i), z) {
 			res.BadMaxClaim = i
 			return res, nil
 		}
 	}
 	for i := 0; i < g.M(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !d.IsMinimalInfrequent(g.Edge(i), z) {
 			res.BadMinClaim = i
 			return res, nil

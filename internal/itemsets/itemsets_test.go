@@ -1,6 +1,9 @@
 package itemsets
 
 import (
+	"context"
+	"dualspace/internal/engine"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -337,5 +340,26 @@ func TestItemNames(t *testing.T) {
 	}
 	if d.ItemName(1) != "bread" {
 		t.Error("names not applied")
+	}
+}
+
+// Regression: IdentifyWith's claim-verification loops run before any engine
+// dispatch and must honour cancellation themselves. The claimed maximal
+// frequent set below is bogus, so an unpolled loop would report it
+// (res.BadMaxClaim = 0, nil error) instead of failing with the context's
+// error — the engine never gets a chance to notice the dead context.
+func TestIdentifyWithCancelledContext(t *testing.T) {
+	d := tinyDataset()
+	z := 2
+	brute, err := BordersBrute(d, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := hypergraph.New(4)
+	bogus.AddEdge(bitset.Full(4)) // the full itemset is infrequent at z=2
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := IdentifyWith(ctx, d, z, brute.MinInfrequent, bogus, engine.Default()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IdentifyWith with cancelled ctx: got err %v, want context.Canceled", err)
 	}
 }

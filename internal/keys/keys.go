@@ -219,6 +219,9 @@ func (r *Relation) AdditionalKeyWith(ctx context.Context, known *hypergraph.Hype
 		return nil, errors.New("keys: known-keys universe differs from attribute count")
 	}
 	for i := 0; i < known.M(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !r.IsMinimalKey(known.Edge(i)) {
 			return nil, fmt.Errorf("keys: claimed key %v is not a minimal key", known.Edge(i))
 		}

@@ -1,6 +1,9 @@
 package keys_test
 
 import (
+	"context"
+	"dualspace/internal/engine"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -239,5 +242,21 @@ func TestRandomRelations(t *testing.T) {
 		if !got.EqualAsFamily(want) {
 			t.Fatalf("trial %d: incremental %v != brute %v", trial, got, want)
 		}
+	}
+}
+
+// Regression: AdditionalKeyWith verifies every claimed key before the tree
+// search starts; that loop must honour cancellation rather than burning
+// through the whole claim list on a dead context. The full attribute set
+// is a key but not minimal, so an unpolled loop would surface the
+// "not a minimal key" claim error instead of the context's error.
+func TestAdditionalKeyWithCancelledContext(t *testing.T) {
+	r := employees()
+	bogus := hypergraph.New(4)
+	bogus.AddEdge(bitset.Full(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.AdditionalKeyWith(ctx, bogus, engine.Default()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AdditionalKeyWith with cancelled ctx: got err %v, want context.Canceled", err)
 	}
 }

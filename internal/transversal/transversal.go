@@ -146,7 +146,7 @@ func enumerateContext(ctx context.Context, h *hypergraph.Hypergraph, yield func(
 	for i := range e.critOwner {
 		e.critOwner[i] = -1
 	}
-	for f := 0; f < h.M(); f++ {
+	for f := 0; f < h.M(); f++ { //dual:allow(ctxpoll: one-shot O(M) init of cardinality counters, Card is O(1); rec() polls per node)
 		e.candCnt[f] = idx.Card(f) // cand starts full
 		e.uncovSet.Add(f)
 	}
