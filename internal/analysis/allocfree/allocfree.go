@@ -51,6 +51,11 @@ func run(pass *analysis.Pass) error {
 
 func check(pass *analysis.Pass, fn *ast.FuncDecl) {
 	info := pass.TypesInfo
+	// Positions of function literals passed directly to a non-retaining
+	// callee (see nonRetainingCallback): exempt from the capture check.
+	// Inspect visits a CallExpr before its arguments, so the set is always
+	// populated before the literal itself is reached.
+	noCapture := map[token.Pos]bool{}
 	// Loop bodies currently open above the visited node. A node is "in a
 	// loop" when it sits inside the Body of an enclosing for/range
 	// statement (loop headers — init, cond, post, the ranged expression —
@@ -81,6 +86,9 @@ func check(pass *analysis.Pass, fn *ast.FuncDecl) {
 		case *ast.RangeStmt:
 			bodies = append(bodies, n.Body)
 		case *ast.CallExpr:
+			if arg, ok := nonRetainingCallback(info, n); ok {
+				noCapture[arg.Pos()] = true
+			}
 			checkCall(pass, info, n, loopDepth)
 		case *ast.BinaryExpr:
 			if loopDepth > 0 && n.Op == token.ADD && isString(info.Types[n.X].Type) && info.Types[n].Value == nil {
@@ -98,6 +106,9 @@ func check(pass *analysis.Pass, fn *ast.FuncDecl) {
 				pass.Reportf(n.Pos(), "slice literal in //dual:allocfree function %s", fn.Name.Name)
 			}
 		case *ast.FuncLit:
+			if noCapture[n.Pos()] {
+				break
+			}
 			if captured := captures(info, fn, n); captured != "" {
 				pass.Reportf(n.Pos(), "closure capturing %q allocates in //dual:allocfree function %s", captured, fn.Name.Name)
 			}
@@ -203,4 +214,23 @@ func captures(info *types.Info, outer *ast.FuncDecl, lit *ast.FuncLit) string {
 		return true
 	})
 	return name
+}
+
+// nonRetainingCallback returns the function-literal argument of a call
+// whose callee is documented not to retain its callback. Such a closure is
+// stack-allocated (the compiler inlines or keeps it local); if it ever
+// started escaping through a different path, the escape-analysis gate on
+// the enclosing //dual:allocfree function would catch the regression.
+func nonRetainingCallback(info *types.Info, call *ast.CallExpr) (*ast.FuncLit, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := analysis.MethodOn(info, call, "dualspace/internal/bitset", "Set", "ForEach"); ok {
+		return lit, true
+	}
+	return nil, false
 }

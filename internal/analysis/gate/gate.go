@@ -140,7 +140,9 @@ type pkgFiles struct {
 }
 
 func listPkgFiles(dir string, patterns []string) ([]pkgFiles, error) {
-	args := append([]string{"list", "-f", "{{.ImportPath}}\x00{{.Dir}}\x00{{range .GoFiles}}{{.}} {{end}}"}, patterns...)
+	// \x1f (unit separator) cannot appear in import paths or file names;
+	// NUL would be rejected by execve.
+	args := append([]string{"list", "-f", "{{.ImportPath}}\x1f{{.Dir}}\x1f{{range .GoFiles}}{{.}} {{end}}"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -151,7 +153,7 @@ func listPkgFiles(dir string, patterns []string) ([]pkgFiles, error) {
 	}
 	var out []pkgFiles
 	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
-		parts := strings.SplitN(line, "\x00", 3)
+		parts := strings.SplitN(line, "\x1f", 3)
 		if len(parts) != 3 {
 			continue
 		}
