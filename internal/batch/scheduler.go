@@ -206,27 +206,7 @@ func (s *Scheduler) RunN(ctx context.Context, parallelism int, reqs <-chan Reque
 		go func() {
 			defer wg.Done()
 			for e := range work {
-				var res *core.Result
-				err := ctx.Err()
-				if err == nil {
-					var sess *engine.Session
-					sess, err = s.cfg.Pool.Acquire(ctx)
-					if err == nil {
-						var r *core.Result
-						r, err = sess.DecideWith(ctx, e.leader.Engine, e.g, e.h)
-						if err == nil {
-							// Session results alias the session's pinned
-							// scratch; everyone past this point (cache,
-							// waiters, the emitted response) shares one
-							// detached copy.
-							res = r.Clone()
-						}
-						s.cfg.Pool.Release(sess)
-					}
-				}
-				if res != nil && s.cfg.Cache != nil {
-					s.cfg.Cache.Add(e.key, res)
-				}
+				res, err := s.decideEntry(ctx, e)
 				mu.Lock()
 				e.resolved, e.res, e.err = true, res, err
 				ws := e.waiters
@@ -322,4 +302,34 @@ func (s *Scheduler) RunN(ctx context.Context, parallelism int, reqs <-chan Reque
 	s.decisions.Add(int64(rs.Decisions))
 	s.errors.Add(int64(rs.Errors))
 	return rs
+}
+
+// decideEntry is the per-entry hot step of a worker's drain loop: decide
+// the entry's instance on a pooled session and publish a detached copy to
+// the shared cache. No scheduler locks are held in here — the session does
+// the long-running work, and RunN's bookkeeping lock is only taken after
+// this returns.
+//
+//dual:allocfree
+func (s *Scheduler) decideEntry(ctx context.Context, e *entry) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sess, err := s.cfg.Pool.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.Result
+	r, err := sess.DecideWith(ctx, e.leader.Engine, e.g, e.h)
+	if err == nil {
+		// Session results alias the session's pinned scratch; everyone past
+		// this point (cache, waiters, the emitted response) shares one
+		// detached copy.
+		res = r.Clone() //dual:allow(allocfree: detaching the verdict from session scratch is the point)
+	}
+	s.cfg.Pool.Release(sess)
+	if res != nil && s.cfg.Cache != nil {
+		s.cfg.Cache.Add(e.key, res)
+	}
+	return res, err
 }

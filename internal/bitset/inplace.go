@@ -8,12 +8,16 @@ package bitset
 // Like the allocating counterparts, all of them panic on universe mismatch.
 
 // CopyFrom makes dst an exact copy of src.
+//
+//dual:allocfree
 func (dst Set) CopyFrom(src Set) {
 	dst.sameUniverse(src)
 	copy(dst.words, src.words)
 }
 
 // Clear removes every element from s.
+//
+//dual:allocfree
 func (s Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
@@ -21,37 +25,53 @@ func (s Set) Clear() {
 }
 
 // IntersectInto stores s ∩ t into dst.
+//
+//dual:allocfree
 func (s Set) IntersectInto(t, dst Set) {
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
-	for i := range dst.words {
-		dst.words[i] = s.words[i] & t.words[i]
+	dw := dst.words
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)] // hoist the bounds checks out of the loop
+	for i := range dw {
+		dw[i] = sw[i] & tw[i]
 	}
 }
 
 // UnionInto stores s ∪ t into dst.
+//
+//dual:allocfree
 func (s Set) UnionInto(t, dst Set) {
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
-	for i := range dst.words {
-		dst.words[i] = s.words[i] | t.words[i]
+	dw := dst.words
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)] // hoist the bounds checks out of the loop
+	for i := range dw {
+		dw[i] = sw[i] | tw[i]
 	}
 }
 
 // DiffInto stores s − t into dst.
+//
+//dual:allocfree
 func (s Set) DiffInto(t, dst Set) {
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
-	for i := range dst.words {
-		dst.words[i] = s.words[i] &^ t.words[i]
+	dw := dst.words
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)] // hoist the bounds checks out of the loop
+	for i := range dw {
+		dw[i] = sw[i] &^ tw[i]
 	}
 }
 
 // ComplementInto stores [0,n) − s into dst.
+//
+//dual:allocfree
 func (s Set) ComplementInto(dst Set) {
 	s.sameUniverse(dst)
-	for i := range dst.words {
-		dst.words[i] = ^s.words[i]
+	dw := dst.words
+	sw := s.words[:len(dw)] // hoist the bounds check out of the loop
+	for i := range dw {
+		dw[i] = ^sw[i]
 	}
 	dst.trim()
 }

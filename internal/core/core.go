@@ -546,6 +546,8 @@ func trSubsetPreflight(g, h *hypergraph.Hypergraph, sc *scratch) error {
 // projected-subinstance key: a hit means an identical subtree was already
 // verified all-done (here or in an earlier decision sharing the memo) and
 // is skipped; a subtree completed without a fail leaf is inserted.
+//
+//dual:allocfree
 func serialWalk(w *walkState, s bitset.Set, depth int, res *Result) bool {
 	if w.done != nil {
 		select {

@@ -83,6 +83,8 @@ func (d *Decider) bind(g, h *hypergraph.Hypergraph) *walkState {
 // DecideContext is DecideContext on the decider's pinned state: identical
 // verdicts, reasons, witnesses and statistics, with the reuse contract
 // documented on Decider.
+//
+//dual:allocfree
 func (d *Decider) DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
 	d.res = Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
 	w := d.bind(g, h)
@@ -110,6 +112,8 @@ func (d *Decider) DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph
 
 // TrSubsetContext is TrSubsetContext on the decider's pinned state, under
 // the same input contract as the package-level function.
+//
+//dual:allocfree
 func (d *Decider) TrSubsetContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
 	w := d.bind(g, h)
 	if err := trSubsetPreflight(g, h, w.sc); err != nil {
@@ -125,6 +129,8 @@ func (d *Decider) TrSubsetContext(ctx context.Context, g, h *hypergraph.Hypergra
 // treeStage runs the serial DFS over the pinned walker's current
 // orientation; the pair must already be validated (simple, non-constant,
 // cross-intersecting).
+//
+//dual:allocfree
 func (d *Decider) treeStage(ctx context.Context) error {
 	w := d.w
 	w.done = ctx.Done()

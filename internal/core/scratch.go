@@ -267,6 +267,8 @@ func (sc *scratch) size() {
 // one pass over the edges — the entry point for walk roots and for one-shot
 // classification; descent along the tree then uses removeVertex/
 // restoreVertex diffs instead.
+//
+//dual:allocfree
 func (sc *scratch) syncTo(s bitset.Set) {
 	sc.zeroG = 0
 	for j := 0; j < sc.g.M(); j++ {
@@ -299,6 +301,8 @@ func (sc *scratch) syncTo(s bitset.Set) {
 // removeVertex updates the incremental state for Sα := Sα − {v}, in
 // O(deg_G(v)/w + deg_H(v)/w) plus the contents of the h-edges that leave
 // H_Sα (each edge leaves at most once per root-to-node path).
+//
+//dual:allocfree
 func (sc *scratch) removeVertex(v int) {
 	sc.gIdx.Occ(v).ForEach(func(j int) bool {
 		sc.cntG[j]--
@@ -322,6 +326,8 @@ func (sc *scratch) removeVertex(v int) {
 }
 
 // restoreVertex reverses removeVertex.
+//
+//dual:allocfree
 func (sc *scratch) restoreVertex(v int) {
 	sc.gIdx.Occ(v).ForEach(func(j int) bool {
 		if sc.cntG[j] == 0 {
@@ -350,6 +356,8 @@ func (sc *scratch) restoreVertex(v int) {
 // is left in sc.wit, and for |H_S| ≥ 2 the majority set in sc.iSet. All
 // outputs are valid only until the next classifyNode call on this scratch
 // (children: until fr is reused).
+//
+//dual:allocfree
 func (sc *scratch) classifyNode(s bitset.Set, fr *frame) nodeVerdict {
 	v := nodeVerdict{chosenEdge: -1}
 	fr.nChildren = 0
@@ -363,6 +371,8 @@ func (sc *scratch) classifyNode(s bitset.Set, fr *frame) nodeVerdict {
 }
 
 // marksmall implements the paper's marksmall procedure for |H_S| ≤ 1.
+//
+//dual:allocfree
 func (sc *scratch) marksmall(s bitset.Set, v *nodeVerdict) {
 	emptyInGS := sc.zeroG > 0 // some g-edge projects to ∅ within S
 	if sc.hsCount == 0 {
@@ -411,6 +421,8 @@ func (sc *scratch) singletonInGS(i int) bool {
 }
 
 // process implements the paper's process procedure for |H_S| ≥ 2.
+//
+//dual:allocfree
 func (sc *scratch) process(s bitset.Set, fr *frame, v *nodeVerdict) {
 	// Step 1: the majority set Iα — vertices occurring in more than
 	// |H_S|/2 hyperedges of H_S, read off the maintained degrees.
@@ -470,6 +482,8 @@ func (sc *scratch) process(s bitset.Set, fr *frame, v *nodeVerdict) {
 // G_Sα^G consists of the projected edges meeting G. The candidate edges are
 // exactly the union of G's occurrence rows (G ⊆ Sα, so meeting G within Sα
 // is meeting G).
+//
+//dual:allocfree
 func (sc *scratch) disjointChildren(s bitset.Set, fr *frame) {
 	sc.resetDedup()
 	sc.candG.Clear()
@@ -495,6 +509,8 @@ func (sc *scratch) disjointChildren(s bitset.Set, fr *frame) {
 
 // containedChildren enumerates C = {Sα − {i} | i ∈ H} ∪ {H} in canonical
 // order (vertex index, then H last) with duplicates removed.
+//
+//dual:allocfree
 func (sc *scratch) containedChildren(s, he bitset.Set, fr *frame) {
 	sc.resetDedup()
 	he.ForEach(func(i int) bool {

@@ -66,12 +66,16 @@ func (s *Session) Name() string { return s.eng.Name() }
 func (s *Session) Caps() Caps { return s.eng.Caps() }
 
 // Decide decides with the session's engine on the pinned scratch.
+//
+//dual:allocfree
 func (s *Session) Decide(ctx context.Context, g, h *hypergraph.Hypergraph) (*core.Result, error) {
 	return s.DecideWith(ctx, s.eng, g, h)
 }
 
 // DecideWith decides with an explicit engine (e.g. a per-request override)
 // while still reusing the session's pinned scratch when that engine can.
+//
+//dual:allocfree
 func (s *Session) DecideWith(ctx context.Context, eng Engine, g, h *hypergraph.Hypergraph) (*core.Result, error) {
 	if db, ok := eng.(deciderBacked); ok {
 		return db.decideWith(ctx, s.dec, g, h)
@@ -82,6 +86,8 @@ func (s *Session) DecideWith(ctx context.Context, eng Engine, g, h *hypergraph.H
 // TrSubset decides tr(g) ⊆ h on the pinned scratch when the session's
 // engine supports the raw tree stage, falling back like the package-level
 // TrSubset otherwise.
+//
+//dual:allocfree
 func (s *Session) TrSubset(ctx context.Context, g, h *hypergraph.Hypergraph) (*core.Result, error) {
 	if db, ok := s.eng.(deciderBacked); ok {
 		return db.trSubsetWith(ctx, s.dec, g, h)
