@@ -8,6 +8,7 @@
 //	dualbench -run E5,E8       # run selected experiments
 //	dualbench -json            # machine-readable results (ns/op, allocs/op)
 //	dualbench -engine all      # additionally benchmark every decision engine
+//	dualbench -stages          # per-stage timing breakdown of the family rows
 //
 // Every experiment reports PASS/FAIL against the corresponding claim of
 // Gottlob (PODS 2013); see DESIGN.md §3 for the index. With -json the
@@ -29,7 +30,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/debug"
 	"strings"
 	"time"
 
@@ -37,6 +37,7 @@ import (
 	"dualspace/internal/engine"
 	"dualspace/internal/experiments"
 	"dualspace/internal/gen"
+	"dualspace/internal/obs"
 )
 
 // jsonResult is one experiment's machine-readable outcome.
@@ -70,6 +71,12 @@ type familyResult struct {
 	Pass     bool   `json:"pass"`
 	NsOp     int64  `json:"ns_op"`
 	NsOpCold int64  `json:"ns_op_cold"`
+	// StageNs breaks NsOp into the recorder's decision stages (precheck,
+	// index_sync, walk, memo — the handler stages don't apply here), only
+	// with -stages and only for stages that ran. The recorder itself costs
+	// a few clock reads per op, so stage rows are recorded in a separate
+	// pass from the NsOp measurement.
+	StageNs map[string]int64 `json:"stage_ns,omitempty"`
 }
 
 // jsonReport is the -json document. The environment metadata (git revision,
@@ -89,40 +96,12 @@ type jsonReport struct {
 	Pass        bool           `json:"pass"`
 }
 
-// gitRevision reports the VCS revision stamped into the binary by the Go
-// toolchain ("unknown" outside a build with VCS info, "+dirty" appended for
-// modified trees).
-func gitRevision() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	rev, dirty := "", false
-	for _, s := range info.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
-		}
-	}
-	if rev == "" {
-		return "unknown"
-	}
-	if len(rev) > 12 {
-		rev = rev[:12]
-	}
-	if dirty {
-		rev += "+dirty"
-	}
-	return rev
-}
-
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-experiment ns/op and allocs/op)")
 	engines := flag.String("engine", "", "benchmark decision engines: a registry name or \"all\"")
+	stages := flag.Bool("stages", false, "break family rows into per-stage decision timings (obs recorder)")
 	flag.Parse()
 
 	if *list {
@@ -150,20 +129,23 @@ func main() {
 	failures := 0
 	report := jsonReport{
 		GoVersion:   runtime.Version(),
-		GitRevision: gitRevision(),
+		GitRevision: obs.GitRevision(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		Pass:        true,
 	}
-	if *jsonOut {
-		report.Families = benchFamilies()
+	if *jsonOut || *stages {
+		report.Families = benchFamilies(*stages)
 		for _, row := range report.Families {
 			if !row.Pass {
 				failures++
 				report.Pass = false
 			}
+		}
+		if !*jsonOut && *stages {
+			printFamilyStageTable(report.Families)
 		}
 	}
 	if *engines != "" {
@@ -304,7 +286,7 @@ func benchEngines(sel string) ([]engineResult, error) {
 // core engine: warm through one pinned session per family (scratch +
 // subinstance memo reused across ops, the serving steady state) and cold
 // through a fresh memo-less session per op (pure kernel + setup).
-func benchFamilies() []familyResult {
+func benchFamilies(stages bool) []familyResult {
 	coreEng, err := engine.ByName("core")
 	if err != nil {
 		panic(err)
@@ -338,9 +320,44 @@ func benchFamilies() []familyResult {
 			check(res, err)
 		}
 		row.NsOpCold = time.Since(start).Nanoseconds() / coldOps
+
+		if stages {
+			// A separate recorded pass on the warm session, so the clock
+			// reads never contaminate NsOp above.
+			rec := sess.Recorder()
+			rec.Reset()
+			for i := 0; i < warmOps; i++ {
+				res, err := sess.Decide(ctx, p.G, p.H)
+				check(res, err)
+			}
+			t := rec.Timings()
+			row.StageNs = make(map[string]int64, obs.NumStages)
+			for st, name := range obs.StageNames() {
+				if ns := t[st]; ns > 0 {
+					row.StageNs[name] = ns / warmOps
+				}
+			}
+		}
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// printFamilyStageTable renders the -stages breakdown in table mode.
+func printFamilyStageTable(rows []familyResult) {
+	stageCols := []string{"precheck", "index_sync", "walk", "memo"}
+	fmt.Printf("%-22s %12s", "FAMILY", "NS/OP")
+	for _, c := range stageCols {
+		fmt.Printf(" %12s", strings.ToUpper(c))
+	}
+	fmt.Printf(" %6s\n", "PASS")
+	for _, r := range rows {
+		fmt.Printf("%-22s %12d", r.Family, r.NsOp)
+		for _, c := range stageCols {
+			fmt.Printf(" %12d", r.StageNs[c])
+		}
+		fmt.Printf(" %6v\n", r.Pass)
+	}
 }
 
 func printEngineTable(rows []engineResult) {

@@ -18,6 +18,12 @@
 // of the dualize-and-advance applications. With -mode both the same mix
 // runs first as individual decides, then as batches, and the report carries
 // the batch/decide throughput ratio.
+//
+// The -json report carries, per run, the full client-side latency
+// distribution (cumulative hist_counts over the shared log-scale
+// hist_bucket_bounds_us), and a "server" section with per-endpoint
+// percentiles scraped from the server's /metricsz after the runs — the
+// same traffic seen from the other side of the socket.
 package main
 
 import (
@@ -27,12 +33,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"dualspace/internal/obs"
 )
 
 type instance struct{ g, h string }
@@ -150,6 +160,22 @@ type runResult struct {
 	P90Us       int64   `json:"p90_us"`
 	P99Us       int64   `json:"p99_us"`
 	MaxUs       int64   `json:"max_us"`
+	// HistCounts is the full client-side latency distribution: cumulative
+	// call counts per bucket of the report's hist_bucket_bounds_us, with
+	// one final +Inf bucket — the same log-scale bounds the server's
+	// /metricsz histograms use, so client and server distributions overlay
+	// directly.
+	HistCounts []int64 `json:"hist_counts,omitempty"`
+}
+
+// serverEndpointStats is one endpoint's server-side latency summary,
+// interpolated from the /metricsz request-duration histogram. The counters
+// cover the server's lifetime, not just this run.
+type serverEndpointStats struct {
+	Count int64 `json:"count"`
+	P50Us int64 `json:"p50_us"`
+	P90Us int64 `json:"p90_us"`
+	P99Us int64 `json:"p99_us"`
 }
 
 // report is the -json document.
@@ -159,8 +185,43 @@ type report struct {
 	Distinct          int         `json:"distinct"`
 	Engine            string      `json:"engine,omitempty"`
 	Runs              []runResult `json:"runs"`
+	// HistBucketBoundsUs are the shared upper bounds (µs) of every run's
+	// hist_counts; the final count bucket is +Inf.
+	HistBucketBoundsUs []float64 `json:"hist_bucket_bounds_us,omitempty"`
+	// Server carries per-endpoint latency percentiles scraped from the
+	// server's own /metricsz after the runs — the server-side view of the
+	// same traffic, free of client scheduling noise. Absent when the
+	// server does not expose /metricsz.
+	Server map[string]serverEndpointStats `json:"server,omitempty"`
 	// SpeedupBatchVsDecide is the items/sec ratio (only with -mode both).
 	SpeedupBatchVsDecide float64 `json:"speedup_batch_vs_decide,omitempty"`
+}
+
+// histBoundsUs are the client histogram's bucket upper bounds in
+// microseconds (obs.DurationBuckets, the server's log-scale bounds).
+func histBoundsUs() []float64 {
+	sec := obs.DurationBuckets()
+	out := make([]float64, len(sec))
+	for i, b := range sec {
+		out[i] = b * 1e6
+	}
+	return out
+}
+
+// histCounts buckets sorted latencies into cumulative counts over
+// histBoundsUs plus a final +Inf bucket.
+func histCounts(sorted []time.Duration) []int64 {
+	bounds := histBoundsUs()
+	out := make([]int64, len(bounds)+1)
+	i := 0
+	for b, bound := range bounds {
+		for i < len(sorted) && float64(sorted[i].Microseconds()) <= bound {
+			i++
+		}
+		out[b] = int64(i)
+	}
+	out[len(bounds)] = int64(len(sorted))
+	return out
 }
 
 func percentile(sorted []time.Duration, p float64) int64 {
@@ -181,11 +242,99 @@ func summarize(mode string, clients, items, calls, errors, batchSize int, wall t
 	}
 	if len(lat) > 0 {
 		r.MaxUs = lat[len(lat)-1].Microseconds()
+		r.HistCounts = histCounts(lat)
 	}
 	if wall > 0 {
 		r.ItemsPerSec = float64(items) / wall.Seconds()
 	}
 	return r
+}
+
+// scrapeServerStats reads the server's /metricsz and interpolates
+// per-endpoint latency percentiles out of the
+// dualspace_http_request_duration_seconds histograms. A missing or
+// unparsable exposition returns an error; the caller degrades gracefully
+// (older servers have no /metricsz).
+func scrapeServerStats(hc *http.Client, addr string) (map[string]serverEndpointStats, error) {
+	resp, err := hc.Get(addr + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metricsz: status %d", resp.StatusCode)
+	}
+	type bucket struct {
+		le  float64
+		cum int64
+	}
+	byEndpoint := make(map[string][]bucket)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	const prefix = `dualspace_http_request_duration_seconds_bucket{`
+	for sc.Scan() {
+		line := sc.Text()
+		rest, ok := strings.CutPrefix(line, prefix)
+		if !ok {
+			continue
+		}
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			continue
+		}
+		labels, valText := rest[:end], rest[end+2:]
+		var ep string
+		le := math.Inf(1)
+		for _, pair := range strings.Split(labels, ",") {
+			if v, ok := strings.CutPrefix(pair, `endpoint="`); ok {
+				ep = strings.TrimSuffix(v, `"`)
+			} else if v, ok := strings.CutPrefix(pair, `le="`); ok {
+				v = strings.TrimSuffix(v, `"`)
+				if v != "+Inf" {
+					le, _ = strconv.ParseFloat(v, 64)
+				}
+			}
+		}
+		cum, err := strconv.ParseFloat(valText, 64)
+		if err != nil || ep == "" {
+			continue
+		}
+		byEndpoint[ep] = append(byEndpoint[ep], bucket{le: le, cum: int64(cum)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(byEndpoint) == 0 {
+		return nil, fmt.Errorf("no request-duration histograms in /metricsz")
+	}
+	out := make(map[string]serverEndpointStats)
+	for ep, bs := range byEndpoint {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		total := bs[len(bs)-1].cum
+		if total == 0 {
+			continue
+		}
+		pct := func(q float64) int64 {
+			target := int64(math.Ceil(q * float64(total)))
+			lo, loCum := 0.0, int64(0)
+			for _, b := range bs {
+				if b.cum >= target {
+					hi := b.le
+					if math.IsInf(hi, 1) {
+						return int64(lo * 1e6) // open-ended top bucket: report its floor
+					}
+					frac := float64(target-loCum) / float64(b.cum-loCum)
+					return int64((lo + (hi-lo)*frac) * 1e6)
+				}
+				lo, loCum = b.le, b.cum
+			}
+			return int64(lo * 1e6)
+		}
+		out[ep] = serverEndpointStats{
+			Count: total, P50Us: pct(0.50), P90Us: pct(0.90), P99Us: pct(0.99),
+		}
+	}
+	return out, nil
 }
 
 // client is shared across workers: keep-alives sized to the worker count so
@@ -354,6 +503,12 @@ func main() {
 	if decideRun != nil && batchRun != nil && decideRun.ItemsPerSec > 0 {
 		rep.SpeedupBatchVsDecide = batchRun.ItemsPerSec / decideRun.ItemsPerSec
 	}
+	rep.HistBucketBoundsUs = histBoundsUs()
+	if server, err := scrapeServerStats(hc, *addr); err == nil {
+		rep.Server = server
+	} else if !*asJSON {
+		fmt.Fprintln(os.Stderr, "dualload: no server-side stats:", err)
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -376,6 +531,10 @@ func main() {
 			r.Mode, r.ItemsPerSec, r.Items, r.Seconds, r.HTTPCalls, extra)
 		fmt.Printf("         latency/call µs: p50 %d  p90 %d  p99 %d  max %d  (errors %d)\n",
 			r.P50Us, r.P90Us, r.P99Us, r.MaxUs, r.Errors)
+		if sv, ok := rep.Server[r.Mode]; ok {
+			fmt.Printf("         server-side µs:  p50 %d  p90 %d  p99 %d  (%d requests since server start)\n",
+				sv.P50Us, sv.P90Us, sv.P99Us, sv.Count)
+		}
 	}
 	if rep.SpeedupBatchVsDecide > 0 {
 		fmt.Printf("  batch vs decide throughput: %.2f×\n", rep.SpeedupBatchVsDecide)

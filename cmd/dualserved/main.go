@@ -10,11 +10,18 @@
 //	dualserved [-addr host:port] [-workers n] [-cache n] [-cache-shards n]
 //	           [-memo n] [-max-edges n] [-max-edge-verts n] [-max-universe n]
 //	           [-max-body bytes] [-stream-max n] [-batch-max-items n]
-//	           [-batch-max-bytes n]
+//	           [-batch-max-bytes n] [-pprof host:port] [-access-log]
+//	           [-log-format text|json]
 //
 // The listen address is printed to stdout once the socket is bound (so
 // -addr 127.0.0.1:0 works for scripted use), and SIGINT/SIGTERM trigger a
 // graceful drain.
+//
+// Observability (docs/OBSERVABILITY.md): GET /metricsz serves the
+// Prometheus text exposition; -access-log emits one structured slog record
+// per request to stderr (-log-format picks the encoding); -pprof serves
+// net/http/pprof on a second, separately bindable listener so profiling
+// endpoints are never exposed on the service port.
 package main
 
 import (
@@ -22,8 +29,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,10 +55,25 @@ func main() {
 	streamMax := flag.Int("stream-max", 1<<16, "server-side cap on /v1/transversals limit")
 	batchMaxItems := flag.Int("batch-max-items", 4096, "max rows per /v1/batch request")
 	batchMaxBytes := flag.Int64("batch-max-bytes", 64<<20, "max /v1/batch request body bytes")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this host:port (empty disables)")
+	accessLog := flag.Bool("access-log", false, "log one structured record per request to stderr")
+	logFormat := flag.String("log-format", "text", "access-log encoding: text or json")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dualserved [flags]")
 		os.Exit(2)
+	}
+	var logger *slog.Logger
+	if *accessLog {
+		switch *logFormat {
+		case "text":
+			logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		case "json":
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		default:
+			fmt.Fprintf(os.Stderr, "dualserved: bad -log-format %q (want text or json)\n", *logFormat)
+			os.Exit(2)
+		}
 	}
 
 	srv := service.New(service.Config{
@@ -67,6 +91,7 @@ func main() {
 		MaxStreamResults: *streamMax,
 		MaxBatchItems:    *batchMaxItems,
 		MaxBatchBytes:    *batchMaxBytes,
+		Logger:           logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -75,6 +100,30 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("dualserved listening on %s\n", ln.Addr())
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: the DefaultServeMux
+		// registrations are ignored, and the service port never exposes
+		// profiling handlers.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dualserved: pprof:", err)
+			os.Exit(2)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("dualserved pprof on %s\n", pln.Addr())
+		go func() {
+			ps := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ps.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "dualserved: pprof:", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{
 		Handler:           srv,

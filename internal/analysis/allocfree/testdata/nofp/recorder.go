@@ -1,0 +1,63 @@
+// No-false-positive fixture: a recorder-shaped stage-timing hook inside a
+// //dual:allocfree hot step, the pattern internal/obs threads through the
+// decider and the batch drain loop. A nil-guarded pointer to preallocated
+// stage storage, time.Now/time.Since reads, array (not slice) composite
+// literals in Reset, and atomic-style accumulation must all stay clean.
+package fixture
+
+import "time"
+
+const numStages = 7
+
+// stageRec accumulates per-stage nanoseconds into a fixed array — no maps,
+// no slices, no boxing.
+type stageRec struct {
+	t [numStages]int64
+}
+
+func (r *stageRec) reset() {
+	if r == nil {
+		return
+	}
+	r.t = [numStages]int64{}
+}
+
+func (r *stageRec) add(stage int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.t[stage] += int64(d)
+}
+
+// timedWalker pairs pinned scratch with an optionally attached recorder.
+type timedWalker struct {
+	rec     *stageRec
+	scratch []int64
+	nodes   int
+}
+
+//dual:allocfree
+func (w *timedWalker) step(stage int) bool {
+	var t0 time.Time
+	if w.rec != nil {
+		t0 = time.Now()
+	}
+	for i := range w.scratch {
+		w.scratch[i]++
+		w.nodes++
+	}
+	if w.rec != nil {
+		w.rec.add(stage, time.Since(t0))
+	}
+	return w.nodes > 0
+}
+
+//dual:allocfree
+func (w *timedWalker) run() {
+	w.rec.reset()
+	for s := 0; s < numStages; s++ {
+		if !w.step(s) {
+			return
+		}
+	}
+}

@@ -28,10 +28,12 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dualspace/internal/core"
 	"dualspace/internal/engine"
 	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
 )
 
 // Request is one decision in a batch stream. Index is an opaque caller
@@ -81,6 +83,11 @@ type Config struct {
 	// The pool itself bounds total concurrent decisions across batches and
 	// any other pool users.
 	Parallelism int
+	// Metrics, when non-nil, receives every drained decision's wall time
+	// and stage timings under its resolved engine name (obs.DecideMetrics
+	// preregisters the histograms, so the per-entry update allocates
+	// nothing). Nil disables timing entirely.
+	Metrics *obs.DecideMetrics
 }
 
 // Stats is a snapshot of a Scheduler's lifetime counters (the /statsz
@@ -319,8 +326,18 @@ func (s *Scheduler) decideEntry(ctx context.Context, e *entry) (*core.Result, er
 	if err != nil {
 		return nil, err
 	}
+	var rec *obs.Recorder
+	var t0 time.Time
+	if s.cfg.Metrics != nil {
+		rec = sess.Recorder()
+		rec.Reset()
+		t0 = time.Now()
+	}
 	var res *core.Result
 	r, err := sess.DecideWith(ctx, e.leader.Engine, e.g, e.h)
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Observe(e.key.Engine, time.Since(t0), rec)
+	}
 	if err == nil {
 		// Session results alias the session's pinned scratch; everyone past
 		// this point (cache, waiters, the emitted response) shares one

@@ -5,6 +5,7 @@ import (
 
 	"dualspace/internal/core"
 	"dualspace/internal/gen"
+	"dualspace/internal/obs"
 )
 
 // TestDecideAllocsPerOp is the allocation regression guard for the
@@ -41,28 +42,41 @@ func TestDeciderIndexedSteadyStateAllocFree(t *testing.T) {
 	gD, hD := gen.Matching(5), gen.MatchingDual(5)
 	hN := gen.DropEdge(hD, 11)
 	for _, memo := range []bool{false, true} {
-		d := core.NewDecider()
-		if memo {
-			d.EnableMemo(0)
-		}
-		ctx := t.Context()
-		for i := 0; i < 3; i++ { // warm scratch, frames, memo arena
-			if res, err := d.DecideContext(ctx, gD, hD); err != nil || !res.Dual {
-				t.Fatalf("memo=%v warmup dual: %v, %v", memo, res, err)
+		// traced attaches a stage-timing recorder: the obs contract is that
+		// recording adds clock reads, never allocations (DESIGN.md §10).
+		for _, traced := range []bool{false, true} {
+			d := core.NewDecider()
+			if memo {
+				d.EnableMemo(0)
 			}
-			if res, err := d.DecideContext(ctx, gD, hN); err != nil || res.Dual {
-				t.Fatalf("memo=%v warmup non-dual: %v, %v", memo, res, err)
+			var rec obs.Recorder
+			if traced {
+				d.SetRecorder(&rec)
 			}
-		}
-		if allocs := testing.AllocsPerRun(20, func() {
-			if res, err := d.DecideContext(ctx, gD, hD); err != nil || !res.Dual {
-				t.Fatal("wrong dual verdict")
+			ctx := t.Context()
+			for i := 0; i < 3; i++ { // warm scratch, frames, memo arena
+				if res, err := d.DecideContext(ctx, gD, hD); err != nil || !res.Dual {
+					t.Fatalf("memo=%v warmup dual: %v, %v", memo, res, err)
+				}
+				if res, err := d.DecideContext(ctx, gD, hN); err != nil || res.Dual {
+					t.Fatalf("memo=%v warmup non-dual: %v, %v", memo, res, err)
+				}
 			}
-			if res, err := d.DecideContext(ctx, gD, hN); err != nil || res.Dual {
-				t.Fatal("wrong non-dual verdict")
+			if allocs := testing.AllocsPerRun(20, func() {
+				rec.Reset()
+				if res, err := d.DecideContext(ctx, gD, hD); err != nil || !res.Dual {
+					t.Fatal("wrong dual verdict")
+				}
+				if res, err := d.DecideContext(ctx, gD, hN); err != nil || res.Dual {
+					t.Fatal("wrong non-dual verdict")
+				}
+			}); allocs != 0 {
+				t.Errorf("memo=%v traced=%v: warm Decider allocates %.1f per decision pair, want 0",
+					memo, traced, allocs)
 			}
-		}); allocs != 0 {
-			t.Errorf("memo=%v: warm Decider allocates %.1f per decision pair, want 0", memo, allocs)
+			if traced && rec.Get(obs.StageWalk) <= 0 {
+				t.Errorf("memo=%v: recorder saw no walk time", memo)
+			}
 		}
 	}
 }

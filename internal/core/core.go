@@ -48,9 +48,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"dualspace/internal/bitset"
 	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
 )
 
 // Mark is the marking of a decomposition tree node.
@@ -584,9 +586,17 @@ func serialWalk(w *walkState, s bitset.Set, depth int, res *Result) bool {
 	}
 	memoize := false
 	if w.memo != nil {
+		var t0 time.Time
+		if w.rec != nil {
+			t0 = time.Now()
+		}
 		key := w.sc.appendInstanceKey(w.keyBuf(depth), s)
 		w.keys[depth] = key
-		if w.memo.lookup(key) {
+		hit := w.memo.lookup(key)
+		if w.rec != nil {
+			w.rec.Add(obs.StageMemo, time.Since(t0))
+		}
+		if hit {
 			res.Stats.MemoHits++
 			return true // identical subtree already verified all-done
 		}

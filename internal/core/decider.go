@@ -18,9 +18,11 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"dualspace/internal/bitset"
 	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
 )
 
 // Decider is a reusable serial decision state for repeated Decide/TrSubset
@@ -36,6 +38,12 @@ type Decider struct {
 	full bitset.Set
 	res  Result
 	memo *Memo
+	// rec, when non-nil, receives per-stage timings (precheck, index sync,
+	// walk net of memo consults, memo consults) for every decision — the
+	// obs layer's stage-level tracing hook. Nil disables all clock reads;
+	// an attached recorder adds a handful of time.Now calls per decision
+	// and zero allocations (DESIGN.md §10).
+	rec *obs.Recorder
 }
 
 // NewDecider returns an empty decider; its scratch is sized lazily on the
@@ -50,6 +58,17 @@ func (d *Decider) EnableMemo(entries int) {
 	d.memo = NewMemo(entries)
 	if d.w != nil {
 		d.w.memo = d.memo
+	}
+}
+
+// SetRecorder attaches (nil: detaches) a stage-timing recorder. The
+// recorder is owned by the Decider's owner and read out between decisions;
+// it is not reset here — callers Reset it per decision when they consume
+// per-call timings.
+func (d *Decider) SetRecorder(r *obs.Recorder) {
+	d.rec = r
+	if d.w != nil {
+		d.w.rec = r
 	}
 }
 
@@ -77,6 +96,7 @@ func (d *Decider) bind(g, h *hypergraph.Hypergraph) *walkState {
 		d.w.sc.bind(g, h)
 	}
 	d.w.memo = d.memo
+	d.w.rec = d.rec
 	return d.w
 }
 
@@ -87,8 +107,19 @@ func (d *Decider) bind(g, h *hypergraph.Hypergraph) *walkState {
 //dual:allocfree
 func (d *Decider) DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
 	d.res = Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	var t0 time.Time
+	if d.rec != nil {
+		t0 = time.Now()
+	}
 	w := d.bind(g, h)
+	if d.rec != nil {
+		d.rec.Add(obs.StageIndexSync, time.Since(t0))
+		t0 = time.Now()
+	}
 	done, err := precheckIntoIdx(g, h, w.sc.gIdx, w.sc.hIdx, w.sc.hitG, w.sc.notCont, &d.res)
+	if d.rec != nil {
+		d.rec.Add(obs.StagePrecheck, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -115,8 +146,20 @@ func (d *Decider) DecideContext(ctx context.Context, g, h *hypergraph.Hypergraph
 //
 //dual:allocfree
 func (d *Decider) TrSubsetContext(ctx context.Context, g, h *hypergraph.Hypergraph) (*Result, error) {
+	var t0 time.Time
+	if d.rec != nil {
+		t0 = time.Now()
+	}
 	w := d.bind(g, h)
-	if err := trSubsetPreflight(g, h, w.sc); err != nil {
+	if d.rec != nil {
+		d.rec.Add(obs.StageIndexSync, time.Since(t0))
+		t0 = time.Now()
+	}
+	err := trSubsetPreflight(g, h, w.sc)
+	if d.rec != nil {
+		d.rec.Add(obs.StagePrecheck, time.Since(t0))
+	}
+	if err != nil {
 		return nil, err
 	}
 	d.res = Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
@@ -128,7 +171,9 @@ func (d *Decider) TrSubsetContext(ctx context.Context, g, h *hypergraph.Hypergra
 
 // treeStage runs the serial DFS over the pinned walker's current
 // orientation; the pair must already be validated (simple, non-constant,
-// cross-intersecting).
+// cross-intersecting). With a recorder attached, the root syncTo counts as
+// index sync and the DFS as walk — net of the memo-consult time serialWalk
+// accumulated under StageMemo, so the reported stages stay disjoint.
 //
 //dual:allocfree
 func (d *Decider) treeStage(ctx context.Context) error {
@@ -136,8 +181,22 @@ func (d *Decider) treeStage(ctx context.Context) error {
 	w.done = ctx.Done()
 	w.cancelled = false
 	d.res.Dual = true
+	var t0 time.Time
+	var memo0 int64
+	if d.rec != nil {
+		t0 = time.Now()
+	}
 	w.sc.syncTo(d.full)
+	if d.rec != nil {
+		d.rec.Add(obs.StageIndexSync, time.Since(t0))
+		t0 = time.Now()
+		memo0 = d.rec.Get(obs.StageMemo)
+	}
 	serialWalk(w, d.full, 0, &d.res)
+	if d.rec != nil {
+		memoD := time.Duration(d.rec.Get(obs.StageMemo) - memo0)
+		d.rec.Add(obs.StageWalk, time.Since(t0)-memoD)
+	}
 	if w.cancelled {
 		return ctx.Err()
 	}

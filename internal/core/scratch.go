@@ -28,6 +28,7 @@ package core
 import (
 	"dualspace/internal/bitset"
 	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
 )
 
 // nodeVerdict is the classification outcome of one node, without the
@@ -76,6 +77,10 @@ type walkState struct {
 	// memo, when non-nil, is the cross-node subinstance memo consulted at
 	// every internal node (see memo.go; set by Decider).
 	memo *Memo
+	// rec, when non-nil, receives the walk's memo-consult time under
+	// obs.StageMemo (set by a Decider with a recorder attached; nil costs
+	// one predictable branch per memo consult and no clock reads).
+	rec *obs.Recorder
 	// done, when non-nil, is the walk's cancellation channel (ctx.Done());
 	// the serial DFS polls it at every node and sets cancelled on abort.
 	done      <-chan struct{}

@@ -145,6 +145,19 @@ func TestSessionAllocFree(t *testing.T) {
 		}); allocs != 0 {
 			t.Errorf("%s session: non-dual Decide allocates %.1f/op, want 0", name, allocs)
 		}
+		// With the session's stage recorder attached — the serving
+		// configuration — the steady state must stay allocation-free: the
+		// recorder adds clock reads per decision, never allocations.
+		rec := s.Recorder()
+		if allocs := testing.AllocsPerRun(20, func() {
+			rec.Reset()
+			res, err := s.Decide(ctx, gD, hD)
+			if err != nil || !res.Dual {
+				t.Fatal("wrong dual verdict")
+			}
+		}); allocs != 0 {
+			t.Errorf("%s session: recorded Decide allocates %.1f/op, want 0", name, allocs)
+		}
 	}
 }
 

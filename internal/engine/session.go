@@ -5,6 +5,7 @@ import (
 
 	"dualspace/internal/core"
 	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
 )
 
 // Session is the per-holder reuse layer: it wraps an engine together with a
@@ -30,6 +31,13 @@ import (
 type Session struct {
 	eng Engine
 	dec *core.Decider
+	// rec is the session's attached stage-timing recorder — &recStore once
+	// Recorder() has run, or an external one via SetRecorder. Like the
+	// scratch it times, it is owned by whoever holds the session. The
+	// storage lives in the Session itself so that attaching (even from a
+	// //dual:allocfree caller like the batch drain loop) allocates nothing.
+	rec      *obs.Recorder
+	recStore obs.Recorder
 }
 
 // NewSession returns a session driving eng (nil = the default portfolio),
@@ -55,6 +63,28 @@ func NewSessionMemo(eng Engine, entries int) *Session {
 // MemoStats snapshots the session's subinstance-memo counters (zeros when
 // the memo is disabled). Safe to call concurrently with decisions.
 func (s *Session) MemoStats() core.MemoStats { return s.dec.MemoStats() }
+
+// Recorder returns the session's pinned stage-timing recorder, creating and
+// attaching one on first use. Holders that consume per-decision timings
+// (the service's /v1/decide handler, the batch drain workers) Reset it
+// before each decision and read it out after; once attached, every decision
+// on the session records stages, at the cost of a few clock reads and zero
+// allocations. Decisions through engines that cannot use the pinned decider
+// (FK, the parallel search) leave the engine stages at zero.
+func (s *Session) Recorder() *obs.Recorder {
+	if s.rec == nil {
+		s.rec = &s.recStore
+		s.dec.SetRecorder(s.rec)
+	}
+	return s.rec
+}
+
+// SetRecorder attaches an externally owned recorder (nil detaches both an
+// external and a Recorder()-created one).
+func (s *Session) SetRecorder(r *obs.Recorder) {
+	s.rec = r
+	s.dec.SetRecorder(r)
+}
 
 // Engine returns the engine this session drives by default.
 func (s *Session) Engine() Engine { return s.eng }

@@ -1,0 +1,34 @@
+package obs
+
+import "runtime/debug"
+
+// GitRevision reports the VCS revision stamped into the binary by the Go
+// toolchain ("unknown" outside a build with VCS info, "+dirty" appended for
+// modified trees), truncated to 12 hex characters. Deployed binaries
+// surface it on /healthz, /statsz and the dualspace_build_info metric;
+// dualbench stamps it into the BENCH_*.json perf trajectory.
+func GitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,342 @@
+// Package obs is the repo's stdlib-only observability layer: a metrics
+// registry of atomic counters, gauges and fixed-bucket log-scale latency
+// histograms with Prometheus text exposition (served by the service at
+// GET /metricsz), plus the stage-timing Recorder threaded through
+// core.Decider / engine.Session / batch.Scheduler (recorder.go).
+//
+// The design constraint is the same as the kernel's: the serving hot paths
+// update metrics without allocating. Every series is therefore
+// preregistered at startup — Counter/Gauge/Histogram return pinned pointers
+// whose update methods are single atomic operations — and the exposition
+// pays all rendering cost at scrape time. Func-backed series (CounterFunc /
+// GaugeFunc) let subsystems that already maintain their own atomic counters
+// (the batch scheduler, the session pool's memo stats, the sharded cache)
+// appear in /metricsz without a second copy of the truth: /statsz and
+// /metricsz read the same storage and can never disagree.
+//
+// docs/OBSERVABILITY.md is the operator manual and metric catalogue.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" metric label.
+type Label struct{ Key, Value string }
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. The zero value is usable,
+// but counters that should appear in the exposition must come from
+// Registry.Counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be >= 0 for the Prometheus
+// counter contract; the type does not police it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// DurationBuckets returns the shared histogram bucket upper bounds in
+// seconds: a log scale of powers of two from 1µs to ~0.5s (20 buckets), a
+// span that covers everything from a warm cache hit to a pathological
+// decomposition; observations beyond the last bound land in the implicit
+// +Inf bucket. dualload reuses the same bounds for its client-side
+// latency buckets so client and server distributions line up.
+func DurationBuckets() []float64 {
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = 1e-6 * float64(uint64(1)<<i)
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket atomic counts
+// plus an atomic nanosecond sum, rendered cumulatively (with +Inf, _sum and
+// _count) in the Prometheus exposition. Observe is a bounded binary search
+// plus two atomic adds — no allocation, no locks.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds in seconds; +Inf is implicit
+	counts []atomic.Int64
+	sumNs  atomic.Int64
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := float64(d) / float64(time.Second)
+	// First bucket whose upper bound is >= s (the le contract).
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts by linear
+// interpolation within the located bucket, the histogram_quantile
+// convention. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo * 2
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return time.Duration((lo + (hi-lo)*frac) * float64(time.Second))
+		}
+		cum += n
+	}
+	return time.Duration(h.bounds[len(h.bounds)-1] * float64(time.Second))
+}
+
+// series is one labeled time series within a family. Exactly one of the
+// value sources is set.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // CounterFunc / GaugeFunc
+}
+
+// family is one metric name: HELP, TYPE and its series.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds the metric families and renders them in the Prometheus
+// text exposition format. Registration (typically all at startup) takes the
+// registry lock; updating a registered metric never does.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+func (r *Registry) register(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := labelKey(s.labels)
+	for _, prev := range f.series {
+		if labelKey(prev.labels) == key {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, renderLabels(s.labels, "")))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", &series{labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", &series{labels: labels, gauge: g})
+	return g
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for subsystems that already keep their own
+// atomic counters (one storage, every surface).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "counter", &series{labels: labels, fn: fn})
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", &series{labels: labels, fn: fn})
+}
+
+// Histogram registers and returns a histogram series over the shared
+// DurationBuckets log scale.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	h := newHistogram(DurationBuckets())
+	r.register(name, help, "histogram", &series{labels: labels, hist: h})
+	return h
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// renderLabels renders {k="v",...}; extra, when non-empty, is a pre-escaped
+// trailing label (the histogram le). Returns "" for no labels at all.
+func renderLabels(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name, series in
+// registration order. Values are read at render time, so one scrape is one
+// consistent pass over the live atomics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s)
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels, ""), s.counter.Load())
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels, ""), s.gauge.Load())
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels, ""), formatFloat(s.fn()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// ending in le="+Inf", then _sum (seconds) and _count.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(+1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			renderLabels(s.labels, `le="`+formatFloat(le)+`"`), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, renderLabels(s.labels, ""),
+		formatFloat(float64(h.sumNs.Load())/float64(time.Second)))
+	// _count is the +Inf cumulative value, not a separate atomic read, so
+	// the le="+Inf" bucket and _count can never disagree within one scrape
+	// even while observations race the render.
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(s.labels, ""), cum)
+}

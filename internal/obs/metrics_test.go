@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "help", L("k", "v"))
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	g := reg.Gauge("test_gauge", "help")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Load())
+	}
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# HELP test_total help\n",
+		"# TYPE test_total counter\n",
+		`test_total{k="v"} 5` + "\n",
+		"# TYPE test_gauge gauge\n",
+		"test_gauge 5\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "help", L("a", "b"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate series did not panic")
+		}
+	}()
+	reg.Counter("dup_total", "help", L("a", "b"))
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mixed", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("mixed", "help")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("esc_total", "line one\nline two \\ end", L("v", "a\"b\\c\nd"))
+	c.Inc()
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, `# HELP esc_total line one\nline two \\ end`) {
+		t.Errorf("HELP not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", text)
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "help", L("endpoint", "decide"))
+	h.Observe(500 * time.Nanosecond) // below first bound: first bucket
+	h.Observe(1 * time.Microsecond)  // exactly the first bound (le is <=)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(10 * time.Second) // beyond the last bound: +Inf only
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, `lat_seconds_bucket{endpoint="decide",le="1e-06"} 2`) {
+		t.Errorf("1µs bucket wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `lat_seconds_bucket{endpoint="decide",le="4e-06"} 3`) {
+		t.Errorf("4µs bucket wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `lat_seconds_bucket{endpoint="decide",le="+Inf"} 4`) {
+		t.Errorf("+Inf bucket wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `lat_seconds_count{endpoint="decide"} 4`) {
+		t.Errorf("_count wrong:\n%s", text)
+	}
+	// Buckets must be cumulative and monotone.
+	prev := int64(-1)
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmtSscan(line, &v); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not monotone at %q", line)
+		}
+		prev = v
+	}
+}
+
+// fmtSscan extracts the trailing integer value of an exposition line.
+func fmtSscan(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	n, err := parseInt(line[i+1:])
+	*v = n
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var n int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, &parseErr{s}
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, nil
+}
+
+type parseErr struct{ s string }
+
+func (e *parseErr) Error() string { return "not an integer: " + e.s }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram(DurationBuckets())
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	// 100µs lands in the (64µs, 128µs] bucket; interpolation stays inside.
+	if p50 < 64*time.Microsecond || p50 > 128*time.Microsecond {
+		t.Fatalf("p50 = %v, want within (64µs, 128µs]", p50)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Reset()
+	r.Add(StageWalk, time.Millisecond)
+	if r.Get(StageWalk) != 0 {
+		t.Fatal("nil recorder recorded something")
+	}
+	if (r.Timings() != StageTimings{}) {
+		t.Fatal("nil recorder timings non-zero")
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := &Recorder{}
+	r.Add(StageWalk, 2*time.Millisecond)
+	r.Add(StageWalk, time.Millisecond)
+	r.Add(StageMemo, time.Microsecond)
+	if got := r.Get(StageWalk); got != int64(3*time.Millisecond) {
+		t.Fatalf("walk = %d", got)
+	}
+	tt := r.Timings()
+	if tt.Total() != 3*time.Millisecond+time.Microsecond {
+		t.Fatalf("total = %v", tt.Total())
+	}
+	r.Reset()
+	tt = r.Timings()
+	if tt.Total() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	if len(names) != NumStages {
+		t.Fatalf("%d names for %d stages", len(names), NumStages)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("bad/duplicate stage name %q at %d", n, i)
+		}
+		seen[n] = true
+		if Stage(i).String() != n {
+			t.Fatalf("Stage(%d).String() = %q, want %q", i, Stage(i).String(), n)
+		}
+	}
+}
+
+// TestHotPathAllocFree pins the zero-allocation contract of the metric
+// update paths the serving layers call per decision: counter adds,
+// histogram observes, recorder accumulation, and a full
+// DecideMetrics.Observe with a populated recorder.
+func TestHotPathAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hot_total", "help")
+	h := reg.Histogram("hot_seconds", "help", L("engine", "core"))
+	dm := NewDecideMetrics(reg, []string{"core"})
+	rec := &Recorder{}
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(123 * time.Microsecond)
+		rec.Reset()
+		rec.Add(StagePrecheck, 5*time.Microsecond)
+		rec.Add(StageWalk, 100*time.Microsecond)
+		dm.Observe("core", 150*time.Microsecond, rec)
+	}); allocs != 0 {
+		t.Errorf("hot-path metric updates allocate %.1f/op, want 0", allocs)
+	}
+}

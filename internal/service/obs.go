@@ -1,0 +1,303 @@
+package service
+
+// The server's observability surface: a per-Server obs.Registry holding
+// every counter the handlers maintain (so /statsz and /metricsz render the
+// same atomic storage and can never disagree), per-endpoint request/latency
+// series, per-engine decision wall and stage histograms, a structured
+// access log, and the GET /metricsz Prometheus text exposition.
+//
+// The counters /statsz always reported (requests, cache, decompositions,
+// cancellations, ...) are now *obs.Counter / *obs.Gauge created here out of
+// the registry; subsystems that keep their own atomic storage (the batch
+// scheduler, the per-session memos, the sharded cache) are bridged with
+// func-backed series that read those atomics at scrape time. Nothing is
+// counted twice and nothing is sampled: a scrape and a /statsz snapshot
+// differ only by the requests that landed between them.
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"dualspace/internal/engine"
+	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
+)
+
+// endpointNames are the label values of the per-endpoint series, in
+// exposition order. Unknown paths fall under "other" (latency only — they
+// never reach a handler counter).
+var endpointNames = []string{
+	"decide", "batch", "mine", "transversals", "borders", "keys",
+	"coteries", "healthz", "statsz", "metricsz", "other",
+}
+
+// endpointOf maps a request path to its endpoint label.
+func endpointOf(path string) string {
+	switch path {
+	case "/v1/decide":
+		return "decide"
+	case "/v1/batch":
+		return "batch"
+	case "/v1/mine":
+		return "mine"
+	case "/v1/transversals":
+		return "transversals"
+	case "/v1/borders":
+		return "borders"
+	case "/v1/keys":
+		return "keys"
+	case "/v1/coteries":
+		return "coteries"
+	case "/healthz":
+		return "healthz"
+	case "/statsz":
+		return "statsz"
+	case "/metricsz":
+		return "metricsz"
+	}
+	return "other"
+}
+
+// endpointObs is one endpoint's request counter and latency histogram.
+type endpointObs struct {
+	requests *obs.Counter
+	latency  *obs.Histogram
+}
+
+// serverObs bundles the Server's registry and the series not owned by a
+// named Server field.
+type serverObs struct {
+	reg       *obs.Registry
+	endpoints map[string]*endpointObs
+	decide    *obs.DecideMetrics
+	logger    *slog.Logger
+}
+
+// initObs builds the registry and every series for s. Called from New after
+// the pool, cache and scheduler exist; the func-backed bridges capture s.
+func (s *Server) initObs(logger *slog.Logger) {
+	reg := obs.NewRegistry()
+	o := &serverObs{
+		reg:       reg,
+		endpoints: make(map[string]*endpointObs, len(endpointNames)),
+		logger:    logger,
+	}
+	s.obs = o
+
+	reg.Gauge("dualspace_build_info",
+		"Build metadata; the value is always 1.",
+		obs.L("revision", obs.GitRevision()), obs.L("go_version", runtime.Version())).Set(1)
+	reg.GaugeFunc("dualspace_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	for _, ep := range endpointNames {
+		o.endpoints[ep] = &endpointObs{
+			requests: reg.Counter("dualspace_http_requests_total",
+				"HTTP requests dispatched, by endpoint.", obs.L("endpoint", ep)),
+			latency: reg.Histogram("dualspace_http_request_duration_seconds",
+				"HTTP request latency, by endpoint.", obs.L("endpoint", ep)),
+		}
+	}
+	s.reqDecide = o.endpoints["decide"].requests
+	s.reqBatch = o.endpoints["batch"].requests
+	s.reqMine = o.endpoints["mine"].requests
+	s.reqTransversals = o.endpoints["transversals"].requests
+	s.reqBorders = o.endpoints["borders"].requests
+	s.reqKeys = o.endpoints["keys"].requests
+	s.reqCoteries = o.endpoints["coteries"].requests
+	s.reqHealth = o.endpoints["healthz"].requests
+	s.reqStats = o.endpoints["statsz"].requests
+	s.reqMetrics = o.endpoints["metricsz"].requests
+
+	s.inFlight = reg.Gauge("dualspace_in_flight_requests",
+		"Requests currently being served.")
+	s.cacheHits = reg.Counter("dualspace_cache_hits_total",
+		"/v1/decide verdict-cache hits.")
+	s.cacheMisses = reg.Counter("dualspace_cache_misses_total",
+		"/v1/decide verdict-cache misses.")
+	s.decompositions = reg.Counter("dualspace_decompositions_total",
+		"Decision decompositions actually run.")
+	s.coalesced = reg.Counter("dualspace_coalesced_total",
+		"/v1/decide requests served by another request's in-flight computation.")
+	s.cancelled = reg.Counter("dualspace_cancelled_total",
+		"Requests abandoned by their client before completion.")
+	s.badRequests = reg.Counter("dualspace_bad_requests_total",
+		"Requests rejected with an error response.")
+	s.streamedSets = reg.Counter("dualspace_streamed_results_total",
+		"Transversals streamed by /v1/transversals.")
+	s.minedElements = reg.Counter("dualspace_mined_elements_total",
+		"Border elements streamed by /v1/mine.")
+
+	for _, name := range engine.Names() {
+		s.engStats[name] = &engineCounters{
+			hits: reg.Counter("dualspace_engine_cache_hits_total",
+				"Verdict-cache hits, by requested engine.", obs.L("engine", name)),
+			decisions: reg.Counter("dualspace_decisions_total",
+				"Decisions run, by resolved engine.", obs.L("engine", name)),
+		}
+	}
+	o.decide = obs.NewDecideMetrics(reg, engine.Names())
+
+	reg.GaugeFunc("dualspace_cache_entries",
+		"Verdicts currently cached.",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("dualspace_cache_capacity",
+		"Verdict-cache capacity in entries.",
+		func() float64 { return float64(s.cache.Capacity()) })
+
+	batchCounter := func(name, help string, read func() int64) {
+		reg.CounterFunc("dualspace_batch_"+name, help,
+			func() float64 { return float64(read()) })
+	}
+	batchCounter("batches_total", "Batch streams drained.",
+		func() int64 { return s.scheduler.Stats().Batches })
+	batchCounter("items_total", "Batch rows consumed.",
+		func() int64 { return s.scheduler.Stats().Items })
+	batchCounter("unique_total", "Distinct canonical instances across batches.",
+		func() int64 { return s.scheduler.Stats().Unique })
+	batchCounter("deduped_total", "Batch rows coalesced onto an in-batch duplicate.",
+		func() int64 { return s.scheduler.Stats().Deduped })
+	batchCounter("cache_hits_total", "Batch rows answered by the shared verdict cache.",
+		func() int64 { return s.scheduler.Stats().CacheHits })
+	batchCounter("decisions_total", "Batch rows decided by an engine run.",
+		func() int64 { return s.scheduler.Stats().Decisions })
+	batchCounter("errors_total", "Batch rows answered with an error.",
+		func() int64 { return s.scheduler.Stats().Errors })
+	reg.GaugeFunc("dualspace_batch_active", "Batch streams currently draining.",
+		func() float64 { return float64(s.scheduler.Stats().Active) })
+
+	memoCounter := func(name, help string, read func() int64) {
+		reg.CounterFunc("dualspace_memo_"+name, help,
+			func() float64 { return float64(read()) })
+	}
+	memoCounter("hits_total", "Subinstance-memo subtree skips across worker sessions.",
+		func() int64 { return s.pool.MemoStats().Hits })
+	memoCounter("misses_total", "Subinstance-memo lookups that found nothing.",
+		func() int64 { return s.pool.MemoStats().Misses })
+	memoCounter("inserts_total", "Subinstance-memo entries recorded.",
+		func() int64 { return s.pool.MemoStats().Inserts })
+	memoCounter("evictions_total", "Subinstance-memo entries evicted.",
+		func() int64 { return s.pool.MemoStats().Evictions })
+	reg.GaugeFunc("dualspace_memo_entries", "Subinstance-memo entries resident.",
+		func() float64 { return float64(s.pool.MemoStats().Entries) })
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reqMetrics.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.reg.WritePrometheus(w)
+}
+
+// accessInfo is the per-request record the handlers annotate and the
+// access log renders. The middleware injects a fresh one into every
+// request context; accessFrom hands handlers invoked without the
+// middleware (direct tests) a discard record, so annotation sites need no
+// nil checks.
+type accessInfo struct {
+	engine  string // resolved engine name
+	verdict string // "dual" / "nondual" once decided
+	reason  string // core.Reason string of the verdict
+	outcome string // cache_hit | coalesced | computed | error | cancelled
+	fg, fh  string // canonical fingerprint prefixes of the inputs
+}
+
+type accessInfoKey struct{}
+
+func accessFrom(ctx context.Context) *accessInfo {
+	if ai, ok := ctx.Value(accessInfoKey{}).(*accessInfo); ok {
+		return ai
+	}
+	return &accessInfo{}
+}
+
+// note annotates the record with a decided verdict.
+func (ai *accessInfo) note(outcome string, dual bool, reason string) {
+	ai.outcome = outcome
+	if dual {
+		ai.verdict = "dual"
+	} else {
+		ai.verdict = "nondual"
+	}
+	ai.reason = reason
+}
+
+// fpPrefix is the fingerprint's log form: enough hex to correlate requests
+// against cache keys without 64-character lines.
+func fpPrefix(fp hypergraph.Fingerprint) string {
+	return fp.String()[:12]
+}
+
+// statusWriter captures the response status and byte count for the access
+// log and latency series. Unwrap keeps http.NewResponseController working
+// through the wrapper (the streaming endpoints need Flush and write
+// deadlines).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// observeRequest is the ServeHTTP middleware tail: endpoint latency, and
+// one structured access-log record when logging is on.
+func (s *Server) observeRequest(r *http.Request, ep string, sw *statusWriter, ai *accessInfo, d time.Duration) {
+	if eo := s.obs.endpoints[ep]; eo != nil {
+		eo.latency.Observe(d)
+	}
+	lg := s.obs.logger
+	if lg == nil {
+		return
+	}
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	attrs := make([]slog.Attr, 0, 12)
+	attrs = append(attrs,
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("endpoint", ep),
+		slog.Int("status", status),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("latency", d),
+	)
+	if ai.engine != "" {
+		attrs = append(attrs, slog.String("engine", ai.engine))
+	}
+	if ai.outcome != "" {
+		attrs = append(attrs, slog.String("outcome", ai.outcome))
+	}
+	if ai.verdict != "" {
+		attrs = append(attrs, slog.String("verdict", ai.verdict))
+	}
+	if ai.reason != "" {
+		attrs = append(attrs, slog.String("reason", ai.reason))
+	}
+	if ai.fg != "" {
+		attrs = append(attrs, slog.String("fg", ai.fg), slog.String("fh", ai.fh))
+	}
+	lg.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+}

@@ -56,10 +56,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"dualspace/internal/batch"
@@ -68,6 +68,7 @@ import (
 	"dualspace/internal/engine"
 	"dualspace/internal/hgio"
 	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
 )
 
 // Config parameterizes a Server. The zero value gets sensible production
@@ -100,6 +101,11 @@ type Config struct {
 	// MaxBatchBytes bounds a /v1/batch request body (default 64 MiB — batch
 	// bodies are streams, so they get a bigger budget than MaxBodyBytes).
 	MaxBatchBytes int64
+	// Logger, when non-nil, receives one structured access-log record per
+	// request (slog Info level: method, path, endpoint, status, bytes,
+	// latency, plus engine/verdict/outcome/fingerprints where the handler
+	// knows them). Nil disables access logging; metrics are unaffected.
+	Logger *slog.Logger
 }
 
 // DefaultLimits is the input bound applied when Config.Limits is zero:
@@ -112,10 +118,11 @@ var DefaultLimits = hgio.Limits{
 	MaxLineBytes: 1 << 20,
 }
 
-// engineCounters are the per-engine /statsz observables.
+// engineCounters are the per-engine /statsz and /metricsz observables —
+// registry-owned counters, one storage for both surfaces.
 type engineCounters struct {
-	hits      atomic.Int64 // cache hits for verdicts requested on this engine
-	decisions atomic.Int64 // decisions actually run on this engine
+	hits      *obs.Counter // cache hits for verdicts requested on this engine
+	decisions *obs.Counter // decisions actually run on this engine
 }
 
 // Server is the HTTP duality/border service. Create with New; it is an
@@ -140,27 +147,33 @@ type Server struct {
 	flights flightGroup
 
 	// engStats maps every registry engine name to its counters; built once
-	// in New, so reads are lock-free.
+	// in initObs, so reads are lock-free.
 	engStats map[string]*engineCounters
 
-	reqDecide       atomic.Int64
-	reqBatch        atomic.Int64
-	reqMine         atomic.Int64
-	reqTransversals atomic.Int64
-	reqBorders      atomic.Int64
-	reqKeys         atomic.Int64
-	reqCoteries     atomic.Int64
-	reqHealth       atomic.Int64
-	reqStats        atomic.Int64
-	inFlight        atomic.Int64
-	cacheHits       atomic.Int64
-	cacheMisses     atomic.Int64
-	decompositions  atomic.Int64
-	cancelled       atomic.Int64
-	badRequests     atomic.Int64
-	streamedSets    atomic.Int64
-	minedElements   atomic.Int64
-	coalesced       atomic.Int64
+	// obs is the metrics registry plus its derived series (obs.go). The
+	// counters below are registry-owned: /statsz reads the same atomics
+	// /metricsz exposes, so the two surfaces can never disagree.
+	obs *serverObs
+
+	reqDecide       *obs.Counter
+	reqBatch        *obs.Counter
+	reqMine         *obs.Counter
+	reqTransversals *obs.Counter
+	reqBorders      *obs.Counter
+	reqKeys         *obs.Counter
+	reqCoteries     *obs.Counter
+	reqHealth       *obs.Counter
+	reqStats        *obs.Counter
+	reqMetrics      *obs.Counter
+	inFlight        *obs.Gauge
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	decompositions  *obs.Counter
+	cancelled       *obs.Counter
+	badRequests     *obs.Counter
+	streamedSets    *obs.Counter
+	minedElements   *obs.Counter
+	coalesced       *obs.Counter
 
 	// testHookDecideStart, when non-nil, runs right after a /v1/decide
 	// request has claimed a worker slot and before the decomposition
@@ -199,10 +212,10 @@ func New(cfg Config) *Server {
 		engStats: make(map[string]*engineCounters, len(engine.Names())),
 		start:    time.Now(),
 	}
-	s.scheduler = batch.NewScheduler(batch.Config{Pool: s.pool, Cache: s.cache})
-	for _, name := range engine.Names() {
-		s.engStats[name] = &engineCounters{}
-	}
+	s.initObs(cfg.Logger)
+	s.scheduler = batch.NewScheduler(batch.Config{
+		Pool: s.pool, Cache: s.cache, Metrics: s.obs.decide,
+	})
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/mine", s.handleMine)
@@ -212,14 +225,24 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/coteries", s.handleCoteries)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP dispatches to the service mux.
+// ServeHTTP dispatches to the service mux, wrapped in the observability
+// middleware: in-flight gauge, per-endpoint latency histogram, and (when
+// Config.Logger is set) a structured access-log record annotated by the
+// handler through the request context (obs.go).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-	s.mux.ServeHTTP(w, r)
+	ep := endpointOf(r.URL.Path)
+	sw := &statusWriter{ResponseWriter: w}
+	ai := &accessInfo{}
+	r = r.WithContext(context.WithValue(r.Context(), accessInfoKey{}, ai))
+	t0 := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.observeRequest(r, ep, sw, ai, time.Since(t0))
 }
 
 // acquire claims a worker-pool slot — with its pinned session — waiting
@@ -295,6 +318,8 @@ func edgeNames(h *hypergraph.Hypergraph, sy *hgio.Symbols) [][]string {
 // statsResponse is the /statsz body.
 type statsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	GitRevision   string  `json:"git_revision"`
 	InFlight      int64   `json:"in_flight"`
 	Workers       int     `json:"workers"`
 	Requests      struct {
@@ -307,6 +332,7 @@ type statsResponse struct {
 		Coteries     int64 `json:"coteries"`
 		Health       int64 `json:"health"`
 		Stats        int64 `json:"stats"`
+		Metrics      int64 `json:"metrics"`
 	} `json:"requests"`
 	// Cache: Hits/Misses are /v1/decide's own lookup counters; Shards
 	// carries the shared sharded cache's per-shard counters across ALL
@@ -352,15 +378,31 @@ type engineStats struct {
 	Decisions int64 `json:"decisions"`
 }
 
+// healthResponse is the /healthz body: liveness plus enough build metadata
+// to tell which binary answered.
+type healthResponse struct {
+	OK            bool    `json:"ok"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	GitRevision   string  `json:"git_revision"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.reqHealth.Add(1)
-	writeJSON(w, map[string]bool{"ok": true})
+	writeJSON(w, healthResponse{
+		OK:            true,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		GitRevision:   obs.GitRevision(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.reqStats.Add(1)
 	var resp statsResponse
 	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	resp.GoVersion = runtime.Version()
+	resp.GitRevision = obs.GitRevision()
 	resp.InFlight = s.inFlight.Load()
 	resp.Workers = s.cfg.Workers
 	resp.Requests.Decide = s.reqDecide.Load()
@@ -372,6 +414,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.Coteries = s.reqCoteries.Load()
 	resp.Requests.Health = s.reqHealth.Load()
 	resp.Requests.Stats = s.reqStats.Load()
+	resp.Requests.Metrics = s.reqMetrics.Load()
 	resp.Cache.Hits = s.cacheHits.Load()
 	resp.Cache.Misses = s.cacheMisses.Load()
 	resp.Cache.Size = s.cache.Len()
@@ -439,40 +482,111 @@ type decideResponse struct {
 	Cached          bool        `json:"cached"`
 	// Engine is the resolved engine name the verdict was requested on.
 	Engine string `json:"engine"`
+	// Trace carries per-stage wall timings when the request asked for them
+	// with ?trace=1 (docs/OBSERVABILITY.md has the stage glossary).
+	Trace *traceStats `json:"trace,omitempty"`
+}
+
+// traceStats is the ?trace=1 block: nanoseconds spent in each request
+// stage, plus the request wall time they are bounded by. Stages are
+// disjoint, so their sum is at most wall_ns; cached and coalesced
+// responses report only the stages they actually ran (parse, canonicalize,
+// cache lookup).
+type traceStats struct {
+	WallNs         int64 `json:"wall_ns"`
+	ParseNs        int64 `json:"parse_ns"`
+	CanonicalizeNs int64 `json:"canonicalize_ns"`
+	CacheLookupNs  int64 `json:"cache_lookup_ns"`
+	PrecheckNs     int64 `json:"precheck_ns,omitempty"`
+	IndexSyncNs    int64 `json:"index_sync_ns,omitempty"`
+	WalkNs         int64 `json:"walk_ns,omitempty"`
+	MemoNs         int64 `json:"memo_ns,omitempty"`
+}
+
+// traceState accumulates a /v1/decide request's stage timings. The
+// handler-local stages (parse, canonicalize, cache lookup) are timed here;
+// engine stages come from the worker session's recorder on computed
+// responses. The state exists whether or not the client asked for a trace
+// — the same numbers feed the per-engine stage histograms — but attach
+// renders it onto the response only when enabled.
+type traceState struct {
+	enabled              bool
+	start                time.Time
+	parse, canon, lookup time.Duration
+	stages               obs.StageTimings
+}
+
+// attach renders the trace block onto resp when the request asked for it.
+// Wall is measured at attach time, so every recorded stage is a
+// sub-interval of it.
+func (t *traceState) attach(resp *decideResponse) {
+	if !t.enabled {
+		return
+	}
+	resp.Trace = &traceStats{
+		WallNs:         time.Since(t.start).Nanoseconds(),
+		ParseNs:        t.parse.Nanoseconds(),
+		CanonicalizeNs: t.canon.Nanoseconds(),
+		CacheLookupNs:  t.lookup.Nanoseconds(),
+		PrecheckNs:     t.stages[obs.StagePrecheck],
+		IndexSyncNs:    t.stages[obs.StageIndexSync],
+		WalkNs:         t.stages[obs.StageWalk],
+		MemoNs:         t.stages[obs.StageMemo],
+	}
 }
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	s.reqDecide.Add(1)
+	ai := accessFrom(r.Context())
+	tr := traceState{
+		enabled: r.URL.Query().Get("trace") == "1",
+		start:   time.Now(),
+	}
+	t0 := time.Now()
 	var req decideRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
+		ai.outcome = "error"
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	eng, err := engine.ByName(req.Engine)
 	if err != nil {
+		ai.outcome = "error"
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	engName := eng.Name() // "" resolves to the default portfolio's name
+	ai.engine = engName
 	hs, sy, err := hgio.ReadHypergraphsLimited(s.cfg.Limits,
 		strings.NewReader(req.G), strings.NewReader(req.H))
+	tr.parse = time.Since(t0)
 	if err != nil {
+		ai.outcome = "error"
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	t0 = time.Now()
 	g, h := hs[0].Canonical(), hs[1].Canonical()
 	key := batch.NewKey(engName, g.Fingerprint(), h.Fingerprint())
-	if res, ok := s.cache.Get(key); ok {
+	tr.canon = time.Since(t0)
+	ai.fg, ai.fh = fpPrefix(key.FG), fpPrefix(key.FH)
+	t0 = time.Now()
+	res, ok := s.cache.Get(key)
+	tr.lookup = time.Since(t0)
+	if ok {
 		s.cacheHits.Add(1)
 		s.engStats[engName].hits.Add(1)
-		writeJSON(w, renderDecide(res, g, h, sy, true, engName))
+		ai.note("cache_hit", res.Dual, res.Reason.String())
+		resp := renderDecide(res, g, h, sy, true, engName)
+		tr.attach(&resp)
+		writeJSON(w, resp)
 		return
 	}
 	s.cacheMisses.Add(1)
 	for {
 		f, leader := s.flights.join(key)
 		if leader {
-			s.decideLeader(w, r, key, f, eng, engName, g, h, sy)
+			s.decideLeader(w, r, key, f, eng, engName, g, h, sy, ai, &tr)
 			return
 		}
 		// Identical computation already in flight: wait for its verdict
@@ -483,18 +597,23 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			f.waiters.Add(-1)
 			s.cancelled.Add(1)
+			ai.outcome = "cancelled"
 			return // this client gone; the leader carries on for the rest
 		}
 		f.waiters.Add(-1)
 		if f.err == nil {
 			s.coalesced.Add(1)
-			writeJSON(w, renderDecide(f.res, g, h, sy, true, engName))
+			ai.note("coalesced", f.res.Dual, f.res.Reason.String())
+			resp := renderDecide(f.res, g, h, sy, true, engName)
+			tr.attach(&resp)
+			writeJSON(w, resp)
 			return
 		}
 		if !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
 			// A real decision error — identical inputs would fail
 			// identically, so surface it without recomputing.
 			s.coalesced.Add(1)
+			ai.outcome = "error"
 			s.writeError(w, http.StatusUnprocessableEntity, f.err)
 			return
 		}
@@ -507,7 +626,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 // decideLeader runs the actual decomposition for a coalesced flight and
 // publishes the outcome to its followers, successful or not — a flight left
 // open would strand every waiter.
-func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.Key, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols) {
+func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.Key, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols, ai *accessInfo, tr *traceState) {
 	var fres *core.Result
 	var ferr error
 	defer func() { s.flights.finish(key, f, fres, ferr) }()
@@ -515,6 +634,7 @@ func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.
 	sess, err := s.acquire(r)
 	if err != nil {
 		ferr = err
+		ai.outcome = "cancelled"
 		return // client gone; nothing to write to
 	}
 	defer s.release(sess)
@@ -523,13 +643,27 @@ func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.
 	}
 	s.decompositions.Add(1)
 	s.engStats[engName].decisions.Add(1)
+	// The session's pinned recorder captures the engine stages (precheck,
+	// index sync, walk, memo); the handler-local stages join it so the
+	// per-engine stage histograms and the ?trace=1 block see one consistent
+	// breakdown.
+	rec := sess.Recorder()
+	rec.Reset()
+	t0 := time.Now()
 	res, err := sess.DecideWith(r.Context(), eng, g, h)
+	wall := time.Since(t0)
+	rec.Add(obs.StageParse, tr.parse)
+	rec.Add(obs.StageCanon, tr.canon)
+	rec.Add(obs.StageCacheLookup, tr.lookup)
+	s.obs.decide.Observe(engName, wall, rec)
 	if err != nil {
 		ferr = err
 		if r.Context().Err() != nil {
 			s.cancelled.Add(1)
+			ai.outcome = "cancelled"
 			return
 		}
+		ai.outcome = "error"
 		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -538,7 +672,11 @@ func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.
 	// the verdict, so both get one shared detached copy.
 	fres = res.Clone()
 	s.cache.Add(key, fres)
-	writeJSON(w, renderDecide(res, g, h, sy, false, engName))
+	ai.note("computed", res.Dual, res.Reason.String())
+	tr.stages = rec.Timings()
+	resp := renderDecide(res, g, h, sy, false, engName)
+	tr.attach(&resp)
+	writeJSON(w, resp)
 }
 
 // renderDecide resolves an index-level verdict into the request's names;
