@@ -7,7 +7,10 @@
 //
 //	benchdiff [-tolerance pct] [-floor ns] old.json new.json
 //
-// Rows are matched by experiment id, engine name and family name. A row
+// Rows are matched by experiment id, engine name and family name, each
+// qualified by the GOMAXPROCS width the row ran under (per-row when
+// recorded, the report's otherwise) — multi-CPU rows never gate against
+// single-CPU history. A row
 // regresses when new_ns > old_ns × (1 + tolerance/100) AND new_ns exceeds
 // the floor — sub-floor rows are treated as noise, since micro-rows on
 // shared CI runners jitter far more than the long rows the trajectory
@@ -27,28 +30,48 @@ type row struct {
 	ID     string `json:"id"`
 	Engine string `json:"engine"`
 	Family string `json:"family"`
-	NsOp   int64  `json:"ns_op"`
+	// GOMAXPROCS is the per-row scheduler width (family rows since the
+	// -procs flag); 0 on older rows, which fall back to the report level.
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	NsOp       int64 `json:"ns_op"`
 }
 
 type report struct {
 	GoVersion   string `json:"go_version"`
 	GitRevision string `json:"git_revision"`
-	Experiments []row  `json:"experiments"`
-	Engines     []row  `json:"engines"`
-	Families    []row  `json:"families"`
+	// GOMAXPROCS is the report-wide scheduler width, the fallback for rows
+	// recorded before per-row widths existed; 0 (ancient reports) means 1.
+	GOMAXPROCS  int   `json:"gomaxprocs"`
+	Experiments []row `json:"experiments"`
+	Engines     []row `json:"engines"`
+	Families    []row `json:"families"`
 }
 
-// rows flattens a report into name → ns_op.
+// rows flattens a report into name → ns_op. Every key carries a @p<procs>
+// suffix — the row's own GOMAXPROCS when present, the report's otherwise —
+// so a multi-CPU row is never compared against single-CPU history: the
+// non-matching side shows up as informational only-in-old/only-in-new
+// instead of a spurious regression or improvement.
 func (r *report) rows() map[string]int64 {
+	fallback := r.GOMAXPROCS
+	if fallback <= 0 {
+		fallback = 1
+	}
+	key := func(prefix, name string, procs int) string {
+		if procs <= 0 {
+			procs = fallback
+		}
+		return fmt.Sprintf("%s/%s@p%d", prefix, name, procs)
+	}
 	out := make(map[string]int64)
 	for _, e := range r.Experiments {
-		out["experiment/"+e.ID] = e.NsOp
+		out[key("experiment", e.ID, e.GOMAXPROCS)] = e.NsOp
 	}
 	for _, e := range r.Engines {
-		out["engine/"+e.Engine] = e.NsOp
+		out[key("engine", e.Engine, e.GOMAXPROCS)] = e.NsOp
 	}
 	for _, e := range r.Families {
-		out["family/"+e.Family] = e.NsOp
+		out[key("family", e.Family, e.GOMAXPROCS)] = e.NsOp
 	}
 	return out
 }

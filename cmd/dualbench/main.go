@@ -9,6 +9,8 @@
 //	dualbench -json            # machine-readable results (ns/op, allocs/op)
 //	dualbench -engine all      # additionally benchmark every decision engine
 //	dualbench -stages          # per-stage timing breakdown of the family rows
+//	dualbench -procs 1,4       # family rows at several GOMAXPROCS widths
+//	                           # (widths > 1 run the core-parallel engine)
 //
 // Every experiment reports PASS/FAIL against the corresponding claim of
 // Gottlob (PODS 2013); see DESIGN.md §3 for the index. With -json the
@@ -60,17 +62,24 @@ type engineResult struct {
 	AllocsOp  uint64 `json:"allocs_op"`
 }
 
-// familyResult is one instance family's machine-readable benchmark row,
-// decided on the serial core engine: NsOp through a warm pinned session
-// (indexes, scratch and subinstance memo reused — the serving steady
-// state), NsOpCold through a fresh memo-less session per op (the pure
-// kernel cost).
+// familyResult is one instance family's machine-readable benchmark row:
+// NsOp through a warm pinned session (indexes, scratch and subinstance memo
+// reused — the serving steady state), NsOpCold through a fresh memo-less
+// session per op (the pure kernel cost). The default rows run the serial
+// core engine at one scheduler slot; -procs adds rows on the work-stealing
+// core-parallel engine at higher GOMAXPROCS, labelled by the Engine and
+// GOMAXPROCS fields so trajectory tooling (cmd/benchdiff) never compares a
+// multi-CPU row against single-CPU history.
 type familyResult struct {
-	Family   string `json:"family"`
-	Dual     bool   `json:"dual"`
-	Pass     bool   `json:"pass"`
-	NsOp     int64  `json:"ns_op"`
-	NsOpCold int64  `json:"ns_op_cold"`
+	Family string `json:"family"`
+	Dual   bool   `json:"dual"`
+	Pass   bool   `json:"pass"`
+	// Engine is the deciding engine ("core" or "core-parallel").
+	Engine string `json:"engine"`
+	// GOMAXPROCS is the scheduler width the row ran under.
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	NsOp       int64 `json:"ns_op"`
+	NsOpCold   int64 `json:"ns_op_cold"`
 	// StageNs breaks NsOp into the recorder's decision stages (precheck,
 	// index_sync, walk, memo — the handler stages don't apply here), only
 	// with -stages and only for stages that ran. The recorder itself costs
@@ -102,7 +111,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-experiment ns/op and allocs/op)")
 	engines := flag.String("engine", "", "benchmark decision engines: a registry name or \"all\"")
 	stages := flag.Bool("stages", false, "break family rows into per-stage decision timings (obs recorder)")
+	procs := flag.String("procs", "", "comma-separated GOMAXPROCS values for the family rows (e.g. \"1,4\"; values > 1 run the work-stealing core-parallel engine)")
 	flag.Parse()
+
+	procList, err := parseProcs(*procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dualbench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -137,7 +153,7 @@ func main() {
 		Pass:        true,
 	}
 	if *jsonOut || *stages {
-		report.Families = benchFamilies(*stages)
+		report.Families = benchFamilies(*stages, procList)
 		for _, row := range report.Families {
 			if !row.Pass {
 				failures++
@@ -282,21 +298,58 @@ func benchEngines(sel string) ([]engineResult, error) {
 	return rows, nil
 }
 
-// benchFamilies benchmarks every suite instance individually on the serial
-// core engine: warm through one pinned session per family (scratch +
-// subinstance memo reused across ops, the serving steady state) and cold
-// through a fresh memo-less session per op (pure kernel + setup).
-func benchFamilies(stages bool) []familyResult {
-	coreEng, err := engine.ByName("core")
-	if err != nil {
-		panic(err)
+// parseProcs parses the -procs flag into a GOMAXPROCS list; empty means
+// just the single-slot baseline, the shape of the pre-existing trajectory.
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return []int{1}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var p int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &p); err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs value %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// benchFamilies benchmarks every suite instance individually, once per
+// requested GOMAXPROCS width: warm through one pinned session per family
+// (scratch + subinstance memo reused across ops, the serving steady state)
+// and cold through a fresh memo-less session per op (pure kernel + setup).
+// Width 1 runs the serial core engine — the trajectory baseline; widths > 1
+// run the work-stealing core-parallel engine with that many workers under
+// runtime.GOMAXPROCS temporarily raised to match, so the rows measure real
+// (or, on a small host, honestly contended) parallelism.
+func benchFamilies(stages bool, procs []int) []familyResult {
+	var rows []familyResult
+	for _, p := range procs {
+		rows = append(rows, benchFamiliesAt(stages, p)...)
+	}
+	return rows
+}
+
+func benchFamiliesAt(stages bool, procs int) []familyResult {
+	engName := "core"
+	var eng engine.Engine
+	if procs > 1 {
+		engName = "core-parallel"
+		eng = engine.NewCoreParallel(procs)
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	} else {
+		var err error
+		if eng, err = engine.ByName("core"); err != nil {
+			panic(err)
+		}
 	}
 	ctx := context.Background()
 	var rows []familyResult
 	for _, p := range engineSuite() {
-		row := familyResult{Family: p.Name, Dual: p.Dual, Pass: true}
+		row := familyResult{Family: p.Name, Dual: p.Dual, Pass: true, Engine: engName, GOMAXPROCS: procs}
 
-		sess := engine.NewSession(coreEng)
+		sess := engine.NewSession(eng)
 		check := func(res *core.Result, err error) {
 			if err != nil || res == nil || res.Dual != p.Dual {
 				row.Pass = false
@@ -315,7 +368,7 @@ func benchFamilies(stages bool) []familyResult {
 		const coldOps = 3
 		start = time.Now()
 		for i := 0; i < coldOps; i++ {
-			cold := engine.NewSessionMemo(coreEng, -1)
+			cold := engine.NewSessionMemo(eng, -1)
 			res, err := cold.Decide(ctx, p.G, p.H)
 			check(res, err)
 		}

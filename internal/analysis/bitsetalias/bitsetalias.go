@@ -40,11 +40,15 @@ var Analyzer = &analysis.Analyzer{
 // intoOps maps each destination-style method to the argument index of its
 // destination (receiver and remaining arguments are sources).
 var intoOps = map[string]int{
-	"IntersectInto":  1,
-	"UnionInto":      1,
-	"DiffInto":       1,
-	"ComplementInto": 0,
-	"CopyFrom":       0, // dst is the receiver; arg 0 is the source
+	"IntersectInto":      1,
+	"UnionInto":          1,
+	"DiffInto":           1,
+	"ComplementInto":     0,
+	"CopyFrom":           0, // dst is the receiver; arg 0 is the source
+	"IntersectIntoCount": 1, // fused variants share the Into aliasing contract
+	"IntersectIntoAny":   1,
+	"UnionIntoCount":     1,
+	"DiffIntoCount":      1,
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,206 @@
+package bitset
+
+// Fused two-in-one kernels. Each op computes a reduction (popcount,
+// emptiness) in the SAME pass that materializes the word-parallel result —
+// or, for the count-only variants, skips materializing entirely — so hot
+// paths that used to pay two sweeps over the words (an Into op followed by
+// Len/Min/IsEmpty) pay one. Like inplace.go, the loops are 4-way unrolled
+// in the slice-advance shape (*[4]uint64 windows under `len >= 4` guards,
+// then advance every slice by four), which the compiler's prove pass strips
+// of all in-loop bounds checks — only the O(1) pre/post-loop re-slices
+// remain (verified by `dualvet -gate bce`).
+//
+// Aliasing follows the inplace.go contract: the destination may alias
+// either operand (each output word depends only on the corresponding
+// operand words), and the same //dual:allow(bitsetalias) discipline applies
+// at accumulation call sites. All ops panic on universe mismatch.
+
+import "math/bits"
+
+// IntersectIntoCount stores s ∩ t into dst and returns |s ∩ t|.
+//
+//dual:allocfree
+func (s Set) IntersectIntoCount(t, dst Set) int {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	dw := dst.words
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)]
+	c := 0
+	for len(dw) >= 4 && len(sw) >= 4 && len(tw) >= 4 {
+		d4, s4, t4 := (*[4]uint64)(dw), (*[4]uint64)(sw), (*[4]uint64)(tw)
+		w0 := s4[0] & t4[0]
+		w1 := s4[1] & t4[1]
+		w2 := s4[2] & t4[2]
+		w3 := s4[3] & t4[3]
+		d4[0], d4[1], d4[2], d4[3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+		dw, sw, tw = dw[4:], sw[4:], tw[4:]
+	}
+	sw, tw = sw[:len(dw)], tw[:len(dw)]
+	for i := range dw {
+		w := sw[i] & tw[i]
+		dw[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IntersectIntoAny stores s ∩ t into dst and reports whether it is
+// non-empty, letting running-intersection loops stop as soon as the
+// intersection dies.
+//
+//dual:allocfree
+func (s Set) IntersectIntoAny(t, dst Set) bool {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	dw := dst.words
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)]
+	var any uint64
+	for len(dw) >= 4 && len(sw) >= 4 && len(tw) >= 4 {
+		d4, s4, t4 := (*[4]uint64)(dw), (*[4]uint64)(sw), (*[4]uint64)(tw)
+		w0 := s4[0] & t4[0]
+		w1 := s4[1] & t4[1]
+		w2 := s4[2] & t4[2]
+		w3 := s4[3] & t4[3]
+		d4[0], d4[1], d4[2], d4[3] = w0, w1, w2, w3
+		any |= w0 | w1 | w2 | w3
+		dw, sw, tw = dw[4:], sw[4:], tw[4:]
+	}
+	sw, tw = sw[:len(dw)], tw[:len(dw)]
+	for i := range dw {
+		w := sw[i] & tw[i]
+		dw[i] = w
+		any |= w
+	}
+	return any != 0
+}
+
+// UnionIntoCount stores s ∪ t into dst and returns |s ∪ t|, letting
+// covering-probe accumulations (occurrence-row unions tested against the
+// edge count) detect saturation without a separate Len pass.
+//
+//dual:allocfree
+func (s Set) UnionIntoCount(t, dst Set) int {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	dw := dst.words
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)]
+	c := 0
+	for len(dw) >= 4 && len(sw) >= 4 && len(tw) >= 4 {
+		d4, s4, t4 := (*[4]uint64)(dw), (*[4]uint64)(sw), (*[4]uint64)(tw)
+		w0 := s4[0] | t4[0]
+		w1 := s4[1] | t4[1]
+		w2 := s4[2] | t4[2]
+		w3 := s4[3] | t4[3]
+		d4[0], d4[1], d4[2], d4[3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+		dw, sw, tw = dw[4:], sw[4:], tw[4:]
+	}
+	sw, tw = sw[:len(dw)], tw[:len(dw)]
+	for i := range dw {
+		w := sw[i] | tw[i]
+		dw[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// DiffIntoCount stores s − t into dst and returns |s − t| — the fused form
+// of the kernel's fail probe (H_Sα minus the not-contained rows, empty ⇔
+// fail).
+//
+//dual:allocfree
+func (s Set) DiffIntoCount(t, dst Set) int {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	dw := dst.words
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)]
+	c := 0
+	for len(dw) >= 4 && len(sw) >= 4 && len(tw) >= 4 {
+		d4, s4, t4 := (*[4]uint64)(dw), (*[4]uint64)(sw), (*[4]uint64)(tw)
+		w0 := s4[0] &^ t4[0]
+		w1 := s4[1] &^ t4[1]
+		w2 := s4[2] &^ t4[2]
+		w3 := s4[3] &^ t4[3]
+		d4[0], d4[1], d4[2], d4[3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+		dw, sw, tw = dw[4:], sw[4:], tw[4:]
+	}
+	sw, tw = sw[:len(dw)], tw[:len(dw)]
+	for i := range dw {
+		w := sw[i] &^ tw[i]
+		dw[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndNotAndCount returns |s − t| without materializing the difference — the
+// count-only AndNot for scoring loops that need the size of a residual but
+// never the set itself.
+//
+//dual:allocfree
+func (s Set) AndNotAndCount(t Set) int {
+	s.sameUniverse(t)
+	sw := s.words
+	tw := t.words[:len(sw)]
+	c := 0
+	for len(sw) >= 4 && len(tw) >= 4 {
+		s4, t4 := (*[4]uint64)(sw), (*[4]uint64)(tw)
+		c += bits.OnesCount64(s4[0]&^t4[0]) + bits.OnesCount64(s4[1]&^t4[1]) +
+			bits.OnesCount64(s4[2]&^t4[2]) + bits.OnesCount64(s4[3]&^t4[3])
+		sw, tw = sw[4:], tw[4:]
+	}
+	tw = tw[:len(sw)]
+	for i := range sw {
+		c += bits.OnesCount64(sw[i] &^ tw[i])
+	}
+	return c
+}
+
+// AddToCounts adds delta to counts[e] for every e ∈ s — the de-closured
+// form of a ForEach increment sweep, used by the kernel's degree
+// maintenance. counts must have at least Universe() entries.
+//
+//dual:allocfree
+func (s Set) AddToCounts(counts []int32, delta int32) {
+	for i, w := range s.words {
+		base := i * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			counts[base+b] += delta
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// IntersectionCountsInto stores |rows[i] ∩ t| into out[i] for every row —
+// one `math/bits` popcount batch over an occurrence-row slab (the rows of a
+// hypergraph.Index share one backing array, so this sweep is sequential in
+// memory). Every row must share t's universe; len(out) must be at least
+// len(rows).
+//
+//dual:allocfree
+func IntersectionCountsInto(rows []Set, t Set, out []int32) {
+	out = out[:len(rows)]
+	for r, row := range rows {
+		row.sameUniverse(t)
+		rw := row.words
+		tw := t.words[:len(rw)]
+		c := 0
+		for len(rw) >= 4 && len(tw) >= 4 {
+			r4, t4 := (*[4]uint64)(rw), (*[4]uint64)(tw)
+			c += bits.OnesCount64(r4[0]&t4[0]) + bits.OnesCount64(r4[1]&t4[1]) +
+				bits.OnesCount64(r4[2]&t4[2]) + bits.OnesCount64(r4[3]&t4[3])
+			rw, tw = rw[4:], tw[4:]
+		}
+		tw = tw[:len(rw)]
+		for i := range rw {
+			c += bits.OnesCount64(rw[i] & tw[i])
+		}
+		out[r] = int32(c)
+	}
+}

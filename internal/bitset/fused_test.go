@@ -1,0 +1,120 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFusedAgreeWithTwoPass checks every fused two-in-one kernel against
+// the separate-pass composition it replaces, on random sets spanning the
+// unrolled (≥4 words) and tail-only regimes, including aliased
+// destinations.
+func TestFusedAgreeWithTwoPass(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(400)
+		a, b := randomSet(r, n), randomSet(r, n)
+
+		dst := New(n)
+		if got, want := a.IntersectIntoCount(b, dst), a.Intersect(b).Len(); got != want || !dst.Equal(a.Intersect(b)) {
+			t.Fatalf("IntersectIntoCount(%v, %v) = %d/%v, want %d/%v", a, b, got, dst, want, a.Intersect(b))
+		}
+		if got, want := a.IntersectIntoAny(b, dst), !a.Intersect(b).IsEmpty(); got != want || !dst.Equal(a.Intersect(b)) {
+			t.Fatalf("IntersectIntoAny(%v, %v) = %v/%v, want %v", a, b, got, dst, want)
+		}
+		if got, want := a.UnionIntoCount(b, dst), a.Union(b).Len(); got != want || !dst.Equal(a.Union(b)) {
+			t.Fatalf("UnionIntoCount(%v, %v) = %d/%v, want %d", a, b, got, dst, want)
+		}
+		if got, want := a.DiffIntoCount(b, dst), a.Diff(b).Len(); got != want || !dst.Equal(a.Diff(b)) {
+			t.Fatalf("DiffIntoCount(%v, %v) = %d/%v, want %d", a, b, got, dst, want)
+		}
+		if got, want := a.AndNotAndCount(b), a.Diff(b).Len(); got != want {
+			t.Fatalf("AndNotAndCount(%v, %v) = %d, want %d", a, b, got, want)
+		}
+
+		// Aliased destinations follow the inplace.go contract.
+		alias := a.Clone()
+		if got, want := alias.DiffIntoCount(b, alias), a.Diff(b).Len(); got != want || !alias.Equal(a.Diff(b)) {
+			t.Fatalf("aliased DiffIntoCount = %d/%v, want %d/%v", got, alias, want, a.Diff(b))
+		}
+		alias = b.Clone()
+		if got, want := a.UnionIntoCount(alias, alias), a.Union(b).Len(); got != want || !alias.Equal(a.Union(b)) {
+			t.Fatalf("aliased UnionIntoCount = %d/%v, want %d", got, alias, want)
+		}
+	}
+}
+
+// TestFusedEdgeCases covers empty/full operands and the n%256 boundaries
+// where the unroll tail changes length.
+func TestFusedEdgeCases(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 255, 256, 257, 320} {
+		full, empty := Full(n), New(n)
+		dst := New(n)
+		if got := full.IntersectIntoCount(full, dst); got != n || !dst.Equal(full) {
+			t.Fatalf("n=%d: full∩full count = %d", n, got)
+		}
+		if got := full.DiffIntoCount(empty, dst); got != n {
+			t.Fatalf("n=%d: full−∅ count = %d", n, got)
+		}
+		if full.IntersectIntoAny(empty, dst) || !dst.IsEmpty() {
+			t.Fatalf("n=%d: full∩∅ reported non-empty", n)
+		}
+		if got := empty.UnionIntoCount(full, dst); got != n {
+			t.Fatalf("n=%d: ∅∪full count = %d", n, got)
+		}
+		if got := full.AndNotAndCount(full); got != 0 {
+			t.Fatalf("n=%d: full−full count-only = %d", n, got)
+		}
+	}
+}
+
+// TestAddToCounts checks the de-closured increment sweep against ForEach.
+func TestAddToCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		n := 1 + r.Intn(300)
+		s := randomSet(r, n)
+		got := make([]int32, n)
+		want := make([]int32, n)
+		s.AddToCounts(got, 2)
+		s.AddToCounts(got, -1)
+		s.ForEach(func(e int) bool {
+			want[e]++
+			return true
+		})
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("AddToCounts mismatch at %d: %d != %d (s=%v)", v, got[v], want[v], s)
+			}
+		}
+	}
+}
+
+// TestIntersectionCountsInto checks the occurrence-slab popcount batch
+// against per-row IntersectionCount, on NewBatch slabs like the ones
+// hypergraph.Index hands it.
+func TestIntersectionCountsInto(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for i := 0; i < 100; i++ {
+		n := 1 + r.Intn(300)
+		rows := NewBatch(n, 1+r.Intn(20))
+		for _, row := range rows {
+			row.CopyFrom(randomSet(r, n))
+		}
+		q := randomSet(r, n)
+		out := make([]int32, len(rows))
+		IntersectionCountsInto(rows, q, out)
+		for j, row := range rows {
+			if int(out[j]) != row.IntersectionCount(q) {
+				t.Fatalf("row %d: batch count %d != %d", j, out[j], row.IntersectionCount(q))
+			}
+		}
+	}
+	// Short out must panic before any row is counted.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short out slice did not panic")
+		}
+	}()
+	IntersectionCountsInto(NewBatch(8, 3), New(8), make([]int32, 2))
+}

@@ -6,6 +6,14 @@ package bitset
 // The destination may alias either operand; the result is computed word by
 // word and each word depends only on the corresponding operand words.
 // Like the allocating counterparts, all of them panic on universe mismatch.
+//
+// The word loops are 4-way unrolled in the slice-advance shape: each
+// iteration converts the slice heads to *[4]uint64 windows under a
+// `len >= 4` guard on every operand and then advances all slices by four,
+// which is the form the compiler's prove pass eliminates completely — the
+// only residual bounds checks are the O(1) pre/post-loop re-slices
+// (verified by `dualvet -gate bce`). The four independent word ops per
+// iteration keep the ALUs fed on multi-word universes.
 
 // CopyFrom makes dst an exact copy of src.
 //
@@ -31,7 +39,16 @@ func (s Set) IntersectInto(t, dst Set) {
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
 	dw := dst.words
-	sw, tw := s.words[:len(dw)], t.words[:len(dw)] // hoist the bounds checks out of the loop
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)]
+	for len(dw) >= 4 && len(sw) >= 4 && len(tw) >= 4 {
+		d4, s4, t4 := (*[4]uint64)(dw), (*[4]uint64)(sw), (*[4]uint64)(tw)
+		d4[0] = s4[0] & t4[0]
+		d4[1] = s4[1] & t4[1]
+		d4[2] = s4[2] & t4[2]
+		d4[3] = s4[3] & t4[3]
+		dw, sw, tw = dw[4:], sw[4:], tw[4:]
+	}
+	sw, tw = sw[:len(dw)], tw[:len(dw)]
 	for i := range dw {
 		dw[i] = sw[i] & tw[i]
 	}
@@ -44,7 +61,16 @@ func (s Set) UnionInto(t, dst Set) {
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
 	dw := dst.words
-	sw, tw := s.words[:len(dw)], t.words[:len(dw)] // hoist the bounds checks out of the loop
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)]
+	for len(dw) >= 4 && len(sw) >= 4 && len(tw) >= 4 {
+		d4, s4, t4 := (*[4]uint64)(dw), (*[4]uint64)(sw), (*[4]uint64)(tw)
+		d4[0] = s4[0] | t4[0]
+		d4[1] = s4[1] | t4[1]
+		d4[2] = s4[2] | t4[2]
+		d4[3] = s4[3] | t4[3]
+		dw, sw, tw = dw[4:], sw[4:], tw[4:]
+	}
+	sw, tw = sw[:len(dw)], tw[:len(dw)]
 	for i := range dw {
 		dw[i] = sw[i] | tw[i]
 	}
@@ -57,7 +83,16 @@ func (s Set) DiffInto(t, dst Set) {
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
 	dw := dst.words
-	sw, tw := s.words[:len(dw)], t.words[:len(dw)] // hoist the bounds checks out of the loop
+	sw, tw := s.words[:len(dw)], t.words[:len(dw)]
+	for len(dw) >= 4 && len(sw) >= 4 && len(tw) >= 4 {
+		d4, s4, t4 := (*[4]uint64)(dw), (*[4]uint64)(sw), (*[4]uint64)(tw)
+		d4[0] = s4[0] &^ t4[0]
+		d4[1] = s4[1] &^ t4[1]
+		d4[2] = s4[2] &^ t4[2]
+		d4[3] = s4[3] &^ t4[3]
+		dw, sw, tw = dw[4:], sw[4:], tw[4:]
+	}
+	sw, tw = sw[:len(dw)], tw[:len(dw)]
 	for i := range dw {
 		dw[i] = sw[i] &^ tw[i]
 	}
@@ -69,7 +104,16 @@ func (s Set) DiffInto(t, dst Set) {
 func (s Set) ComplementInto(dst Set) {
 	s.sameUniverse(dst)
 	dw := dst.words
-	sw := s.words[:len(dw)] // hoist the bounds check out of the loop
+	sw := s.words[:len(dw)]
+	for len(dw) >= 4 && len(sw) >= 4 {
+		d4, s4 := (*[4]uint64)(dw), (*[4]uint64)(sw)
+		d4[0] = ^s4[0]
+		d4[1] = ^s4[1]
+		d4[2] = ^s4[2]
+		d4[3] = ^s4[3]
+		dw, sw = dw[4:], sw[4:]
+	}
+	sw = sw[:len(dw)]
 	for i := range dw {
 		dw[i] = ^sw[i]
 	}

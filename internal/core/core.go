@@ -254,6 +254,15 @@ type Stats struct {
 	MaxDepth int
 	// MaxChildren is the maximum child count κ(α) observed.
 	MaxChildren int
+	// Spawns counts subtree frames the parallel search's workers published
+	// to their deques for other workers to steal (0 on serial walks).
+	Spawns int
+	// Steals counts frames actually taken from another worker's deque.
+	Steals int
+	// LeafWorkers counts the distinct workers that classified at least one
+	// leaf — the load-balance signal of the work-stealing search (0 on
+	// serial walks, which have no worker pool).
+	LeafWorkers int
 	// MemoHits counts internal nodes whose entire subtrees were skipped by
 	// the cross-node subinstance memo (memo.go; only walkers pinned by a
 	// memo-carrying Decider report non-zero values). Skipped nodes do not

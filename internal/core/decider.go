@@ -72,6 +72,11 @@ func (d *Decider) SetRecorder(r *obs.Recorder) {
 	}
 }
 
+// Recorder returns the attached stage-timing recorder (nil when detached).
+// Engine adapters that cannot run on the pinned scratch but can still time
+// their stages (the parallel search) read it through here.
+func (d *Decider) Recorder() *obs.Recorder { return d.rec }
+
 // MemoStats snapshots the memo counters (zero value when no memo is
 // attached). Safe to call concurrently with decisions.
 func (d *Decider) MemoStats() MemoStats {

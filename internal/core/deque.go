@@ -1,0 +1,104 @@
+package core
+
+// The work-stealing deque of the parallel tree search (parallel.go). Each
+// worker owns one frameDeque of subtree frames: the owner pushes and pops at
+// the TOP (LIFO — the frames it just published, deepest first, so unstolen
+// children are reclaimed while the scratch still matches their parent),
+// thieves steal from the BOTTOM (FIFO — the oldest, shallowest frame, which
+// roots the largest expected subtree and so best amortizes the thief's full
+// scratch re-synchronization).
+//
+// The deque is a bounded ring under a per-deque mutex. Contention is one
+// uncontended lock per push/pop in the common case (thieves only arrive
+// when their own deque is dry), and the bound turns publish-pressure into
+// inline descent (the owner keeps the child itself), so a pathological tree
+// cannot accumulate unbounded frame storage.
+
+import (
+	"sync"
+
+	"dualspace/internal/bitset"
+)
+
+// stealFrame is one published subtree: the node set and root-to-node child
+// labels (both owned storage, copied at publish time so the frame outlives
+// the publisher's per-depth buffers), plus the publisher's batch tag.
+type stealFrame struct {
+	s    bitset.Set
+	path []int
+	// tag identifies the (worker, walk-node) batch that published the frame.
+	// A worker reclaims its own frames with popIf(tag): a successful pop
+	// proves the top frame is one of the batch it just pushed, so the
+	// scratch diff-descent invariant (the worker's scratch still matches
+	// the frame's parent) holds without any further bookkeeping.
+	tag  uint64
+	next *stealFrame // free-list link (parallel.go)
+}
+
+// dequeCap bounds the frames a worker may have published at once. 256
+// frames × one universe-sized set is small, and a full deque simply means
+// the owner descends inline — correctness never depends on capacity.
+const dequeCap = 256
+
+// frameDeque is one worker's bounded ring. buf[head] is the bottom (steal
+// end); buf[(head+size-1)%dequeCap] is the top (owner end).
+type frameDeque struct {
+	mu   sync.Mutex
+	buf  [dequeCap]*stealFrame
+	head int
+	size int
+}
+
+// push publishes f at the top; it reports false (and leaves f untouched)
+// when the deque is full.
+func (d *frameDeque) push(f *stealFrame) bool {
+	d.mu.Lock()
+	if d.size == dequeCap {
+		d.mu.Unlock()
+		return false
+	}
+	d.buf[(d.head+d.size)%dequeCap] = f
+	d.size++
+	d.mu.Unlock()
+	return true
+}
+
+// popIf pops the top frame iff it carries the given batch tag, so a
+// returning walk reclaims exactly the frames it published and nothing a
+// shallower ancestor did.
+func (d *frameDeque) popIf(tag uint64) *stealFrame {
+	d.mu.Lock()
+	if d.size == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	i := (d.head + d.size - 1) % dequeCap
+	f := d.buf[i]
+	if f.tag != tag {
+		d.mu.Unlock()
+		return nil
+	}
+	d.buf[i] = nil
+	d.size--
+	d.mu.Unlock()
+	return f
+}
+
+// steal takes the bottom frame, or nil.
+func (d *frameDeque) steal() *stealFrame {
+	d.mu.Lock()
+	if d.size == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	f := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % dequeCap
+	d.size--
+	d.mu.Unlock()
+	return f
+}
+
+// drain empties the deque (shutdown path), returning the frames one at a
+// time.
+func (d *frameDeque) drain() *stealFrame { return d.steal() }

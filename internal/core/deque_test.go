@@ -1,0 +1,174 @@
+package core
+
+// Unit and property tests for the bounded work-stealing deque. The
+// scheduler's correctness argument (parallel.go) leans on three local
+// properties checked here: owner pops are LIFO and tag-guarded, steals are
+// FIFO from the opposite end, and no interleaving of one owner with many
+// thieves loses or duplicates a frame.
+
+import (
+	"sync"
+	"testing"
+)
+
+// frameID labels test frames through their path slice.
+func frameID(n int) *stealFrame { return &stealFrame{path: []int{n}} }
+
+func TestDequeOwnerLIFOThiefFIFO(t *testing.T) {
+	var d frameDeque
+	for i := 0; i < 5; i++ {
+		f := frameID(i)
+		f.tag = 7
+		if !d.push(f) {
+			t.Fatalf("push %d refused", i)
+		}
+	}
+	// Thief sees the OLDEST frame (bottom).
+	if f := d.steal(); f == nil || f.path[0] != 0 {
+		t.Fatalf("steal got %v, want frame 0", f)
+	}
+	// Owner sees the NEWEST (top), and only under the right tag.
+	if f := d.popIf(99); f != nil {
+		t.Fatalf("popIf with wrong tag returned frame %d", f.path[0])
+	}
+	for want := 4; want >= 1; want-- {
+		f := d.popIf(7)
+		if f == nil || f.path[0] != want {
+			t.Fatalf("popIf got %v, want frame %d", f, want)
+		}
+	}
+	if f := d.popIf(7); f != nil {
+		t.Fatalf("popIf on empty deque returned frame %d", f.path[0])
+	}
+	if f := d.steal(); f != nil {
+		t.Fatalf("steal on empty deque returned frame %d", f.path[0])
+	}
+}
+
+func TestDequeTagBoundary(t *testing.T) {
+	// Two batches interleaved: the owner reclaiming batch B must stop at
+	// the first batch-A frame instead of popping through it.
+	var d frameDeque
+	for i := 0; i < 3; i++ {
+		f := frameID(i)
+		f.tag = 1
+		d.push(f)
+	}
+	for i := 3; i < 5; i++ {
+		f := frameID(i)
+		f.tag = 2
+		d.push(f)
+	}
+	if f := d.popIf(2); f == nil || f.path[0] != 4 {
+		t.Fatalf("got %v, want frame 4", f)
+	}
+	if f := d.popIf(2); f == nil || f.path[0] != 3 {
+		t.Fatalf("got %v, want frame 3", f)
+	}
+	if f := d.popIf(2); f != nil {
+		t.Fatalf("batch 2 exhausted but popIf(2) returned frame %d", f.path[0])
+	}
+	if f := d.popIf(1); f == nil || f.path[0] != 2 {
+		t.Fatalf("got %v, want frame 2", f)
+	}
+}
+
+func TestDequeBound(t *testing.T) {
+	var d frameDeque
+	for i := 0; i < dequeCap; i++ {
+		if !d.push(frameID(i)) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if d.push(frameID(dequeCap)) {
+		t.Fatal("push accepted beyond capacity")
+	}
+	// Stealing one frame frees one slot.
+	if f := d.steal(); f == nil || f.path[0] != 0 {
+		t.Fatalf("steal got %v, want frame 0", f)
+	}
+	if !d.push(frameID(dequeCap)) {
+		t.Fatal("push refused after a steal freed a slot")
+	}
+}
+
+// TestDequeNoLostOrDuplicatedFrames drives one owner (pushing batches then
+// reclaiming what thieves left) against several concurrent thieves, and
+// checks every pushed frame is consumed exactly once. Run under -race this
+// also vets the locking.
+func TestDequeNoLostOrDuplicatedFrames(t *testing.T) {
+	const (
+		thieves = 4
+		batches = 200
+		batchSz = 8
+	)
+	var d frameDeque
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	record := func(f *stealFrame) {
+		mu.Lock()
+		seen[f.path[0]]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if f := d.steal(); f != nil {
+					record(f)
+					continue
+				}
+				select {
+				case <-stop:
+					// One final sweep so a frame pushed just before the
+					// owner finished cannot be stranded.
+					for f := d.steal(); f != nil; f = d.steal() {
+						record(f)
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	next := 0
+	for b := 0; b < batches; b++ {
+		tag := uint64(b + 1)
+		pushed := 0
+		for i := 0; i < batchSz; i++ {
+			f := frameID(next)
+			f.tag = tag
+			if d.push(f) {
+				next++
+				pushed++
+			}
+		}
+		for pushed > 0 {
+			f := d.popIf(tag)
+			if f == nil {
+				break // thieves own the rest of the batch
+			}
+			if f.tag != tag {
+				t.Errorf("popIf(%d) returned tag %d", tag, f.tag)
+			}
+			record(f)
+			pushed--
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(seen) != next {
+		t.Fatalf("consumed %d distinct frames, pushed %d", len(seen), next)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("frame %d consumed %d times", id, n)
+		}
+	}
+}

@@ -1,35 +1,82 @@
 package core
 
-// Parallel tree search. The Boros–Makino decomposition was introduced as a
-// parallel algorithm (their ICALP 2009 result runs it on an EREW PRAM in
-// O(log²n) time; Gottlob's §1 recounts this), because the tree's subtrees
-// are completely independent: each node is a pure function of its set Sα.
-// DecideParallel exploits exactly that independence with a bounded pool of
-// goroutines, as a practical counterpart to the PRAM remark. The verdict
-// is identical to the serial search; on non-dual instances the reported
-// witness is the first fail leaf *found*, which — unlike serial search —
-// need not be the DFS-first one (every fail witness is equally valid, and
-// the tests check validity).
+// Work-stealing parallel tree search. The Boros–Makino decomposition was
+// introduced as a parallel algorithm (their ICALP 2009 result runs it on an
+// EREW PRAM in O(log²n) time; Gottlob's §1 recounts this), because the
+// tree's subtrees are completely independent: each node is a pure function
+// of its set Sα. DecideParallel exploits exactly that independence.
 //
-// Each concurrent subtree runs on its own worker state (scratch + frame
-// stack + path buffer) drawn from a sync.Pool, so steady-state node work is
-// allocation-free; only spawning a subtree clones the child set and path
-// prefix the new goroutine takes ownership of.
+// The scheduler is a fixed pool of P workers, each owning a bounded LIFO
+// deque of subtree frames (deque.go). At an internal node a worker keeps
+// the first child for itself — descending by removed-vertex diffs on its
+// incremental scratch, exactly like the serial walker — and publishes the
+// remaining children as frames. When the walk returns it reclaims its own
+// unstolen frames newest-first (popIf, so the scratch still matches their
+// parent and the diff descent stays O(changed)); only frames STOLEN by an
+// idle worker pay a full syncTo re-synchronization at the subtree root.
+// Thieves steal from the bottom of a random victim's deque — the
+// shallowest, largest-expected subtree — so skewed trees (majority-N's one
+// deep branch) keep every worker busy instead of serializing behind a
+// single spawn chain, and the steal count stays logarithmic in practice.
+//
+// Verdict protocol and bounds are unchanged from the spawn-per-subtree
+// model this replaces: every worker polls cancellation at every node (one
+// tree-node drain bound), the first fail leaf recorded wins (any fail
+// witness is equally valid; tests check validity), and a context
+// cancellation that beats every fail leaf surfaces ctx.Err(). Termination
+// is a counter of outstanding frames (published or being walked): it hits
+// zero exactly when the whole tree is done. Idle workers park on a bounded
+// hint channel; a hint is sent per publish, and a worker about to park
+// while every peer is also idle and frames remain re-scans instead of
+// sleeping, so no frame can be stranded by a lost wakeup.
+//
+// The search object (deques, frame free list, worker states, scratch pool)
+// is recycled through a package pool, so steady-state decisions allocate
+// only the per-run channels and goroutines, independent of tree size.
 
 import (
 	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dualspace/internal/bitset"
 	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
 )
 
-// DecideParallel is Decide with the tree stage searched by up to `workers`
-// goroutines (0 means GOMAXPROCS). Verdict and Reason agree with Decide;
-// Witness/FailPath may name a different (equally valid) fail leaf, and
-// Stats.Nodes counts the nodes actually visited before cancellation.
+// Cumulative scheduler totals across every parallel search in the process,
+// for the observability bridges (service/obs.go reads them at scrape time).
+var (
+	totalSteals    atomic.Int64
+	totalSpawns    atomic.Int64
+	totalIdleParks atomic.Int64
+)
+
+// ParallelSearchTotals reports process-wide work-stealing counters: frames
+// published for stealing, frames actually stolen, and idle worker parks.
+func ParallelSearchTotals() (spawns, steals, idleParks int64) {
+	return totalSpawns.Load(), totalSteals.Load(), totalIdleParks.Load()
+}
+
+// ParallelOptions parameterizes DecideParallelOpts.
+type ParallelOptions struct {
+	// Workers bounds the worker pool (0 means GOMAXPROCS).
+	Workers int
+	// Rec, when non-nil, receives stage timings: precheck, index build,
+	// walk wall time net of steal re-synchronization, and the cumulative
+	// steal re-synchronization time under obs.StageWalkSteals. Unlike the
+	// serial stages, walk and walk_steals aggregate across workers, so on
+	// multi-core runs their sum can exceed the walk's wall clock.
+	Rec *obs.Recorder
+}
+
+// DecideParallel is Decide with the tree stage searched by a work-stealing
+// pool of `workers` goroutines (0 means GOMAXPROCS). Verdict and Reason
+// agree with Decide; Witness/FailPath may name a different (equally valid)
+// fail leaf, and Stats.Nodes counts the nodes actually visited before
+// cancellation.
 func DecideParallel(g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
 	return DecideParallelContext(context.Background(), g, h, workers)
 }
@@ -40,10 +87,27 @@ func DecideParallel(g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
 // before the cancellation won the race, the (valid) non-dual verdict is
 // returned instead of the context error.
 func DecideParallelContext(ctx context.Context, g, h *hypergraph.Hypergraph, workers int) (*Result, error) {
+	return DecideParallelOpts(ctx, g, h, ParallelOptions{Workers: workers})
+}
+
+// DecideParallelOpts is DecideParallelContext with options (worker bound,
+// stage recorder).
+func DecideParallelOpts(ctx context.Context, g, h *hypergraph.Hypergraph, opt ParallelOptions) (*Result, error) {
 	pres := &Result{GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	t0 := time.Time{}
+	if opt.Rec != nil {
+		t0 = time.Now()
+	}
 	gi, hi := indexFor(g), indexFor(h)
+	if opt.Rec != nil {
+		opt.Rec.Add(obs.StageIndexSync, time.Since(t0))
+		t0 = time.Now()
+	}
 	done, err := precheckIntoIdx(g, h, gi, hi,
 		bitset.New(gi.OccUniverse()), bitset.New(hi.OccUniverse()), pres)
+	if opt.Rec != nil {
+		opt.Rec.Add(obs.StagePrecheck, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +121,7 @@ func DecideParallelContext(ctx context.Context, g, h *hypergraph.Hypergraph, wor
 		a, b, swapped = h, g, true
 		ai, bi = hi, gi
 	}
-	res := trSubsetParallel(ctx, a, b, ai, bi, workers)
+	res := trSubsetParallel(ctx, a, b, ai, bi, opt.Workers, opt.Rec)
 	if res == nil {
 		return nil, ctx.Err()
 	}
@@ -68,78 +132,232 @@ func DecideParallelContext(ctx context.Context, g, h *hypergraph.Hypergraph, wor
 	return res, nil
 }
 
-type parallelSearch struct {
-	g, h *hypergraph.Hypergraph
+// stealSearch is the recyclable state of one work-stealing search run.
+type stealSearch struct {
+	g, h    *hypergraph.Hypergraph
+	gi, hi  *hypergraph.Index
+	workers int
 
-	states sync.Pool     // of *walkState
-	sem    chan struct{} // bounds concurrent subtree goroutines
-	wg     sync.WaitGroup
-	stop   chan struct{}
-	done   <-chan struct{} // external cancellation (ctx.Done())
-	once   sync.Once
+	states  sync.Pool    // of *walkState; scratch storage survives across runs
+	deques  []frameDeque // one per worker
+	wrk     []stealWorker
+	leafBy  []int64 // leaves classified per worker (fairness signal)
+	freeMu  sync.Mutex
+	free    *stealFrame // frame free list, retained across runs
+	wg      sync.WaitGroup
+	work    chan struct{} // bounded wake hints, one send per publish
+	stop    chan struct{} // closed by the first fail leaf
+	allDone chan struct{} // closed when outstanding hits zero
+	done    <-chan struct{}
+	once    sync.Once // guards close(stop)
+	dOnce   sync.Once // guards close(allDone)
+
+	outstanding atomic.Int64 // frames published or being walked
+	idle        atomic.Int64 // workers currently parking
 
 	mu       sync.Mutex
 	failT    bitset.Set
 	failPath []int
 	failSet  bool
 
-	nodes       int64
-	leaves      int64
-	maxDepth    int64
-	maxChildren int64
-	drained     int32 // set when some worker aborted due to ctx, not a fail leaf
+	nodes, leaves, steals, spawns, idleParks atomic.Int64
+	maxDepth, maxChildren                    int64
+	stealNs                                  atomic.Int64 // syncTo time on stolen frames
+	drained                                  atomic.Int32 // ctx cancellation observed
+	traceSteals                              bool
 }
 
-// trSubsetParallel runs the parallel tree search; it returns nil when ctx
-// was cancelled before any fail leaf was recorded (the caller surfaces
+// stealWorker is one worker's run state: node-local counters (flushed once
+// at exit, so the hot path pays no atomics) and the xorshift cursor that
+// randomizes victim choice.
+type stealWorker struct {
+	p                                    *stealSearch
+	id                                   int
+	seq                                  uint64 // batch counter behind the popIf tags
+	rng                                  uint64
+	nodes, leaves, steals, spawns, parks int64
+	maxDepth, maxChildren                int64
+	stealNs                              int64
+}
+
+var searchPool sync.Pool // of *stealSearch
+
+// acquireStealSearch readies a pooled (or fresh) search for one run.
+func acquireStealSearch(ctx context.Context, g, h *hypergraph.Hypergraph, gi, hi *hypergraph.Index, workers int, rec *obs.Recorder) *stealSearch {
+	var p *stealSearch
+	if v := searchPool.Get(); v != nil {
+		p = v.(*stealSearch)
+	} else {
+		p = &stealSearch{}
+		p.states.New = func() any {
+			return &walkState{sc: &scratch{dedup: make(map[uint64]int32)}}
+		}
+	}
+	p.g, p.h, p.gi, p.hi = g, h, gi, hi
+	p.workers = workers
+	if cap(p.deques) < workers {
+		p.deques = make([]frameDeque, workers)
+		p.wrk = make([]stealWorker, workers)
+		p.leafBy = make([]int64, workers)
+	}
+	p.deques = p.deques[:workers]
+	p.wrk = p.wrk[:workers]
+	p.leafBy = p.leafBy[:workers]
+	for i := range p.leafBy {
+		p.leafBy[i] = 0
+	}
+	p.work = make(chan struct{}, workers)
+	p.stop = make(chan struct{})
+	p.allDone = make(chan struct{})
+	p.done = ctx.Done()
+	p.once = sync.Once{}
+	p.dOnce = sync.Once{}
+	p.outstanding.Store(0)
+	p.idle.Store(0)
+	p.nodes.Store(0)
+	p.leaves.Store(0)
+	p.steals.Store(0)
+	p.spawns.Store(0)
+	p.idleParks.Store(0)
+	p.stealNs.Store(0)
+	p.maxDepth, p.maxChildren = 0, 0
+	p.drained.Store(0)
+	p.failSet = false
+	p.failT = bitset.Set{}
+	p.failPath = nil
+	p.traceSteals = rec != nil
+	return p
+}
+
+// trSubsetParallel runs the work-stealing tree search; it returns nil when
+// ctx was cancelled before any fail leaf was recorded (the caller surfaces
 // ctx.Err()). gi and hi are the read-only incidence indexes of g and h,
 // shared by every worker's scratch.
-func trSubsetParallel(ctx context.Context, g, h *hypergraph.Hypergraph, gi, hi *hypergraph.Index, workers int) *Result {
+func trSubsetParallel(ctx context.Context, g, h *hypergraph.Hypergraph, gi, hi *hypergraph.Index, workers int, rec *obs.Recorder) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &parallelSearch{
-		g: g, h: h,
-		sem:  make(chan struct{}, workers),
-		stop: make(chan struct{}),
-		done: ctx.Done(),
+	p := acquireStealSearch(ctx, g, h, gi, hi, workers, rec)
+
+	// Publish the root as the one initial frame; worker 0 finds it in its
+	// own deque, everyone else races to steal it or parks.
+	root := p.newFrame()
+	root.s.CopyFrom(bitset.Full(g.N()))
+	root.path = root.path[:0]
+	root.tag = 0
+	p.outstanding.Store(1)
+	p.deques[0].push(root)
+
+	t0 := time.Time{}
+	if rec != nil {
+		t0 = time.Now()
 	}
-	p.states.New = func() any {
-		w := &walkState{sc: &scratch{dedup: make(map[uint64]int32)}}
-		w.sc.bindShared(g, h, gi, hi)
-		return w
+	p.wg.Add(workers)
+	for id := 0; id < workers; id++ { //dual:allow(ctxpoll: O(workers) spawn loop; the workers themselves poll ctx at every tree node)
+		w := &p.wrk[id]
+		*w = stealWorker{p: p, id: id, rng: uint64(id)*0x9E3779B97F4A7C15 + 0x1234567}
+		go w.run()
 	}
-	st := p.states.Get().(*walkState)
-	root := bitset.Full(g.N())
-	st.sc.syncTo(root)
-	p.walk(st, root, 0)
-	p.states.Put(st)
 	p.wg.Wait()
+	if rec != nil {
+		wall := time.Since(t0)
+		stealNs := time.Duration(p.stealNs.Load())
+		if net := wall - stealNs; net > 0 {
+			rec.Add(obs.StageWalk, net)
+		}
+		rec.Add(obs.StageWalkSteals, stealNs)
+	}
 
 	res := &Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}
 	res.Stats = Stats{
-		Nodes:       int(atomic.LoadInt64(&p.nodes)),
-		Leaves:      int(atomic.LoadInt64(&p.leaves)),
+		Nodes:       int(p.nodes.Load()),
+		Leaves:      int(p.leaves.Load()),
 		MaxDepth:    int(atomic.LoadInt64(&p.maxDepth)),
 		MaxChildren: int(atomic.LoadInt64(&p.maxChildren)),
+		Spawns:      int(p.spawns.Load()),
+		Steals:      int(p.steals.Load()),
 	}
+	for _, n := range p.leafBy {
+		if n > 0 {
+			res.Stats.LeafWorkers++
+		}
+	}
+	totalSpawns.Add(p.spawns.Load())
+	totalSteals.Add(p.steals.Load())
+	totalIdleParks.Add(p.idleParks.Load())
+
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.failSet {
+	failSet, failT, failPath := p.failSet, p.failT, p.failPath
+	p.mu.Unlock()
+	drained := p.drained.Load() != 0
+
+	// Drain frames a cancellation left behind, then recycle the search.
+	for i := range p.deques { //dual:allow(ctxpoll: post-run cleanup after every worker exited; bounded by dequeCap frames per worker)
+		for f := p.deques[i].drain(); f != nil; f = p.deques[i].drain() {
+			p.releaseFrame(f)
+		}
+	}
+	p.g, p.h, p.gi, p.hi = nil, nil, nil, nil
+	p.done = nil
+	searchPool.Put(p)
+
+	if failSet {
 		res.Dual = false
 		res.Reason = ReasonNewTransversal
-		res.Witness = p.failT
-		res.CoWitness = p.failT.Complement()
-		res.FailPath = p.failPath
+		res.Witness = failT
+		res.CoWitness = failT.Complement()
+		res.FailPath = failPath
 		return res
 	}
-	if atomic.LoadInt32(&p.drained) != 0 {
+	if drained {
 		return nil // cancelled with no verdict reached
 	}
 	return res
 }
 
-func (p *parallelSearch) cancelled() bool {
+// newFrame takes a frame off the free list (or allocates one) and fits its
+// set storage to the current universe.
+func (p *stealSearch) newFrame() *stealFrame {
+	p.freeMu.Lock()
+	f := p.free
+	if f != nil {
+		p.free = f.next
+	}
+	p.freeMu.Unlock()
+	if f == nil {
+		f = &stealFrame{}
+	}
+	f.next = nil
+	if f.s.Universe() != p.g.N() {
+		f.s = bitset.New(p.g.N())
+	}
+	return f
+}
+
+func (p *stealSearch) releaseFrame(f *stealFrame) {
+	p.freeMu.Lock()
+	f.next = p.free
+	p.free = f
+	p.freeMu.Unlock()
+}
+
+// frameDone retires one outstanding frame; the last one ends the search.
+func (p *stealSearch) frameDone() {
+	if p.outstanding.Add(-1) == 0 {
+		p.dOnce.Do(func() { close(p.allDone) })
+	}
+}
+
+// hint wakes one parked worker if the hint channel has room; a full channel
+// already guarantees pending wakeups.
+func (p *stealSearch) hint() {
+	select {
+	case p.work <- struct{}{}:
+	default:
+	}
+}
+
+func (p *stealSearch) cancelled() bool {
 	select {
 	case <-p.stop:
 		return true
@@ -148,7 +366,7 @@ func (p *parallelSearch) cancelled() bool {
 	if p.done != nil {
 		select {
 		case <-p.done:
-			atomic.StoreInt32(&p.drained, 1)
+			p.drained.Store(1)
 			return true
 		default:
 		}
@@ -156,66 +374,7 @@ func (p *parallelSearch) cancelled() bool {
 	return false
 }
 
-// walk classifies s at the given depth on st (whose path buffer holds the
-// labels of the ancestors and whose incremental scratch state matches s) and
-// descends: inline on st when the pool is saturated — maintaining the
-// scratch by removed-vertex diffs — otherwise handing cloned child state to
-// a fresh goroutine, which re-synchronizes its pooled scratch at the
-// subtree root.
-func (p *parallelSearch) walk(st *walkState, s bitset.Set, depth int) {
-	if p.cancelled() {
-		return
-	}
-	fr := st.frame(depth)
-	v := st.sc.classifyNode(s, fr)
-	atomic.AddInt64(&p.nodes, 1)
-	atomicMax(&p.maxDepth, int64(depth))
-	if v.mark != MarkNil {
-		atomic.AddInt64(&p.leaves, 1)
-		if v.mark == MarkFail {
-			p.recordFail(st.sc.wit, st.path[:depth])
-		}
-		return
-	}
-	atomicMax(&p.maxChildren, int64(fr.nChildren))
-	for i := 0; i < fr.nChildren; i++ {
-		if p.cancelled() {
-			return
-		}
-		c := fr.children[i]
-		select {
-		case p.sem <- struct{}{}:
-			p.wg.Add(1)
-			// The goroutine outlives this frame and path buffer: clone both
-			// before handing off.
-			cs := c.Clone()
-			cp := append(append(make([]int, 0, depth+1), st.path[:depth]...), i+1)
-			go func() {
-				defer p.wg.Done()
-				defer func() { <-p.sem }()
-				st2 := p.states.Get().(*walkState)
-				st2.path = append(st2.path[:0], cp...)
-				st2.sc.syncTo(cs)
-				p.walk(st2, cs, depth+1)
-				p.states.Put(st2)
-			}()
-		default:
-			// Pool exhausted: descend inline to keep progress bounded.
-			st.path = append(st.path[:depth], i+1)
-			rem := s.AppendDiffElems(c, st.remBuf(depth))
-			st.rem[depth] = rem
-			for _, u := range rem {
-				st.sc.removeVertex(u)
-			}
-			p.walk(st, c, depth+1)
-			for _, u := range rem {
-				st.sc.restoreVertex(u)
-			}
-		}
-	}
-}
-
-func (p *parallelSearch) recordFail(t bitset.Set, path []int) {
+func (p *stealSearch) recordFail(t bitset.Set, path []int) {
 	p.mu.Lock()
 	if !p.failSet {
 		p.failSet = true
@@ -224,6 +383,207 @@ func (p *parallelSearch) recordFail(t bitset.Set, path []int) {
 	}
 	p.mu.Unlock()
 	p.once.Do(func() { close(p.stop) })
+}
+
+// run is one worker's main loop: bind a pooled walker state to the shared
+// instance, then alternate between finding a frame (own deque, then steals)
+// and walking its subtree from a full re-synchronization.
+func (w *stealWorker) run() {
+	p := w.p
+	defer p.wg.Done()
+	st := p.states.Get().(*walkState)
+	st.sc.bindShared(p.g, p.h, p.gi, p.hi)
+	for {
+		f, stolen := w.next()
+		if f == nil {
+			break
+		}
+		st.path = append(st.path[:0], f.path...)
+		var t0 time.Time
+		if stolen && p.traceSteals {
+			t0 = time.Now()
+		}
+		st.sc.syncTo(f.s)
+		if stolen && p.traceSteals {
+			w.stealNs += int64(time.Since(t0))
+		}
+		w.walk(st, f.s, len(f.path))
+		p.releaseFrame(f)
+		p.frameDone()
+	}
+	p.states.Put(st)
+	p.nodes.Add(w.nodes)
+	p.leaves.Add(w.leaves)
+	p.steals.Add(w.steals)
+	p.spawns.Add(w.spawns)
+	p.idleParks.Add(w.parks)
+	p.stealNs.Add(w.stealNs)
+	p.leafBy[w.id] = w.leaves
+	atomicMax(&p.maxDepth, w.maxDepth)
+	atomicMax(&p.maxChildren, w.maxChildren)
+}
+
+// next returns the worker's next frame, parking when the whole pool is out
+// of work; nil means the search ended (verdict reached or cancelled).
+func (w *stealWorker) next() (*stealFrame, bool) {
+	p := w.p
+	for {
+		if p.cancelled() {
+			return nil, false
+		}
+		if f, stolen := w.findWork(); f != nil {
+			return f, stolen
+		}
+		idle := p.idle.Add(1)
+		if idle == int64(p.workers) && p.outstanding.Load() > 0 {
+			// Everyone is idle yet frames remain in some deque (nobody is
+			// walking, so outstanding counts only parked frames): re-scan
+			// instead of sleeping, so a consumed hint can never strand them.
+			p.idle.Add(-1)
+			runtime.Gosched()
+			continue
+		}
+		w.parks++
+		select {
+		case <-p.work:
+			p.idle.Add(-1)
+		case <-p.stop:
+			p.idle.Add(-1)
+			return nil, false
+		case <-p.allDone:
+			p.idle.Add(-1)
+			return nil, false
+		case <-p.done:
+			p.idle.Add(-1)
+			p.drained.Store(1)
+			return nil, false
+		}
+	}
+}
+
+// findWork checks the worker's own deque, then sweeps the other deques from
+// a random start, stealing the bottom (shallowest) frame of the first
+// non-empty victim.
+func (w *stealWorker) findWork() (*stealFrame, bool) {
+	p := w.p
+	if f := p.deques[w.id].steal(); f != nil {
+		return f, false // own leftover (the root frame, in practice)
+	}
+	// xorshift64 victim cursor: cheap, per-worker, deterministic seed.
+	w.rng ^= w.rng << 13
+	w.rng ^= w.rng >> 7
+	w.rng ^= w.rng << 17
+	off := int(w.rng % uint64(p.workers))
+	for i := 0; i < p.workers; i++ {
+		v := (off + i) % p.workers
+		if v == w.id {
+			continue
+		}
+		if f := p.deques[v].steal(); f != nil {
+			w.steals++
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// walk classifies s at the given depth on st (whose path buffer holds the
+// labels of the ancestors and whose incremental scratch state matches s) and
+// descends. The first child is walked inline by removed-vertex diffs; the
+// rest are published as steal frames and reclaimed newest-first after the
+// inline descent — still by diffs — unless a thief took them meanwhile.
+func (w *stealWorker) walk(st *walkState, s bitset.Set, depth int) {
+	p := w.p
+	if p.cancelled() {
+		return
+	}
+	fr := st.frame(depth)
+	v := st.sc.classifyNode(s, fr)
+	w.nodes++
+	if int64(depth) > w.maxDepth {
+		w.maxDepth = int64(depth)
+	}
+	if v.mark != MarkNil {
+		w.leaves++
+		if v.mark == MarkFail {
+			p.recordFail(st.sc.wit, st.path[:depth])
+		}
+		return
+	}
+	if int64(fr.nChildren) > w.maxChildren {
+		w.maxChildren = int64(fr.nChildren)
+	}
+
+	// Publish children nChildren-1 … 1 (reverse order, so reclaims and
+	// steals both see ascending child indexes), keeping child 0 inline.
+	// A full deque stops publishing; the remainder is walked inline too.
+	pushed := 0
+	var tag uint64
+	if fr.nChildren > 1 {
+		w.seq++
+		tag = uint64(w.id+1)<<32 | w.seq
+		for i := fr.nChildren - 1; i >= 1; i-- {
+			f := p.newFrame()
+			f.s.CopyFrom(fr.children[i])
+			f.path = append(append(f.path[:0], st.path[:depth]...), i+1)
+			f.tag = tag
+			p.outstanding.Add(1)
+			if !p.deques[w.id].push(f) {
+				p.outstanding.Add(-1)
+				p.releaseFrame(f)
+				break
+			}
+			pushed++
+			w.spawns++
+			p.hint()
+		}
+	}
+
+	// Inline children: 0 plus whatever the bounded deque rejected.
+	for i := 0; i < fr.nChildren-pushed; i++ {
+		if p.cancelled() {
+			break
+		}
+		c := fr.children[i]
+		st.path = append(st.path[:depth], i+1)
+		rem := s.AppendDiffElems(c, st.remBuf(depth))
+		st.rem[depth] = rem
+		for _, u := range rem {
+			st.sc.removeVertex(u)
+		}
+		w.walk(st, c, depth+1)
+		for _, u := range rem {
+			st.sc.restoreVertex(u)
+		}
+	}
+
+	// Reclaim own unstolen frames while the scratch still matches their
+	// parent; a tag mismatch or empty deque means thieves own the rest.
+	for pushed > 0 {
+		f := p.deques[w.id].popIf(tag)
+		if f == nil {
+			break
+		}
+		pushed--
+		if p.cancelled() {
+			// Retire without walking; the verdict is already decided.
+			p.releaseFrame(f)
+			p.frameDone()
+			continue
+		}
+		st.path = append(st.path[:depth], f.path[depth])
+		rem := s.AppendDiffElems(f.s, st.remBuf(depth))
+		st.rem[depth] = rem
+		for _, u := range rem {
+			st.sc.removeVertex(u)
+		}
+		w.walk(st, f.s, depth+1)
+		for _, u := range rem {
+			st.sc.restoreVertex(u)
+		}
+		p.releaseFrame(f)
+		p.frameDone()
+	}
 }
 
 func atomicMax(addr *int64, v int64) {

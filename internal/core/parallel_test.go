@@ -2,6 +2,8 @@ package core_test
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
 	"dualspace/internal/core"
@@ -96,6 +98,94 @@ func TestParallelConstantsAndErrors(t *testing.T) {
 	res, err := core.DecideParallel(g, gen.MatchingDual(2), 2)
 	if err != nil || !res.Dual {
 		t.Fatalf("dual pair: %v %v", res, err)
+	}
+}
+
+func TestParallelFairnessOnSkewedTree(t *testing.T) {
+	// Majority-9 yields a deeply skewed decomposition tree: a goroutine-per-
+	// subtree model with a shallow spawn cutoff serializes behind the one
+	// deep branch. The work-stealing pool must instead spread leaf work
+	// across workers — steal-from-the-bottom hands thieves the shallowest
+	// (largest) pending subtrees. Force GOMAXPROCS=4 so the workers truly
+	// interleave even on a single-CPU host (four timesharing threads);
+	// scheduling can still occasionally let one worker race through the
+	// whole tree, so accept the first attempt where stealing engaged.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	m := gen.Majority(9)
+	var last *core.Result
+	for attempt := 0; attempt < 5; attempt++ {
+		res, err := core.DecideParallel(m, m, 4)
+		if err != nil || !res.Dual {
+			t.Fatalf("attempt %d: %v %v", attempt, res, err)
+		}
+		if res.Stats.Spawns == 0 {
+			t.Fatalf("attempt %d: internal nodes present but no frames published", attempt)
+		}
+		last = res
+		if res.Stats.LeafWorkers >= 2 && res.Stats.Steals >= 1 {
+			t.Logf("attempt %d: nodes=%d spawns=%d steals=%d leafWorkers=%d",
+				attempt, res.Stats.Nodes, res.Stats.Spawns, res.Stats.Steals, res.Stats.LeafWorkers)
+			return
+		}
+	}
+	t.Fatalf("no attempt spread leaves over >1 worker: last stats %+v", last.Stats)
+}
+
+func TestParallelConcurrentDecides(t *testing.T) {
+	// Regression for a pooled-state lifetime bug: the old implementation
+	// returned the root walk state to its pool before the spawned subtree
+	// goroutines finished, so two concurrent decisions could briefly share
+	// one scratch. The work-stealing pool hands each worker its state for
+	// the worker's whole run; concurrent decisions on distinct instances
+	// (distinct universes, forcing pooled storage refits) must stay
+	// independent. Run under -race this is the data-race oracle.
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for trial := 0; trial < 8; trial++ {
+				k := 3 + (i+trial)%3 // matching-3/4/5: three distinct universes
+				res, err := core.DecideParallel(gen.Matching(k), gen.MatchingDual(k), 3)
+				if err != nil || !res.Dual {
+					t.Errorf("goroutine %d trial %d: %v %v", i, trial, res, err)
+					return
+				}
+				m := gen.Majority(5)
+				res, err = core.DecideParallel(m, gen.DropEdge(transversal.AsHypergraph(m), trial%3), 3)
+				if err != nil || res.Dual {
+					t.Errorf("goroutine %d trial %d: dropped-edge pair judged dual (%v %v)", i, trial, res, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestParallelSteadyStateAllocBudget(t *testing.T) {
+	// The search object, frames, and worker states are pooled, so a warm
+	// parallel decision should allocate only its per-run fixtures: three
+	// channels, the worker goroutines, and the Result. A literal zero is
+	// not achievable (channels are per-run by design — a closed channel
+	// cannot be reused), so this guards a small constant budget instead,
+	// independent of tree size (majority-7 walks ~2k nodes).
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; budget holds only on plain builds")
+	}
+	m := gen.Majority(7)
+	if _, err := core.DecideParallel(m, m, 4); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		res, err := core.DecideParallel(m, m, 4)
+		if err != nil || !res.Dual {
+			t.Fatal("wrong verdict")
+		}
+	})
+	const budget = 48
+	if allocs > budget {
+		t.Errorf("steady-state parallel decide allocated %.1f/op, budget %d", allocs, budget)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports a -race build; sync.Pool intentionally drops items
+// under the race detector, so pool-dependent alloc budgets don't hold.
+const raceEnabled = true

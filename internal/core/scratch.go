@@ -55,6 +55,10 @@ type frame struct {
 func (fr *frame) slot(n int) bitset.Set {
 	if fr.nChildren == len(fr.children) {
 		fr.children = append(fr.children, bitset.New(n))
+	} else if fr.children[fr.nChildren].Universe() != n {
+		// Pooled walker states outlive a single instance (the parallel
+		// search recycles them across runs); refit stale-universe storage.
+		fr.children[fr.nChildren] = bitset.New(n)
 	}
 	return fr.children[fr.nChildren]
 }
@@ -285,9 +289,6 @@ func (sc *scratch) syncTo(s bitset.Set) {
 	}
 	sc.hsSet.Clear()
 	sc.hsCount = 0
-	for v := 0; v < sc.n; v++ {
-		sc.degH[v] = 0
-	}
 	for j := 0; j < sc.h.M(); j++ {
 		e := sc.h.Edge(j)
 		miss := int32(sc.hIdx.Card(j) - e.IntersectionCount(s))
@@ -295,12 +296,12 @@ func (sc *scratch) syncTo(s bitset.Set) {
 		if miss == 0 {
 			sc.hsSet.Add(j)
 			sc.hsCount++
-			e.ForEach(func(u int) bool {
-				sc.degH[u]++
-				return true
-			})
 		}
 	}
+	// degH[v] = |occ_H(v) ∩ H_Sα| in one fused popcount batch over the
+	// occurrence slab (an H_Sα edge containing v forces v ∈ Sα, so vertices
+	// outside Sα come out 0 without a membership test).
+	sc.hIdx.OccCountsInto(sc.hsSet, sc.degH)
 }
 
 // removeVertex updates the incremental state for Sα := Sα − {v}, in
@@ -321,10 +322,7 @@ func (sc *scratch) removeVertex(v int) {
 		if sc.missH[j] == 1 {
 			sc.hsSet.Remove(j)
 			sc.hsCount--
-			sc.h.Edge(j).ForEach(func(u int) bool {
-				sc.degH[u]--
-				return true
-			})
+			sc.h.Edge(j).AddToCounts(sc.degH, -1)
 		}
 		return true
 	})
@@ -346,10 +344,7 @@ func (sc *scratch) restoreVertex(v int) {
 		if sc.missH[j] == 0 {
 			sc.hsSet.Add(j)
 			sc.hsCount++
-			sc.h.Edge(j).ForEach(func(u int) bool {
-				sc.degH[u]++
-				return true
-			})
+			sc.h.Edge(j).AddToCounts(sc.degH, 1)
 		}
 		return true
 	})
@@ -447,10 +442,12 @@ func (sc *scratch) process(s bitset.Set, fr *frame, v *nodeVerdict) {
 		sc.gIdx.Occ(u).UnionInto(sc.hitG, sc.hitG) //dual:allow(bitsetalias: word-parallel accumulation into hitG)
 		return true
 	})
-	if sc.hitG.Len() != sc.g.M() {
-		// Step 3: the first (by input index) projected edge disjoint from
-		// Iα is the first edge index absent from the hit set.
-		jstar := sc.hitG.MinAbsent()
+	// The transversal test and the step-3 edge choice are one fused probe:
+	// the first edge index absent from the hit set is < |G| exactly when
+	// some projected edge misses Iα (occurrence rows never set bits ≥ |G|),
+	// so the separate popcount pass of `hitG.Len() != g.M()` is gone.
+	if jstar := sc.hitG.MinAbsent(); jstar >= 0 && jstar < sc.g.M() {
+		// Step 3: the first (by input index) projected edge disjoint from Iα.
 		sc.g.Edge(jstar).IntersectInto(s, sc.gProj)
 		v.kind = KindProcessDisjoint
 		v.chosenEdge = jstar
@@ -468,13 +465,12 @@ func (sc *scratch) process(s bitset.Set, fr *frame, v *nodeVerdict) {
 		}
 		return true
 	})
-	sc.hsSet.DiffInto(sc.notCont, sc.contained)
-	j := sc.contained.Min()
-	if j < 0 {
+	if sc.hsSet.DiffIntoCount(sc.notCont, sc.contained) == 0 {
 		v.kind, v.mark = KindProcessFail, MarkFail // step 2: t(α) = Iα
 		sc.wit.CopyFrom(sc.iSet)
 		return
 	}
+	j := sc.contained.Min()
 	// Step 4: the first (by input index) H_S edge contained in Iα.
 	v.kind = KindProcessContained
 	v.chosenEdge = j

@@ -120,6 +120,19 @@ func (e coreParallel) Decide(ctx context.Context, g, h *hypergraph.Hypergraph) (
 	return core.DecideParallelContext(ctx, g, h, e.workers)
 }
 
+// decideWith cannot use the pinned scratch (the work-stealing pool owns its
+// worker states), but it inherits the session decider's recorder so parallel
+// decisions report stage timings — including walk_steals — like serial ones.
+func (e coreParallel) decideWith(ctx context.Context, d *core.Decider, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	return core.DecideParallelOpts(ctx, g, h, core.ParallelOptions{Workers: e.workers, Rec: d.Recorder()})
+}
+
+// trSubsetWith answers the raw tree stage on the pinned serial walker (the
+// choice does not affect the verdict).
+func (e coreParallel) trSubsetWith(ctx context.Context, d *core.Decider, g, h *hypergraph.Hypergraph) (*core.Result, error) {
+	return d.TrSubsetContext(ctx, g, h)
+}
+
 // fk adapts the Fredman–Khachiyan algorithms: core.Precheck for the
 // precondition reasons, then the FK recursion for the tree-equivalent stage.
 type fk struct{ b bool }

@@ -7,6 +7,7 @@ import (
 	"dualspace/internal/engine"
 	"dualspace/internal/gen"
 	"dualspace/internal/hypergraph"
+	"dualspace/internal/obs"
 	"dualspace/internal/transversal"
 )
 
@@ -86,6 +87,41 @@ func TestPortfolioSelect(t *testing.T) {
 	p1 := engine.NewPortfolio(engine.PortfolioConfig{Workers: 1})
 	if sel, _ := p1.Select(big, big); sel.Name() != "core" {
 		t.Errorf("single worker: selected %s, want core", sel.Name())
+	}
+
+	// Mid-size products between the multi-worker and single-worker
+	// thresholds (majority-7: 35×35 = 1225) go parallel when extra workers
+	// exist — the work-stealing pool's fixed overhead is small — but stay
+	// serial on a single-slot pool.
+	mid := gen.Majority(7)
+	if sel, f := p.Select(mid, mid); sel.Name() != "core-parallel" {
+		t.Errorf("mid size, 4 workers: selected %s (features %+v)", sel.Name(), f)
+	}
+	if sel, _ := p1.Select(mid, mid); sel.Name() != "core" {
+		t.Errorf("mid size, 1 worker: selected %s, want core", sel.Name())
+	}
+}
+
+func TestSessionRecorderReachesParallel(t *testing.T) {
+	// A session's stage recorder must flow through to the parallel engine
+	// even though the work-stealing pool cannot use the pinned scratch; the
+	// walk stage (and on multi-worker runs possibly walk_steals) lands in
+	// the same recorder serial decisions use.
+	s := engine.NewSession(engine.NewCoreParallel(4))
+	rec := s.Recorder()
+	m := gen.Majority(7)
+	res, err := s.Decide(context.Background(), m, m)
+	if err != nil || !res.Dual {
+		t.Fatalf("decide: %v %v", res, err)
+	}
+	if rec.Get(obs.StageWalk) <= 0 {
+		t.Errorf("parallel decision recorded no walk time: %v", rec.Timings())
+	}
+	if rec.Get(obs.StageIndexSync) <= 0 {
+		t.Errorf("parallel decision recorded no index time: %v", rec.Timings())
+	}
+	if rec.Get(obs.StageWalkSteals) < 0 {
+		t.Errorf("negative steal time: %v", rec.Timings())
 	}
 }
 

@@ -36,6 +36,11 @@ const (
 	// parallelProduct: |G|·|H| at or above which the tree is expected deep
 	// enough to amortize goroutine spawns.
 	parallelProduct = 2048
+	// parallelProductMulti replaces parallelProduct when more than one
+	// worker is actually available: the work-stealing pool's fixed overhead
+	// is a handful of channel makes and worker wakeups (not a goroutine per
+	// subtree), so mid-size trees already profit from extra CPUs.
+	parallelProductMulti = 512
 	// lowDegeneracy: degeneracy at or below which the instance counts as
 	// structurally easy (paper §6) and stays on the serial walker.
 	lowDegeneracy = 2
@@ -120,12 +125,19 @@ func (p *Portfolio) Select(g, h *hypergraph.Hypergraph) (Engine, Features) {
 	if f.MinSide <= fkSmallSide {
 		return p.fkb, f
 	}
-	if f.Product < parallelProduct {
+	// A single-slot pool degenerates to serial search with scheduler
+	// overhead and without the session-pinnable (memoized) scratch: never
+	// pick it. With real extra workers the threshold drops — see
+	// parallelProductMulti.
+	single := p.cfg.Workers == 1 || (p.cfg.Workers <= 0 && runtime.GOMAXPROCS(0) == 1)
+	threshold := parallelProductMulti
+	if single {
+		threshold = parallelProduct
+	}
+	if f.Product < threshold {
 		return p.serial, f
 	}
-	// A single-slot pool degenerates to serial search with spawn overhead
-	// and without the session-pinnable (memoized) scratch: never pick it.
-	if w := p.cfg.Workers; w == 1 || (w <= 0 && runtime.GOMAXPROCS(0) == 1) {
+	if single {
 		return p.serial, f
 	}
 	f.Structural = true

@@ -367,41 +367,46 @@ func sumPotential(f, g []bitset.Set) float64 {
 // 1; the final assignment falsifies every term on both sides.
 func (d *decider) potentialWitness(f, g []bitset.Set) bitset.Set {
 	x := bitset.New(d.n)
+	xComp := bitset.Full(d.n) // maintained complement of x, for the fused probes
 	assigned := bitset.New(d.n)
 	vars := bitset.New(d.n)
 	for _, t := range f {
-		vars = vars.Union(t)
+		vars.UnionInto(t, vars) //dual:allow(bitsetalias: word-parallel accumulation into vars)
 	}
 	for _, t := range g {
-		vars = vars.Union(t)
+		vars.UnionInto(t, vars) //dual:allow(bitsetalias: word-parallel accumulation into vars)
 	}
 	potential := func() float64 {
 		s := 0.0
 		for _, t := range f {
-			// Falsified if an assigned variable of t is outside x.
-			if !t.Intersect(assigned).SubsetOf(x) {
+			// Falsified if an assigned variable of t is outside x, i.e.
+			// t ∩ assigned ∩ ¬x ≠ ∅ — one fused probe, nothing materialized.
+			if t.TripleIntersects(assigned, xComp) {
 				continue
 			}
-			s += math.Pow(2, -float64(t.Diff(assigned).Len()))
+			s += math.Pow(2, -float64(t.AndNotAndCount(assigned)))
 		}
 		for _, t := range g {
 			// g is evaluated at ¬x: falsified if an assigned variable of t
 			// is inside x.
-			if t.Intersect(assigned).Intersects(x) {
+			if t.TripleIntersects(assigned, x) {
 				continue
 			}
-			s += math.Pow(2, -float64(t.Diff(assigned).Len()))
+			s += math.Pow(2, -float64(t.AndNotAndCount(assigned)))
 		}
 		return s
 	}
 	vars.ForEach(func(v int) bool {
 		assigned.Add(v)
 		x.Add(v) // try v ∈ x
+		xComp.Remove(v)
 		pIn := potential()
 		x.Remove(v) // try v ∉ x
+		xComp.Add(v)
 		pOut := potential()
 		if pIn < pOut {
 			x.Add(v)
+			xComp.Remove(v)
 		}
 		return true
 	})

@@ -332,11 +332,19 @@ func (h *Hypergraph) InducedSub(s bitset.Set) *Hypergraph {
 func (h *Hypergraph) RestrictInto(s bitset.Set, dst *Hypergraph) {
 	h.checkDst(s, dst)
 	dst.edges = dst.edges[:0]
+	if dst.idx != nil {
+		// Fused projection: count each intersection in the pass that
+		// materializes it, so afterRestrict's row-copy regime reuses the
+		// cardinalities instead of re-popcounting every destination edge.
+		cards := dst.idx.restrictCards(len(h.edges))
+		for j, e := range h.edges {
+			cards[j] = int32(e.IntersectIntoCount(s, dst.scratchSlot()))
+		}
+		dst.idx.afterRestrict(h, s, dst)
+		return
+	}
 	for _, e := range h.edges {
 		e.IntersectInto(s, dst.scratchSlot())
-	}
-	if dst.idx != nil {
-		dst.idx.afterRestrict(h, s, dst)
 	}
 }
 

@@ -62,6 +62,12 @@ type Index struct {
 	prevS      bitset.Set
 	prevSValid bool
 	diff       []int // reusable vertex buffer for the diff walk
+
+	// rcards is the scratch RestrictInto fills with the projected
+	// cardinalities it computes while intersecting (fused kernel), so
+	// afterRestrict's row-copy regime consumes them instead of
+	// re-popcounting every destination edge.
+	rcards []int32
 }
 
 // NewIndex builds a standalone index of h. Unlike EnsureIndex it does not
@@ -112,6 +118,26 @@ func (ix *Index) OccUniverse() int { return ix.mCap }
 // Occ returns the set of edge indices containing v. The set is a read-only
 // view into index storage; bits at positions ≥ M are always zero.
 func (ix *Index) Occ(v int) bitset.Set { return ix.occ[v] }
+
+// OccCountsInto stores |Occ(v) ∩ t| into out[v] for every vertex v of the
+// indexed hypergraph — one fused popcount sweep over the occurrence slab
+// (the rows share a single backing array, so the walk is sequential in
+// memory). t must be over OccUniverse(); len(out) must be ≥ N().
+//
+//dual:allocfree
+func (ix *Index) OccCountsInto(t bitset.Set, out []int32) {
+	bitset.IntersectionCountsInto(ix.occ[:ix.n], t, out)
+}
+
+// restrictCards returns the m-sized scratch RestrictInto fills with the
+// projected cardinalities it computes while intersecting.
+func (ix *Index) restrictCards(m int) []int32 {
+	if cap(ix.rcards) < m {
+		ix.rcards = make([]int32, m)
+	}
+	ix.rcards = ix.rcards[:m]
+	return ix.rcards
+}
 
 // Card returns |edge j|.
 func (ix *Index) Card(j int) int { return ix.card[j] }
@@ -355,7 +381,15 @@ func (ix *Index) afterRestrict(src *Hypergraph, s bitset.Set, dst *Hypergraph) {
 	ix.minCard = len(ix.buckets)
 	ix.m = srcIdx.m
 	for j, e := range dst.edges {
-		c := e.Len()
+		// RestrictInto counted each projection as it intersected (fused
+		// kernel); fall back to a popcount pass only if this index was not
+		// filled by it.
+		var c int
+		if j < len(ix.rcards) {
+			c = int(ix.rcards[j])
+		} else {
+			c = e.Len()
+		}
 		ix.card = append(ix.card, c)
 		ix.bucketAdd(j, c)
 	}

@@ -19,14 +19,18 @@ import (
 // of g-edges e meets — and reports the first g-edge missing from the union.
 // scratch must be over gIdx.OccUniverse() and is clobbered.
 func (h *Hypergraph) CrossIntersectingIdx(g *Hypergraph, gIdx *Index, scratch bitset.Set) (ok bool, hIdx, gEdge int) {
+	gM := len(g.edges)
 	for i, e := range h.edges {
 		scratch.Clear()
+		covered := 0
 		e.ForEach(func(v int) bool {
-			gIdx.occ[v].UnionInto(scratch, scratch) //dual:allow(bitsetalias: word-parallel accumulation into scratch)
-			return true
+			// Fused union+popcount: stop accumulating rows as soon as every
+			// g-edge is met (the common case on instances that pass).
+			covered = gIdx.occ[v].UnionIntoCount(scratch, scratch) //dual:allow(bitsetalias: word-parallel accumulation into scratch)
+			return covered < gM
 		})
-		if j := scratch.MinAbsent(); j >= 0 && j < len(g.edges) {
-			return false, i, j
+		if covered < gM {
+			return false, i, scratch.MinAbsent()
 		}
 	}
 	return true, -1, -1
@@ -37,14 +41,18 @@ func (h *Hypergraph) CrossIntersectingIdx(g *Hypergraph, gIdx *Index, scratch bi
 // the criticality check for a vertex v scans only the g-edges containing v.
 // scratch must be over gIdx.OccUniverse() and is clobbered.
 func (h *Hypergraph) AllEdgesMinimalTransversalsOfIdx(g *Hypergraph, gIdx *Index, scratch bitset.Set) *MinimalTransversalViolation {
+	gM := len(g.edges)
 	for i, e := range h.edges {
 		scratch.Clear()
+		covered := 0
 		e.ForEach(func(v int) bool {
-			gIdx.occ[v].UnionInto(scratch, scratch) //dual:allow(bitsetalias: word-parallel accumulation into scratch)
-			return true
+			// Fused union+popcount with coverage early exit, as in
+			// CrossIntersectingIdx.
+			covered = gIdx.occ[v].UnionIntoCount(scratch, scratch) //dual:allow(bitsetalias: word-parallel accumulation into scratch)
+			return covered < gM
 		})
-		if j := scratch.MinAbsent(); j >= 0 && j < len(g.edges) {
-			return &MinimalTransversalViolation{EdgeIndex: i, MissedEdgeIndex: j, RedundantVertex: -1}
+		if covered < gM {
+			return &MinimalTransversalViolation{EdgeIndex: i, MissedEdgeIndex: scratch.MinAbsent(), RedundantVertex: -1}
 		}
 		redundant := -1
 		e.ForEach(func(v int) bool {
@@ -94,10 +102,11 @@ func (h *Hypergraph) SimpleViolationIdx(ix *Index, scratch bitset.Set) []int {
 			if first {
 				scratch.CopyFrom(ix.occ[v])
 				first = false
-			} else {
-				scratch.IntersectInto(ix.occ[v], scratch) //dual:allow(bitsetalias: word-parallel running intersection in scratch)
+				return true
 			}
-			return true
+			// Fused intersect+emptiness: stop narrowing the superset
+			// candidates as soon as none remain (the common case).
+			return scratch.IntersectIntoAny(ix.occ[v], scratch) //dual:allow(bitsetalias: word-parallel running intersection in scratch)
 		})
 		if first {
 			// The empty edge is contained in every other edge.

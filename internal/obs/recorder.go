@@ -42,6 +42,13 @@ const (
 	// StageMemo is the cross-node subinstance-memo key encoding and
 	// lookup time spent inside the walk.
 	StageMemo
+	// StageWalkSteals is the scratch re-synchronization time the parallel
+	// search's workers spend adopting stolen subtree frames (a stolen frame
+	// pays a full syncTo where an owner-reclaimed one descends by diffs).
+	// Like StageMemo it is carved out of StageWalk; unlike the serial
+	// stages it aggregates across workers, so on multi-core runs walk +
+	// walk_steals can exceed the walk's wall clock.
+	StageWalkSteals
 
 	numStages
 )
@@ -50,7 +57,7 @@ const (
 const NumStages = int(numStages)
 
 var stageNames = [NumStages]string{
-	"parse", "canonicalize", "cache_lookup", "precheck", "index_sync", "walk", "memo",
+	"parse", "canonicalize", "cache_lookup", "precheck", "index_sync", "walk", "memo", "walk_steals",
 }
 
 // String returns the stage's snake_case name (the metric label value and

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	"dualspace/internal/core"
 	"dualspace/internal/engine"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/obs"
@@ -169,6 +170,19 @@ func (s *Server) initObs(logger *slog.Logger) {
 		func() int64 { return s.scheduler.Stats().Errors })
 	reg.GaugeFunc("dualspace_batch_active", "Batch streams currently draining.",
 		func() float64 { return float64(s.scheduler.Stats().Active) })
+
+	// Work-stealing scheduler counters (process-wide: the search objects are
+	// pooled across sessions, so per-server attribution is meaningless).
+	stealCounter := func(name, help string, read func() int64) {
+		reg.CounterFunc("dualspace_walk_"+name, help,
+			func() float64 { return float64(read()) })
+	}
+	stealCounter("spawns_total", "Subtree frames published to work-stealing deques.",
+		func() int64 { s, _, _ := core.ParallelSearchTotals(); return s })
+	stealCounter("steals_total", "Subtree frames stolen from another worker's deque.",
+		func() int64 { _, s, _ := core.ParallelSearchTotals(); return s })
+	stealCounter("idle_parks_total", "Parallel-search workers parked waiting for work.",
+		func() int64 { _, _, p := core.ParallelSearchTotals(); return p })
 
 	memoCounter := func(name, help string, read func() int64) {
 		reg.CounterFunc("dualspace_memo_"+name, help,
