@@ -9,7 +9,16 @@
 //
 //	dualload -addr http://127.0.0.1:8372 [-clients 8] [-requests 200]
 //	         [-distinct 8] [-batch-size 64] [-mode both|decide|batch]
-//	         [-engine name] [-json]
+//	         [-engine name] [-json] [-retry] [-retry-max n] [-retry-base d]
+//
+// With -retry the client heals through the server's resilience responses
+// the way a production caller should: shed answers (503) and contained
+// panics (500) are retried up to -retry-max times under jittered
+// exponential backoff from -retry-base, honoring the server's Retry-After
+// hint when it is longer; budget timeouts (504) are terminal — the same
+// instance would time out again. The report carries the error taxonomy
+// (sheds / panics / timeouts seen, retries spent), so a chaos run can
+// assert the server shed within bounds and healed every contained panic.
 //
 // The mix holds -distinct canonically distinct instances (matchings of
 // growing width with dual, near-dual and self-dual variants); every client
@@ -34,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -146,13 +156,102 @@ func precomputeRows(instances []instance, eng string) [][]byte {
 	return rows
 }
 
+// taxonomy counts the server's resilience responses seen during one run,
+// keyed by the docs/API.md error taxonomy. Under -retry, sheds and panics
+// that later healed still count here (the report shows how hard the server
+// pushed back) while Errors counts only terminal failures.
+type taxonomy struct {
+	// Sheds counts 503 answers (admission queue full, queue-wait expired,
+	// or drain in progress).
+	Sheds int `json:"sheds,omitempty"`
+	// Panics counts 500 answers (a contained internal panic; the server
+	// self-heals the poisoned worker, so a retry lands on a fresh session).
+	Panics int `json:"panics,omitempty"`
+	// Timeouts counts 504 answers (server compute budget exhausted); these
+	// are terminal even under -retry — the same instance would only time
+	// out again.
+	Timeouts int `json:"timeouts,omitempty"`
+	// Retries counts extra HTTP calls spent healing sheds and panics.
+	Retries int `json:"retries,omitempty"`
+}
+
+func (t *taxonomy) add(o taxonomy) {
+	t.Sheds += o.Sheds
+	t.Panics += o.Panics
+	t.Timeouts += o.Timeouts
+	t.Retries += o.Retries
+}
+
+// retryCfg drives postRetry; zero value means fail on first answer.
+type retryCfg struct {
+	enabled bool
+	max     int           // extra attempts per request
+	base    time.Duration // first backoff; doubles per attempt, ±50% jitter
+}
+
+// backoff is the jittered exponential wait before retry attempt n (0-based):
+// base·2ⁿ scaled uniformly into [0.5, 1.5). The rng is per-client and
+// seeded, so a chaos run's wait pattern is reproducible.
+func (rc retryCfg) backoff(n int, rng *rand.Rand) time.Duration {
+	d := rc.base << uint(min(n, 16))
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
+// retryAfterHint parses the server's Retry-After header (delay-seconds
+// form); 0 when absent or unparsable.
+func retryAfterHint(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// postRetry issues one POST, healing retryable resilience answers when
+// rc.enabled: 503 (shed) and 500 (contained panic) back off — jittered
+// exponential, never shorter than the server's Retry-After hint — and go
+// again, up to rc.max extra attempts. Every answer class is tallied into
+// tax; calls counts HTTP round trips. The final response comes back with
+// its body unread (callers drain and close it), exactly like hc.Post.
+func postRetry(hc *http.Client, url, ctype string, body []byte, rc retryCfg, rng *rand.Rand, tax *taxonomy, calls *int) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := hc.Post(url, ctype, bytes.NewReader(body))
+		*calls++
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			tax.Sheds++
+		case http.StatusInternalServerError:
+			tax.Panics++
+		case http.StatusGatewayTimeout:
+			tax.Timeouts++
+		}
+		retryable := resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusInternalServerError
+		if !rc.enabled || !retryable || attempt >= rc.max {
+			return resp, nil
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		wait := rc.backoff(attempt, rng)
+		if hint := retryAfterHint(resp); hint > wait {
+			wait = hint
+		}
+		time.Sleep(wait)
+		tax.Retries++
+	}
+}
+
 // runResult is one mode's measurement (a row of the -json report).
 type runResult struct {
-	Mode        string  `json:"mode"`
-	Clients     int     `json:"clients"`
-	Items       int     `json:"items"`
-	HTTPCalls   int     `json:"http_calls"`
-	Errors      int     `json:"errors"`
+	Mode      string `json:"mode"`
+	Clients   int    `json:"clients"`
+	Items     int    `json:"items"`
+	HTTPCalls int    `json:"http_calls"`
+	Errors    int    `json:"errors"`
+	taxonomy
 	BatchSize   int     `json:"batch_size,omitempty"`
 	Seconds     float64 `json:"seconds"`
 	ItemsPerSec float64 `json:"items_per_sec"`
@@ -184,6 +283,7 @@ type report struct {
 	RequestsPerClient int         `json:"requests_per_client"`
 	Distinct          int         `json:"distinct"`
 	Engine            string      `json:"engine,omitempty"`
+	Retry             bool        `json:"retry,omitempty"`
 	Runs              []runResult `json:"runs"`
 	// HistBucketBoundsUs are the shared upper bounds (µs) of every run's
 	// hist_counts; the final count bucket is +Inf.
@@ -346,12 +446,16 @@ func newHTTPClient(clients int) *http.Client {
 	return &http.Client{Transport: tr, Timeout: 5 * time.Minute}
 }
 
-// runDecide replays the mix as individual /v1/decide calls.
-func runDecide(hc *http.Client, addr string, rows [][]byte, clients, requests int) runResult {
+// runDecide replays the mix as individual /v1/decide calls. Under -retry
+// the latency of a healed request covers the whole retry chain, backoffs
+// included — the time a production caller actually waited for the answer.
+func runDecide(hc *http.Client, addr string, rows [][]byte, clients, requests int, rc retryCfg) runResult {
 	var (
 		mu     sync.Mutex
 		lat    []time.Duration
 		errors int
+		calls  int
+		tax    taxonomy
 		wg     sync.WaitGroup
 	)
 	start := time.Now()
@@ -360,11 +464,13 @@ func runDecide(hc *http.Client, addr string, rows [][]byte, clients, requests in
 		go func(c int) {
 			defer wg.Done()
 			var myLat []time.Duration
-			myErrs := 0
+			var myTax taxonomy
+			myErrs, myCalls := 0, 0
+			rng := rand.New(rand.NewSource(int64(c) + 1))
 			for i := 0; i < requests; i++ {
 				body := rows[(c*requests+i)%len(rows)]
 				t0 := time.Now()
-				resp, err := hc.Post(addr+"/v1/decide", "application/json", bytes.NewReader(body))
+				resp, err := postRetry(hc, addr+"/v1/decide", "application/json", body, rc, rng, &myTax, &myCalls)
 				if err != nil {
 					myErrs++
 					continue
@@ -379,21 +485,29 @@ func runDecide(hc *http.Client, addr string, rows [][]byte, clients, requests in
 			mu.Lock()
 			lat = append(lat, myLat...)
 			errors += myErrs
+			calls += myCalls
+			tax.add(myTax)
 			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	return summarize("decide", clients, clients*requests, len(lat)+errors, errors, 0, wall, lat)
+	r := summarize("decide", clients, clients*requests, calls, errors, 0, wall, lat)
+	r.taxonomy = tax
+	return r
 }
 
-// runBatch replays the same mix as NDJSON batches of batchSize.
-func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, batchSize int) runResult {
+// runBatch replays the same mix as NDJSON batches of batchSize. Under
+// -retry a shed batch (503 before any row was drained) is resubmitted
+// whole; row-level error rows inside a 200 stream stay errors — re-running
+// a partially answered batch would double-count its items.
+func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, batchSize int, rc retryCfg) runResult {
 	var (
 		mu     sync.Mutex
 		lat    []time.Duration
 		errors int
 		calls  int
+		tax    taxonomy
 		wg     sync.WaitGroup
 	)
 	start := time.Now()
@@ -402,7 +516,9 @@ func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, ba
 		go func(c int) {
 			defer wg.Done()
 			var myLat []time.Duration
+			var myTax taxonomy
 			myErrs, myCalls := 0, 0
+			rng := rand.New(rand.NewSource(int64(c) + 101))
 			for off := 0; off < requests; off += batchSize {
 				n := batchSize
 				if off+n > requests {
@@ -413,8 +529,7 @@ func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, ba
 					body.Write(rows[(c*requests+off+i)%len(rows)])
 				}
 				t0 := time.Now()
-				resp, err := hc.Post(addr+"/v1/batch", "application/x-ndjson", bytes.NewReader(body.Bytes()))
-				myCalls++
+				resp, err := postRetry(hc, addr+"/v1/batch", "application/x-ndjson", body.Bytes(), rc, rng, &myTax, &myCalls)
 				if err != nil {
 					myErrs += n
 					continue
@@ -449,12 +564,15 @@ func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, ba
 			lat = append(lat, myLat...)
 			errors += myErrs
 			calls += myCalls
+			tax.add(myTax)
 			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	return summarize("batch", clients, clients*requests, calls, errors, batchSize, wall, lat)
+	r := summarize("batch", clients, clients*requests, calls, errors, batchSize, wall, lat)
+	r.taxonomy = tax
+	return r
 }
 
 func main() {
@@ -466,9 +584,12 @@ func main() {
 	mode := flag.String("mode", "both", "workload: decide, batch, both")
 	eng := flag.String("engine", "", "engine field on every request (empty = portfolio)")
 	asJSON := flag.Bool("json", false, "machine-readable report on stdout")
+	retry := flag.Bool("retry", false, "retry shed (503) and contained-panic (500) answers with backoff")
+	retryMax := flag.Int("retry-max", 5, "extra attempts per request under -retry")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first backoff under -retry (doubles per attempt, ±50% jitter)")
 	flag.Parse()
-	if flag.NArg() != 0 || *clients < 1 || *requests < 1 || *distinct < 1 || *batchSize < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dualload [-addr URL] [-clients n] [-requests n] [-distinct n] [-batch-size n] [-mode decide|batch|both] [-engine name] [-json]")
+	if flag.NArg() != 0 || *clients < 1 || *requests < 1 || *distinct < 1 || *batchSize < 1 || *retryMax < 0 || *retryBase < 0 {
+		fmt.Fprintln(os.Stderr, "usage: dualload [-addr URL] [-clients n] [-requests n] [-distinct n] [-batch-size n] [-mode decide|batch|both] [-engine name] [-json] [-retry] [-retry-max n] [-retry-base d]")
 		os.Exit(2)
 	}
 	if *mode != "decide" && *mode != "batch" && *mode != "both" {
@@ -487,16 +608,17 @@ func main() {
 		resp.Body.Close()
 	}
 
-	rep := report{Addr: *addr, RequestsPerClient: *requests, Distinct: *distinct, Engine: *eng}
+	rc := retryCfg{enabled: *retry, max: *retryMax, base: *retryBase}
+	rep := report{Addr: *addr, RequestsPerClient: *requests, Distinct: *distinct, Engine: *eng, Retry: *retry}
 	rows := precomputeRows(instances, *eng)
 	var decideRun, batchRun *runResult
 	if *mode == "decide" || *mode == "both" {
-		r := runDecide(hc, *addr, rows, *clients, *requests)
+		r := runDecide(hc, *addr, rows, *clients, *requests, rc)
 		rep.Runs = append(rep.Runs, r)
 		decideRun = &r
 	}
 	if *mode == "batch" || *mode == "both" {
-		r := runBatch(hc, *addr, rows, *clients, *requests, *batchSize)
+		r := runBatch(hc, *addr, rows, *clients, *requests, *batchSize, rc)
 		rep.Runs = append(rep.Runs, r)
 		batchRun = &r
 	}
@@ -531,6 +653,10 @@ func main() {
 			r.Mode, r.ItemsPerSec, r.Items, r.Seconds, r.HTTPCalls, extra)
 		fmt.Printf("         latency/call µs: p50 %d  p90 %d  p99 %d  max %d  (errors %d)\n",
 			r.P50Us, r.P90Us, r.P99Us, r.MaxUs, r.Errors)
+		if r.Sheds+r.Panics+r.Timeouts+r.Retries > 0 {
+			fmt.Printf("         resilience:      sheds %d  panics %d  timeouts %d  retries %d\n",
+				r.Sheds, r.Panics, r.Timeouts, r.Retries)
+		}
 		if sv, ok := rep.Server[r.Mode]; ok {
 			fmt.Printf("         server-side µs:  p50 %d  p90 %d  p99 %d  (%d requests since server start)\n",
 				sv.P50Us, sv.P90Us, sv.P99Us, sv.Count)

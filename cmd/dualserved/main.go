@@ -12,10 +12,25 @@
 //	           [-max-body bytes] [-stream-max n] [-batch-max-items n]
 //	           [-batch-max-bytes n] [-pprof host:port] [-access-log]
 //	           [-log-format text|json]
+//	           [-queue-depth n] [-queue-wait d] [-retry-after d]
+//	           [-decide-timeout d] [-batch-timeout d] [-mine-timeout d]
+//	           [-stream-timeout d] [-apps-timeout d] [-max-timeout d]
+//	           [-drain-grace d] [-faults spec] [-fault-seed n]
 //
 // The listen address is printed to stdout once the socket is bound (so
-// -addr 127.0.0.1:0 works for scripted use), and SIGINT/SIGTERM trigger a
-// graceful drain.
+// -addr 127.0.0.1:0 works for scripted use). SIGINT/SIGTERM trigger a
+// graceful drain: /readyz flips to 503 immediately so load balancers stop
+// routing, queued waiters are shed, -drain-grace elapses to let routing
+// converge and in-flight streams finish cleanly, then the listener closes.
+//
+// Resilience (docs/API.md error taxonomy): -queue-depth/-queue-wait bound
+// the admission queue (excess is shed with 503 + Retry-After, hinted by
+// -retry-after); the -*-timeout flags set per-endpoint compute budgets
+// (504 with reason "timeout"; clients may lower their own with
+// ?timeout_ms=, capped by -max-timeout). -faults arms the fault-injection
+// harness (internal/faultinject spec grammar, e.g.
+// "decide:panic:every=7,stream_write:delay=20ms:p=0.25") with a
+// deterministic -fault-seed — a chaos-testing mode, never for production.
 //
 // Observability (docs/OBSERVABILITY.md): GET /metricsz serves the
 // Prometheus text exposition; -access-log emits one structured slog record
@@ -38,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"dualspace/internal/faultinject"
 	"dualspace/internal/hgio"
 	"dualspace/internal/service"
 )
@@ -58,6 +74,18 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this host:port (empty disables)")
 	accessLog := flag.Bool("access-log", false, "log one structured record per request to stderr")
 	logFormat := flag.String("log-format", "text", "access-log encoding: text or json")
+	queueDepth := flag.Int("queue-depth", 0, "max requests parked waiting for a worker slot (0 = max(16, 4*workers); negative sheds immediately)")
+	queueWait := flag.Duration("queue-wait", 0, "max time one request may park before it is shed (0 = 5s)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = 1s)")
+	decideTimeout := flag.Duration("decide-timeout", 0, "/v1/decide compute budget (0 = none)")
+	batchTimeout := flag.Duration("batch-timeout", 0, "/v1/batch whole-drain compute budget (0 = none)")
+	mineTimeout := flag.Duration("mine-timeout", 0, "/v1/mine compute budget (0 = none)")
+	streamTimeout := flag.Duration("stream-timeout", 0, "/v1/transversals compute budget (0 = none)")
+	appsTimeout := flag.Duration("apps-timeout", 0, "/v1/borders,/v1/keys,/v1/coteries compute budget (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on the client ?timeout_ms= override (0 = 60s)")
+	drainGrace := flag.Duration("drain-grace", 0, "pause between flipping /readyz to 503 and closing the listener")
+	faults := flag.String("faults", "", "arm the fault-injection harness with this spec (chaos testing only)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dualserved [flags]")
@@ -92,7 +120,26 @@ func main() {
 		MaxBatchItems:    *batchMaxItems,
 		MaxBatchBytes:    *batchMaxBytes,
 		Logger:           logger,
+		QueueDepth:       *queueDepth,
+		QueueWait:        *queueWait,
+		RetryAfter:       *retryAfter,
+		DecideTimeout:    *decideTimeout,
+		BatchTimeout:     *batchTimeout,
+		MineTimeout:      *mineTimeout,
+		StreamTimeout:    *streamTimeout,
+		AppsTimeout:      *appsTimeout,
+		MaxTimeout:       *maxTimeout,
 	})
+
+	if *faults != "" {
+		inj, err := faultinject.ParseSpec(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dualserved:", err)
+			os.Exit(2)
+		}
+		faultinject.Enable(inj)
+		fmt.Fprintf(os.Stderr, "dualserved: FAULT INJECTION ARMED (%s; seed %d) — chaos-testing mode\n", *faults, *faultSeed)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -139,6 +186,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dualserved:", err)
 		os.Exit(1)
 	case <-ctx.Done():
+	}
+	// Drain sequence: flip /readyz to 503 and fail queued waiters fast,
+	// give load balancers -drain-grace to stop routing here (cache hits and
+	// in-flight work keep being served throughout), then stop accepting and
+	// wait for in-flight requests under the shutdown deadline.
+	srv.BeginDrain()
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

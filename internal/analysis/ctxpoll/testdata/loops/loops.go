@@ -81,3 +81,42 @@ func unboundedInnerLoop(ctx context.Context, nodes []*node) {
 		}
 	}
 }
+
+// Resilience code shapes (PR 9): retry/backoff loops and drain sweeps are
+// exactly the loops that must stay cancellable — a retry loop that ignores
+// its context outlives the caller that gave up on it.
+
+func retryIgnoresCtx(ctx context.Context, attempt func() error) error { // backoff loop, ctx never polled
+	var err error
+	for i := 0; i < 64; i++ { // want `loop with calls never references ctx`
+		if err = attempt(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func retryPollsCtx(ctx context.Context, attempt func() error) error {
+	var err error
+	for i := 0; i < 64; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = attempt(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func drainSweepIgnoresCtx(ctx context.Context, parked []func()) {
+	for _, shed := range parked { // want `loop with calls never references ctx`
+		shed()
+	}
+}
+
+func drainSweepDelegates(ctx context.Context, parked []func(context.Context)) {
+	for _, shed := range parked { // passing ctx transfers the obligation
+		shed(ctx)
+	}
+}

@@ -78,3 +78,36 @@ func goroutineBody(s *cacheShard, ch chan int) {
 		s.mu.Unlock()
 	}()
 }
+
+// Resilience code shapes (PR 9): a session pool that swaps poisoned
+// sessions for fresh ones under its roster lock. The slot hand-back is a
+// channel send — holding the roster lock across it couples the lock to
+// pool-channel backpressure (every Acquire would contend on a send that
+// may never complete), so the send must happen after Unlock, exactly as
+// engine.SessionPool.Release does.
+type sessionRoster struct {
+	mu    sync.Mutex
+	all   []*engine.Session
+	slots chan *engine.Session
+}
+
+func replaceUnderLock(p *sessionRoster, fresh *engine.Session) {
+	p.mu.Lock()
+	p.all[0] = fresh
+	p.slots <- fresh // want `channel send while holding p.mu`
+	p.mu.Unlock()
+}
+
+func replaceThenRelease(p *sessionRoster, fresh *engine.Session) {
+	p.mu.Lock()
+	p.all[0] = fresh
+	p.mu.Unlock()
+	p.slots <- fresh // roster updated under the lock, slot handed back outside: clean
+}
+
+func decideDuringSwap(ctx context.Context, p *sessionRoster, ses *engine.Session, g, h *hypergraph.Hypergraph) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := ses.Decide(ctx, g, h) // want `Session.Decide called while holding p.mu`
+	return err
+}

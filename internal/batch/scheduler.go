@@ -26,12 +26,14 @@ package batch
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dualspace/internal/core"
 	"dualspace/internal/engine"
+	"dualspace/internal/faultinject"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/obs"
 )
@@ -88,6 +90,12 @@ type Config struct {
 	// preregisters the histograms, so the per-entry update allocates
 	// nothing). Nil disables timing entirely.
 	Metrics *obs.DecideMetrics
+	// OnPanic, when non-nil, receives every panic the drain step contains:
+	// the recovered value and the panicking goroutine's stack. The service
+	// bridges it to its slog record and dualspace_panics_total counter.
+	// Called from the worker goroutine that contained the panic; must not
+	// itself panic.
+	OnPanic func(v any, stack []byte)
 }
 
 // Stats is a snapshot of a Scheduler's lifetime counters (the /statsz
@@ -101,6 +109,7 @@ type Stats struct {
 	CacheHits int64 `json:"cache_hits"`
 	Decisions int64 `json:"decisions"`
 	Errors    int64 `json:"errors"`
+	Panics    int64 `json:"panics"`
 }
 
 // RunStats summarizes one Run: Items = requests consumed, Unique = distinct
@@ -125,6 +134,7 @@ type Scheduler struct {
 	cacheHits atomic.Int64
 	decisions atomic.Int64
 	errors    atomic.Int64
+	panics    atomic.Int64
 }
 
 // NewScheduler returns a Scheduler over cfg; cfg.Pool must be non-nil.
@@ -149,6 +159,7 @@ func (s *Scheduler) Stats() Stats {
 		CacheHits: s.cacheHits.Load(),
 		Decisions: s.decisions.Load(),
 		Errors:    s.errors.Load(),
+		Panics:    s.panics.Load(),
 	}
 }
 
@@ -315,7 +326,10 @@ func (s *Scheduler) RunN(ctx context.Context, parallelism int, reqs <-chan Reque
 // the entry's instance on a pooled session and publish a detached copy to
 // the shared cache. No scheduler locks are held in here — the session does
 // the long-running work, and RunN's bookkeeping lock is only taken after
-// this returns.
+// this returns. The decision itself runs in decideSession behind a panic
+// boundary, so a kernel panic poisons one session (the pool replaces it on
+// Release) instead of killing the worker goroutine — and with it, since
+// this is a plain goroutine and not an HTTP handler, the whole process.
 //
 //dual:allocfree
 func (s *Scheduler) decideEntry(ctx context.Context, e *entry) (*core.Result, error) {
@@ -326,6 +340,29 @@ func (s *Scheduler) decideEntry(ctx context.Context, e *entry) (*core.Result, er
 	if err != nil {
 		return nil, err
 	}
+	res, err := s.decideSession(ctx, sess, e)
+	s.cfg.Pool.Release(sess)
+	if res != nil && s.cfg.Cache != nil {
+		s.cfg.Cache.Add(e.key, res)
+	}
+	return res, err
+}
+
+// decideSession runs one decision on a held session. containPanic is
+// installed as a deferred method call, not a closure: the drain step is
+// //dual:allocfree, and a deferred method whose pointer arguments stay
+// within this frame keeps the happy path allocation-free where a capturing
+// func literal would not.
+//
+//dual:allocfree
+func (s *Scheduler) decideSession(ctx context.Context, sess *engine.Session, e *entry) (res *core.Result, err error) {
+	defer s.containPanic(sess, &res, &err)
+	// The drain fault point fires behind the recover boundary on the held
+	// session, so an injected panic exercises the same poison-and-replace
+	// path a real kernel panic would.
+	if ferr := faultinject.Fire(ctx, faultinject.PointBatchDrain); ferr != nil {
+		return nil, ferr
+	}
 	var rec *obs.Recorder
 	var t0 time.Time
 	if s.cfg.Metrics != nil {
@@ -333,20 +370,35 @@ func (s *Scheduler) decideEntry(ctx context.Context, e *entry) (*core.Result, er
 		rec.Reset()
 		t0 = time.Now()
 	}
-	var res *core.Result
-	r, err := sess.DecideWith(ctx, e.leader.Engine, e.g, e.h)
+	r, derr := sess.DecideWith(ctx, e.leader.Engine, e.g, e.h)
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.Observe(e.key.Engine, time.Since(t0), rec)
 	}
-	if err == nil {
-		// Session results alias the session's pinned scratch; everyone past
-		// this point (cache, waiters, the emitted response) shares one
-		// detached copy.
-		res = r.Clone() //dual:allow(allocfree: detaching the verdict from session scratch is the point)
+	if derr != nil {
+		return nil, derr
 	}
-	s.cfg.Pool.Release(sess)
-	if res != nil && s.cfg.Cache != nil {
-		s.cfg.Cache.Add(e.key, res)
+	// Session results alias the session's pinned scratch; everyone past
+	// this point (cache, waiters, the emitted response) shares one
+	// detached copy.
+	return r.Clone(), nil //dual:allow(allocfree: detaching the verdict from session scratch is the point)
+}
+
+// containPanic is the drain step's recover() boundary. On panic it poisons
+// the session (the pool mints a replacement on Release), counts it, hands
+// the value and stack to Config.OnPanic, and converts the panic into an
+// *engine.PanicError result so the entry's leader and waiters get an
+// answer instead of a hung batch.
+func (s *Scheduler) containPanic(sess *engine.Session, res **core.Result, err *error) {
+	v := recover()
+	if v == nil {
+		return
 	}
-	return res, err
+	sess.MarkPoisoned()
+	s.panics.Add(1)
+	stack := debug.Stack()
+	if s.cfg.OnPanic != nil {
+		s.cfg.OnPanic(v, stack)
+	}
+	*res = nil
+	*err = &engine.PanicError{Val: v, Stack: stack}
 }

@@ -8,10 +8,18 @@ package engine
 // keeps its pinned scratch and its cross-node subinstance memo for the
 // pool's lifetime, so decisions served through the pool reuse both across
 // holders.
+//
+// The pool also self-heals: a holder whose recover() boundary caught a
+// panic marks the session poisoned (Session.MarkPoisoned) before releasing
+// it, and Release swaps a poisoned session for a freshly minted one so the
+// pool's capacity never degrades. The swap loses that session's memo — the
+// price of not trusting scratch a panic tore through.
 
 import (
 	"context"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dualspace/internal/core"
 )
@@ -19,8 +27,15 @@ import (
 // SessionPool holds size Sessions; see the package comment of Session for
 // what one session reuses across the decisions it serves.
 type SessionPool struct {
-	ch  chan *Session
-	all []*Session
+	ch chan *Session
+	// eng and memoEntries are the construction parameters, kept so Release
+	// can mint a replacement for a poisoned session.
+	eng         Engine
+	memoEntries int
+
+	mu       sync.Mutex // guards all (Release may swap entries)
+	all      []*Session
+	replaced atomic.Int64
 }
 
 // NewSessionPool builds a pool of size sessions driving eng (nil = the
@@ -31,7 +46,11 @@ func NewSessionPool(eng Engine, size, memoEntries int) *SessionPool {
 	if size <= 0 {
 		size = runtime.GOMAXPROCS(0)
 	}
-	p := &SessionPool{ch: make(chan *Session, size)}
+	p := &SessionPool{
+		ch:          make(chan *Session, size),
+		eng:         eng,
+		memoEntries: memoEntries,
+	}
 	for i := 0; i < size; i++ {
 		s := NewSessionMemo(eng, memoEntries)
 		p.all = append(p.all, s)
@@ -51,16 +70,66 @@ func (p *SessionPool) Acquire(ctx context.Context) (*Session, error) {
 	}
 }
 
-// Release returns a session obtained from Acquire to the pool.
-func (p *SessionPool) Release(s *Session) { p.ch <- s }
+// TryAcquire checks a session out without blocking, reporting false when
+// none is free. The admission-control fast path uses it to serve without
+// ever touching the wait queue.
+func (p *SessionPool) TryAcquire() (*Session, bool) {
+	select {
+	case s := <-p.ch:
+		return s, true
+	default:
+		return nil, false
+	}
+}
+
+// Chan exposes the free-session channel for callers that need to select on
+// availability together with other events (the service's bounded wait queue
+// races a free slot against its queue-wait timer and the drain signal).
+// A session received from the channel is owned exactly as if Acquire
+// returned it.
+func (p *SessionPool) Chan() <-chan *Session { return p.ch }
+
+// Release returns a session obtained from Acquire to the pool. A session
+// marked poisoned is discarded and a fresh one minted into its slot, so the
+// pool's capacity survives contained panics.
+func (p *SessionPool) Release(s *Session) {
+	if s.Poisoned() {
+		s = p.replace(s)
+	}
+	p.ch <- s
+}
+
+// replace mints a fresh session into the poisoned one's slot in all.
+func (p *SessionPool) replace(old *Session) *Session {
+	fresh := NewSessionMemo(p.eng, p.memoEntries)
+	p.mu.Lock()
+	for i, s := range p.all {
+		if s == old {
+			p.all[i] = fresh
+			break
+		}
+	}
+	p.mu.Unlock()
+	p.replaced.Add(1)
+	return fresh
+}
+
+// Replaced reports how many poisoned sessions Release has swapped out.
+func (p *SessionPool) Replaced() int64 { return p.replaced.Load() }
 
 // Size reports the pool's fixed capacity.
-func (p *SessionPool) Size() int { return len(p.all) }
+func (p *SessionPool) Size() int { return cap(p.ch) }
+
+// Free reports how many sessions are currently checked in — a point-in-time
+// gauge for /metricsz, racy by nature.
+func (p *SessionPool) Free() int { return len(p.ch) }
 
 // MemoStats aggregates the subinstance-memo counters over every session in
 // the pool, checked out or not (the per-session counters are atomic).
 func (p *SessionPool) MemoStats() core.MemoStats {
 	var agg core.MemoStats
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, s := range p.all {
 		ms := s.MemoStats()
 		agg.Hits += ms.Hits

@@ -44,6 +44,53 @@ func TestSessionPoolAcquireRelease(t *testing.T) {
 	p.Release(c)
 }
 
+// TestSessionPoolReplacesPoisoned: releasing a poisoned session must not
+// recycle it — the pool mints a fresh replacement into the slot (capacity
+// self-heals after a contained panic) and counts the swap.
+func TestSessionPoolReplacesPoisoned(t *testing.T) {
+	p := NewSessionPool(nil, 2, 0)
+	ctx := context.Background()
+	a, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.MarkPoisoned()
+	p.Release(a)
+	if got := p.Replaced(); got != 1 {
+		t.Fatalf("Replaced = %d, want 1", got)
+	}
+	if p.Free() != 2 {
+		t.Fatalf("Free = %d after replacement, want full capacity 2", p.Free())
+	}
+	// Both remaining slots must hold healthy sessions, neither of them a.
+	b, _ := p.Acquire(ctx)
+	c, _ := p.Acquire(ctx)
+	for _, sess := range []*Session{b, c} {
+		if sess == a {
+			t.Fatal("poisoned session recycled")
+		}
+		if sess.Poisoned() {
+			t.Fatal("pool handed out a poisoned session")
+		}
+	}
+	// The replacement must decide correctly, and MemoStats must iterate the
+	// post-swap roster without tripping the race detector.
+	g := hypergraph.MustFromEdges(4, [][]int{{0, 1}, {2, 3}})
+	h := hypergraph.MustFromEdges(4, [][]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	for _, sess := range []*Session{b, c} {
+		res, err := sess.Decide(ctx, g, h)
+		if err != nil || !res.Dual {
+			t.Fatalf("post-replacement decision: res=%v err=%v", res, err)
+		}
+	}
+	_ = p.MemoStats()
+	p.Release(b)
+	p.Release(c)
+	if got := p.Replaced(); got != 1 {
+		t.Fatalf("Replaced after healthy releases = %d, want still 1", got)
+	}
+}
+
 func TestSessionPoolConcurrentDecisions(t *testing.T) {
 	p := NewSessionPool(nil, 3, 0)
 	g := hypergraph.MustFromEdges(4, [][]int{{0, 1}, {2, 3}})

@@ -38,6 +38,12 @@ type Session struct {
 	// //dual:allocfree caller like the batch drain loop) allocates nothing.
 	rec      *obs.Recorder
 	recStore obs.Recorder
+	// poisoned marks a session a panic escaped from: its pinned scratch may
+	// be mid-mutation, so it must not serve another decision. Only the
+	// holder touches the flag (mark on recover, read on Release), and a
+	// holder is single-goroutine by the session contract, so a plain bool
+	// suffices.
+	poisoned bool
 }
 
 // NewSession returns a session driving eng (nil = the default portfolio),
@@ -85,6 +91,15 @@ func (s *Session) SetRecorder(r *obs.Recorder) {
 	s.rec = r
 	s.dec.SetRecorder(r)
 }
+
+// MarkPoisoned flags the session as unusable: a panic escaped a decision on
+// it, so its pinned scratch cannot be trusted. The holder calls this from
+// its recover() boundary before handing the session back; SessionPool's
+// Release replaces a poisoned session with a fresh one.
+func (s *Session) MarkPoisoned() { s.poisoned = true }
+
+// Poisoned reports whether MarkPoisoned has been called.
+func (s *Session) Poisoned() bool { return s.poisoned }
 
 // Engine returns the engine this session drives by default.
 func (s *Session) Engine() Engine { return s.eng }

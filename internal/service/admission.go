@@ -1,0 +1,266 @@
+package service
+
+// Admission control, deadline budgets, panic containment, and graceful
+// drain — the resilience layer.
+//
+// The decision procedures behind every endpoint are quasi-polynomial in the
+// worst case, so a single adversarial instance can pin a worker slot for a
+// long time. Three mechanisms keep the server healthy anyway:
+//
+//   - Deadline budgets (budgetCtx): each endpoint derives a compute context
+//     bounded by its configured timeout (Config.DecideTimeout and friends),
+//     overridable per request with ?timeout_ms= up to Config.MaxTimeout.
+//     The budget context's cancellation cause is errBudget, so the failure
+//     paths can tell "the server's budget expired" (504, reason "timeout")
+//     from "the client hung up" (silent) even though both surface as a
+//     context error from the engine.
+//
+//   - Admission control (acquire): requests that miss the worker-pool fast
+//     path park in a bounded queue — at most Config.QueueDepth waiters, for
+//     at most Config.QueueWait each. Excess and expired waiters are shed
+//     with 503 + Retry-After instead of queueing unboundedly; cache hits
+//     and coalesced singleflight followers never claim a slot, so the
+//     degraded mode keeps serving the hot working set at full speed.
+//
+//   - Panic containment (decideGuarded / containPanic / release): a panic
+//     in the kernel is recovered at the session boundary, the session is
+//     marked poisoned (the pool mints a replacement on Release, so capacity
+//     self-heals), and the request gets a 500 with reason "panic" while the
+//     process keeps serving. The ServeHTTP middleware holds the last-resort
+//     boundary for panics outside any session.
+//
+// BeginDrain starts graceful shutdown: /readyz flips to 503 (load
+// balancers stop routing), parked waiters fail fast with the shed
+// taxonomy, new compute is refused, and in-flight work runs to completion
+// under cmd/dualserved's drain grace before the listener closes.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"dualspace/internal/core"
+	"dualspace/internal/engine"
+	"dualspace/internal/faultinject"
+	"dualspace/internal/hypergraph"
+)
+
+// Sentinel failures of the resilience layer. The first three are shed
+// classes (503 + Retry-After); errBudget is the cancellation cause
+// installed by budgetCtx so context errors can be attributed to the
+// server's own deadline (504) rather than the client's disconnect.
+var (
+	errQueueFull = errors.New("server overloaded: admission queue full")
+	errQueueWait = errors.New("server overloaded: no worker slot within the queue-wait bound")
+	errDraining  = errors.New("server draining")
+	errBudget    = errors.New("compute budget exhausted")
+)
+
+// Wire reasons of the JSON error taxonomy (docs/API.md).
+const (
+	reasonBadRequest    = "bad_request"
+	reasonLimit         = "limit"
+	reasonUnprocessable = "unprocessable"
+	reasonTimeout       = "timeout"
+	reasonShed          = "shed"
+	reasonPanic         = "panic"
+)
+
+// budgetCtx derives the endpoint's compute-budget context: d (the
+// endpoint's configured timeout; 0 = none), overridden by a ?timeout_ms=
+// query clamped to Config.MaxTimeout. The cancel func must always be
+// called; the error reports a malformed ?timeout_ms= (a 400).
+func (s *Server) budgetCtx(r *http.Request, d time.Duration) (context.Context, context.CancelFunc, error) {
+	if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms < 1 {
+			return nil, nil, fmt.Errorf("bad timeout_ms %q", q)
+		}
+		d = time.Duration(ms) * time.Millisecond
+		if s.cfg.MaxTimeout > 0 && d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeoutCause(r.Context(), d, errBudget)
+	return ctx, cancel, nil
+}
+
+// acquire claims a worker-pool slot under admission control. The fast path
+// never queues; a miss parks in the bounded wait queue until a slot frees,
+// the bounded wait expires, the request's (budget) context fires, or drain
+// begins. The returned error is one of the shed sentinels, errBudget (via
+// context cause), or the plain context error of a vanished client —
+// failAcquire maps each onto the wire. release must be called iff err is
+// nil.
+func (s *Server) acquire(ctx context.Context) (*engine.Session, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	if sess, ok := s.pool.TryAcquire(); ok {
+		return sess, nil
+	}
+	if s.queueWaiters.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queueWaiters.Add(-1)
+		return nil, errQueueFull
+	}
+	defer s.queueWaiters.Add(-1)
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case sess := <-s.pool.Chan():
+		return sess, nil
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	case <-t.C:
+		return nil, errQueueWait
+	case <-s.drainCh:
+		return nil, errDraining
+	}
+}
+
+// release returns a worker slot. It doubles as the session-safety net for
+// panics unwinding through a holder (every call site is deferred): recover
+// stops the unwind long enough to poison the session — scratch a panic
+// tore through must not serve again — then re-panics for the boundary
+// above (containPanic or the middleware) to classify.
+func (s *Server) release(sess *engine.Session) {
+	if v := recover(); v != nil {
+		sess.MarkPoisoned()
+		s.pool.Release(sess)
+		panic(v)
+	}
+	s.pool.Release(sess)
+}
+
+// decideGuarded runs one decision on a held session behind the panic
+// boundary and the decide fault point. A contained panic poisons the
+// session and comes back as *engine.PanicError.
+func (s *Server) decideGuarded(ctx context.Context, sess *engine.Session, eng engine.Engine, g, h *hypergraph.Hypergraph) (res *core.Result, err error) {
+	defer s.containPanic(sess, &res, &err)
+	if err := faultinject.Fire(ctx, faultinject.PointDecide); err != nil {
+		return nil, err
+	}
+	return sess.DecideWith(ctx, eng, g, h)
+}
+
+// containPanic is the session-boundary recover: poison, count, log, and
+// convert the panic into an error result.
+func (s *Server) containPanic(sess *engine.Session, res **core.Result, err *error) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	sess.MarkPoisoned()
+	s.panics.Add(1)
+	stack := debug.Stack()
+	s.logPanic("panic contained at session boundary", v, stack)
+	*res = nil
+	*err = &engine.PanicError{Val: v, Stack: stack}
+}
+
+// onBatchPanic is the batch scheduler's Config.OnPanic bridge: the
+// scheduler has already poisoned the session and built the PanicError;
+// the server adds its process-wide counter and the stack record.
+func (s *Server) onBatchPanic(v any, stack []byte) {
+	s.panics.Add(1)
+	s.logPanic("panic contained in batch drain", v, stack)
+}
+
+// logPanic emits the slog stack record. Panics are never silent: without a
+// configured access logger they go to the default slog handler.
+func (s *Server) logPanic(msg string, v any, stack []byte) {
+	lg := s.obs.logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	lg.LogAttrs(context.Background(), slog.LevelError, msg,
+		slog.Any("value", v), slog.String("stack", string(stack)))
+}
+
+// failAcquire maps an acquire failure onto the wire: sheds are 503 +
+// Retry-After, an exhausted budget is 504, a vanished client gets nothing
+// (there is no one to write to).
+func (s *Server) failAcquire(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, errQueueFull) || errors.Is(err, errQueueWait) || errors.Is(err, errDraining):
+		s.writeShed(w, r, err)
+	case errors.Is(err, errBudget):
+		s.writeTimeout(w, r, err)
+	default:
+		s.cancelled.Add(1)
+		accessFrom(r.Context()).outcome = "cancelled"
+	}
+}
+
+// failCompute maps a compute failure onto the wire: a contained panic is a
+// 500 with reason "panic", an exhausted budget a 504 with reason
+// "timeout", a vanished client silence, anything else the 422 of a
+// semantic rejection. ctx is the budget context the computation ran under.
+func (s *Server) failCompute(w http.ResponseWriter, r *http.Request, ctx context.Context, err error) {
+	var pe *engine.PanicError
+	switch {
+	case errors.As(err, &pe):
+		accessFrom(r.Context()).outcome = "panic"
+		writeErrorReason(w, http.StatusInternalServerError, reasonPanic, err)
+	case errors.Is(context.Cause(ctx), errBudget) && ctx.Err() != nil:
+		s.writeTimeout(w, r, err)
+	case r.Context().Err() != nil:
+		s.cancelled.Add(1)
+		accessFrom(r.Context()).outcome = "cancelled"
+	default:
+		accessFrom(r.Context()).outcome = "error"
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// writeShed renders the 503 + Retry-After shed response and counts it
+// under the endpoint's shed series.
+func (s *Server) writeShed(w http.ResponseWriter, r *http.Request, err error) {
+	if c := s.obs.sheds[endpointOf(r.URL.Path)]; c != nil {
+		c.Add(1)
+	}
+	accessFrom(r.Context()).outcome = "shed"
+	w.Header().Set("Retry-After", s.retryAfter)
+	writeErrorReason(w, http.StatusServiceUnavailable, reasonShed, err)
+}
+
+// writeTimeout renders the 504 budget-timeout response and counts it under
+// the endpoint's timeout series.
+func (s *Server) writeTimeout(w http.ResponseWriter, r *http.Request, err error) {
+	if c := s.obs.timeouts[endpointOf(r.URL.Path)]; c != nil {
+		c.Add(1)
+	}
+	accessFrom(r.Context()).outcome = "timeout"
+	writeErrorReason(w, http.StatusGatewayTimeout, reasonTimeout, err)
+}
+
+// budgetExpired reports whether ctx failed because its compute budget ran
+// out (as opposed to the client disconnecting).
+func budgetExpired(ctx context.Context) bool {
+	return ctx.Err() != nil && errors.Is(context.Cause(ctx), errBudget)
+}
+
+// BeginDrain flips the server into drain mode, once: /readyz answers 503
+// (so load balancers stop routing), waiters parked in acquire fail fast
+// with the shed taxonomy, new compute is refused, and the streaming
+// endpoints end their streams with a clean shed terminal record at the
+// next yield. Cache hits keep being served — the socket is still open and
+// they cost no worker slot. Safe to call from any goroutine, any number
+// of times.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Draining reports whether BeginDrain has run.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -47,18 +47,21 @@ func (s *Server) handleBorders(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := s.acquire(r)
+	ctx, cancel, err := s.budgetCtx(r, s.cfg.AppsTimeout)
 	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	sess, err := s.acquire(ctx)
+	if err != nil {
+		s.failAcquire(w, r, err)
 		return
 	}
 	defer s.release(sess)
-	b, err := itemsets.ComputeBordersWith(r.Context(), d, req.Z, sess)
+	b, err := itemsets.ComputeBordersWith(ctx, d, req.Z, sess)
 	if err != nil {
-		if r.Context().Err() != nil {
-			s.cancelled.Add(1)
-			return
-		}
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.failCompute(w, r, ctx, err)
 		return
 	}
 	writeJSON(w, bordersResponse{
@@ -102,20 +105,23 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < rel.NumAttrs(); i++ {
 		attrSym.Intern(rel.AttrName(i))
 	}
-	sess, err := s.acquire(r)
+	ctx, cancel, err := s.budgetCtx(r, s.cfg.AppsTimeout)
 	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	sess, err := s.acquire(ctx)
+	if err != nil {
+		s.failAcquire(w, r, err)
 		return
 	}
 	defer s.release(sess)
 
 	if strings.TrimSpace(req.Known) == "" {
-		all, _, err := rel.EnumerateKeysIncrementallyWith(r.Context(), sess)
+		all, _, err := rel.EnumerateKeysIncrementallyWith(ctx, sess)
 		if err != nil {
-			if r.Context().Err() != nil {
-				s.cancelled.Add(1)
-				return
-			}
-			s.writeError(w, http.StatusUnprocessableEntity, err)
+			s.failCompute(w, r, ctx, err)
 			return
 		}
 		writeJSON(w, keysResponse{Keys: edgeNames(all.Canonical(), attrSym), Complete: true})
@@ -140,13 +146,9 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 		}
 		known.AddEdgeElems(idx...)
 	}
-	res, err := rel.AdditionalKeyWith(r.Context(), known, sess)
+	res, err := rel.AdditionalKeyWith(ctx, known, sess)
 	if err != nil {
-		if r.Context().Err() != nil {
-			s.cancelled.Add(1)
-			return
-		}
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.failCompute(w, r, ctx, err)
 		return
 	}
 	resp := keysResponse{
@@ -196,8 +198,15 @@ func (s *Server) handleCoteries(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	sess, err := s.acquire(r)
+	ctx, cancel, err := s.budgetCtx(r, s.cfg.AppsTimeout)
 	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	sess, err := s.acquire(ctx)
+	if err != nil {
+		s.failAcquire(w, r, err)
 		return
 	}
 	defer s.release(sess)
@@ -205,13 +214,9 @@ func (s *Server) handleCoteries(w http.ResponseWriter, r *http.Request) {
 	if req.Improve {
 		// One self-duality decomposition answers both questions: found is
 		// false exactly when the coterie is non-dominated.
-		dom, found, err := c.FindDominatingWith(r.Context(), sess)
+		dom, found, err := c.FindDominatingWith(ctx, sess)
 		if err != nil {
-			if r.Context().Err() != nil {
-				s.cancelled.Add(1)
-				return
-			}
-			s.writeError(w, http.StatusUnprocessableEntity, err)
+			s.failCompute(w, r, ctx, err)
 			return
 		}
 		resp.NonDominated = !found
@@ -219,13 +224,9 @@ func (s *Server) handleCoteries(w http.ResponseWriter, r *http.Request) {
 			resp.Dominating = edgeNames(dom.Hypergraph(), sy)
 		}
 	} else {
-		nd, err := c.IsNonDominatedWith(r.Context(), sess)
+		nd, err := c.IsNonDominatedWith(ctx, sess)
 		if err != nil {
-			if r.Context().Err() != nil {
-				s.cancelled.Add(1)
-				return
-			}
-			s.writeError(w, http.StatusUnprocessableEntity, err)
+			s.failCompute(w, r, ctx, err)
 			return
 		}
 		resp.NonDominated = nd

@@ -12,7 +12,9 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,6 +25,7 @@ import (
 
 	"dualspace/internal/batch"
 	"dualspace/internal/engine"
+	"dualspace/internal/faultinject"
 	"dualspace/internal/hgio"
 	"dualspace/internal/hypergraph"
 )
@@ -40,10 +43,13 @@ type batchItemResponse struct {
 }
 
 // batchErrorRow reports one row's failure (bad engine name, parse error,
-// semantic rejection) without aborting the rest of the batch.
+// semantic rejection) without aborting the rest of the batch. Reason
+// carries the taxonomy class when the failure has one ("panic" for a
+// contained drain-step panic, "timeout" for an expired batch budget).
 type batchErrorRow struct {
-	Index int    `json:"index"`
-	Error string `json:"error"`
+	Index  int    `json:"index"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // batchEndRecord is the single terminal NDJSON line.
@@ -61,6 +67,10 @@ type batchEndRecord struct {
 	// Error carries a stream-level failure (broken NDJSON framing, body
 	// over the byte bound): per-row failures use error rows instead.
 	Error string `json:"error,omitempty"`
+	// Reason carries the taxonomy class of a stream-level failure
+	// ("timeout" when the batch budget expired, "shed" when drain stopped
+	// row intake).
+	Reason string `json:"reason,omitempty"`
 }
 
 // rowMeta is the per-row rendering context, carried through the scheduler
@@ -99,6 +109,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		parallelism = n
 	}
+	// The batch budget covers the whole drain: expired rows fail with the
+	// timeout taxonomy, and the terminal record says why.
+	ctx, cancel, err := s.budgetCtx(r, s.cfg.BatchTimeout)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 
 	var src io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
 	rc := http.NewResponseController(w)
@@ -130,6 +148,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// parse) per row — so fast rows coalesce into larger TCP writes,
 		// while slow trickles (and the terminal record, emitted last after
 		// this loop) still flush promptly for live progress.
+		if faultinject.Fire(ctx, faultinject.PointStreamWrite) != nil {
+			return // injected write failure: drop the row like a dead client
+		}
 		writeMu.Lock()
 		defer writeMu.Unlock()
 		now := time.Now()
@@ -151,9 +172,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	reqs := make(chan batch.Request)
 	runDone := make(chan batch.RunStats, 1)
 	go func() {
-		runDone <- s.scheduler.RunN(r.Context(), parallelism, reqs, func(resp batch.Response) {
+		runDone <- s.scheduler.RunN(ctx, parallelism, reqs, func(resp batch.Response) {
 			if resp.Err != nil {
-				emitRow(batchErrorRow{Index: resp.Index, Error: resp.Err.Error()})
+				row := batchErrorRow{Index: resp.Index, Error: resp.Err.Error()}
+				var pe *engine.PanicError
+				switch {
+				case errors.As(resp.Err, &pe):
+					row.Reason = reasonPanic
+				case budgetExpired(ctx) && errors.Is(resp.Err, context.DeadlineExceeded):
+					row.Reason = reasonTimeout
+				}
+				emitRow(row)
 				return
 			}
 			m := resp.Meta.(rowMeta)
@@ -177,10 +206,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	idx, parseErrors := 0, 0
-	var streamErr string
+	var streamErr, streamReason string
 	truncated := false
 	parsedTexts := make(map[decideRequest]*parsedRow)
 	for {
+		if s.draining.Load() {
+			// Drain began mid-batch: stop taking rows; dispatched work
+			// finishes, the terminal record carries the shed taxonomy, and
+			// the client re-submits the remainder elsewhere.
+			streamErr, streamReason = errDraining.Error(), reasonShed
+			break
+		}
 		var row decideRequest
 		err := dec.Decode(&row)
 		if err == io.EOF {
@@ -232,9 +268,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	st := <-runDone
 
 	s.decompositions.Add(int64(st.Decisions))
-	if r.Context().Err() != nil {
+	if budgetExpired(ctx) {
+		if c := s.obs.timeouts["batch"]; c != nil {
+			c.Add(1)
+		}
+		accessFrom(r.Context()).outcome = "timeout"
+		streamErr, streamReason = context.Cause(ctx).Error(), reasonTimeout
+	} else if r.Context().Err() != nil {
 		s.cancelled.Add(1)
 		return // client gone; no terminal record can reach it
+	} else if streamReason == reasonShed {
+		if c := s.obs.sheds["batch"]; c != nil {
+			c.Add(1)
+		}
+		accessFrom(r.Context()).outcome = "shed"
 	}
 	emitRow(batchEndRecord{
 		Done:      streamErr == "",
@@ -246,5 +293,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Errors:    st.Errors + parseErrors,
 		Truncated: truncated,
 		Error:     streamErr,
+		Reason:    streamReason,
 	})
 }

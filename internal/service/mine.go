@@ -11,12 +11,14 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strings"
 	"time"
 
 	"dualspace/internal/core"
 	"dualspace/internal/engine"
+	"dualspace/internal/faultinject"
 	"dualspace/internal/hgio"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/itemsets"
@@ -56,13 +58,16 @@ type mineRecord struct {
 	Check int `json:"check"`
 }
 
-// mineEndRecord is the single terminal NDJSON line.
+// mineEndRecord is the single terminal NDJSON line. Reason carries the
+// taxonomy class of a non-clean end ("timeout" for an expired compute
+// budget, "shed" when drain cut the mine short).
 type mineEndRecord struct {
 	Done          bool   `json:"done,omitempty"`
 	MaxFrequent   int    `json:"max_frequent_count"`
 	MinInfrequent int    `json:"min_infrequent_count"`
 	DualityChecks int    `json:"duality_checks"`
 	Error         string `json:"error,omitempty"`
+	Reason        string `json:"reason,omitempty"`
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -82,9 +87,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := s.acquire(r)
+	ctx, cancel, err := s.budgetCtx(r, s.cfg.MineTimeout)
 	if err != nil {
-		return // client gone before a slot freed
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	sess, err := s.acquire(ctx)
+	if err != nil {
+		s.failAcquire(w, r, err)
+		return
 	}
 	defer s.release(sess)
 	// Route the loop's duality checks through the worker slot's session
@@ -101,6 +113,9 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	streamDeadline := time.Now().Add(streamMaxDuration)
 	emit := func(rec any) error {
+		if err := faultinject.Fire(ctx, faultinject.PointStreamWrite); err != nil {
+			return err
+		}
 		d := time.Now().Add(streamWriteTimeout)
 		if d.After(streamDeadline) {
 			d = streamDeadline
@@ -114,8 +129,13 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 
 	maxCount, minCount, lastCheck := 0, 0, 0
-	b, err := itemsets.ComputeBordersStreamWith(r.Context(), d, req.Z, loopEngine,
+	b, err := itemsets.ComputeBordersStreamWith(ctx, d, req.Z, loopEngine,
 		func(ev itemsets.BorderEvent) error {
+			if s.draining.Load() {
+				// Cut the mine short with a clean shed terminal record; the
+				// client retries against another replica.
+				return errDraining
+			}
 			rec := mineRecord{Check: ev.DualityChecks}
 			set := names(ev.Set, sy)
 			if ev.MaxFrequent {
@@ -136,17 +156,32 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		})
 	s.minedElements.Add(int64(maxCount + minCount))
 	if err != nil {
-		if r.Context().Err() != nil {
+		endReason := ""
+		switch {
+		case errors.Is(err, errDraining):
+			if c := s.obs.sheds["mine"]; c != nil {
+				c.Add(1)
+			}
+			accessFrom(r.Context()).outcome = "shed"
+			endReason = reasonShed
+		case budgetExpired(ctx):
+			if c := s.obs.timeouts["mine"]; c != nil {
+				c.Add(1)
+			}
+			accessFrom(r.Context()).outcome = "timeout"
+			endReason = reasonTimeout
+		case r.Context().Err() != nil:
 			s.cancelled.Add(1)
 			return // client is gone; no terminal record can reach it
 		}
-		if maxCount+minCount == 0 {
+		if maxCount+minCount == 0 && endReason == "" {
 			// Nothing streamed yet: a proper HTTP error is still possible.
 			s.writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 		_ = emit(mineEndRecord{
 			Error:         err.Error(),
+			Reason:        endReason,
 			MaxFrequent:   maxCount,
 			MinInfrequent: minCount,
 			DualityChecks: lastCheck,

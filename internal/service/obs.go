@@ -23,6 +23,7 @@ import (
 
 	"dualspace/internal/core"
 	"dualspace/internal/engine"
+	"dualspace/internal/faultinject"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/obs"
 )
@@ -32,7 +33,14 @@ import (
 // never reach a handler counter).
 var endpointNames = []string{
 	"decide", "batch", "mine", "transversals", "borders", "keys",
-	"coteries", "healthz", "statsz", "metricsz", "other",
+	"coteries", "healthz", "readyz", "statsz", "metricsz", "other",
+}
+
+// workEndpoints are the endpoints that claim worker slots and run compute —
+// the ones admission control can shed and deadline budgets can expire, so
+// the only ones carrying shed/timeout series.
+var workEndpoints = []string{
+	"decide", "batch", "mine", "transversals", "borders", "keys", "coteries",
 }
 
 // endpointOf maps a request path to its endpoint label.
@@ -54,6 +62,8 @@ func endpointOf(path string) string {
 		return "coteries"
 	case "/healthz":
 		return "healthz"
+	case "/readyz":
+		return "readyz"
 	case "/statsz":
 		return "statsz"
 	case "/metricsz":
@@ -73,8 +83,12 @@ type endpointObs struct {
 type serverObs struct {
 	reg       *obs.Registry
 	endpoints map[string]*endpointObs
-	decide    *obs.DecideMetrics
-	logger    *slog.Logger
+	// sheds / timeouts are the per-endpoint admission-shed and
+	// budget-timeout counters, keyed by workEndpoints labels.
+	sheds    map[string]*obs.Counter
+	timeouts map[string]*obs.Counter
+	decide   *obs.DecideMetrics
+	logger   *slog.Logger
 }
 
 // initObs builds the registry and every series for s. Called from New after
@@ -84,6 +98,8 @@ func (s *Server) initObs(logger *slog.Logger) {
 	o := &serverObs{
 		reg:       reg,
 		endpoints: make(map[string]*endpointObs, len(endpointNames)),
+		sheds:     make(map[string]*obs.Counter, len(workEndpoints)),
+		timeouts:  make(map[string]*obs.Counter, len(workEndpoints)),
 		logger:    logger,
 	}
 	s.obs = o
@@ -111,8 +127,46 @@ func (s *Server) initObs(logger *slog.Logger) {
 	s.reqKeys = o.endpoints["keys"].requests
 	s.reqCoteries = o.endpoints["coteries"].requests
 	s.reqHealth = o.endpoints["healthz"].requests
+	s.reqReady = o.endpoints["readyz"].requests
 	s.reqStats = o.endpoints["statsz"].requests
 	s.reqMetrics = o.endpoints["metricsz"].requests
+
+	for _, ep := range workEndpoints {
+		o.sheds[ep] = reg.Counter("dualspace_sheds_total",
+			"Requests shed by admission control (503 + Retry-After), by endpoint.",
+			obs.L("endpoint", ep))
+		o.timeouts[ep] = reg.Counter("dualspace_timeouts_total",
+			"Requests whose compute budget expired (504), by endpoint.",
+			obs.L("endpoint", ep))
+	}
+	s.panics = reg.Counter("dualspace_panics_total",
+		"Panics contained at a serving boundary instead of killing the process.")
+	reg.GaugeFunc("dualspace_queue_waiters",
+		"Requests currently parked in the admission queue.",
+		func() float64 { return float64(s.queueWaiters.Load()) })
+	reg.Gauge("dualspace_queue_depth_limit",
+		"Admission-queue capacity; waiters beyond it are shed.").
+		Set(int64(s.cfg.QueueDepth))
+	reg.GaugeFunc("dualspace_draining",
+		"1 once graceful drain has begun (/readyz answers 503).",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dualspace_pool_free_sessions",
+		"Worker-pool sessions currently checked in.",
+		func() float64 { return float64(s.pool.Free()) })
+	reg.CounterFunc("dualspace_sessions_replaced_total",
+		"Poisoned sessions the pool replaced after a contained panic.",
+		func() float64 { return float64(s.pool.Replaced()) })
+	for _, p := range faultinject.Points() {
+		reg.CounterFunc("dualspace_faults_injected_total",
+			"Faults fired by the fault-injection harness, by point (0 unless armed).",
+			func() float64 { return float64(faultinject.Fired(p)) },
+			obs.L("point", p.String()))
+	}
 
 	s.inFlight = reg.Gauge("dualspace_in_flight_requests",
 		"Requests currently being served.")
@@ -168,6 +222,8 @@ func (s *Server) initObs(logger *slog.Logger) {
 		func() int64 { return s.scheduler.Stats().Decisions })
 	batchCounter("errors_total", "Batch rows answered with an error.",
 		func() int64 { return s.scheduler.Stats().Errors })
+	batchCounter("panics_total", "Panics contained in the batch drain step.",
+		func() int64 { return s.scheduler.Stats().Panics })
 	reg.GaugeFunc("dualspace_batch_active", "Batch streams currently draining.",
 		func() float64 { return float64(s.scheduler.Stats().Active) })
 
@@ -217,7 +273,7 @@ type accessInfo struct {
 	engine  string // resolved engine name
 	verdict string // "dual" / "nondual" once decided
 	reason  string // core.Reason string of the verdict
-	outcome string // cache_hit | coalesced | computed | error | cancelled
+	outcome string // cache_hit | coalesced | computed | error | cancelled | timeout | shed | panic
 	fg, fh  string // canonical fingerprint prefixes of the inputs
 }
 

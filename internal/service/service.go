@@ -59,13 +59,18 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dualspace/internal/batch"
 	"dualspace/internal/bitset"
 	"dualspace/internal/core"
 	"dualspace/internal/engine"
+	"dualspace/internal/faultinject"
 	"dualspace/internal/hgio"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/obs"
@@ -106,6 +111,32 @@ type Config struct {
 	// latency, plus engine/verdict/outcome/fingerprints where the handler
 	// knows them). Nil disables access logging; metrics are unaffected.
 	Logger *slog.Logger
+
+	// QueueDepth bounds the requests parked in acquire() waiting for a
+	// worker slot; excess is shed with 503 + Retry-After. Default
+	// max(16, 4×Workers); negative sheds every request that misses the
+	// pool's fast path.
+	QueueDepth int
+	// QueueWait bounds how long one request may park before it is shed
+	// (default 5s).
+	QueueWait time.Duration
+	// RetryAfter is the Retry-After hint on shed responses (default 1s;
+	// rendered in whole seconds, rounded up).
+	RetryAfter time.Duration
+
+	// DecideTimeout .. AppsTimeout are the per-endpoint compute budgets: the
+	// request context is bounded by the endpoint's budget once admission
+	// succeeds, and an expired budget surfaces as 504 with reason "timeout"
+	// (admission.go). Zero disables the budget. StreamTimeout covers
+	// /v1/transversals, AppsTimeout the borders/keys/coteries trio.
+	DecideTimeout time.Duration
+	BatchTimeout  time.Duration
+	MineTimeout   time.Duration
+	StreamTimeout time.Duration
+	AppsTimeout   time.Duration
+	// MaxTimeout caps the per-request ?timeout_ms= override (default 60s).
+	// Larger asks are clamped, never rejected.
+	MaxTimeout time.Duration
 }
 
 // DefaultLimits is the input bound applied when Config.Limits is zero:
@@ -163,6 +194,7 @@ type Server struct {
 	reqKeys         *obs.Counter
 	reqCoteries     *obs.Counter
 	reqHealth       *obs.Counter
+	reqReady        *obs.Counter
 	reqStats        *obs.Counter
 	reqMetrics      *obs.Counter
 	inFlight        *obs.Gauge
@@ -174,6 +206,17 @@ type Server struct {
 	streamedSets    *obs.Counter
 	minedElements   *obs.Counter
 	coalesced       *obs.Counter
+	panics          *obs.Counter
+
+	// Resilience state (admission.go): queueWaiters is the live admission
+	// queue occupancy; drainCh closes when BeginDrain runs so parked
+	// waiters fail fast; retryAfter is the precomputed Retry-After header
+	// value of shed responses.
+	queueWaiters atomic.Int64
+	drainCh      chan struct{}
+	drainOnce    sync.Once
+	draining     atomic.Bool
+	retryAfter   string
 
 	// testHookDecideStart, when non-nil, runs right after a /v1/decide
 	// request has claimed a worker slot and before the decomposition
@@ -204,17 +247,35 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchBytes <= 0 {
 		cfg.MaxBatchBytes = 64 << 20
 	}
+	switch {
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = max(16, 4*cfg.Workers)
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 5 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxTimeout == 0 {
+		cfg.MaxTimeout = time.Minute
+	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		pool:     engine.NewSessionPool(nil, cfg.Workers, cfg.MemoEntries),
-		cache:    batch.NewCache(cfg.CacheSize, cfg.CacheShards),
-		engStats: make(map[string]*engineCounters, len(engine.Names())),
-		start:    time.Now(),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		pool:       engine.NewSessionPool(nil, cfg.Workers, cfg.MemoEntries),
+		cache:      batch.NewCache(cfg.CacheSize, cfg.CacheShards),
+		engStats:   make(map[string]*engineCounters, len(engine.Names())),
+		start:      time.Now(),
+		drainCh:    make(chan struct{}),
+		retryAfter: strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second)),
 	}
 	s.initObs(cfg.Logger)
 	s.scheduler = batch.NewScheduler(batch.Config{
 		Pool: s.pool, Cache: s.cache, Metrics: s.obs.decide,
+		OnPanic: s.onBatchPanic,
 	})
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -224,6 +285,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/keys", s.handleKeys)
 	s.mux.HandleFunc("POST /v1/coteries", s.handleCoteries)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return s
@@ -232,7 +294,9 @@ func New(cfg Config) *Server {
 // ServeHTTP dispatches to the service mux, wrapped in the observability
 // middleware: in-flight gauge, per-endpoint latency histogram, and (when
 // Config.Logger is set) a structured access-log record annotated by the
-// handler through the request context (obs.go).
+// handler through the request context (obs.go). finishRequest is deferred
+// rather than called, because it doubles as the last-resort panic boundary
+// for panics no session boundary contained.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
@@ -240,24 +304,34 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w}
 	ai := &accessInfo{}
 	r = r.WithContext(context.WithValue(r.Context(), accessInfoKey{}, ai))
-	t0 := time.Now()
+	defer s.finishRequest(r, ep, sw, ai, time.Now())
 	s.mux.ServeHTTP(sw, r)
+}
+
+// finishRequest observes the finished request and contains any panic still
+// unwinding: count, log the stack, and — when nothing has been written yet
+// — answer a clean 500 with reason "panic". Mid-response the stream is
+// corrupt, so the connection is aborted with http.ErrAbortHandler (which
+// also passes through untouched when a handler raised it deliberately);
+// either way the process keeps serving.
+func (s *Server) finishRequest(r *http.Request, ep string, sw *statusWriter, ai *accessInfo, t0 time.Time) {
+	if v := recover(); v != nil {
+		if v != http.ErrAbortHandler {
+			s.panics.Add(1)
+			s.logPanic("panic contained in handler", v, debug.Stack())
+			ai.outcome = "panic"
+			if sw.status == 0 {
+				writeErrorReason(sw, http.StatusInternalServerError, reasonPanic,
+					fmt.Errorf("internal panic: %v", v))
+				s.observeRequest(r, ep, sw, ai, time.Since(t0))
+				return
+			}
+		}
+		s.observeRequest(r, ep, sw, ai, time.Since(t0))
+		panic(http.ErrAbortHandler)
+	}
 	s.observeRequest(r, ep, sw, ai, time.Since(t0))
 }
-
-// acquire claims a worker-pool slot — with its pinned session — waiting
-// until one frees or the request's context is cancelled. release must be
-// called iff err is nil.
-func (s *Server) acquire(r *http.Request) (*engine.Session, error) {
-	sess, err := s.pool.Acquire(r.Context())
-	if err != nil {
-		s.cancelled.Add(1)
-		return nil, err
-	}
-	return sess, nil
-}
-
-func (s *Server) release(sess *engine.Session) { s.pool.Release(sess) }
 
 // decodeJSON reads a bounded request body into dst.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
@@ -277,23 +351,51 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Reason is the machine-readable
+// taxonomy class (docs/API.md): bad_request | limit | unprocessable |
+// timeout | shed | panic.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
 }
 
-// writeError renders a JSON error with the status matching the failure
-// class: 413 for input-limit violations (hgio limits and the body bound
-// alike), the given status otherwise.
+// writeError renders a request-class JSON error with the status matching
+// the failure: 413 for input-limit violations (hgio limits and the body
+// bound alike), the given status otherwise. The resilience outcomes —
+// shed, timeout, panic — have their own writers (admission.go) and are not
+// counted as bad requests.
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.badRequests.Add(1)
 	var mbe *http.MaxBytesError
 	if errors.Is(err, hgio.ErrLimitExceeded) || errors.As(err, &mbe) {
 		status = http.StatusRequestEntityTooLarge
 	}
+	writeErrorReason(w, status, reasonForStatus(status), err)
+}
+
+// reasonForStatus maps a status to its taxonomy class.
+func reasonForStatus(status int) string {
+	switch status {
+	case http.StatusRequestEntityTooLarge:
+		return reasonLimit
+	case http.StatusUnprocessableEntity:
+		return reasonUnprocessable
+	case http.StatusServiceUnavailable:
+		return reasonShed
+	case http.StatusGatewayTimeout:
+		return reasonTimeout
+	case http.StatusInternalServerError:
+		return reasonPanic
+	}
+	return reasonBadRequest
+}
+
+// writeErrorReason renders the uniform error body with an explicit
+// taxonomy class.
+func writeErrorReason(w http.ResponseWriter, status int, reason string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Reason: reason})
 }
 
 // names renders a vertex set as its interned names in index order.
@@ -331,6 +433,7 @@ type statsResponse struct {
 		Keys         int64 `json:"keys"`
 		Coteries     int64 `json:"coteries"`
 		Health       int64 `json:"health"`
+		Ready        int64 `json:"ready"`
 		Stats        int64 `json:"stats"`
 		Metrics      int64 `json:"metrics"`
 	} `json:"requests"`
@@ -370,6 +473,26 @@ type statsResponse struct {
 	StreamedResults int64 `json:"streamed_results"`
 	// MinedElements counts border elements streamed by /v1/mine.
 	MinedElements int64 `json:"mined_elements"`
+	// Draining reports whether graceful drain has begun (/readyz is 503).
+	Draining bool `json:"draining"`
+	// Resilience carries the admission-control and panic-containment
+	// counters (docs/OBSERVABILITY.md).
+	Resilience struct {
+		// Sheds / Timeouts sum the per-endpoint 503/504 series.
+		Sheds    int64 `json:"sheds"`
+		Timeouts int64 `json:"timeouts"`
+		// Panics counts panics contained at any serving boundary.
+		Panics int64 `json:"panics"`
+		// QueueWaiters / QueueDepth are the live admission-queue occupancy
+		// and its bound.
+		QueueWaiters int64 `json:"queue_waiters"`
+		QueueDepth   int   `json:"queue_depth"`
+		// SessionsReplaced counts poisoned sessions the pool swapped out.
+		SessionsReplaced int64 `json:"sessions_replaced"`
+		// FaultsInjected counts fault-injection firings (0 in production:
+		// the harness is armed only by -faults / the chaos suite).
+		FaultsInjected int64 `json:"faults_injected"`
+	} `json:"resilience"`
 }
 
 // engineStats is the wire form of one engine's counters.
@@ -379,7 +502,9 @@ type engineStats struct {
 }
 
 // healthResponse is the /healthz body: liveness plus enough build metadata
-// to tell which binary answered.
+// to tell which binary answered. Liveness stays 200 for the whole process
+// lifetime, drain included — a draining replica is alive, it just should
+// not receive new traffic, which is /readyz's job.
 type healthResponse struct {
 	OK            bool    `json:"ok"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -395,6 +520,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		GoVersion:     runtime.Version(),
 		GitRevision:   obs.GitRevision(),
 	})
+}
+
+// readyResponse is the /readyz body: readiness for new traffic. Once
+// BeginDrain runs the endpoint answers 503 with Draining set, so load
+// balancers stop routing to this replica before its listener closes.
+type readyResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining,omitempty"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.reqReady.Add(1)
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(readyResponse{Ready: false, Draining: true})
+		return
+	}
+	writeJSON(w, readyResponse{Ready: true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -413,6 +557,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.Keys = s.reqKeys.Load()
 	resp.Requests.Coteries = s.reqCoteries.Load()
 	resp.Requests.Health = s.reqHealth.Load()
+	resp.Requests.Ready = s.reqReady.Load()
 	resp.Requests.Stats = s.reqStats.Load()
 	resp.Requests.Metrics = s.reqMetrics.Load()
 	resp.Cache.Hits = s.cacheHits.Load()
@@ -437,6 +582,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.BadRequests = s.badRequests.Load()
 	resp.StreamedResults = s.streamedSets.Load()
 	resp.MinedElements = s.minedElements.Load()
+	resp.Draining = s.draining.Load()
+	for _, c := range s.obs.sheds {
+		resp.Resilience.Sheds += c.Load()
+	}
+	for _, c := range s.obs.timeouts {
+		resp.Resilience.Timeouts += c.Load()
+	}
+	resp.Resilience.Panics = s.panics.Load()
+	resp.Resilience.QueueWaiters = s.queueWaiters.Load()
+	resp.Resilience.QueueDepth = s.cfg.QueueDepth
+	resp.Resilience.SessionsReplaced = s.pool.Replaced()
+	resp.Resilience.FaultsInjected = faultinject.FiredTotal()
 	writeJSON(w, resp)
 }
 
@@ -542,6 +699,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		enabled: r.URL.Query().Get("trace") == "1",
 		start:   time.Now(),
 	}
+	ctx, cancel, err := s.budgetCtx(r, s.cfg.DecideTimeout)
+	if err != nil {
+		ai.outcome = "error"
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 	t0 := time.Now()
 	var req decideRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
@@ -571,7 +735,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	tr.canon = time.Since(t0)
 	ai.fg, ai.fh = fpPrefix(key.FG), fpPrefix(key.FH)
 	t0 = time.Now()
-	res, ok := s.cache.Get(key)
+	// An injected cache fault degrades to a miss: a broken cache must cost
+	// computation, never correctness or availability.
+	var res *core.Result
+	ok := false
+	if faultinject.Fire(ctx, faultinject.PointCacheLookup) == nil {
+		res, ok = s.cache.Get(key)
+	}
 	tr.lookup = time.Since(t0)
 	if ok {
 		s.cacheHits.Add(1)
@@ -586,7 +756,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	for {
 		f, leader := s.flights.join(key)
 		if leader {
-			s.decideLeader(w, r, key, f, eng, engName, g, h, sy, ai, &tr)
+			s.decideLeader(w, r, ctx, key, f, eng, engName, g, h, sy, ai, &tr)
 			return
 		}
 		// Identical computation already in flight: wait for its verdict
@@ -594,11 +764,12 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		f.waiters.Add(1)
 		select {
 		case <-f.done:
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			f.waiters.Add(-1)
-			s.cancelled.Add(1)
-			ai.outcome = "cancelled"
-			return // this client gone; the leader carries on for the rest
+			// Budget gone while coalesced: a timeout response. Client gone:
+			// silence; the leader carries on for the rest.
+			s.failCompute(w, r, ctx, context.Cause(ctx))
+			return
 		}
 		f.waiters.Add(-1)
 		if f.err == nil {
@@ -611,31 +782,32 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		}
 		if !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
 			// A real decision error — identical inputs would fail
-			// identically, so surface it without recomputing.
+			// identically, so surface it without recomputing (a contained
+			// panic keeps its own taxonomy class through failCompute).
 			s.coalesced.Add(1)
-			ai.outcome = "error"
-			s.writeError(w, http.StatusUnprocessableEntity, f.err)
+			s.failCompute(w, r, ctx, f.err)
 			return
 		}
-		// The leader's client disconnected mid-computation; loop and race
-		// to become the new leader (not counted as coalesced: this request
-		// was not served by the dead flight).
+		// The leader's run was cancelled (its client disconnected, or its
+		// budget — not ours — expired); loop and race to become the new
+		// leader (not counted as coalesced: this request was not served by
+		// the dead flight).
 	}
 }
 
 // decideLeader runs the actual decomposition for a coalesced flight and
 // publishes the outcome to its followers, successful or not — a flight left
-// open would strand every waiter.
-func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.Key, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols, ai *accessInfo, tr *traceState) {
+// open would strand every waiter. ctx is the request's budget context.
+func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, ctx context.Context, key batch.Key, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols, ai *accessInfo, tr *traceState) {
 	var fres *core.Result
 	var ferr error
 	defer func() { s.flights.finish(key, f, fres, ferr) }()
 
-	sess, err := s.acquire(r)
+	sess, err := s.acquire(ctx)
 	if err != nil {
 		ferr = err
-		ai.outcome = "cancelled"
-		return // client gone; nothing to write to
+		s.failAcquire(w, r, err)
+		return
 	}
 	defer s.release(sess)
 	if s.testHookDecideStart != nil {
@@ -650,7 +822,7 @@ func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.
 	rec := sess.Recorder()
 	rec.Reset()
 	t0 := time.Now()
-	res, err := sess.DecideWith(r.Context(), eng, g, h)
+	res, err := s.decideGuarded(ctx, sess, eng, g, h)
 	wall := time.Since(t0)
 	rec.Add(obs.StageParse, tr.parse)
 	rec.Add(obs.StageCanon, tr.canon)
@@ -658,13 +830,7 @@ func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, key batch.
 	s.obs.decide.Observe(engName, wall, rec)
 	if err != nil {
 		ferr = err
-		if r.Context().Err() != nil {
-			s.cancelled.Add(1)
-			ai.outcome = "cancelled"
-			return
-		}
-		ai.outcome = "error"
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.failCompute(w, r, ctx, err)
 		return
 	}
 	// Session results alias the worker's pinned scratch and are only valid

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dualspace/internal/bitset"
+	"dualspace/internal/faultinject"
 	"dualspace/internal/hgio"
 	"dualspace/internal/transversal"
 )
@@ -46,12 +47,15 @@ type streamSetRecord struct {
 // streamEndRecord is the single terminal NDJSON line: Done for clean
 // completion (Truncated when the limit knob stopped the stream early),
 // Error for a mid-stream failure. Count is the number of transversals
-// streamed before the end in either case.
+// streamed before the end in either case. Reason carries the taxonomy
+// class of a non-clean end ("timeout" when the compute budget expired,
+// "shed" when the server began draining mid-stream).
 type streamEndRecord struct {
 	Done      bool   `json:"done,omitempty"`
 	Count     int    `json:"count"`
 	Truncated bool   `json:"truncated,omitempty"`
 	Error     string `json:"error,omitempty"`
+	Reason    string `json:"reason,omitempty"`
 }
 
 func (s *Server) handleTransversals(w http.ResponseWriter, r *http.Request) {
@@ -70,11 +74,18 @@ func (s *Server) handleTransversals(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 || limit > s.cfg.MaxStreamResults {
 		limit = s.cfg.MaxStreamResults
 	}
+	ctx, cancel, err := s.budgetCtx(r, s.cfg.StreamTimeout)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 	// Enumeration does not decide duality, but it competes for the same CPU:
 	// it occupies a worker slot (whose session simply goes unused).
-	sess, err := s.acquire(r)
+	sess, err := s.acquire(ctx)
 	if err != nil {
-		return // client gone before a slot freed
+		s.failAcquire(w, r, err)
+		return
 	}
 	defer s.release(sess)
 	// Minimal transversals are invariant under minimization, and the
@@ -90,7 +101,11 @@ func (s *Server) handleTransversals(w http.ResponseWriter, r *http.Request) {
 		// A stalled client must not pin the worker slot: bound every write
 		// so a non-reading connection errors out instead of blocking, and
 		// bound the stream as a whole so drip-feeding cannot renew the
-		// per-write window forever.
+		// per-write window forever. The stream_write fault point models a
+		// slow (delay rule) or failing (error rule) client-facing write.
+		if err := faultinject.Fire(ctx, faultinject.PointStreamWrite); err != nil {
+			return err
+		}
 		d := time.Now().Add(streamWriteTimeout)
 		if d.After(streamDeadline) {
 			d = streamDeadline
@@ -105,8 +120,15 @@ func (s *Server) handleTransversals(w http.ResponseWriter, r *http.Request) {
 
 	// truncated is set only when a transversal beyond the limit actually
 	// arrives: a stream that stops at exactly |tr(h)| = limit is complete.
-	count, truncated := 0, false
-	err = transversal.EnumerateContext(r.Context(), h, func(t bitset.Set) (bool, error) {
+	// drained marks a stream cut short because the server began shutting
+	// down: the client gets a clean shed terminal record and retries
+	// against another replica.
+	count, truncated, drained := 0, false, false
+	err = transversal.EnumerateContext(ctx, h, func(t bitset.Set) (bool, error) {
+		if s.draining.Load() {
+			drained = true
+			return false, nil
+		}
 		if count >= limit {
 			truncated = true
 			return false, nil
@@ -119,12 +141,30 @@ func (s *Server) handleTransversals(w http.ResponseWriter, r *http.Request) {
 	})
 	s.streamedSets.Add(int64(count))
 	if err != nil {
+		if budgetExpired(ctx) {
+			// The compute budget ran out with a live client: end in-band
+			// with the timeout taxonomy.
+			if c := s.obs.timeouts["transversals"]; c != nil {
+				c.Add(1)
+			}
+			accessFrom(r.Context()).outcome = "timeout"
+			_ = emit(streamEndRecord{Error: err.Error(), Reason: reasonTimeout, Count: count})
+			return
+		}
 		if r.Context().Err() != nil {
 			s.cancelled.Add(1)
 			return // client is gone; no terminal record can reach it
 		}
 		// Mid-stream failure with a live client: surface it in-band.
 		_ = emit(streamEndRecord{Error: err.Error(), Count: count})
+		return
+	}
+	if drained {
+		if c := s.obs.sheds["transversals"]; c != nil {
+			c.Add(1)
+		}
+		accessFrom(r.Context()).outcome = "shed"
+		_ = emit(streamEndRecord{Error: errDraining.Error(), Reason: reasonShed, Count: count})
 		return
 	}
 	// Truncated means the limit stopped the stream: tr(h) may hold more
