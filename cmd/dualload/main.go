@@ -11,6 +11,16 @@
 //	         [-distinct 8] [-batch-size 64] [-mode both|decide|batch]
 //	         [-engine name] [-json] [-retry] [-retry-max n] [-retry-base d]
 //
+// -addr accepts a comma-separated list of base URLs for cluster runs:
+// each call picks a replica uniformly at random (seeded per client, per
+// request in decide mode, per batch in batch mode), so a dedup-heavy mix
+// hits every replica with every canonical class — the shape that
+// exercises peer cache-fills (docs/CLUSTER.md). Random, not round-robin:
+// a round-robin keyed on the request counter correlates with the row
+// cycle and can pin each canonical class to one replica. The -json
+// report then carries a per-replica "servers" section scraped from each
+// replica's /metricsz.
+//
 // With -retry the client heals through the server's resilience responses
 // the way a production caller should: shed answers (503) and contained
 // panics (500) are retried up to -retry-max times under jittered
@@ -291,8 +301,12 @@ type report struct {
 	// Server carries per-endpoint latency percentiles scraped from the
 	// server's own /metricsz after the runs — the server-side view of the
 	// same traffic, free of client scheduling noise. Absent when the
-	// server does not expose /metricsz.
+	// server does not expose /metricsz. With one -addr only; multi-replica
+	// runs fill Servers instead.
 	Server map[string]serverEndpointStats `json:"server,omitempty"`
+	// Servers is the per-replica version of Server, keyed by base URL,
+	// present when -addr lists more than one replica.
+	Servers map[string]map[string]serverEndpointStats `json:"servers,omitempty"`
 	// SpeedupBatchVsDecide is the items/sec ratio (only with -mode both).
 	SpeedupBatchVsDecide float64 `json:"speedup_batch_vs_decide,omitempty"`
 }
@@ -446,10 +460,11 @@ func newHTTPClient(clients int) *http.Client {
 	return &http.Client{Transport: tr, Timeout: 5 * time.Minute}
 }
 
-// runDecide replays the mix as individual /v1/decide calls. Under -retry
-// the latency of a healed request covers the whole retry chain, backoffs
-// included — the time a production caller actually waited for the answer.
-func runDecide(hc *http.Client, addr string, rows [][]byte, clients, requests int, rc retryCfg) runResult {
+// runDecide replays the mix as individual /v1/decide calls, round-robin
+// across addrs. Under -retry the latency of a healed request covers the
+// whole retry chain, backoffs included — the time a production caller
+// actually waited for the answer.
+func runDecide(hc *http.Client, addrs []string, rows [][]byte, clients, requests int, rc retryCfg) runResult {
 	var (
 		mu     sync.Mutex
 		lat    []time.Duration
@@ -469,6 +484,16 @@ func runDecide(hc *http.Client, addr string, rows [][]byte, clients, requests in
 			rng := rand.New(rand.NewSource(int64(c) + 1))
 			for i := 0; i < requests; i++ {
 				body := rows[(c*requests+i)%len(rows)]
+				// Pick the target uniformly at random (seeded per client, so
+				// replays are deterministic). A round-robin keyed on the same
+				// counter as the row pick would lock each canonical class to
+				// one replica whenever len(addrs) divides the row cycle —
+				// silently erasing the cross-replica duplication a cluster
+				// run is supposed to exercise.
+				addr := addrs[0]
+				if len(addrs) > 1 {
+					addr = addrs[rng.Intn(len(addrs))]
+				}
 				t0 := time.Now()
 				resp, err := postRetry(hc, addr+"/v1/decide", "application/json", body, rc, rng, &myTax, &myCalls)
 				if err != nil {
@@ -497,11 +522,12 @@ func runDecide(hc *http.Client, addr string, rows [][]byte, clients, requests in
 	return r
 }
 
-// runBatch replays the same mix as NDJSON batches of batchSize. Under
-// -retry a shed batch (503 before any row was drained) is resubmitted
-// whole; row-level error rows inside a 200 stream stay errors — re-running
-// a partially answered batch would double-count its items.
-func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, batchSize int, rc retryCfg) runResult {
+// runBatch replays the same mix as NDJSON batches of batchSize, each
+// batch round-robined across addrs. Under -retry a shed batch (503 before
+// any row was drained) is resubmitted whole; row-level error rows inside
+// a 200 stream stay errors — re-running a partially answered batch would
+// double-count its items.
+func runBatch(hc *http.Client, addrs []string, rows [][]byte, clients, requests, batchSize int, rc retryCfg) runResult {
 	var (
 		mu     sync.Mutex
 		lat    []time.Duration
@@ -527,6 +553,12 @@ func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, ba
 				var body bytes.Buffer
 				for i := 0; i < n; i++ {
 					body.Write(rows[(c*requests+off+i)%len(rows)])
+				}
+				// Random target per batch, same rationale as the decide loop:
+				// counter-keyed round-robin correlates with the row cycle.
+				addr := addrs[0]
+				if len(addrs) > 1 {
+					addr = addrs[rng.Intn(len(addrs))]
 				}
 				t0 := time.Now()
 				resp, err := postRetry(hc, addr+"/v1/batch", "application/x-ndjson", body.Bytes(), rc, rng, &myTax, &myCalls)
@@ -576,7 +608,7 @@ func runBatch(hc *http.Client, addr string, rows [][]byte, clients, requests, ba
 }
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8372", "dualserved base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8372", "dualserved base URL, or a comma-separated replica list (round-robin)")
 	clients := flag.Int("clients", 8, "concurrent clients")
 	requests := flag.Int("requests", 200, "decisions per client")
 	distinct := flag.Int("distinct", 8, "canonically distinct instances in the mix")
@@ -597,15 +629,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "dualload: empty -addr")
+		os.Exit(2)
+	}
+
 	instances := mix(*distinct)
 	hc := newHTTPClient(*clients)
-	// One throwaway call verifies the server is reachable before timing.
-	if resp, err := hc.Get(*addr + "/healthz"); err != nil {
-		fmt.Fprintln(os.Stderr, "dualload: server unreachable:", err)
-		os.Exit(1)
-	} else {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+	// One throwaway call per replica verifies they are reachable before
+	// timing.
+	for _, a := range addrs {
+		if resp, err := hc.Get(a + "/healthz"); err != nil {
+			fmt.Fprintln(os.Stderr, "dualload: server unreachable:", err)
+			os.Exit(1)
+		} else {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
 	}
 
 	rc := retryCfg{enabled: *retry, max: *retryMax, base: *retryBase}
@@ -613,12 +659,12 @@ func main() {
 	rows := precomputeRows(instances, *eng)
 	var decideRun, batchRun *runResult
 	if *mode == "decide" || *mode == "both" {
-		r := runDecide(hc, *addr, rows, *clients, *requests, rc)
+		r := runDecide(hc, addrs, rows, *clients, *requests, rc)
 		rep.Runs = append(rep.Runs, r)
 		decideRun = &r
 	}
 	if *mode == "batch" || *mode == "both" {
-		r := runBatch(hc, *addr, rows, *clients, *requests, *batchSize, rc)
+		r := runBatch(hc, addrs, rows, *clients, *requests, *batchSize, rc)
 		rep.Runs = append(rep.Runs, r)
 		batchRun = &r
 	}
@@ -626,10 +672,24 @@ func main() {
 		rep.SpeedupBatchVsDecide = batchRun.ItemsPerSec / decideRun.ItemsPerSec
 	}
 	rep.HistBucketBoundsUs = histBoundsUs()
-	if server, err := scrapeServerStats(hc, *addr); err == nil {
-		rep.Server = server
-	} else if !*asJSON {
-		fmt.Fprintln(os.Stderr, "dualload: no server-side stats:", err)
+	if len(addrs) == 1 {
+		if server, err := scrapeServerStats(hc, addrs[0]); err == nil {
+			rep.Server = server
+		} else if !*asJSON {
+			fmt.Fprintln(os.Stderr, "dualload: no server-side stats:", err)
+		}
+	} else {
+		rep.Servers = make(map[string]map[string]serverEndpointStats)
+		for _, a := range addrs {
+			if server, err := scrapeServerStats(hc, a); err == nil {
+				rep.Servers[a] = server
+			} else if !*asJSON {
+				fmt.Fprintln(os.Stderr, "dualload: no server-side stats from", a, ":", err)
+			}
+		}
+		if len(rep.Servers) == 0 {
+			rep.Servers = nil
+		}
 	}
 
 	if *asJSON {

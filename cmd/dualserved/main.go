@@ -16,6 +16,9 @@
 //	           [-decide-timeout d] [-batch-timeout d] [-mine-timeout d]
 //	           [-stream-timeout d] [-apps-timeout d] [-max-timeout d]
 //	           [-drain-grace d] [-faults spec] [-fault-seed n]
+//	           [-self host:port] [-peers a,b,c] [-peer-timeout d]
+//	           [-peer-fanout n] [-verdict-log dir] [-vlog-segment-bytes n]
+//	           [-vlog-compact-interval d] [-vlog-sync]
 //
 // The listen address is printed to stdout once the socket is bound (so
 // -addr 127.0.0.1:0 works for scripted use). SIGINT/SIGTERM trigger a
@@ -31,6 +34,18 @@
 // harness (internal/faultinject spec grammar, e.g.
 // "decide:panic:every=7,stream_write:delay=20ms:p=0.25") with a
 // deterministic -fault-seed — a chaos-testing mode, never for production.
+//
+// Cluster mode (docs/CLUSTER.md): -peers lists every replica (including
+// this one) and -self names this replica's address as it appears in that
+// list; all replicas must agree on the member list. A local cache miss
+// whose canonical key hashes to another replica is filled from that
+// replica's cache over POST /v1/cluster/verdict (budgeted by
+// -peer-timeout, bounded by -peer-fanout concurrent fills, guarded by a
+// per-peer circuit breaker) before falling back to local compute.
+// -verdict-log makes verdicts durable: every stored verdict is appended
+// to a CRC-framed segment log in that directory and replayed into the
+// cache on the next start (warm restarts); -vlog-compact-interval
+// periodically rewrites the log to its live set.
 //
 // Observability (docs/OBSERVABILITY.md): GET /metricsz serves the
 // Prometheus text exposition; -access-log emits one structured slog record
@@ -50,12 +65,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dualspace/internal/cluster"
 	"dualspace/internal/faultinject"
 	"dualspace/internal/hgio"
 	"dualspace/internal/service"
+	"dualspace/internal/verdictlog"
 )
 
 func main() {
@@ -86,6 +104,14 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 0, "pause between flipping /readyz to 503 and closing the listener")
 	faults := flag.String("faults", "", "arm the fault-injection harness with this spec (chaos testing only)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
+	self := flag.String("self", "", "this replica's address as listed in -peers (required with -peers)")
+	peers := flag.String("peers", "", "comma-separated cluster member addresses, including -self (empty = single node)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-fill peer request budget (0 = 2s)")
+	peerFanout := flag.Int("peer-fanout", 0, "max concurrent outbound peer fills (0 = 32)")
+	verdictLogDir := flag.String("verdict-log", "", "append verdicts to segment files in this directory and replay them on start (empty disables)")
+	vlogSegBytes := flag.Int64("vlog-segment-bytes", 0, "roll verdict-log segments at this size (0 = 4MiB)")
+	vlogCompactInterval := flag.Duration("vlog-compact-interval", 0, "rewrite the verdict log to its live set this often (0 = never)")
+	vlogSync := flag.Bool("vlog-sync", false, "fsync the verdict log after every append (durable but slow)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dualserved [flags]")
@@ -102,6 +128,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dualserved: bad -log-format %q (want text or json)\n", *logFormat)
 			os.Exit(2)
 		}
+	}
+
+	var peerClient *cluster.Client
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		c, err := cluster.New(cluster.Config{
+			Self:               *self,
+			Peers:              list,
+			Timeout:            *peerTimeout,
+			MaxConcurrentFills: *peerFanout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dualserved:", err)
+			os.Exit(2)
+		}
+		peerClient = c
+		if peerClient != nil {
+			fmt.Fprintf(os.Stderr, "dualserved: cluster mode: self=%s peers=%v\n",
+				peerClient.Self(), peerClient.PeerAddrs())
+		}
+	}
+
+	var vlog *verdictlog.Log
+	if *verdictLogDir != "" {
+		l, err := verdictlog.Open(*verdictLogDir, verdictlog.Options{
+			SegmentBytes: *vlogSegBytes,
+			Sync:         *vlogSync,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dualserved: verdict log:", err)
+			os.Exit(2)
+		}
+		vlog = l
 	}
 
 	srv := service.New(service.Config{
@@ -129,7 +193,30 @@ func main() {
 		StreamTimeout:    *streamTimeout,
 		AppsTimeout:      *appsTimeout,
 		MaxTimeout:       *maxTimeout,
+		Cluster:          peerClient,
+		VerdictLog:       vlog,
 	})
+
+	if vlog != nil && *vlogCompactInterval > 0 {
+		// Periodic compaction bounds replay time and disk use; a failed
+		// compaction is logged and retried at the next tick.
+		compactQuit := make(chan struct{})
+		defer close(compactQuit)
+		go func() {
+			t := time.NewTicker(*vlogCompactInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := vlog.Compact(); err != nil {
+						fmt.Fprintln(os.Stderr, "dualserved: verdict-log compact:", err)
+					}
+				case <-compactQuit:
+					return
+				}
+			}
+		}()
+	}
 
 	if *faults != "" {
 		inj, err := faultinject.ParseSpec(*faults, *faultSeed)
@@ -200,6 +287,15 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		// In-flight streams past the drain deadline are cut off.
 		_ = hs.Close()
+	}
+	// Stop the async verdict-log writer (flushing queued appends), then
+	// close the log file itself — strictly after Close so no append races
+	// a closed file.
+	srv.Close()
+	if vlog != nil {
+		if err := vlog.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dualserved: verdict log:", err)
+		}
 	}
 	fmt.Println("dualserved: drained, bye")
 }

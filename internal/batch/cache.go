@@ -51,6 +51,12 @@ func (k Key) hash() uint64 {
 	return h
 }
 
+// Hash64 exposes the key's 64-bit fold for placement decisions beyond the
+// in-process shards — internal/cluster routes the same value over a
+// consistent-hash ring of replicas, so a key's network owner and its local
+// shard are derived from one hash function.
+func (k Key) Hash64() uint64 { return k.hash() }
+
 // DefaultShards is the shard count applied when a Cache is built with
 // shards <= 0: enough that the per-shard mutexes stop being the contention
 // point under a few dozen concurrent clients, small enough that a

@@ -53,6 +53,13 @@ type Request struct {
 	// text, and the scheduler then skips per-duplicate canonicalization
 	// and fingerprinting, the second-largest per-row cost after parsing.
 	Key *Key
+	// RawG and RawH, when set, carry the original (pre-canonicalization)
+	// request texts of G and H for Config.Fill. A peer replica must parse
+	// the same bytes the local parse saw — hgio interns vertex names in
+	// first-appearance order, so identical text yields identical integer
+	// structure, identical canonical fingerprints, and witness indices
+	// valid on both sides; a re-rendering of the canonical form would not.
+	RawG, RawH string
 	// Meta is opaque caller context echoed verbatim on this request's
 	// Response (each duplicate keeps its own Meta, whichever request led).
 	Meta any
@@ -96,6 +103,19 @@ type Config struct {
 	// Called from the worker goroutine that contained the panic; must not
 	// itself panic.
 	OnPanic func(v any, stack []byte)
+	// Fill, when non-nil, is consulted for each cache-missed entry before
+	// an engine session is acquired: given the entry's key, its vertex
+	// universe, and the leader's raw request texts, it may return a
+	// detached verdict obtained elsewhere (the service bridges it to the
+	// cluster peer client). A false return means "compute locally"; Fill
+	// must never block long — it runs on a drain worker's time budget.
+	Fill func(ctx context.Context, key Key, n int, rawG, rawH string) (*core.Result, bool)
+	// OnStore, when non-nil, observes every verdict the scheduler adds to
+	// the shared cache (computed or peer-filled, never cache hits), with
+	// the vertex universe its witness indices refer to. The service
+	// bridges it to the verdict log. Called from drain workers; must not
+	// block.
+	OnStore func(key Key, res *core.Result, n int)
 }
 
 // Stats is a snapshot of a Scheduler's lifetime counters (the /statsz
@@ -110,6 +130,9 @@ type Stats struct {
 	Decisions int64 `json:"decisions"`
 	Errors    int64 `json:"errors"`
 	Panics    int64 `json:"panics"`
+	// PeerFills counts entries answered by Config.Fill (a peer replica's
+	// cache) instead of a local engine run.
+	PeerFills int64 `json:"peer_fills"`
 }
 
 // RunStats summarizes one Run: Items = requests consumed, Unique = distinct
@@ -118,6 +141,8 @@ type Stats struct {
 // = engine runs completed, Errors = responses carrying an error.
 type RunStats struct {
 	Items, Unique, Deduped, CacheHits, Decisions, Errors int
+	// PeerFills counts entries answered by Config.Fill.
+	PeerFills int
 }
 
 // Scheduler drains batches; safe for concurrent Runs (which then share the
@@ -135,6 +160,7 @@ type Scheduler struct {
 	decisions atomic.Int64
 	errors    atomic.Int64
 	panics    atomic.Int64
+	fills     atomic.Int64
 }
 
 // NewScheduler returns a Scheduler over cfg; cfg.Pool must be non-nil.
@@ -160,6 +186,7 @@ func (s *Scheduler) Stats() Stats {
 		Decisions: s.decisions.Load(),
 		Errors:    s.errors.Load(),
 		Panics:    s.panics.Load(),
+		PeerFills: s.fills.Load(),
 	}
 }
 
@@ -224,15 +251,22 @@ func (s *Scheduler) RunN(ctx context.Context, parallelism int, reqs <-chan Reque
 		go func() {
 			defer wg.Done()
 			for e := range work {
-				res, err := s.decideEntry(ctx, e)
+				res, filled, err := s.decideEntry(ctx, e)
 				mu.Lock()
 				e.resolved, e.res, e.err = true, res, err
+				// A peer-filled verdict is a cache hit from the cluster's
+				// point of view: no engine ran here, and responses should
+				// say "cached" exactly as a shared-cache hit would.
+				e.fromCache = filled
 				ws := e.waiters
 				e.waiters = nil
-				if err == nil {
-					rs.Decisions++
-				} else {
+				switch {
+				case err != nil:
 					rs.Errors += 1 + len(ws)
+				case filled:
+					rs.PeerFills++
+				default:
+					rs.Decisions++
 				}
 				rs.Deduped += len(ws)
 				mu.Unlock()
@@ -319,6 +353,7 @@ func (s *Scheduler) RunN(ctx context.Context, parallelism int, reqs <-chan Reque
 	s.cacheHits.Add(int64(rs.CacheHits))
 	s.decisions.Add(int64(rs.Decisions))
 	s.errors.Add(int64(rs.Errors))
+	s.fills.Add(int64(rs.PeerFills))
 	return rs
 }
 
@@ -332,20 +367,39 @@ func (s *Scheduler) RunN(ctx context.Context, parallelism int, reqs <-chan Reque
 // this is a plain goroutine and not an HTTP handler, the whole process.
 //
 //dual:allocfree
-func (s *Scheduler) decideEntry(ctx context.Context, e *entry) (*core.Result, error) {
+func (s *Scheduler) decideEntry(ctx context.Context, e *entry) (*core.Result, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	// Peer fill first: if the key's cluster owner already holds the verdict,
+	// a bounded network round trip replaces an engine run entirely. Fill
+	// failures of any kind degrade to local compute.
+	if s.cfg.Fill != nil {
+		if res, ok := s.cfg.Fill(ctx, e.key, e.g.N(), e.leader.RawG, e.leader.RawH); ok {
+			if s.cfg.Cache != nil {
+				s.cfg.Cache.Add(e.key, res)
+			}
+			if s.cfg.OnStore != nil {
+				s.cfg.OnStore(e.key, res, e.g.N())
+			}
+			return res, true, nil
+		}
 	}
 	sess, err := s.cfg.Pool.Acquire(ctx)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	res, err := s.decideSession(ctx, sess, e)
 	s.cfg.Pool.Release(sess)
-	if res != nil && s.cfg.Cache != nil {
-		s.cfg.Cache.Add(e.key, res)
+	if res != nil {
+		if s.cfg.Cache != nil {
+			s.cfg.Cache.Add(e.key, res)
+		}
+		if s.cfg.OnStore != nil {
+			s.cfg.OnStore(e.key, res, e.g.N())
+		}
 	}
-	return res, err
+	return res, false, err
 }
 
 // decideSession runs one decision on a held session. containPanic is

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults: five consecutive failures open the breaker for five
+// seconds. Peer-fill is an optimization — the fallback (local compute) is
+// always correct — so the breaker is deliberately eager to open and cheap
+// to probe: after the cooldown one request is let through, and one success
+// closes it again.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// breaker is a per-peer consecutive-failure circuit breaker. It counts
+// transport errors and 5xx responses (a 4xx means the peer is healthy but
+// rejected the request, which must not trip it). All methods are safe for
+// concurrent use; the mutex is held only around a few field reads, never
+// across I/O.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	failures int
+	openedAt time.Time
+	open     bool
+	probing  bool // one in-flight probe after cooldown
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may proceed. While open, it admits a
+// single probe once the cooldown has elapsed; everything else is refused
+// until that probe reports success.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a successful call and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.open = false
+	b.probing = false
+}
+
+// failure records a failed call; crossing the threshold (or failing the
+// post-cooldown probe) opens the breaker and restarts the cooldown.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probing = false
+	if b.failures >= b.threshold || b.open {
+		b.open = true
+		b.openedAt = b.now()
+	}
+}
+
+// isOpen reports the breaker state for stats surfaces.
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}

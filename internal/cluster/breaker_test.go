@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second, func() time.Time { return now })
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("breaker open after %d failures (threshold 3)", i)
+		}
+		b.failure()
+	}
+	if !b.allow() {
+		t.Fatal("breaker open at 2 failures")
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker still closed at threshold")
+	}
+	if !b.isOpen() {
+		t.Fatal("isOpen = false after tripping")
+	}
+}
+
+func TestBreakerProbeAndRecovery(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Second, func() time.Time { return now })
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the post-cooldown probe")
+	}
+	// Only one probe at a time.
+	if b.allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	b.success()
+	if !b.allow() || b.isOpen() {
+		t.Fatal("breaker did not close after a successful probe")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Second, func() time.Time { return now })
+	b.failure()
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	b.failure() // probe failed: cooldown restarts from now
+	if b.allow() {
+		t.Fatal("breaker admitted a request right after a failed probe")
+	}
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the second probe after a fresh cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker(2, time.Second, nil)
+	b.failure()
+	b.success()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Fill-path defaults. The timeout is deliberately short of the serving
+// deadline budgets: a fill that cannot beat local compute is not worth
+// waiting for. MaxConcurrentFills bounds the sockets a replica will hold
+// open toward its peers; excess fills are skipped (counted), not queued —
+// queueing a fill behind other fills would add latency to the exact
+// requests the cluster layer exists to speed up.
+const (
+	DefaultFillTimeout        = 2 * time.Second
+	DefaultMaxConcurrentFills = 32
+)
+
+// Config assembles a peer Client.
+type Config struct {
+	// Self is this replica's advertised address (scheme optional; "http://"
+	// is assumed). It is placed on the ring alongside Peers so every member
+	// computes the same ownership map.
+	Self string
+	// Peers are the other replicas' advertised addresses. Self is filtered
+	// out if listed (operators often deploy one -peers list to every node).
+	Peers []string
+	// VirtualNodes per ring member (<= 0: DefaultVirtualNodes).
+	VirtualNodes int
+	// Timeout bounds one fill round trip (<= 0: DefaultFillTimeout).
+	Timeout time.Duration
+	// MaxConcurrentFills bounds in-flight fills (<= 0: default 32).
+	MaxConcurrentFills int
+	// BreakerThreshold / BreakerCooldown tune the per-peer circuit breaker
+	// (<= 0: package defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HTTPClient overrides the transport (tests). nil builds one with the
+	// fill timeout.
+	HTTPClient *http.Client
+	// now is the breaker clock (tests).
+	now func() time.Time
+}
+
+// PeerStats is one peer's observable fill state.
+type PeerStats struct {
+	Addr        string `json:"addr"`
+	Fills       int64  `json:"fills"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Errors      int64  `json:"errors"`
+	Skips       int64  `json:"skips"`
+	BreakerOpen bool   `json:"breaker_open"`
+}
+
+// peerState is the per-peer client state: counters plus the breaker.
+type peerState struct {
+	addr    string
+	fills   atomic.Int64 // fill attempts dispatched
+	hits    atomic.Int64 // fills answered with a verdict
+	misses  atomic.Int64 // fills answered 404/503/504 (peer healthy, no verdict served)
+	errors  atomic.Int64 // transport errors and 5xx
+	skips   atomic.Int64 // fills suppressed by breaker or fan-out bound
+	breaker *breaker
+}
+
+// Client routes canonical-fingerprint hashes to owning replicas and
+// fetches verdicts from them. It is safe for concurrent use; all state is
+// atomics, per-peer breakers, and a semaphore channel.
+type Client struct {
+	self    string
+	ring    *Ring
+	peers   map[string]*peerState
+	order   []string // sorted peer addrs for stable stats output
+	http    *http.Client
+	timeout time.Duration
+	sem     chan struct{}
+}
+
+// normalizeAddr gives every ring member a canonical URL form so that
+// "host:port" and "http://host:port" configure the same ring position.
+func normalizeAddr(a string) string {
+	a = strings.TrimSpace(strings.TrimSuffix(a, "/"))
+	if a == "" {
+		return ""
+	}
+	if !strings.Contains(a, "://") {
+		a = "http://" + a
+	}
+	return a
+}
+
+// New builds a Client. An empty peer list (after filtering Self) returns
+// (nil, nil): cluster mode off, and every call site already nil-checks.
+func New(cfg Config) (*Client, error) {
+	self := normalizeAddr(cfg.Self)
+	members := []string{}
+	for _, p := range cfg.Peers {
+		p = normalizeAddr(p)
+		if p == "" || p == self {
+			continue
+		}
+		members = append(members, p)
+	}
+	if len(members) == 0 {
+		return nil, nil
+	}
+	if self == "" {
+		return nil, fmt.Errorf("cluster: -peers given but -self is empty")
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultFillTimeout
+	}
+	maxFills := cfg.MaxConcurrentFills
+	if maxFills <= 0 {
+		maxFills = DefaultMaxConcurrentFills
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: timeout}
+	}
+	c := &Client{
+		self:    self,
+		ring:    NewRing(append(members, self), cfg.VirtualNodes),
+		peers:   make(map[string]*peerState, len(members)),
+		http:    hc,
+		timeout: timeout,
+		sem:     make(chan struct{}, maxFills),
+	}
+	for _, m := range members {
+		if _, dup := c.peers[m]; dup {
+			continue
+		}
+		c.peers[m] = &peerState{
+			addr:    m,
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		}
+		c.order = append(c.order, m)
+	}
+	sort.Strings(c.order)
+	return c, nil
+}
+
+// Self reports this replica's normalized ring address.
+func (c *Client) Self() string { return c.self }
+
+// Ring exposes the ownership ring (stats and tests).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Owner maps a key hash (batch.Key.Hash64) to its owning replica,
+// reporting whether that owner is a remote peer.
+func (c *Client) Owner(h uint64) (addr string, remote bool) {
+	addr = c.ring.Owner(h)
+	return addr, addr != c.self
+}
+
+// Fill asks the peer at addr for the verdict of the instance whose
+// original request texts are gText/hText. It returns (nil, nil) when the
+// fill was skipped (breaker open, fan-out bound hit) or the peer had no
+// verdict to serve — both mean "carry on and compute locally". A non-nil
+// error means the peer misbehaved (transport failure, 5xx, malformed
+// verdict) and has been charged to its breaker.
+func (c *Client) Fill(ctx context.Context, addr, engineName, gText, hText string) (*WireVerdict, error) {
+	ps := c.peers[addr]
+	if ps == nil {
+		return nil, fmt.Errorf("cluster: %s is not a configured peer", addr)
+	}
+	if !ps.breaker.allow() {
+		ps.skips.Add(1)
+		return nil, nil
+	}
+	select {
+	case c.sem <- struct{}{}:
+	default:
+		ps.skips.Add(1)
+		return nil, nil
+	}
+	defer func() { <-c.sem }()
+
+	ps.fills.Add(1)
+	wv, retriable, err := c.doFill(ctx, addr, engineName, gText, hText)
+	switch {
+	case err != nil:
+		ps.errors.Add(1)
+		ps.breaker.failure()
+		return nil, err
+	case wv == nil:
+		// Healthy peer, no verdict (shed, timed out, or cache policy).
+		ps.misses.Add(1)
+		if retriable {
+			ps.breaker.success()
+		}
+		return nil, nil
+	default:
+		ps.hits.Add(1)
+		ps.breaker.success()
+		return wv, nil
+	}
+}
+
+// doFill runs one fill round trip. It returns (nil, true, nil) for
+// answers that mean "no verdict but the peer is fine" (404, 429, 503,
+// 504) and an error for transport failures, 5xx, and undecodable bodies.
+func (c *Client) doFill(ctx context.Context, addr, engineName, gText, hText string) (*WireVerdict, bool, error) {
+	body, err := json.Marshal(FillRequest{Engine: engineName, G: gText, H: hText})
+	if err != nil {
+		return nil, false, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		addr+"/v1/cluster/verdict?no_forward=1", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(PeerHeader, c.self)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		_ = resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var wv WireVerdict
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&wv); err != nil {
+			return nil, false, fmt.Errorf("cluster: decoding %s verdict: %w", addr, err)
+		}
+		return &wv, false, nil
+	case resp.StatusCode == http.StatusNotFound,
+		resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable,
+		resp.StatusCode == http.StatusGatewayTimeout:
+		// The peer is up but has nothing for us (or shed the fill under
+		// its own admission control) — a miss, not a failure.
+		return nil, true, nil
+	case resp.StatusCode >= 500:
+		return nil, false, fmt.Errorf("cluster: %s answered %d", addr, resp.StatusCode)
+	default:
+		// 4xx: the peer rejected the request as malformed. That is a local
+		// bug, not peer ill health — surface it without charging the
+		// breaker... except a breaker charge is exactly how persistent
+		// disagreement gets silenced, so charge it anyway: a peer we
+		// cannot talk to correctly is a peer we should stop asking.
+		return nil, false, fmt.Errorf("cluster: %s rejected fill with %d", addr, resp.StatusCode)
+	}
+}
+
+// Stats snapshots every peer in sorted-address order.
+func (c *Client) Stats() []PeerStats {
+	out := make([]PeerStats, 0, len(c.order))
+	for _, addr := range c.order {
+		ps := c.peers[addr]
+		out = append(out, PeerStats{
+			Addr:        ps.addr,
+			Fills:       ps.fills.Load(),
+			Hits:        ps.hits.Load(),
+			Misses:      ps.misses.Load(),
+			Errors:      ps.errors.Load(),
+			Skips:       ps.skips.Load(),
+			BreakerOpen: ps.breaker.isOpen(),
+		})
+	}
+	return out
+}
+
+// Peer returns the state snapshot for one address (metrics bridges).
+func (c *Client) Peer(addr string) (PeerStats, bool) {
+	ps := c.peers[addr]
+	if ps == nil {
+		return PeerStats{}, false
+	}
+	return PeerStats{
+		Addr:        ps.addr,
+		Fills:       ps.fills.Load(),
+		Hits:        ps.hits.Load(),
+		Misses:      ps.misses.Load(),
+		Errors:      ps.errors.Load(),
+		Skips:       ps.skips.Load(),
+		BreakerOpen: ps.breaker.isOpen(),
+	}, true
+}
+
+// PeerAddrs returns the remote member addresses in stable (sorted) order.
+func (c *Client) PeerAddrs() []string { return c.order }

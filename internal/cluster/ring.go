@@ -1,0 +1,121 @@
+// Package cluster turns a set of dualserved replicas into one logical
+// verdict cache. A consistent-hash ring assigns every canonical
+// fingerprint pair (via batch.Key.Hash64, the same 64-bit fold the
+// in-process cache uses for shard placement) to exactly one owning
+// replica; a peer Client asks that owner for the verdict on a local
+// cache miss before recomputing, with bounded fan-out and a per-peer
+// circuit breaker so a dead or slow peer degrades to local compute
+// instead of stalling the request path. DESIGN.md §13 documents the
+// design; docs/CLUSTER.md is the operator guide.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the vnode count per peer applied when a Ring is
+// built with vnodes <= 0. 128 points per peer keeps the expected load
+// imbalance under a few percent for small clusters while the whole ring
+// stays a few KiB — rebalance cost on membership change is what matters,
+// not lookup cost (a binary search over n·128 uint64s).
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over replica addresses. Each
+// peer contributes vnodes points placed by FNV-64a of "addr#i"; a key's
+// owner is the peer whose point is the first at or clockwise after the
+// key's hash. Immutability is the concurrency story: membership changes
+// build a new Ring and swap the pointer.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	peers  []string    // sorted, deduplicated member list
+	vnodes int
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// NewRing builds a ring over the given peer addresses (deduplicated;
+// order-insensitive — two replicas configured with the same member set in
+// different orders agree on every owner). vnodes <= 0 applies
+// DefaultVirtualNodes.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	members := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		members = append(members, p)
+	}
+	sort.Strings(members)
+	r := &Ring{
+		points: make([]ringPoint, 0, len(members)*vnodes),
+		peers:  members,
+		vnodes: vnodes,
+	}
+	for _, m := range members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(m, i), addr: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := &r.points[i], &r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (astronomically rare) break by address so that
+		// differently-ordered configurations still agree on owners.
+		return a.addr < b.addr
+	})
+	return r
+}
+
+// vnodeHash places vnode i of peer addr on the ring: FNV-64a of "addr#i"
+// pushed through a splitmix64 finalizer. Raw FNV of short, similar strings
+// clusters badly in the high bits — on a 5-peer ring one member ended up
+// owning almost half the space — and ring placement consumes exactly the
+// high-order structure FNV is weakest at, so the avalanche pass matters.
+func vnodeHash(addr string, i int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", addr, i)
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche bit mixing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the address owning hash h: the peer of the first ring
+// point at or clockwise after h, wrapping at the top. Empty ring returns
+// "".
+func (r *Ring) Owner(h uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// Peers returns the member list (sorted, deduplicated). Callers must not
+// mutate it.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Size reports the member count.
+func (r *Ring) Size() int { return len(r.peers) }

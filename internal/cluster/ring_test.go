@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRingDeterminismAndOrderInsensitivity(t *testing.T) {
+	a := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	b := NewRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		h := rng.Uint64()
+		if a.Owner(h) != b.Owner(h) {
+			t.Fatalf("owner disagreement at %#x: %q vs %q", h, a.Owner(h), b.Owner(h))
+		}
+	}
+	if got := a.Size(); got != 3 {
+		t.Fatalf("Size = %d, want 3", got)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Owner(42); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	r := NewRing([]string{"http://only:1"}, 0)
+	for _, h := range []uint64{0, 1, ^uint64(0), 1 << 63} {
+		if got := r.Owner(h); got != "http://only:1" {
+			t.Fatalf("single ring owner(%#x) = %q", h, got)
+		}
+	}
+}
+
+// TestRingBalance: with 128 vnodes per peer, no peer owns a share of the
+// key space wildly off 1/n.
+func TestRingBalance(t *testing.T) {
+	peers := []string{}
+	for i := 0; i < 5; i++ {
+		peers = append(peers, fmt.Sprintf("http://replica-%d:8373", i))
+	}
+	r := NewRing(peers, 0)
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(7))
+	const keys = 100000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(rng.Uint64())]++
+	}
+	want := keys / len(peers)
+	for p, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("peer %s owns %d of %d keys (expected ~%d)", p, c, keys, want)
+		}
+	}
+}
+
+// TestRingRebalance is the consistent-hashing contract: adding one peer to
+// an n-peer ring only moves keys TO the new peer (no key changes owner
+// between surviving peers), and the moved fraction is close to 1/(n+1).
+func TestRingRebalance(t *testing.T) {
+	base := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	before := NewRing(base, 0)
+	after := NewRing(append(append([]string{}, base...), "http://e:1"), 0)
+
+	rng := rand.New(rand.NewSource(99))
+	const keys = 200000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		h := rng.Uint64()
+		oldOwner, newOwner := before.Owner(h), after.Owner(h)
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if newOwner != "http://e:1" {
+			t.Fatalf("key %#x moved %s -> %s, not to the added peer", h, oldOwner, newOwner)
+		}
+	}
+	// Expected share: 1/5 of the space. Allow generous slack for vnode
+	// placement variance, but far below the 4/5 a naive mod-n rehash moves.
+	frac := float64(moved) / keys
+	if frac > 0.30 {
+		t.Errorf("adding 1 peer to 4 moved %.1f%% of keys; want ~20%%, certainly < 30%%", frac*100)
+	}
+	if frac < 0.10 {
+		t.Errorf("adding 1 peer to 4 moved only %.1f%% of keys; ring looks degenerate", frac*100)
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"testing"
+
+	"dualspace/internal/bitset"
+	"dualspace/internal/core"
+)
+
+func TestWireVerdictRoundTrip(t *testing.T) {
+	res := &core.Result{
+		Dual:            false,
+		Reason:          core.ReasonNewTransversal,
+		Witness:         bitset.FromSlice(6, []int{0, 3, 5}),
+		CoWitness:       bitset.FromSlice(6, []int{1, 2, 4}),
+		GEdge:           -1,
+		HEdge:           -1,
+		RedundantVertex: -1,
+		FailPath:        []int{2, 1},
+		Swapped:         true,
+	}
+	wv := FromResult(res, 6)
+	back, err := wv.ToResult(6)
+	if err != nil {
+		t.Fatalf("ToResult: %v", err)
+	}
+	if back.Dual != res.Dual || back.Reason != res.Reason || back.Swapped != res.Swapped {
+		t.Fatalf("verdict fields drifted: %+v vs %+v", back, res)
+	}
+	if !back.Witness.Equal(res.Witness) || !back.CoWitness.Equal(res.CoWitness) {
+		t.Fatal("witness sets drifted through the wire")
+	}
+	if len(back.FailPath) != 2 || back.FailPath[0] != 2 || back.FailPath[1] != 1 {
+		t.Fatalf("fail path drifted: %v", back.FailPath)
+	}
+}
+
+func TestWireVerdictDualRoundTrip(t *testing.T) {
+	res := &core.Result{Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	back, err := FromResult(res, 4).ToResult(4)
+	if err != nil {
+		t.Fatalf("ToResult: %v", err)
+	}
+	if !back.Dual || back.Reason != core.ReasonDual {
+		t.Fatalf("dual verdict drifted: %+v", back)
+	}
+	if !back.Witness.IsEmpty() {
+		t.Fatal("empty witness grew elements")
+	}
+}
+
+func TestWireVerdictValidation(t *testing.T) {
+	good := &WireVerdict{N: 4, Reason: 0, GEdge: -1, HEdge: -1, RedundantVertex: -1}
+	if _, err := good.ToResult(4); err != nil {
+		t.Fatalf("valid verdict rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		wv   WireVerdict
+		n    int
+	}{
+		{"universe mismatch", WireVerdict{N: 5, GEdge: -1, HEdge: -1, RedundantVertex: -1}, 4},
+		{"reason too large", WireVerdict{N: 4, Reason: 99, GEdge: -1, HEdge: -1, RedundantVertex: -1}, 4},
+		{"reason negative", WireVerdict{N: 4, Reason: -1, GEdge: -1, HEdge: -1, RedundantVertex: -1}, 4},
+		{"witness out of range", WireVerdict{N: 4, Witness: []int{4}, GEdge: -1, HEdge: -1, RedundantVertex: -1}, 4},
+		{"witness negative", WireVerdict{N: 4, Witness: []int{-1}, GEdge: -1, HEdge: -1, RedundantVertex: -1}, 4},
+		{"co-witness out of range", WireVerdict{N: 4, CoWitness: []int{9}, GEdge: -1, HEdge: -1, RedundantVertex: -1}, 4},
+		{"bad sentinel", WireVerdict{N: 4, GEdge: -7, HEdge: -1, RedundantVertex: -1}, 4},
+	}
+	for _, tc := range cases {
+		if _, err := tc.wv.ToResult(tc.n); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

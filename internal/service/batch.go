@@ -260,6 +260,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		reqs <- batch.Request{
 			Index: idx, EngineName: pr.engName, Engine: pr.eng,
 			G: pr.g, H: pr.h, Key: &pr.key,
+			RawG: row.G, RawH: row.H,
 			Meta: rowMeta{sy: pr.sy, eng: pr.engName},
 		}
 		idx++

@@ -1,0 +1,288 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dualspace/internal/batch"
+	"dualspace/internal/cluster"
+	"dualspace/internal/hgio"
+	"dualspace/internal/verdictlog"
+)
+
+// keyFor computes the canonical verdict-cache key the service computes for
+// a request — the test-side half of the "same text ⇒ same key" contract.
+func keyFor(t *testing.T, engName, g, h string) batch.Key {
+	t.Helper()
+	hs, _, err := hgio.ReadHypergraphsLimited(DefaultLimits,
+		strings.NewReader(g), strings.NewReader(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, ch := hs[0].Canonical(), hs[1].Canonical()
+	return batch.NewKey(engName, cg.Fingerprint(), ch.Fingerprint())
+}
+
+// clusterInstance is one distinct canonical class with its known verdict.
+type clusterInstance struct {
+	g, h string
+	dual bool
+}
+
+// clusterMix builds n canonically distinct instances with known verdicts:
+// the self-dual triangle plus dual and near-dual matchings of growing
+// width.
+func clusterMix(n int) []clusterInstance {
+	out := []clusterInstance{{g: "a b\nb c\na c\n", h: "a b\nb c\na c\n", dual: true}}
+	for k := 2; len(out) < n && k <= 8; k++ {
+		g, h := matchingText(k)
+		out = append(out, clusterInstance{g: g, h: h, dual: true})
+		if len(out) < n {
+			// Dropping one dual edge leaves a new transversal: non-dual.
+			lines := strings.SplitAfter(strings.TrimSuffix(h, "\n"), "\n")
+			out = append(out, clusterInstance{g: g, h: strings.Join(lines[:len(lines)-1], ""), dual: false})
+		}
+	}
+	return out
+}
+
+// startClusterReplicas binds n listeners first so every replica can be
+// constructed knowing the full member list, then serves one Server per
+// listener. Returns the base URLs, the cluster clients, and the Servers.
+func startClusterReplicas(t *testing.T, n int) ([]string, []*cluster.Client, []*Server) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = "http://" + ln.Addr().String()
+	}
+	clients := make([]*cluster.Client, n)
+	servers := make([]*Server, n)
+	for i := range lns {
+		c, err := cluster.New(cluster.Config{Self: addrs[i], Peers: addrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			t.Fatal("cluster client unexpectedly disabled")
+		}
+		clients[i] = c
+		servers[i] = New(Config{Cluster: c})
+		ts := &httptest.Server{Listener: lns[i], Config: &http.Server{Handler: servers[i]}}
+		ts.Start()
+		t.Cleanup(ts.Close)
+	}
+	return addrs, clients, servers
+}
+
+// TestClusterPeerFillE2E: two live replicas, every distinct instance asked
+// of both. Each instance must be computed exactly once cluster-wide — the
+// non-owner's copy arrives by peer fill (decide path) and renders
+// cached:true on the second ask.
+func TestClusterPeerFillE2E(t *testing.T) {
+	addrs, _, _ := startClusterReplicas(t, 2)
+	instances := clusterMix(4)
+
+	for i, in := range instances {
+		body := map[string]any{"g": in.g, "h": in.h}
+		code, out := post(t, addrs[0]+"/v1/decide", body)
+		if code != 200 || out["dual"] != in.dual {
+			t.Fatalf("instance %d on replica 0: code=%d out=%v", i, code, out)
+		}
+		code, out = post(t, addrs[1]+"/v1/decide", body)
+		if code != 200 || out["dual"] != in.dual {
+			t.Fatalf("instance %d on replica 1: code=%d out=%v", i, code, out)
+		}
+		if out["cached"] != true {
+			t.Errorf("instance %d: second replica's answer not marked cached: %v", i, out)
+		}
+	}
+
+	var decomps, filled, served float64
+	for _, a := range addrs {
+		st := getJSON(t, a+"/statsz")
+		decomps += st["decompositions"].(float64)
+		cl, ok := st["cluster"].(map[string]any)
+		if !ok {
+			t.Fatalf("replica %s /statsz has no cluster block", a)
+		}
+		filled += cl["peer_filled"].(float64)
+		served += cl["serve_hits"].(float64) + cl["serve_computes"].(float64)
+		if inv := cl["invalid_verdicts"].(float64); inv != 0 {
+			t.Errorf("replica %s rejected %v peer verdicts", a, inv)
+		}
+	}
+	if want := float64(len(instances)); decomps != want {
+		t.Errorf("cluster-wide decompositions = %v, want %v (each instance computed once)", decomps, want)
+	}
+	if want := float64(len(instances)); filled != want || served != want {
+		t.Errorf("peer_filled=%v served=%v, want %v each", filled, served, want)
+	}
+}
+
+// TestClusterBatchPeerFill: the batch path's Fill hook reaches peers too —
+// a fresh instance submitted as NDJSON batches to both replicas is still
+// computed exactly once cluster-wide.
+func TestClusterBatchPeerFill(t *testing.T) {
+	addrs, _, _ := startClusterReplicas(t, 2)
+	g, h := matchingText(5)
+	row := fmt.Sprintf("{\"g\":%q,\"h\":%q}\n", g, h)
+
+	for _, a := range addrs {
+		resp, err := http.Post(a+"/v1/batch", "application/x-ndjson",
+			bytes.NewReader([]byte(row)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := new(bytes.Buffer)
+		_, _ = raw.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("batch on %s: status %d: %s", a, resp.StatusCode, raw)
+		}
+		if !bytes.Contains(raw.Bytes(), []byte(`"dual":true`)) ||
+			bytes.Contains(raw.Bytes(), []byte(`"error"`)) {
+			t.Fatalf("batch on %s: bad rows: %s", a, raw)
+		}
+	}
+
+	var decomps float64
+	for _, a := range addrs {
+		decomps += getJSON(t, a+"/statsz")["decompositions"].(float64)
+	}
+	if decomps != 1 {
+		t.Errorf("cluster-wide decompositions = %v, want 1", decomps)
+	}
+}
+
+// TestClusterPeerDownFallback: a replica whose peer is dead keeps serving
+// every request correctly from local compute; the dead peer's breaker
+// absorbs the failures and stops the dialing.
+func TestClusterPeerDownFallback(t *testing.T) {
+	// Bind and immediately close a port: a configured peer that is down.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := "http://" + ln.Addr().String()
+	ln.Close()
+
+	self := "http://192.0.2.1:9" // TEST-NET; never dialed
+	c, err := cluster.New(cluster.Config{
+		Self:             self,
+		Peers:            []string{self, deadAddr},
+		BreakerThreshold: 2,
+		Timeout:          500 * time.Millisecond,
+	})
+	if err != nil || c == nil {
+		t.Fatalf("cluster.New: %v, %v", c, err)
+	}
+	_, ts := newTestServer(t, Config{Cluster: c})
+
+	// Only instances the ring assigns to the dead peer exercise the
+	// failing fill path; ownership depends on the dead listener's port, so
+	// partition the mix by the same ring the server consults.
+	var remoteOwned, selfOwned []clusterInstance
+	for _, in := range clusterMix(15) {
+		key := keyFor(t, "core", in.g, in.h)
+		if owner, remote := c.Owner(key.Hash64()); remote && owner == deadAddr {
+			remoteOwned = append(remoteOwned, in)
+		} else {
+			selfOwned = append(selfOwned, in)
+		}
+	}
+	for i, in := range append(append([]clusterInstance{}, remoteOwned...), selfOwned...) {
+		code, out := post(t, ts.URL+"/v1/decide", map[string]any{"g": in.g, "h": in.h, "engine": "core"})
+		if code != 200 || out["dual"] != in.dual {
+			t.Fatalf("instance %d with peer down: code=%d out=%v", i, code, out)
+		}
+	}
+
+	st := getJSON(t, ts.URL+"/statsz")
+	cl := st["cluster"].(map[string]any)
+	peers := cl["peers"].([]any)
+	if len(peers) != 1 {
+		t.Fatalf("peer stats = %v", peers)
+	}
+	ps := peers[0].(map[string]any)
+	errs, skips := ps["errors"].(float64), ps["skips"].(float64)
+	if float64(len(remoteOwned)) != errs+skips {
+		t.Errorf("remote-owned=%d but errors=%v skips=%v", len(remoteOwned), errs, skips)
+	}
+	if len(remoteOwned) >= 3 {
+		// Threshold 2: two transport errors open the breaker, later fills
+		// are skipped without dialing.
+		if errs != 2 || skips != float64(len(remoteOwned)-2) {
+			t.Errorf("breaker did not clamp dialing: errors=%v skips=%v of %d", errs, skips, len(remoteOwned))
+		}
+		if ps["breaker_open"] != true {
+			t.Errorf("breaker not reported open: %v", ps)
+		}
+	} else {
+		t.Logf("only %d instances landed on the dead peer; breaker assertions skipped", len(remoteOwned))
+	}
+	if cl["peer_filled"].(float64) != 0 {
+		t.Errorf("peer_filled = %v with a dead peer", cl["peer_filled"])
+	}
+}
+
+// TestVerdictLogWarmRestart: verdicts stored by one server instance are
+// replayed into the next instance's cache from the on-disk log — the next
+// process answers cached:true without recomputing.
+func TestVerdictLogWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	instances := clusterMix(3)
+
+	lg, err := verdictlog.Open(dir, verdictlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := newTestServer(t, Config{VerdictLog: lg})
+	for i, in := range instances {
+		if code, out := post(t, ts1.URL+"/v1/decide", map[string]any{"g": in.g, "h": in.h}); code != 200 || out["dual"] != in.dual {
+			t.Fatalf("instance %d: code=%d out=%v", i, code, out)
+		}
+	}
+	st := getJSON(t, ts1.URL+"/statsz")
+	if vl := st["verdict_log"].(map[string]any); vl["dropped"].(float64) != 0 {
+		t.Fatalf("writer dropped verdicts: %v", vl)
+	}
+	ts1.Close()
+	s1.Close() // flush the async writer
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lg2, err := verdictlog.Open(dir, verdictlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lg2.Close() })
+	s2, ts2 := newTestServer(t, Config{VerdictLog: lg2})
+	defer s2.Close()
+	st = getJSON(t, ts2.URL+"/statsz")
+	vl := st["verdict_log"].(map[string]any)
+	if got := vl["replayed_to_cache"].(float64); got != float64(len(instances)) {
+		t.Fatalf("replayed_to_cache = %v, want %d", got, len(instances))
+	}
+	for i, in := range instances {
+		code, out := post(t, ts2.URL+"/v1/decide", map[string]any{"g": in.g, "h": in.h})
+		if code != 200 || out["dual"] != in.dual || out["cached"] != true {
+			t.Fatalf("warm instance %d not served from replayed cache: code=%d out=%v", i, code, out)
+		}
+	}
+	if d := getJSON(t, ts2.URL+"/statsz")["decompositions"].(float64); d != 0 {
+		t.Errorf("warm restart recomputed %v instances", d)
+	}
+}

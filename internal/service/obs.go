@@ -21,18 +21,20 @@ import (
 	"runtime"
 	"time"
 
+	"dualspace/internal/cluster"
 	"dualspace/internal/core"
 	"dualspace/internal/engine"
 	"dualspace/internal/faultinject"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/obs"
+	"dualspace/internal/verdictlog"
 )
 
 // endpointNames are the label values of the per-endpoint series, in
 // exposition order. Unknown paths fall under "other" (latency only — they
 // never reach a handler counter).
 var endpointNames = []string{
-	"decide", "batch", "mine", "transversals", "borders", "keys",
+	"decide", "cluster", "batch", "mine", "transversals", "borders", "keys",
 	"coteries", "healthz", "readyz", "statsz", "metricsz", "other",
 }
 
@@ -40,7 +42,8 @@ var endpointNames = []string{
 // the ones admission control can shed and deadline budgets can expire, so
 // the only ones carrying shed/timeout series.
 var workEndpoints = []string{
-	"decide", "batch", "mine", "transversals", "borders", "keys", "coteries",
+	"decide", "cluster", "batch", "mine", "transversals", "borders", "keys",
+	"coteries",
 }
 
 // endpointOf maps a request path to its endpoint label.
@@ -48,6 +51,8 @@ func endpointOf(path string) string {
 	switch path {
 	case "/v1/decide":
 		return "decide"
+	case "/v1/cluster/verdict":
+		return "cluster"
 	case "/v1/batch":
 		return "batch"
 	case "/v1/mine":
@@ -120,6 +125,7 @@ func (s *Server) initObs(logger *slog.Logger) {
 		}
 	}
 	s.reqDecide = o.endpoints["decide"].requests
+	s.reqCluster = o.endpoints["cluster"].requests
 	s.reqBatch = o.endpoints["batch"].requests
 	s.reqMine = o.endpoints["mine"].requests
 	s.reqTransversals = o.endpoints["transversals"].requests
@@ -239,6 +245,80 @@ func (s *Server) initObs(logger *slog.Logger) {
 		func() int64 { _, s, _ := core.ParallelSearchTotals(); return s })
 	stealCounter("idle_parks_total", "Parallel-search workers parked waiting for work.",
 		func() int64 { _, _, p := core.ParallelSearchTotals(); return p })
+
+	// Cluster + verdict-log series. The scalar counters always exist (they
+	// are just zero when the features are off, and /statsz reads them
+	// unconditionally); the per-peer and log bridges are created only when
+	// the feature is configured — their label sets depend on it.
+	s.peerFilled = reg.Counter("dualspace_cluster_peer_filled_total",
+		"Requests answered by a peer replica's cached verdict.")
+	s.peerInvalid = reg.Counter("dualspace_cluster_invalid_verdicts_total",
+		"Peer fill responses rejected by validation; nonzero is an alarm.")
+	s.clusterServeHits = reg.Counter("dualspace_cluster_serve_cache_hits_total",
+		"/v1/cluster/verdict fills served from the local cache.")
+	s.clusterServeComputes = reg.Counter("dualspace_cluster_serve_computes_total",
+		"/v1/cluster/verdict fills computed on local workers.")
+	s.vlogDropped = reg.Counter("dualspace_verdictlog_dropped_total",
+		"Verdicts dropped by the non-blocking log-append path.")
+	if c := s.cfg.Cluster; c != nil {
+		reg.Gauge("dualspace_cluster_peers",
+			"Remote ring members configured.").Set(int64(len(c.PeerAddrs())))
+		for _, addr := range c.PeerAddrs() {
+			peerCounter := func(name, help string, read func(cluster.PeerStats) int64) {
+				reg.CounterFunc("dualspace_cluster_peer_"+name, help,
+					func() float64 { st, _ := c.Peer(addr); return float64(read(st)) },
+					obs.L("peer", addr))
+			}
+			peerCounter("fills_total", "Fill attempts dispatched, by peer.",
+				func(st cluster.PeerStats) int64 { return st.Fills })
+			peerCounter("hits_total", "Fills answered with a verdict, by peer.",
+				func(st cluster.PeerStats) int64 { return st.Hits })
+			peerCounter("misses_total", "Fills answered without a verdict (healthy peer), by peer.",
+				func(st cluster.PeerStats) int64 { return st.Misses })
+			peerCounter("errors_total", "Fill transport errors and 5xx, by peer.",
+				func(st cluster.PeerStats) int64 { return st.Errors })
+			peerCounter("skips_total", "Fills suppressed by breaker or fan-out bound, by peer.",
+				func(st cluster.PeerStats) int64 { return st.Skips })
+			reg.GaugeFunc("dualspace_cluster_peer_breaker_open",
+				"1 while the peer's circuit breaker is open.",
+				func() float64 {
+					if st, _ := c.Peer(addr); st.BreakerOpen {
+						return 1
+					}
+					return 0
+				}, obs.L("peer", addr))
+		}
+	}
+	if s.cfg.VerdictLog != nil {
+		vl := s.cfg.VerdictLog
+		reg.GaugeFunc("dualspace_verdictlog_replayed_to_cache",
+			"Log records warmed into the verdict cache at startup.",
+			func() float64 { return float64(s.logReplayed.Load()) })
+		vlogCounter := func(name, help string, read func(verdictlog.Stats) int64) {
+			reg.CounterFunc("dualspace_verdictlog_"+name, help,
+				func() float64 { return float64(read(vl.Stats())) })
+		}
+		vlogCounter("appended_total", "Verdict records appended to the log.",
+			func(st verdictlog.Stats) int64 { return st.Appended })
+		vlogCounter("skipped_dup_total", "Appends skipped because the key was already logged.",
+			func(st verdictlog.Stats) int64 { return st.SkippedDup })
+		vlogCounter("append_errors_total", "Failed log appends (the log stays usable).",
+			func(st verdictlog.Stats) int64 { return st.AppendErrors })
+		vlogCounter("compactions_total", "Log compactions completed.",
+			func(st verdictlog.Stats) int64 { return st.Compactions })
+		reg.GaugeFunc("dualspace_verdictlog_live_records",
+			"Deduplicated records the log would replay.",
+			func() float64 { return float64(vl.Stats().LiveRecords) })
+		reg.GaugeFunc("dualspace_verdictlog_segments",
+			"Segment files on disk (including the active one).",
+			func() float64 { return float64(vl.Stats().Segments) })
+		reg.GaugeFunc("dualspace_verdictlog_bytes",
+			"Bytes on disk across segments.",
+			func() float64 { return float64(vl.Stats().Bytes) })
+		reg.GaugeFunc("dualspace_verdictlog_truncated_bytes",
+			"Bytes dropped at replay as corrupt.",
+			func() float64 { return float64(vl.Stats().TruncatedBytes) })
+	}
 
 	memoCounter := func(name, help string, read func() int64) {
 		reg.CounterFunc("dualspace_memo_"+name, help,

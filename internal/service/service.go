@@ -68,12 +68,14 @@ import (
 
 	"dualspace/internal/batch"
 	"dualspace/internal/bitset"
+	"dualspace/internal/cluster"
 	"dualspace/internal/core"
 	"dualspace/internal/engine"
 	"dualspace/internal/faultinject"
 	"dualspace/internal/hgio"
 	"dualspace/internal/hypergraph"
 	"dualspace/internal/obs"
+	"dualspace/internal/verdictlog"
 )
 
 // Config parameterizes a Server. The zero value gets sensible production
@@ -137,6 +139,19 @@ type Config struct {
 	// MaxTimeout caps the per-request ?timeout_ms= override (default 60s).
 	// Larger asks are clamped, never rejected.
 	MaxTimeout time.Duration
+
+	// Cluster, when non-nil, enables peer cache-fill: on a /v1/decide or
+	// /v1/batch cache miss whose key is owned by another replica on the
+	// consistent-hash ring, the owner is asked for the verdict (bounded
+	// fan-out, per-peer circuit breaker) before computing locally, and the
+	// POST /v1/cluster/verdict endpoint serves the reverse direction.
+	// cmd/dualserved builds it from -self/-peers (cluster.go, docs/CLUSTER.md).
+	Cluster *cluster.Client
+	// VerdictLog, when non-nil, is the disk-backed verdict store: its
+	// surviving records warm the cache at New, and every verdict the server
+	// computes (or peer-fills) is appended asynchronously. The caller owns
+	// the log's lifecycle: open before New, close after Server.Close.
+	VerdictLog *verdictlog.Log
 }
 
 // DefaultLimits is the input bound applied when Config.Limits is zero:
@@ -187,6 +202,7 @@ type Server struct {
 	obs *serverObs
 
 	reqDecide       *obs.Counter
+	reqCluster      *obs.Counter
 	reqBatch        *obs.Counter
 	reqMine         *obs.Counter
 	reqTransversals *obs.Counter
@@ -217,6 +233,22 @@ type Server struct {
 	drainOnce    sync.Once
 	draining     atomic.Bool
 	retryAfter   string
+
+	// Cluster + verdict-log state (cluster.go). The counters are
+	// registry-owned like every other /statsz series; vlogCh feeds the
+	// single async writer goroutine, and logReplayed counts the records
+	// warmed into the cache at New.
+	peerFilled           *obs.Counter
+	peerInvalid          *obs.Counter
+	clusterServeHits     *obs.Counter
+	clusterServeComputes *obs.Counter
+	vlogDropped          *obs.Counter
+	vlog                 *verdictlog.Log
+	vlogCh               chan verdictlog.Record
+	vlogQuit             chan struct{}
+	vlogDone             chan struct{}
+	logReplayed          atomic.Int64
+	closeOnce            sync.Once
 
 	// testHookDecideStart, when non-nil, runs right after a /v1/decide
 	// request has claimed a worker slot and before the decomposition
@@ -273,11 +305,25 @@ func New(cfg Config) *Server {
 		retryAfter: strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second)),
 	}
 	s.initObs(cfg.Logger)
-	s.scheduler = batch.NewScheduler(batch.Config{
+	schedCfg := batch.Config{
 		Pool: s.pool, Cache: s.cache, Metrics: s.obs.decide,
 		OnPanic: s.onBatchPanic,
-	})
+	}
+	if cfg.Cluster != nil {
+		schedCfg.Fill = s.batchFill
+	}
+	if cfg.VerdictLog != nil {
+		s.vlog = cfg.VerdictLog
+		s.warmFromLog()
+		s.vlogCh = make(chan verdictlog.Record, 1024)
+		s.vlogQuit = make(chan struct{})
+		s.vlogDone = make(chan struct{})
+		go s.vlogWriter()
+		schedCfg.OnStore = s.onBatchStore
+	}
+	s.scheduler = batch.NewScheduler(schedCfg)
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	s.mux.HandleFunc("POST /v1/cluster/verdict", s.handleClusterVerdict)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/mine", s.handleMine)
 	s.mux.HandleFunc("POST /v1/transversals", s.handleTransversals)
@@ -426,6 +472,7 @@ type statsResponse struct {
 	Workers       int     `json:"workers"`
 	Requests      struct {
 		Decide       int64 `json:"decide"`
+		Cluster      int64 `json:"cluster"`
 		Batch        int64 `json:"batch"`
 		Mine         int64 `json:"mine"`
 		Transversals int64 `json:"transversals"`
@@ -493,6 +540,47 @@ type statsResponse struct {
 		// the harness is armed only by -faults / the chaos suite).
 		FaultsInjected int64 `json:"faults_injected"`
 	} `json:"resilience"`
+	// Cluster appears when peer cache-fill is configured (-self/-peers):
+	// ring membership, per-peer fill counters and breaker state, and this
+	// replica's serving-side counters (docs/CLUSTER.md).
+	Cluster *clusterStatsBlock `json:"cluster,omitempty"`
+	// VerdictLog appears when the disk-backed verdict store is configured
+	// (-verdict-log): replay, append, segment and compaction counters.
+	VerdictLog *verdictLogStatsBlock `json:"verdict_log,omitempty"`
+}
+
+// clusterStatsBlock is the /statsz "cluster" block.
+type clusterStatsBlock struct {
+	// Self is this replica's normalized ring address.
+	Self string `json:"self"`
+	// Peers lists every remote ring member with its fill counters
+	// (attempts, verdicts received, healthy misses, errors, breaker/fan-out
+	// skips) and live breaker state.
+	Peers []cluster.PeerStats `json:"peers"`
+	// PeerFilled counts requests on this replica answered by a peer's
+	// verdict (decide and batch paths together).
+	PeerFilled int64 `json:"peer_filled"`
+	// InvalidVerdicts counts peer responses rejected by validation — any
+	// nonzero value means a peer decided a different instance and should be
+	// treated as an alarm.
+	InvalidVerdicts int64 `json:"invalid_verdicts"`
+	// ServeHits / ServeComputes count the serving side of
+	// /v1/cluster/verdict: fills answered from this replica's cache vs.
+	// computed on its workers.
+	ServeHits     int64 `json:"serve_hits"`
+	ServeComputes int64 `json:"serve_computes"`
+}
+
+// verdictLogStatsBlock is the /statsz "verdict_log" block: the log's own
+// counters plus the service-side replay-into-cache and writer-drop counts.
+type verdictLogStatsBlock struct {
+	verdictlog.Stats
+	// ReplayedToCache counts log records warmed into the verdict cache at
+	// startup (≤ the log's replayed count: unknown engines are skipped).
+	ReplayedToCache int64 `json:"replayed_to_cache"`
+	// Dropped counts verdicts the non-blocking append path discarded
+	// because the writer was stalled.
+	Dropped int64 `json:"dropped"`
 }
 
 // engineStats is the wire form of one engine's counters.
@@ -550,6 +638,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.InFlight = s.inFlight.Load()
 	resp.Workers = s.cfg.Workers
 	resp.Requests.Decide = s.reqDecide.Load()
+	resp.Requests.Cluster = s.reqCluster.Load()
 	resp.Requests.Batch = s.reqBatch.Load()
 	resp.Requests.Mine = s.reqMine.Load()
 	resp.Requests.Transversals = s.reqTransversals.Load()
@@ -594,6 +683,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Resilience.QueueDepth = s.cfg.QueueDepth
 	resp.Resilience.SessionsReplaced = s.pool.Replaced()
 	resp.Resilience.FaultsInjected = faultinject.FiredTotal()
+	if c := s.cfg.Cluster; c != nil {
+		resp.Cluster = &clusterStatsBlock{
+			Self:            c.Self(),
+			Peers:           c.Stats(),
+			PeerFilled:      s.peerFilled.Load(),
+			InvalidVerdicts: s.peerInvalid.Load(),
+			ServeHits:       s.clusterServeHits.Load(),
+			ServeComputes:   s.clusterServeComputes.Load(),
+		}
+	}
+	if s.vlog != nil {
+		resp.VerdictLog = &verdictLogStatsBlock{
+			Stats:           s.vlog.Stats(),
+			ReplayedToCache: s.logReplayed.Load(),
+			Dropped:         s.vlogDropped.Load(),
+		}
+	}
 	writeJSON(w, resp)
 }
 
@@ -753,10 +859,14 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cacheMisses.Add(1)
+	// A request that is itself a peer's work (the loop guard ?no_forward=1
+	// or the peer header) must never fan out again, whatever the ring says.
+	noForward := r.URL.Query().Get("no_forward") == "1" ||
+		r.Header.Get(cluster.PeerHeader) != ""
 	for {
 		f, leader := s.flights.join(key)
 		if leader {
-			s.decideLeader(w, r, ctx, key, f, eng, engName, g, h, sy, ai, &tr)
+			s.decideLeader(w, r, ctx, key, f, eng, engName, g, h, sy, ai, &tr, req, noForward)
 			return
 		}
 		// Identical computation already in flight: wait for its verdict
@@ -798,10 +908,28 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 // decideLeader runs the actual decomposition for a coalesced flight and
 // publishes the outcome to its followers, successful or not — a flight left
 // open would strand every waiter. ctx is the request's budget context.
-func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, ctx context.Context, key batch.Key, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols, ai *accessInfo, tr *traceState) {
+func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, ctx context.Context, key batch.Key, f *flight, eng engine.Engine, engName string, g, h *hypergraph.Hypergraph, sy *hgio.Symbols, ai *accessInfo, tr *traceState, req decideRequest, noForward bool) {
 	var fres *core.Result
 	var ferr error
 	defer func() { s.flights.finish(key, f, fres, ferr) }()
+
+	// Peer fill: when the key's cluster owner is another replica, one
+	// bounded round trip for its cached verdict replaces the decomposition
+	// (and warms the local cache + log for next time). Any failure —
+	// breaker open, fan-out bound, peer miss or error — degrades to local
+	// compute. The flight's followers share the filled verdict either way.
+	if !noForward {
+		if res := s.tryPeerFill(ctx, key, g.N(), req.G, req.H); res != nil {
+			fres = res
+			s.cache.Add(key, fres)
+			s.appendVerdict(key, fres, g.N())
+			ai.note("peer_fill", fres.Dual, fres.Reason.String())
+			resp := renderDecide(fres, g, h, sy, true, engName)
+			tr.attach(&resp)
+			writeJSON(w, resp)
+			return
+		}
+	}
 
 	sess, err := s.acquire(ctx)
 	if err != nil {
@@ -838,6 +966,7 @@ func (s *Server) decideLeader(w http.ResponseWriter, r *http.Request, ctx contex
 	// the verdict, so both get one shared detached copy.
 	fres = res.Clone()
 	s.cache.Add(key, fres)
+	s.appendVerdict(key, fres, g.N())
 	ai.note("computed", res.Dual, res.Reason.String())
 	tr.stages = rec.Timings()
 	resp := renderDecide(res, g, h, sy, false, engName)
