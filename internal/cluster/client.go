@@ -174,10 +174,12 @@ func (c *Client) Fill(ctx context.Context, addr, engineName, gText, hText string
 	if ps == nil {
 		return nil, fmt.Errorf("cluster: %s is not a configured peer", addr)
 	}
-	if !ps.breaker.allow() {
-		ps.skips.Add(1)
-		return nil, nil
-	}
+	// Semaphore before breaker: allow() may hand out the single
+	// post-cooldown probe token, and every exit after that MUST reach
+	// success() or failure() to return it — bailing out on the fan-out
+	// bound between the two would strand probing=true and disable the
+	// peer permanently. Holding a semaphore slot across the (lock-only,
+	// no-I/O) breaker check is cheap.
 	select {
 	case c.sem <- struct{}{}:
 	default:
@@ -185,6 +187,10 @@ func (c *Client) Fill(ctx context.Context, addr, engineName, gText, hText string
 		return nil, nil
 	}
 	defer func() { <-c.sem }()
+	if !ps.breaker.allow() {
+		ps.skips.Add(1)
+		return nil, nil
+	}
 
 	ps.fills.Add(1)
 	wv, retriable, err := c.doFill(ctx, addr, engineName, gText, hText)

@@ -123,6 +123,59 @@ func TestClientFillPeerDown(t *testing.T) {
 	}
 }
 
+// A fill skipped on the fan-out bound after the breaker's cooldown must
+// not consume the single probe token: if it did, the breaker would stay
+// open (and the peer disabled) until restart.
+func TestClientFillFanoutSkipDoesNotStrandProbe(t *testing.T) {
+	var healthy atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(WireVerdict{
+			N: 1, Dual: true, GEdge: -1, HEdge: -1, RedundantVertex: -1,
+		})
+	}))
+	defer peer.Close()
+
+	cur := time.Unix(1000, 0)
+	c, err := New(Config{
+		Self: "http://self:1", Peers: []string{peer.URL},
+		BreakerThreshold: 1, BreakerCooldown: time.Second,
+		MaxConcurrentFills: 1,
+		now:                func() time.Time { return cur },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Fill(context.Background(), peer.URL, "", "a\n", "a\n"); err == nil {
+		t.Fatal("5xx fill reported no error")
+	}
+	if st, _ := c.Peer(peer.URL); !st.BreakerOpen {
+		t.Fatal("breaker stayed closed after failure with threshold 1")
+	}
+
+	// Cooldown elapses, the peer recovers, but the only fan-out slot is
+	// taken — this fill must be a plain skip, not a consumed probe.
+	cur = cur.Add(2 * time.Second)
+	healthy.Store(true)
+	c.sem <- struct{}{}
+	if wv, err := c.Fill(context.Background(), peer.URL, "", "a\n", "a\n"); wv != nil || err != nil {
+		t.Fatalf("fan-out-bound fill = (%v, %v), want skip", wv, err)
+	}
+	<-c.sem
+
+	wv, err := c.Fill(context.Background(), peer.URL, "", "a\n", "a\n")
+	if err != nil || wv == nil {
+		t.Fatalf("post-cooldown probe = (%v, %v): probe token stranded by the fan-out skip", wv, err)
+	}
+	if st, _ := c.Peer(peer.URL); st.BreakerOpen {
+		t.Fatalf("breaker still open after successful probe: %+v", st)
+	}
+}
+
 func TestOwnerCoversAllMembers(t *testing.T) {
 	c, err := New(Config{Self: "http://self:1", Peers: []string{"http://b:1", "http://c:1"}})
 	if err != nil {

@@ -93,6 +93,12 @@ func (wv *WireVerdict) ToResult(n int) (*core.Result, error) {
 	if wv.GEdge < -1 || wv.HEdge < -1 || wv.RedundantVertex < -1 {
 		return nil, fmt.Errorf("cluster: negative index below -1 sentinel")
 	}
+	// RedundantVertex is rendered as a symbol-table lookup downstream, so an
+	// out-of-range value would not just be wrong, it would panic — and a
+	// poisoned cache entry panics every later request for the key.
+	if wv.RedundantVertex >= n {
+		return nil, fmt.Errorf("cluster: redundant vertex %d outside [0,%d)", wv.RedundantVertex, n)
+	}
 	for _, e := range wv.Witness {
 		if e < 0 || e >= n {
 			return nil, fmt.Errorf("cluster: witness vertex %d outside [0,%d)", e, n)

@@ -66,6 +66,10 @@ func TestWireVerdictValidation(t *testing.T) {
 		{"witness negative", WireVerdict{N: 4, Witness: []int{-1}, GEdge: -1, HEdge: -1, RedundantVertex: -1}, 4},
 		{"co-witness out of range", WireVerdict{N: 4, CoWitness: []int{9}, GEdge: -1, HEdge: -1, RedundantVertex: -1}, 4},
 		{"bad sentinel", WireVerdict{N: 4, GEdge: -7, HEdge: -1, RedundantVertex: -1}, 4},
+		// RedundantVertex feeds a symbol-table lookup on render: accepting
+		// an out-of-range value would cache a panic, not just a wrong answer.
+		{"redundant vertex out of range", WireVerdict{N: 4, GEdge: -1, HEdge: -1, RedundantVertex: 4}, 4},
+		{"redundant vertex huge", WireVerdict{N: 4, GEdge: -1, HEdge: -1, RedundantVertex: 1 << 20}, 4},
 	}
 	for _, tc := range cases {
 		if _, err := tc.wv.ToResult(tc.n); err == nil {

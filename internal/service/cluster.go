@@ -104,8 +104,11 @@ func (s *Server) handleClusterVerdict(w http.ResponseWriter, r *http.Request) {
 		}
 		f.waiters.Add(-1)
 		if f.err == nil {
+			// serve_computes is counted by the flight leader only
+			// (clusterVerdictLeader): it gauges computations performed on
+			// behalf of fills, and a coalesced follower ran none — its
+			// leader may even have been a /v1/decide request.
 			s.coalesced.Add(1)
-			s.clusterServeComputes.Add(1)
 			ai.note("coalesced", f.res.Dual, f.res.Reason.String())
 			wv := cluster.FromResult(f.res, g.N())
 			wv.Engine = engName

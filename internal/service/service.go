@@ -1004,7 +1004,7 @@ func renderDecide(res *core.Result, g, h *hypergraph.Hypergraph, sy *hgio.Symbol
 	if res.HEdge >= 0 && res.HEdge < h.M() {
 		resp.HEdgeVerts = names(h.Edge(res.HEdge), sy)
 	}
-	if res.RedundantVertex >= 0 {
+	if res.RedundantVertex >= 0 && res.RedundantVertex < sy.Len() {
 		resp.RedundantVertex = sy.Name(res.RedundantVertex)
 	}
 	if cached {

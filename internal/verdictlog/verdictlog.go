@@ -322,9 +322,12 @@ func (l *Log) Compact() error {
 	// records in memory (only keys), and replay is exactly the dedup we
 	// want. The mutex is held throughout — compaction is a maintenance
 	// pause, expected off the request path (a ticker in dualserved).
-	if err := l.active.Close(); err != nil {
-		return fmt.Errorf("verdictlog: %w", err)
-	}
+	//
+	// The active segment stays open and writable the whole way: replay
+	// reads segments through separate handles (writes are unbuffered
+	// syscalls, so they are visible), and every fallible step below leaves
+	// l.active untouched — a transient error (e.g. ENOSPC) aborts this
+	// compaction but appends keep working and the next tick retries.
 	idxs, err := l.segmentIndexes()
 	if err != nil {
 		return err
@@ -355,15 +358,34 @@ func (l *Log) Compact() error {
 	}
 	tmp := filepath.Join(l.dir, "compact.tmp")
 	if err := writeSegmentFile(tmp, order); err != nil {
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, l.segmentPath(newIdx)); err != nil {
+		_ = os.Remove(tmp)
 		return fmt.Errorf("verdictlog: %w", err)
 	}
+	st, err := os.Stat(l.segmentPath(newIdx))
+	if err != nil {
+		return fmt.Errorf("verdictlog: %w", err)
+	}
+
+	// The compacted copy is durably in place at the highest index. Only
+	// now swap the active segment: openSegment leaves l.active untouched
+	// on failure, in which case appends keep landing in the old active
+	// segment — only keys absent from l.seen, hence absent from the
+	// compacted copy, so last-wins replay stays correct — and the next
+	// compaction tick retries over the union.
+	oldActive := l.active
+	if err := l.openSegment(newIdx + 1); err != nil {
+		return err
+	}
+	_ = oldActive.Close() // retired; its records live in the compacted copy
 	for _, idx := range idxs {
-		if err := os.Remove(l.segmentPath(idx)); err != nil {
-			return fmt.Errorf("verdictlog: removing old segment: %w", err)
-		}
+		// A leftover old segment replays to the same live set (the
+		// compacted segment is newer and last-wins), so a failed remove
+		// costs disk space, not correctness — keep removing the rest.
+		_ = os.Remove(l.segmentPath(idx))
 	}
 
 	// Rebuild in-memory state over the compacted set.
@@ -371,18 +393,11 @@ func (l *Log) Compact() error {
 	for _, rec := range order {
 		l.seen[rec.key()] = struct{}{}
 	}
-	st, err := os.Stat(l.segmentPath(newIdx))
-	if err != nil {
-		return fmt.Errorf("verdictlog: %w", err)
-	}
 	l.stats.Compactions++
 	l.stats.LiveRecords = len(order)
-	l.stats.Segments = 2 // compacted segment + fresh active below
-	l.stats.Bytes = st.Size()
+	l.stats.Segments = 2 // compacted segment + the fresh active
+	l.stats.Bytes = st.Size() + magicLen
 	l.stats.TruncatedBytes = 0
-	if err := l.openSegment(newIdx + 1); err != nil {
-		return err
-	}
 	return nil
 }
 
@@ -515,6 +530,12 @@ func decodeRecord(payload []byte) (Record, error) {
 	}
 	if n < 0 || n > maxUniverse {
 		return rec, fmt.Errorf("verdictlog: universe %d out of range", n)
+	}
+	// Like cluster.WireVerdict.ToResult: the redundant vertex is rendered
+	// via a symbol-table lookup, so a replayed record with an out-of-range
+	// index would poison the cache with a panic-on-render entry.
+	if redundant < -1 || redundant >= n {
+		return rec, fmt.Errorf("verdictlog: redundant vertex %d outside [-1,%d)", redundant, n)
 	}
 	for _, e := range witness {
 		if e < 0 || e >= n {
